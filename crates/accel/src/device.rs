@@ -1,0 +1,303 @@
+//! Accelerator device abstraction.
+//!
+//! A [`Device`] is what a GX-Plug *daemon* wraps: "a daemon is a multi-core
+//! processor, an abstract representation of an accelerator" (§I).  Devices
+//! execute kernels over batches of data entities; timing is attributed through
+//! the device's [`CostModel`] so results are host-independent, while the
+//! kernel's outputs are computed for real.
+
+use crate::cost::CostModel;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The hardware flavour of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A multi-core / many-core CPU used as an accelerator.
+    Cpu,
+    /// A discrete GPU.
+    Gpu,
+    /// An FPGA-style streaming accelerator (provided for completeness; the
+    /// paper's Figure 1 lists FPGAs as pluggable daemons).
+    Fpga,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Cpu => write!(f, "CPU"),
+            DeviceKind::Gpu => write!(f, "GPU"),
+            DeviceKind::Fpga => write!(f, "FPGA"),
+        }
+    }
+}
+
+/// Errors produced by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// The batch does not fit in device memory.
+    OutOfMemory {
+        /// Number of items requested.
+        requested: usize,
+        /// Device capacity in items.
+        capacity: usize,
+        /// Device that rejected the batch.
+        device: String,
+    },
+    /// No device of the requested kind is available in the registry.
+    NoDeviceAvailable {
+        /// Requested kind.
+        kind: DeviceKind,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::OutOfMemory {
+                requested,
+                capacity,
+                device,
+            } => write!(
+                f,
+                "out of device memory on {device}: batch of {requested} items exceeds capacity of {capacity}"
+            ),
+            AccelError::NoDeviceAvailable { kind } => {
+                write!(f, "no {kind} device available in the registry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// Result alias for accelerator operations.
+pub type Result<T> = std::result::Result<T, AccelError>;
+
+/// Timing breakdown of a single kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Device initialisation cost paid by this call (zero if the device was
+    /// already initialised — the benefit of runtime isolation, Fig. 13).
+    pub init: SimDuration,
+    /// Kernel launch / device call overhead (`Tcall`).
+    pub call: SimDuration,
+    /// Host/device transfer time (`Tcopy`).
+    pub copy: SimDuration,
+    /// Parallel compute time (`Tcomp`).
+    pub compute: SimDuration,
+}
+
+impl KernelTiming {
+    /// Total simulated time of the call.
+    pub fn total(&self) -> SimDuration {
+        self.init + self.call + self.copy + self.compute
+    }
+}
+
+/// The result of executing a kernel over a batch.
+#[derive(Debug, Clone)]
+pub struct KernelRun<R> {
+    /// Per-item kernel outputs, in input order.
+    pub outputs: Vec<R>,
+    /// Timing attribution for the call.
+    pub timing: KernelTiming,
+}
+
+/// A simulated accelerator device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    name: String,
+    kind: DeviceKind,
+    cost: CostModel,
+    initialized: bool,
+    /// Cumulative number of items processed (for utilisation metrics).
+    items_processed: u64,
+    /// Cumulative number of kernel launches.
+    kernel_launches: u64,
+}
+
+impl Device {
+    /// Creates a new, uninitialised device.
+    pub fn new(name: impl Into<String>, kind: DeviceKind, cost: CostModel) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            cost,
+            initialized: false,
+            items_processed: 0,
+            kernel_launches: 0,
+        }
+    }
+
+    /// Device name (e.g. `"V100-0"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The device's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Whether the device context has been initialised.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Total items processed so far.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Total kernel launches so far.
+    pub fn kernel_launches(&self) -> u64 {
+        self.kernel_launches
+    }
+
+    /// Initialises the device context if necessary and returns the time it
+    /// took (zero when already initialised).
+    ///
+    /// A daemon calls this once when it starts and keeps the context alive
+    /// across iterations (runtime isolation, §IV-C); a naive integration pays
+    /// it on every call.
+    pub fn initialize(&mut self) -> SimDuration {
+        if self.initialized {
+            SimDuration::ZERO
+        } else {
+            self.initialized = true;
+            self.cost.init
+        }
+    }
+
+    /// Tears down the device context (so the next call pays `init` again).
+    pub fn shutdown(&mut self) {
+        self.initialized = false;
+    }
+
+    /// Estimated time to run a kernel over `n` items, excluding any pending
+    /// initialisation.  Used by the pipeline block-size analysis and the
+    /// workload balancer.
+    pub fn estimate_invocation(&self, n: usize) -> SimDuration {
+        self.cost.invocation_time(n)
+    }
+
+    /// The computation capacity factor `1/c_j` (§III-C) of this device.
+    pub fn capacity_factor(&self) -> f64 {
+        self.cost.capacity_factor()
+    }
+
+    /// Executes `kernel` over every item in `batch`.
+    ///
+    /// The outputs are computed for real on the host; the reported
+    /// [`KernelTiming`] comes from the cost model (initialisation if needed +
+    /// `Tcall + Tcopy + Tcomp`).  Fails with [`AccelError::OutOfMemory`] if
+    /// the batch exceeds the device memory capacity.
+    pub fn execute_batch<T, R>(
+        &mut self,
+        batch: &[T],
+        mut kernel: impl FnMut(&T) -> R,
+    ) -> Result<KernelRun<R>> {
+        if self.cost.exceeds_memory(batch.len()) {
+            return Err(AccelError::OutOfMemory {
+                requested: batch.len(),
+                capacity: self.cost.memory_capacity_items.unwrap_or(0),
+                device: self.name.clone(),
+            });
+        }
+        let init = self.initialize();
+        let outputs: Vec<R> = batch.iter().map(&mut kernel).collect();
+        self.items_processed += batch.len() as u64;
+        self.kernel_launches += 1;
+        let timing = KernelTiming {
+            init,
+            call: self.cost.call,
+            copy: self.cost.copy_time(batch.len()),
+            compute: self.cost.compute_time(batch.len()),
+        };
+        Ok(KernelRun { outputs, timing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn tiny_gpu() -> Device {
+        Device::new(
+            "test-gpu",
+            DeviceKind::Gpu,
+            CostModel {
+                init: SimDuration::from_millis(50.0),
+                call: SimDuration::from_millis(1.0),
+                copy_per_item: SimDuration::from_micros(1.0),
+                compute_per_item: SimDuration::from_micros(10.0),
+                lanes: 100,
+                parallel_efficiency: 1.0,
+                memory_capacity_items: Some(10_000),
+            },
+        )
+    }
+
+    #[test]
+    fn first_call_pays_init_later_calls_do_not() {
+        let mut dev = tiny_gpu();
+        assert!(!dev.is_initialized());
+        let items = vec![1u32; 100];
+        let first = dev.execute_batch(&items, |x| x * 2).unwrap();
+        assert_eq!(first.timing.init.as_millis(), 50.0);
+        assert!(dev.is_initialized());
+        let second = dev.execute_batch(&items, |x| x * 2).unwrap();
+        assert!(second.timing.init.is_zero());
+        assert!(second.timing.total() < first.timing.total());
+        dev.shutdown();
+        let third = dev.execute_batch(&items, |x| x * 2).unwrap();
+        assert_eq!(third.timing.init.as_millis(), 50.0);
+    }
+
+    #[test]
+    fn kernel_outputs_are_computed_for_real() {
+        let mut dev = tiny_gpu();
+        let items: Vec<u64> = (0..1000).collect();
+        let run = dev.execute_batch(&items, |&x| x * x).unwrap();
+        assert_eq!(run.outputs.len(), 1000);
+        assert_eq!(run.outputs[31], 31 * 31);
+        assert_eq!(dev.items_processed(), 1000);
+        assert_eq!(dev.kernel_launches(), 1);
+    }
+
+    #[test]
+    fn oom_when_batch_exceeds_capacity() {
+        let mut dev = tiny_gpu();
+        let items = vec![0u8; 10_001];
+        let err = dev.execute_batch(&items, |_| ()).unwrap_err();
+        assert!(matches!(err, AccelError::OutOfMemory { requested: 10_001, capacity: 10_000, .. }));
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn timing_scales_with_batch_size() {
+        let mut dev = tiny_gpu();
+        dev.initialize();
+        let small = dev.execute_batch(&vec![0u8; 100], |_| ()).unwrap();
+        let large = dev.execute_batch(&vec![0u8; 10_000], |_| ()).unwrap();
+        assert!(large.timing.total() > small.timing.total());
+        assert_eq!(small.timing.call, large.timing.call);
+    }
+
+    #[test]
+    fn gpu_preset_is_faster_per_item_but_slower_to_init_than_cpu() {
+        let gpu = presets::gpu_v100("g0");
+        let cpu = presets::cpu_xeon_20c("c0");
+        assert!(gpu.capacity_factor() > cpu.capacity_factor());
+        assert!(gpu.cost_model().init > cpu.cost_model().init);
+        assert!(gpu.cost_model().copy_per_item > cpu.cost_model().copy_per_item);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gxplug-accel
+//!
+//! Accelerator substrate for the GX-Plug reproduction.
+//!
+//! The paper plugs real GPUs and multi-core CPUs into distributed graph
+//! systems.  This crate provides the stand-in: [`Device`]s that execute
+//! kernels for real on the host while attributing time through an analytic
+//! [`CostModel`] (`Tcall + Tcomp + Tcopy`, device initialisation, parallel
+//! width, memory capacity), so every experiment's *shape* is reproducible on
+//! any machine.
+//!
+//! * [`time`] — simulated durations and clocks shared by all substrates;
+//! * [`cost`] — the per-device cost model;
+//! * [`device`] — devices, kernel execution and timing attribution;
+//! * [`presets`] — calibrated V100-class GPU / Xeon-class CPU / FPGA presets;
+//! * [`registry`] — the shared device pool used for daemon allocation and
+//!   mix-and-match configurations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod device;
+pub mod presets;
+pub mod registry;
+pub mod time;
+
+pub use cost::CostModel;
+pub use device::{AccelError, Device, DeviceKind, KernelRun, KernelTiming, Result};
+pub use registry::DeviceRegistry;
+pub use time::{SimClock, SimDuration};

@@ -1,0 +1,156 @@
+//! Device registry / pool.
+//!
+//! The workload-balancing analysis (§III-C, Lemma 3) lets the middleware
+//! "dynamically allocate idle accelerators to generate more daemons for the
+//! node demanding computation powers".  The [`DeviceRegistry`] is the shared
+//! pool those allocations draw from: an upper system (or the Fig. 9d
+//! mix-and-match harness) seeds it with the devices of a node or cluster, and
+//! agents take / return devices as daemons are created and destroyed.
+
+use crate::device::{AccelError, Device, DeviceKind, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A pool of accelerator devices available for daemon creation.
+///
+/// The registry is cheap to clone (`Arc` internally) so an agent per
+/// distributed node can share one cluster-wide pool.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceRegistry {
+    inner: Arc<Mutex<Vec<Device>>>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with `devices`.
+    pub fn with_devices(devices: Vec<Device>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(devices)),
+        }
+    }
+
+    /// Adds a device to the pool.
+    pub fn add(&self, device: Device) {
+        self.inner.lock().push(device);
+    }
+
+    /// Number of idle devices currently in the pool.
+    pub fn available(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Number of idle devices of the given kind.
+    pub fn available_of(&self, kind: DeviceKind) -> usize {
+        self.inner.lock().iter().filter(|d| d.kind() == kind).count()
+    }
+
+    /// Takes any idle device out of the pool, preferring GPUs (highest
+    /// capacity factor first).
+    pub fn take_any(&self) -> Option<Device> {
+        let mut devices = self.inner.lock();
+        if devices.is_empty() {
+            return None;
+        }
+        let best = devices
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.capacity_factor()
+                    .partial_cmp(&b.capacity_factor())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)?;
+        Some(devices.swap_remove(best))
+    }
+
+    /// Takes an idle device of the requested kind.
+    pub fn take(&self, kind: DeviceKind) -> Result<Device> {
+        let mut devices = self.inner.lock();
+        let pos = devices.iter().position(|d| d.kind() == kind);
+        match pos {
+            Some(i) => Ok(devices.swap_remove(i)),
+            None => Err(AccelError::NoDeviceAvailable { kind }),
+        }
+    }
+
+    /// Returns a device to the pool (e.g. when a daemon shuts down).
+    pub fn release(&self, device: Device) {
+        self.inner.lock().push(device);
+    }
+
+    /// Sum of capacity factors of all idle devices — the maximum additional
+    /// computation capacity the balancer can still hand out.
+    pub fn idle_capacity(&self) -> f64 {
+        self.inner.lock().iter().map(|d| d.capacity_factor()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn pool() -> DeviceRegistry {
+        DeviceRegistry::with_devices(vec![
+            presets::gpu_v100("g0"),
+            presets::gpu_v100("g1"),
+            presets::cpu_xeon_20c("c0"),
+        ])
+    }
+
+    #[test]
+    fn take_and_release_round_trip() {
+        let registry = pool();
+        assert_eq!(registry.available(), 3);
+        assert_eq!(registry.available_of(DeviceKind::Gpu), 2);
+        let gpu = registry.take(DeviceKind::Gpu).unwrap();
+        assert_eq!(registry.available_of(DeviceKind::Gpu), 1);
+        registry.release(gpu);
+        assert_eq!(registry.available_of(DeviceKind::Gpu), 2);
+    }
+
+    #[test]
+    fn take_missing_kind_fails() {
+        let registry = pool();
+        assert!(matches!(
+            registry.take(DeviceKind::Fpga),
+            Err(AccelError::NoDeviceAvailable {
+                kind: DeviceKind::Fpga
+            })
+        ));
+    }
+
+    #[test]
+    fn take_any_prefers_fastest_device() {
+        let registry = pool();
+        let first = registry.take_any().unwrap();
+        assert_eq!(first.kind(), DeviceKind::Gpu);
+        let _second = registry.take_any().unwrap();
+        let third = registry.take_any().unwrap();
+        assert_eq!(third.kind(), DeviceKind::Cpu);
+        assert!(registry.take_any().is_none());
+    }
+
+    #[test]
+    fn idle_capacity_shrinks_as_devices_are_taken() {
+        let registry = pool();
+        let before = registry.idle_capacity();
+        let dev = registry.take(DeviceKind::Gpu).unwrap();
+        let after = registry.idle_capacity();
+        assert!(after < before);
+        registry.release(dev);
+        assert!((registry.idle_capacity() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_clones_share_the_same_pool() {
+        let registry = pool();
+        let clone = registry.clone();
+        let _ = clone.take(DeviceKind::Cpu).unwrap();
+        assert_eq!(registry.available_of(DeviceKind::Cpu), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Sequential reference implementations.
+//!
+//! Every template algorithm in this crate is validated against a plain,
+//! single-threaded implementation operating directly on the
+//! [`PropertyGraph`].  The references intentionally mirror the *message
+//! semantics* of the distributed versions (e.g. PageRank only updates vertices
+//! that receive at least one contribution) so that equality checks are exact.
+
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::types::VertexId;
+use std::collections::HashMap;
+
+/// Multi-source Bellman-Ford: returns `dist[vertex][source_index]`.
+pub fn multi_source_sssp_reference<V>(
+    graph: &PropertyGraph<V, f64>,
+    sources: &[VertexId],
+) -> Vec<Vec<f64>> {
+    let n = graph.num_vertices();
+    let mut dist = vec![vec![f64::INFINITY; sources.len()]; n];
+    for (s_index, &s) in sources.iter().enumerate() {
+        if (s as usize) < n {
+            dist[s as usize][s_index] = 0.0;
+        }
+    }
+    // Relax |V| - 1 times (or until a fixed point).
+    for _ in 0..n.saturating_sub(1).max(1) {
+        let mut changed = false;
+        for edge in graph.edges() {
+            for s_index in 0..sources.len() {
+                let candidate = dist[edge.src as usize][s_index] + edge.attr;
+                if candidate < dist[edge.dst as usize][s_index] {
+                    dist[edge.dst as usize][s_index] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Message-driven PageRank: `rank'[v] = (1 - d) + d * Σ rank[u] / outdeg[u]`
+/// over `v`'s in-neighbours, applied only to vertices with at least one
+/// in-edge (vertices without in-edges keep their initial rank), for a fixed
+/// number of iterations.
+pub fn pagerank_reference<V>(
+    graph: &PropertyGraph<V, f64>,
+    damping: f64,
+    iterations: usize,
+    initial_rank: f64,
+) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut rank = vec![initial_rank; n];
+    let out_degree: Vec<usize> = (0..n).map(|v| graph.out_degree(v as VertexId)).collect();
+    for _ in 0..iterations {
+        let mut incoming = vec![0.0f64; n];
+        let mut has_incoming = vec![false; n];
+        for edge in graph.edges() {
+            let contribution = rank[edge.src as usize] / out_degree[edge.src as usize].max(1) as f64;
+            incoming[edge.dst as usize] += contribution;
+            has_incoming[edge.dst as usize] = true;
+        }
+        for v in 0..n {
+            if has_incoming[v] {
+                rank[v] = (1.0 - damping) + damping * incoming[v];
+            }
+        }
+    }
+    rank
+}
+
+/// Synchronous label propagation: every vertex adopts the most frequent label
+/// among its in-neighbours (ties broken toward the smallest label), starting
+/// from `label[v] = v`, for at most `max_iterations` rounds or until no label
+/// changes.
+pub fn label_propagation_reference<V>(
+    graph: &PropertyGraph<V, f64>,
+    max_iterations: usize,
+) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..max_iterations {
+        let mut next = labels.clone();
+        let mut changed = false;
+        for v in 0..n {
+            let mut histogram: HashMap<u32, u32> = HashMap::new();
+            for (u, _) in graph.in_edges(v as VertexId) {
+                *histogram.entry(labels[u as usize]).or_insert(0) += 1;
+            }
+            if histogram.is_empty() {
+                continue;
+            }
+            let best = histogram
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(label, _)| label)
+                .expect("non-empty histogram");
+            if best != labels[v] {
+                next[v] = best;
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+/// Connected components over the *undirected* view of the graph, by
+/// union-find.  Returns the smallest vertex id of each vertex's component.
+pub fn connected_components_reference<V>(graph: &PropertyGraph<V, f64>) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for edge in graph.edges() {
+        let a = find(&mut parent, edge.src as usize);
+        let b = find(&mut parent, edge.dst as usize);
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    // Compress to the minimum vertex id per component.
+    let mut min_of_root: HashMap<usize, u32> = HashMap::new();
+    for v in 0..n {
+        let root = find(&mut parent, v);
+        let entry = min_of_root.entry(root).or_insert(v as u32);
+        *entry = (*entry).min(v as u32);
+    }
+    (0..n)
+        .map(|v| {
+            let root = find(&mut parent, v);
+            min_of_root[&root]
+        })
+        .collect()
+}
+
+/// k-core decomposition over the undirected view: returns `true` for vertices
+/// that survive iterative removal of vertices with (undirected) degree `< k`.
+pub fn k_core_reference<V>(graph: &PropertyGraph<V, f64>, k: usize) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| graph.out_degree(v as VertexId) + graph.in_degree(v as VertexId))
+        .collect();
+    let mut alive = vec![true; n];
+    loop {
+        let mut removed_any = false;
+        for v in 0..n {
+            if alive[v] && degree[v] < k {
+                alive[v] = false;
+                removed_any = true;
+                for (u, _) in graph.out_edges(v as VertexId) {
+                    degree[u as usize] = degree[u as usize].saturating_sub(1);
+                }
+                for (u, _) in graph.in_edges(v as VertexId) {
+                    degree[u as usize] = degree[u as usize].saturating_sub(1);
+                }
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gxplug_graph::edge_list::EdgeList;
+
+    fn diamond() -> PropertyGraph<(), f64> {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 2 -> 3 (1), plus isolated 4.
+        let mut list: EdgeList<f64> = [
+            (0u32, 1u32, 1.0),
+            (0, 2, 4.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        list.ensure_vertex(4);
+        PropertyGraph::from_edge_list(list, ()).unwrap()
+    }
+
+    #[test]
+    fn sssp_reference_takes_shortest_paths() {
+        let g = diamond();
+        let dist = multi_source_sssp_reference(&g, &[0, 1]);
+        // From source 0: 0, 1, 2 (via 1), 3.
+        assert_eq!(dist[0][0], 0.0);
+        assert_eq!(dist[1][0], 1.0);
+        assert_eq!(dist[2][0], 2.0);
+        assert_eq!(dist[3][0], 3.0);
+        assert!(dist[4][0].is_infinite());
+        // From source 1: unreachable vertex 0.
+        assert!(dist[0][1].is_infinite());
+        assert_eq!(dist[2][1], 1.0);
+    }
+
+    #[test]
+    fn pagerank_reference_conserves_reasonable_ranks() {
+        let g = diamond();
+        let ranks = pagerank_reference(&g, 0.85, 20, 1.0);
+        // Vertex 3 receives everything flowing through 2, so it outranks 1.
+        assert!(ranks[3] > ranks[1]);
+        // Vertices without in-edges keep the initial rank.
+        assert_eq!(ranks[0], 1.0);
+        assert_eq!(ranks[4], 1.0);
+        assert!(ranks.iter().all(|r| r.is_finite() && *r > 0.0));
+    }
+
+    #[test]
+    fn label_propagation_reference_converges() {
+        let g = diamond();
+        let labels = label_propagation_reference(&g, 20);
+        // Everything downstream of vertex 0 eventually adopts label 0.
+        assert_eq!(labels[1], 0);
+        assert_eq!(labels[2], 0);
+        assert_eq!(labels[3], 0);
+        assert_eq!(labels[4], 4);
+    }
+
+    #[test]
+    fn connected_components_reference_finds_two_components() {
+        let g = diamond();
+        let cc = connected_components_reference(&g);
+        assert_eq!(cc[0], 0);
+        assert_eq!(cc[1], 0);
+        assert_eq!(cc[2], 0);
+        assert_eq!(cc[3], 0);
+        assert_eq!(cc[4], 4);
+    }
+
+    #[test]
+    fn k_core_reference_peels_low_degree_vertices() {
+        // Triangle 0-1-2 plus a pendant 3: the 2-core (undirected) is the
+        // triangle.
+        let list: EdgeList<f64> = [
+            (0u32, 1u32, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 0, 1.0),
+            (0, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 2, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let g = PropertyGraph::from_edge_list(list, ()).unwrap();
+        let core = k_core_reference(&g, 4);
+        assert_eq!(core, vec![true, true, true, false]);
+        let all = k_core_reference(&g, 1);
+        assert!(all.iter().all(|&a| a));
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-source Bellman-Ford SSSP (the paper's "SSSP-BF").
+//!
+//! The paper's evaluation "uses 4 vertices as source vertices and calculates
+//! their SSSPs simultaneously to make it more compute-intensive" (§V-A,
+//! footnote 4).  The vertex attribute is therefore a vector of distances, one
+//! per source, and each relaxation processes every source at once.
+
+use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::types::{Triplet, VertexId};
+
+/// Vertex attribute of SSSP-BF: one tentative distance per source.
+pub type Distances = Vec<f64>;
+
+/// Multi-source Bellman-Ford on the GX-Plug algorithm template.
+#[derive(Debug, Clone)]
+pub struct MultiSourceSssp {
+    sources: Vec<VertexId>,
+}
+
+impl MultiSourceSssp {
+    /// Creates the algorithm for the given source vertices.
+    ///
+    /// # Panics
+    /// Panics if no sources are given.
+    pub fn new(sources: Vec<VertexId>) -> Self {
+        assert!(!sources.is_empty(), "SSSP needs at least one source vertex");
+        Self { sources }
+    }
+
+    /// The paper's default configuration: the four lowest-id vertices.
+    pub fn paper_default() -> Self {
+        Self::new(vec![0, 1, 2, 3])
+    }
+
+    /// The source vertices.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Number of simultaneous sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl GraphAlgorithm<Distances, f64> for MultiSourceSssp {
+    type Msg = Distances;
+
+    fn init_vertex(&self, v: VertexId, _out_degree: usize) -> Distances {
+        self.sources
+            .iter()
+            .map(|&s| if s == v { 0.0 } else { f64::INFINITY })
+            .collect()
+    }
+
+    fn msg_gen(
+        &self,
+        triplet: &Triplet<Distances, f64>,
+        _iteration: usize,
+    ) -> Vec<AddressedMessage<Distances>> {
+        // Relax the edge for every source whose distance at the source vertex
+        // is finite; skip the message entirely if nothing can be relaxed.
+        if triplet.src_attr.iter().all(|d| d.is_infinite()) {
+            return Vec::new();
+        }
+        let candidate: Distances = triplet
+            .src_attr
+            .iter()
+            .map(|d| d + triplet.edge_attr)
+            .collect();
+        vec![AddressedMessage::new(triplet.dst, candidate)]
+    }
+
+    fn msg_merge(&self, a: Distances, b: Distances) -> Distances {
+        a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect()
+    }
+
+    fn msg_apply(
+        &self,
+        _vertex: VertexId,
+        current: &Distances,
+        message: &Distances,
+        _iteration: usize,
+    ) -> Option<Distances> {
+        let mut improved = false;
+        let next: Distances = current
+            .iter()
+            .zip(message)
+            .map(|(cur, new)| {
+                if *new < *cur {
+                    improved = true;
+                    *new
+                } else {
+                    *cur
+                }
+            })
+            .collect();
+        improved.then_some(next)
+    }
+
+    fn initial_active(&self, num_vertices: usize) -> Option<Vec<VertexId>> {
+        Some(
+            self.sources
+                .iter()
+                .copied()
+                .filter(|&s| (s as usize) < num_vertices)
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "SSSP-BF"
+    }
+
+    fn operational_intensity(&self) -> f64 {
+        // Each triplet relaxes one edge per source.
+        0.4 * self.sources.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::multi_source_sssp_reference;
+    use gxplug_engine::cluster::Cluster;
+    use gxplug_engine::network::NetworkModel;
+    use gxplug_engine::profile::RuntimeProfile;
+    use gxplug_graph::generators::{Generator, GridRoad, Rmat};
+    use gxplug_graph::graph::PropertyGraph;
+    use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
+
+    fn check_against_reference(graph: &PropertyGraph<Distances, f64>, sources: Vec<VertexId>, parts: usize) {
+        let algorithm = MultiSourceSssp::new(sources.clone());
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(graph, parts)
+            .unwrap();
+        let mut cluster = Cluster::build(
+            graph,
+            partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let report = cluster.run_native(&algorithm, "test", 1_000);
+        assert!(report.converged, "did not converge");
+        let values = cluster.collect_values();
+        let expected = multi_source_sssp_reference(graph, &sources);
+        for (v, (got, want)) in values.iter().zip(&expected).enumerate() {
+            for (s, (g, w)) in got.iter().zip(want).enumerate() {
+                let same = (g.is_infinite() && w.is_infinite()) || (g - w).abs() < 1e-9;
+                assert!(same, "vertex {v} source {s}: got {g}, want {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_power_law_graph() {
+        let list = Rmat::new(9, 5.0).generate(21);
+        let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+        check_against_reference(&graph, vec![0, 1, 2, 3], 3);
+    }
+
+    #[test]
+    fn matches_reference_on_road_graph() {
+        let list = GridRoad::new(12, 12, 0.05).generate(4);
+        let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+        check_against_reference(&graph, vec![0, 77], 2);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let list = GridRoad::new(4, 4, 0.0).generate(1);
+        let mut el = list;
+        el.ensure_vertex(63); // add isolated vertices 16..=63
+        let graph = PropertyGraph::from_edge_list(el, Vec::new()).unwrap();
+        check_against_reference(&graph, vec![0], 2);
+    }
+
+    #[test]
+    fn operational_intensity_scales_with_sources() {
+        let one = MultiSourceSssp::new(vec![0]);
+        let four = MultiSourceSssp::paper_default();
+        assert!(four.operational_intensity() > one.operational_intensity());
+        assert_eq!(four.num_sources(), 4);
+        assert_eq!(four.name(), "SSSP-BF");
+    }
+
+    #[test]
+    #[should_panic]
+    fn requires_at_least_one_source() {
+        let _ = MultiSourceSssp::new(Vec::new());
+    }
+}

@@ -1,0 +1,21 @@
+//! # gxplug-baselines
+//!
+//! Comparator engines used in the paper's scalability evaluation (Fig. 9):
+//!
+//! * [`GunrockLike`] — single-node, single-GPU, frontier-centric engine
+//!   (fastest on one GPU, no multi-GPU support, out-of-memory on graphs
+//!   larger than device memory);
+//! * [`LuxLike`] — distributed multi-GPU engine with hand-tuned kernels but
+//!   eager, uncached synchronisation every iteration.
+//!
+//! Both run the same `GraphAlgorithm` template implementations as GX-Plug, so
+//! comparisons are apples to apples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gunrock_like;
+pub mod lux_like;
+
+pub use gunrock_like::GunrockLike;
+pub use lux_like::LuxLike;

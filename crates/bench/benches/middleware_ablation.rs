@@ -1,0 +1,60 @@
+//! Ablation benchmarks: end-to-end accelerated runs with each middleware
+//! optimisation toggled off in turn (the design choices called out in
+//! DESIGN.md), measured as real execution time of the simulated run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gxplug_bench::{run_combo, Accel, Algo, ComboSpec, Upper};
+use gxplug_core::{MiddlewareConfig, PipelineMode};
+use gxplug_graph::datasets::{self, Scale};
+
+fn ablation_configs() -> Vec<(&'static str, MiddlewareConfig)> {
+    vec![
+        ("full", MiddlewareConfig::optimized()),
+        (
+            "no_pipeline",
+            MiddlewareConfig::optimized().with_pipeline(PipelineMode::Disabled),
+        ),
+        ("no_caching", MiddlewareConfig::optimized().with_caching(false)),
+        ("no_skipping", MiddlewareConfig::optimized().with_skipping(false)),
+        ("baseline_naive", MiddlewareConfig::baseline()),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let dataset = datasets::find("Orkut").expect("catalogue entry");
+    let mut group = c.benchmark_group("middleware_ablation");
+    group.sample_size(10);
+    for (name, config) in ablation_configs() {
+        group.bench_with_input(BenchmarkId::new("sssp_gpu", name), &config, |b, &config| {
+            b.iter(|| {
+                let spec = ComboSpec::new(Algo::Sssp, Upper::PowerGraph, Accel::Gpu(1), dataset)
+                    .with_scale(Scale::Tiny)
+                    .with_nodes(2)
+                    .with_config(config);
+                let report = run_combo(&spec);
+                black_box(report.total_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_native_vs_accelerated(c: &mut Criterion) {
+    let dataset = datasets::find("Wiki-topcats").expect("catalogue entry");
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, accel) in [("native", Accel::None), ("cpu", Accel::Cpu(1)), ("gpu", Accel::Gpu(1))] {
+        group.bench_with_input(BenchmarkId::new("pagerank", name), &accel, |b, &accel| {
+            b.iter(|| {
+                let spec = ComboSpec::new(Algo::PageRank, Upper::GraphX, accel, dataset)
+                    .with_scale(Scale::Tiny)
+                    .with_nodes(2);
+                black_box(run_combo(&spec).total_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_native_vs_accelerated);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the graph partitioners: the cost of placing a
+//! power-law graph across distributed nodes with each strategy, plus the
+//! quality metrics the workload balancer consumes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gxplug_graph::generators::{Generator, Rmat};
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::partition::{
+    GreedyVertexCutPartitioner, HashEdgePartitioner, Partitioner, RangePartitioner,
+    WeightedEdgePartitioner,
+};
+
+fn test_graph() -> PropertyGraph<u32, f64> {
+    let list = Rmat::new(13, 8.0).generate(42);
+    PropertyGraph::from_edge_list(list, 0u32).unwrap()
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = test_graph();
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(20);
+    for &parts in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("hash_by_source", parts), &parts, |b, &p| {
+            b.iter(|| black_box(HashEdgePartitioner::new(1).partition(&graph, p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("range_by_source", parts), &parts, |b, &p| {
+            b.iter(|| black_box(RangePartitioner.partition(&graph, p).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_vertex_cut", parts),
+            &parts,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(
+                        GreedyVertexCutPartitioner::default()
+                            .partition(&graph, p)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weighted_by_capacity", parts),
+            &parts,
+            |b, &p| {
+                let weights: Vec<f64> = (1..=p).map(|w| w as f64).collect();
+                b.iter(|| {
+                    black_box(
+                        WeightedEdgePartitioner::new(weights.clone())
+                            .unwrap()
+                            .partition(&graph, p)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_quality_metrics(c: &mut Criterion) {
+    let graph = test_graph();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 8)
+        .unwrap();
+    c.bench_function("partitioning_quality_metrics", |b| {
+        b.iter(|| {
+            black_box((
+                partitioning.edge_balance(),
+                partitioning.replication_factor(),
+                partitioning.boundary_vertex_count(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_partitioners, bench_partition_quality_metrics);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the pipeline-shuffle mechanism:
+//! the threaded pipeline vs sequential processing, the literal Algorithms 1&2
+//! protocol, and the Lemma-1 block-size machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
+use gxplug_core::PipelineCoefficients;
+
+fn make_blocks(blocks: usize, block_size: usize) -> Vec<Vec<u64>> {
+    (0..blocks)
+        .map(|b| ((b * block_size) as u64..((b + 1) * block_size) as u64).collect())
+        .collect()
+}
+
+fn kernel(x: &u64) -> u64 {
+    // A small but non-trivial per-item computation (relaxation-like).
+    let mut v = *x;
+    for _ in 0..8 {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    v
+}
+
+fn bench_threaded_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_shuffle");
+    for &blocks in &[4usize, 16, 64] {
+        let input = make_blocks(blocks, 2_048);
+        group.bench_with_input(
+            BenchmarkId::new("three_thread_pipeline", blocks),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut out = 0u64;
+                    run_pipeline(input.clone(), kernel, |block: Vec<u64>| {
+                        out = out.wrapping_add(block.len() as u64);
+                    });
+                    black_box(out)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_baseline", blocks),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut out = 0u64;
+                    for block in input {
+                        let computed: Vec<u64> = block.iter().map(kernel).collect();
+                        out = out.wrapping_add(computed.len() as u64);
+                    }
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shuffle_protocol(c: &mut Criterion) {
+    let input = make_blocks(16, 1_024);
+    c.bench_function("shuffle_protocol_algorithms_1_and_2", |b| {
+        b.iter(|| {
+            let (out, stats) = run_shuffle_protocol(input.clone(), kernel);
+            black_box((out.len(), stats.rotations))
+        })
+    });
+}
+
+fn bench_block_size_selection(c: &mut Criterion) {
+    let coefficients = PipelineCoefficients::paper_pagerank();
+    c.bench_function("lemma1_optimal_block_size", |b| {
+        b.iter(|| black_box(coefficients.optimal_block_size(black_box(1_000_000))))
+    });
+    c.bench_function("equation2_estimate_sweep", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for block_size in (64..=65_536).step_by(1_024) {
+                best = best.min(coefficients.estimate_total(1_000_000, block_size));
+            }
+            black_box(best)
+        })
+    });
+    c.bench_function("discrete_schedule_simulation", |b| {
+        b.iter(|| black_box(coefficients.simulate_schedule(black_box(100_000), 1_024)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_threaded_pipeline,
+    bench_shuffle_protocol,
+    bench_block_size_selection
+);
+criterion_main!(benches);

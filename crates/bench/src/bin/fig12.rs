@@ -1,0 +1,184 @@
+//! Figure 12: workload balancing.
+//!
+//! * (a) fixed hardware, tunable partitioning (Lemma 2): one node with
+//!   1 GPU + 1 CPU, one node with 3 GPUs + 1 CPU.  "Not Balanced" splits the
+//!   data evenly; "Balanced" follows the capacity-proportional prescription;
+//!   "Optimal Estimation" is the analytical lower bound of the model.
+//! * (b) fixed (skewed) partitioning, tunable hardware (Lemma 3): the data is
+//!   split 25% / 75%; "Not Balanced" gives each node one GPU, "Balanced"
+//!   allocates GPUs proportionally to the load.
+
+use gxplug_accel::{presets, Device, SimDuration};
+use gxplug_bench::{format_duration, print_table, scale_from_env, DEFAULT_SEED};
+use gxplug_core::{balance_partitioning, run_accelerated, MiddlewareConfig};
+use gxplug_engine::metrics::RunReport;
+use gxplug_engine::network::NetworkModel;
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_graph::datasets::{self, Scale};
+use gxplug_graph::partition::{Partitioner, WeightedEdgePartitioner};
+use gxplug_graph::PropertyGraph;
+
+/// Sum of capacity factors of a node's devices.
+fn node_capacity(devices: &[Device]) -> f64 {
+    devices.iter().map(Device::capacity_factor).sum()
+}
+
+/// Analytical optimum: replace the measured compute time by the ideal
+/// `total triplets / total capacity` while keeping the measured
+/// synchronisation and scheduling costs.
+fn optimal_estimation(report: &RunReport, total_capacity: f64) -> SimDuration {
+    let ideal_compute = SimDuration::from_millis(report.total_triplets() as f64 / total_capacity);
+    report.steady_time() - report.compute_time() + ideal_compute
+}
+
+enum Algo {
+    Sssp,
+    PageRank,
+}
+
+fn run_with_devices(
+    algo: &Algo,
+    scale: Scale,
+    weights: &[f64],
+    devices: Vec<Vec<Device>>,
+) -> RunReport {
+    let dataset = datasets::find("Orkut").unwrap();
+    let nodes = devices.len();
+    match algo {
+        Algo::Sssp => {
+            let graph: PropertyGraph<Vec<f64>, f64> =
+                dataset.build_graph(scale, DEFAULT_SEED, Vec::new()).unwrap();
+            let partitioning = WeightedEdgePartitioner::new(weights.to_vec())
+                .unwrap()
+                .partition(&graph, nodes)
+                .unwrap();
+            run_accelerated(
+                &graph,
+                partitioning,
+                &gxplug_algos::MultiSourceSssp::paper_default(),
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+                devices,
+                MiddlewareConfig::default(),
+                dataset.name,
+                100,
+            )
+            .report
+        }
+        Algo::PageRank => {
+            let graph: PropertyGraph<gxplug_algos::RankValue, f64> = dataset
+                .build_graph(
+                    scale,
+                    DEFAULT_SEED,
+                    gxplug_algos::RankValue {
+                        rank: 1.0,
+                        out_degree: 0,
+                    },
+                )
+                .unwrap();
+            let partitioning = WeightedEdgePartitioner::new(weights.to_vec())
+                .unwrap()
+                .partition(&graph, nodes)
+                .unwrap();
+            run_accelerated(
+                &graph,
+                partitioning,
+                &gxplug_algos::PageRank::new(20),
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+                devices,
+                MiddlewareConfig::default(),
+                dataset.name,
+                20,
+            )
+            .report
+        }
+    }
+}
+
+fn part_a(scale: Scale) {
+    // Node 0: 1 GPU + 1 CPU.  Node 1: 3 GPUs + 1 CPU (as in the paper).
+    let devices = || {
+        vec![
+            vec![presets::gpu_v100("n0-g0"), presets::cpu_xeon_20c("n0-c0")],
+            vec![
+                presets::gpu_v100("n1-g0"),
+                presets::gpu_v100("n1-g1"),
+                presets::gpu_v100("n1-g2"),
+                presets::cpu_xeon_20c("n1-c0"),
+            ],
+        ]
+    };
+    let capacities: Vec<f64> = devices().iter().map(|d| node_capacity(d)).collect();
+    let total_capacity: f64 = capacities.iter().sum();
+    let balanced_weights = balance_partitioning(&capacities, 1_000).unwrap().weights;
+    let mut rows = Vec::new();
+    for (label, algo) in [("SSSP", Algo::Sssp), ("PR", Algo::PageRank)] {
+        let not_balanced = run_with_devices(&algo, scale, &[1.0, 1.0], devices());
+        let balanced = run_with_devices(&algo, scale, &balanced_weights, devices());
+        let estimation = optimal_estimation(&balanced, total_capacity);
+        rows.push(vec![
+            label.to_string(),
+            format_duration(not_balanced.steady_time()),
+            format_duration(balanced.steady_time()),
+            format_duration(estimation),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12a: balancing with fixed compute resources ({scale:?})"),
+        &["Algo", "Not Balanced", "Balanced", "Optimal Estimation"],
+        &rows,
+    );
+}
+
+fn part_b(scale: Scale) {
+    // Data partitioning fixed at 25% / 75%; hardware allocation tunable.
+    let skewed_weights = [1.0, 3.0];
+    let gpu_capacity = presets::gpu_v100("probe").capacity_factor();
+    let mut rows = Vec::new();
+    for (label, algo) in [("SSSP", Algo::Sssp), ("PR", Algo::PageRank)] {
+        // Not balanced: one GPU per node regardless of load.
+        let not_balanced = run_with_devices(
+            &algo,
+            scale,
+            &skewed_weights,
+            vec![
+                vec![presets::gpu_v100("n0-g0")],
+                vec![presets::gpu_v100("n1-g0")],
+            ],
+        );
+        // Balanced (Lemma 3): the heavy node receives GPUs proportional to its
+        // load (3x the data -> 3 GPUs).
+        let balanced = run_with_devices(
+            &algo,
+            scale,
+            &skewed_weights,
+            vec![
+                vec![presets::gpu_v100("n0-g0")],
+                vec![
+                    presets::gpu_v100("n1-g0"),
+                    presets::gpu_v100("n1-g1"),
+                    presets::gpu_v100("n1-g2"),
+                ],
+            ],
+        );
+        let estimation = optimal_estimation(&balanced, 4.0 * gpu_capacity);
+        rows.push(vec![
+            label.to_string(),
+            format_duration(not_balanced.steady_time()),
+            format_duration(balanced.steady_time()),
+            format_duration(estimation),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12b: balancing with fixed data partitioning ({scale:?})"),
+        &["Algo", "Not Balanced", "Balanced", "Optimal Estimation"],
+        &rows,
+    );
+}
+
+fn main() {
+    let scale = scale_from_env();
+    part_a(scale);
+    part_b(scale);
+}

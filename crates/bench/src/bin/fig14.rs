@@ -1,0 +1,40 @@
+//! Figure 14: middleware cost ratio.
+//!
+//! The ratio of time spent inside the middleware (agent/daemon work, data
+//! packaging and transfers, device initialisation) to the total system time,
+//! as the number of distributed nodes grows from 4 to 32, on PowerGraph and
+//! GraphX.  The paper reports ratios mostly between 10% and 20% (higher for
+//! the low-operational-intensity LP) with a downhill trend as node counts —
+//! and therefore synchronisation costs — grow.
+
+use gxplug_bench::{print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper};
+use gxplug_graph::datasets;
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = datasets::find("Orkut").unwrap();
+    for upper in [Upper::PowerGraph, Upper::GraphX] {
+        let mut rows = Vec::new();
+        for nodes in [4usize, 8, 16, 32] {
+            let mut row = vec![format!("{nodes} nodes")];
+            for algo in [Algo::Sssp, Algo::Lp, Algo::PageRank] {
+                let report = run_combo(
+                    &ComboSpec::new(algo, upper, Accel::Gpu(1), dataset)
+                        .with_scale(scale)
+                        .with_nodes(nodes),
+                );
+                row.push(format!("{:.1}%", report.steady_middleware_ratio() * 100.0));
+            }
+            rows.push(row);
+        }
+        let system = match upper {
+            Upper::PowerGraph => "PowerGraph",
+            Upper::GraphX => "GraphX",
+        };
+        print_table(
+            &format!("Fig. 14: middleware cost ratio, {system} @ Orkut ({scale:?})"),
+            &["Nodes", "SSSP", "LP", "PageRank"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 8: computation time of LP / SSSP / PR on GraphX and PowerGraph,
+//! without accelerators and with CPU / GPU accelerators plugged in through
+//! GX-Plug, over the Twitter, Orkut, LiveJournal and Wiki-topcats analogues.
+//!
+//! The paper reports up to 20x acceleration for GraphX+GPU and up to 25x for
+//! PowerGraph+GPU on compute-dense algorithms; the harness prints the
+//! per-configuration total time plus the acceleration ratio over the
+//! corresponding native system so the shape can be compared directly.
+
+use gxplug_bench::{format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper};
+use gxplug_graph::datasets;
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets = ["Twitter", "Orkut", "LiveJournal", "Wiki-topcats"];
+    // The paper's testbed: 6 physical nodes, 2 V100 GPUs each, CPU usable as
+    // a 20-thread accelerator.
+    let nodes = 6;
+    let configurations = [
+        (Upper::GraphX, Accel::None),
+        (Upper::GraphX, Accel::Cpu(1)),
+        (Upper::GraphX, Accel::Gpu(2)),
+        (Upper::PowerGraph, Accel::None),
+        (Upper::PowerGraph, Accel::Cpu(1)),
+        (Upper::PowerGraph, Accel::Gpu(2)),
+    ];
+    for dataset_name in datasets {
+        let dataset = datasets::find(dataset_name).expect("catalogue entry");
+        let mut rows = Vec::new();
+        for algo in Algo::all() {
+            let mut native_times = [None, None]; // GraphX, PowerGraph
+            for &(upper, accel) in &configurations {
+                let spec = ComboSpec::new(algo, upper, accel, dataset)
+                    .with_scale(scale)
+                    .with_nodes(nodes);
+                let report = run_combo(&spec);
+                // Steady-state computation time: the one-off device initialisation
+                // is excluded, as it amortises over long production runs.
+                let total = report.steady_time();
+                let native_slot = match upper {
+                    Upper::GraphX => 0,
+                    Upper::PowerGraph => 1,
+                };
+                let speedup = match accel {
+                    Accel::None => {
+                        native_times[native_slot] = Some(total);
+                        "1.00x".to_string()
+                    }
+                    _ => match native_times[native_slot] {
+                        Some(native) => {
+                            format!("{:.2}x", native.as_millis() / total.as_millis().max(1e-9))
+                        }
+                        None => "-".to_string(),
+                    },
+                };
+                rows.push(vec![
+                    algo.label().to_string(),
+                    format!("{}{}", report.system, ""),
+                    format_duration(total),
+                    format!("{}", report.num_iterations()),
+                    speedup,
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 8: algorithms @ {dataset_name} ({scale:?} analogue, {nodes} nodes)"),
+            &["Algo", "System", "CompTime", "Iters", "Speedup vs native"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Figure 9: scalability of GX-Plug + PowerGraph against the Lux-like and
+//! Gunrock-like baselines.
+//!
+//! * (a) PageRank @ Orkut while varying the total number of GPUs;
+//! * (b) Twitter and UK-2007 at 4 and 12 GPUs (device-memory pressure:
+//!   Gunrock overflows a single GPU, 4 GPUs cannot hold UK-2007 at all);
+//! * (c) scalability of GX-Plug + PowerGraph per algorithm;
+//! * (d) mixing and matching CPU and GPU daemons.
+
+use gxplug_accel::{presets, Device};
+use gxplug_bench::{
+    format_duration, print_table, run_combo, scale_from_env, suite, Accel, Algo, ComboSpec, Upper,
+};
+use gxplug_core::{run_accelerated, MiddlewareConfig};
+use gxplug_engine::network::NetworkModel;
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_graph::datasets::{self, Scale};
+use gxplug_bench::DEFAULT_SEED;
+
+/// Distributes `total_gpus` over at most 6 nodes the way the paper's testbed
+/// would (2 GPUs per node maximum).
+fn gpu_layout(total_gpus: usize) -> (usize, usize) {
+    match total_gpus {
+        0 | 1 => (1, 1),
+        2 => (2, 1),
+        4 => (4, 1),
+        12 => (6, 2),
+        n if n <= 6 => (n, 1),
+        n => (6, n.div_ceil(6)),
+    }
+}
+
+fn part_a(scale: Scale) {
+    let dataset = datasets::find("Orkut").unwrap();
+    let mut rows = Vec::new();
+    for total_gpus in [1usize, 2, 4, 12] {
+        let (nodes, per_node) = gpu_layout(total_gpus);
+        let gxplug = run_combo(
+            &ComboSpec::new(Algo::PageRank, Upper::PowerGraph, Accel::Gpu(per_node), dataset)
+                .with_scale(scale)
+                .with_nodes(nodes),
+        );
+        let lux = suite::run_lux_pagerank(dataset, scale, DEFAULT_SEED, nodes, per_node);
+        let gunrock = if total_gpus == 1 {
+            suite::run_gunrock_pagerank(dataset, scale, DEFAULT_SEED)
+                .map(|r| format_duration(r.steady_time()))
+                .unwrap_or_else(|_| "O.O.M".to_string())
+        } else {
+            "No Config".to_string()
+        };
+        rows.push(vec![
+            format!("{total_gpus} GPU(s)"),
+            format_duration(gxplug.steady_time()),
+            lux.map(|r| format_duration(r.steady_time()))
+                .unwrap_or_else(|_| "O.O.M".to_string()),
+            gunrock,
+        ]);
+    }
+    print_table(
+        &format!("Fig. 9a: PageRank @ Orkut, scalability w.r.t. GPUs ({scale:?})"),
+        &["GPUs", "GX-Plug+PowerGraph", "Lux", "Gunrock"],
+        &rows,
+    );
+}
+
+fn part_b(scale: Scale) {
+    // The memory-pressure part of the figure needs the larger analogues: use
+    // one scale step above the configured one.
+    let big_scale = match scale {
+        Scale::Tiny => Scale::Small,
+        Scale::Small => Scale::Medium,
+        other => other,
+    };
+    let mut rows = Vec::new();
+    for dataset_name in ["Twitter", "UK-2007-02"] {
+        let dataset = datasets::find(dataset_name).unwrap();
+        let total_edges = dataset.analogue_edges(big_scale);
+        for total_gpus in [4usize, 12] {
+            let (nodes, per_node) = gpu_layout(total_gpus);
+            let aggregate_capacity = total_gpus * presets::GPU_MEMORY_ITEMS;
+            let gxplug = if total_edges > aggregate_capacity {
+                // The system's aggregate GPU memory cannot hold the graph at
+                // all — the paper reports these cells as "No Config".
+                "No Config".to_string()
+            } else {
+                let report = run_combo(
+                    &ComboSpec::new(
+                        Algo::PageRank,
+                        Upper::PowerGraph,
+                        Accel::Gpu(per_node),
+                        dataset,
+                    )
+                    .with_scale(big_scale)
+                    .with_nodes(nodes),
+                );
+                format_duration(report.steady_time())
+            };
+            let lux = if total_edges > aggregate_capacity {
+                "No Config".to_string()
+            } else {
+                suite::run_lux_pagerank(dataset, big_scale, DEFAULT_SEED, nodes, per_node)
+                    .map(|r| format_duration(r.steady_time()))
+                    .unwrap_or_else(|_| "O.O.M".to_string())
+            };
+            let gunrock = suite::run_gunrock_pagerank(dataset, big_scale, DEFAULT_SEED)
+                .map(|r| format_duration(r.steady_time()))
+                .unwrap_or_else(|_| "O.O.M".to_string());
+            rows.push(vec![
+                format!("{}@{} GPUs", dataset.name, total_gpus),
+                format!("{total_edges} edges"),
+                gxplug,
+                lux,
+                gunrock,
+            ]);
+        }
+    }
+    print_table(
+        &format!("Fig. 9b: PageRank on Twitter & UK-2007 analogues ({:?})", scale),
+        &["Config", "Analogue size", "GX-Plug+PowerGraph", "Lux", "Gunrock"],
+        &rows,
+    );
+}
+
+fn part_c(scale: Scale) {
+    let dataset = datasets::find("Orkut").unwrap();
+    let mut rows = Vec::new();
+    for total_gpus in [1usize, 2, 4, 12] {
+        let (nodes, per_node) = gpu_layout(total_gpus);
+        let mut row = vec![format!("{total_gpus} GPU(s)")];
+        for algo in [Algo::Lp, Algo::Sssp, Algo::PageRank] {
+            let report = run_combo(
+                &ComboSpec::new(algo, Upper::PowerGraph, Accel::Gpu(per_node), dataset)
+                    .with_scale(scale)
+                    .with_nodes(nodes),
+            );
+            row.push(format_duration(report.steady_time()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Fig. 9c: GX-Plug+PowerGraph scalability per algorithm @ Orkut ({scale:?})"),
+        &["GPUs", "LP", "SSSP-BF", "PageRank"],
+        &rows,
+    );
+}
+
+fn part_d(scale: Scale) {
+    let dataset = datasets::find("Orkut").unwrap();
+    // Four daemons spread over four nodes, in the paper's three combinations.
+    let combos: [(&str, Vec<Vec<Device>>); 3] = [
+        (
+            "G:G:C:C",
+            vec![
+                vec![presets::gpu_v100("n0-g0")],
+                vec![presets::gpu_v100("n1-g0")],
+                vec![presets::cpu_xeon_20c("n2-c0")],
+                vec![presets::cpu_xeon_20c("n3-c0")],
+            ],
+        ),
+        (
+            "G:G:G:2C",
+            vec![
+                vec![presets::gpu_v100("n0-g0")],
+                vec![presets::gpu_v100("n1-g0")],
+                vec![presets::gpu_v100("n2-g0")],
+                vec![
+                    presets::cpu_xeon_20c("n3-c0"),
+                    presets::cpu_xeon_20c("n3-c1"),
+                ],
+            ],
+        ),
+        (
+            "G:G:G:G",
+            vec![
+                vec![presets::gpu_v100("n0-g0")],
+                vec![presets::gpu_v100("n1-g0")],
+                vec![presets::gpu_v100("n2-g0")],
+                vec![presets::gpu_v100("n3-g0")],
+            ],
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, devices) in combos {
+        let mut row = vec![label.to_string()];
+        for algo in [Algo::Lp, Algo::Sssp, Algo::PageRank] {
+            let time = run_mix_match(dataset, scale, algo, devices.clone());
+            row.push(time);
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Fig. 9d: mix & match of CPU and GPU daemons @ Orkut ({scale:?})"),
+        &["4-daemon combination", "LP", "SSSP-BF", "PageRank"],
+        &rows,
+    );
+}
+
+fn run_mix_match(
+    dataset: &'static gxplug_graph::datasets::DatasetSpec,
+    scale: Scale,
+    algo: Algo,
+    devices: Vec<Vec<Device>>,
+) -> String {
+    let nodes = devices.len();
+    // Workload balancing (Lemma 2): data proportional to node capacity.
+    let capacities: Vec<f64> = devices
+        .iter()
+        .map(|d| d.iter().map(Device::capacity_factor).sum())
+        .collect();
+    let report = match algo {
+        Algo::Sssp => {
+            let graph = dataset
+                .build_graph(scale, DEFAULT_SEED, Vec::new())
+                .unwrap();
+            let partitioning = balanced_partitioning(&graph, &capacities);
+            run_accelerated(
+                &graph,
+                partitioning,
+                &gxplug_algos::MultiSourceSssp::paper_default(),
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+                devices,
+                MiddlewareConfig::default(),
+                dataset.name,
+                100,
+            )
+            .report
+        }
+        Algo::PageRank => {
+            let graph = dataset
+                .build_graph(
+                    scale,
+                    DEFAULT_SEED,
+                    gxplug_algos::RankValue {
+                        rank: 1.0,
+                        out_degree: 0,
+                    },
+                )
+                .unwrap();
+            let partitioning = balanced_partitioning(&graph, &capacities);
+            run_accelerated(
+                &graph,
+                partitioning,
+                &gxplug_algos::PageRank::new(20),
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+                devices,
+                MiddlewareConfig::default(),
+                dataset.name,
+                20,
+            )
+            .report
+        }
+        Algo::Lp => {
+            let graph = dataset.build_graph(scale, DEFAULT_SEED, 0u32).unwrap();
+            let partitioning = balanced_partitioning(&graph, &capacities);
+            run_accelerated(
+                &graph,
+                partitioning,
+                &gxplug_algos::LabelPropagation::paper_default(),
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+                devices,
+                MiddlewareConfig::default(),
+                dataset.name,
+                15,
+            )
+            .report
+        }
+    };
+    let _ = nodes;
+    format_duration(report.steady_time())
+}
+
+fn balanced_partitioning<V: Clone, E: Clone>(
+    graph: &gxplug_graph::PropertyGraph<V, E>,
+    capacities: &[f64],
+) -> gxplug_graph::partition::Partitioning {
+    use gxplug_graph::partition::{Partitioner, WeightedEdgePartitioner};
+    WeightedEdgePartitioner::new(capacities.to_vec())
+        .unwrap()
+        .partition(graph, capacities.len())
+        .unwrap()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    part_a(scale);
+    part_b(scale);
+    part_c(scale);
+    part_d(scale);
+}

@@ -1,0 +1,40 @@
+//! Table I: the dataset catalogue, paper-scale and analogue-scale.
+
+use gxplug_bench::{print_table, scale_from_env, DEFAULT_SEED};
+use gxplug_graph::datasets::CATALOGUE;
+use gxplug_graph::generators::degree_stats;
+
+fn main() {
+    let scale = scale_from_env();
+    let rows: Vec<Vec<String>> = CATALOGUE
+        .iter()
+        .map(|dataset| {
+            let analogue = dataset.generate(scale, DEFAULT_SEED);
+            let stats = degree_stats(&analogue);
+            vec![
+                dataset.name.to_string(),
+                format!("{:.2}M", dataset.paper_vertices as f64 / 1e6),
+                format!("{:.2}M", dataset.paper_edges as f64 / 1e6),
+                format!("{:?}", dataset.kind),
+                stats.num_vertices.to_string(),
+                stats.num_edges.to_string(),
+                format!("{:.1}", stats.mean_out_degree),
+                format!("{}", stats.max_out_degree),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table I: datasets (paper scale and {scale:?} analogue)"),
+        &[
+            "Dataset",
+            "Paper |V|",
+            "Paper |E|",
+            "Type",
+            "Analogue |V|",
+            "Analogue |E|",
+            "Mean deg",
+            "Max deg",
+        ],
+        &rows,
+    );
+}

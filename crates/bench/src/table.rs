@@ -1,0 +1,68 @@
+//! Plain-text table rendering for the harness binaries.
+
+use gxplug_accel::SimDuration;
+
+/// Formats a simulated duration the way the paper's plots label times:
+/// seconds with three significant decimals (most figures use seconds).
+pub fn format_duration(duration: SimDuration) -> String {
+    let secs = duration.as_secs();
+    if secs >= 100.0 {
+        format!("{secs:.0}s")
+    } else if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.1}ms", duration.as_millis())
+    }
+}
+
+/// Prints an aligned table with a title, a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .take(columns)
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    render(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    render(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        render(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(format_duration(SimDuration::from_millis(12.34)), "12.3ms");
+        assert_eq!(format_duration(SimDuration::from_secs(3.456)), "3.46s");
+        assert_eq!(format_duration(SimDuration::from_secs(250.0)), "250s");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["only-one".into()]],
+        );
+    }
+}

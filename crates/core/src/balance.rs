@@ -1,0 +1,266 @@
+//! Beyond-iteration optimisation: workload balancing (§III-C).
+//!
+//! The middleware connects heterogeneous accelerators to heterogeneous
+//! partitionings, so it must "detect and react to the workload balancing".
+//! The estimation model is `T_j ≈ c_j · d_j` per node, where `d_j` is the
+//! node's data size and `1/c_j` its *computation capacity factor* (data
+//! entities processed per unit time).  The objective is
+//! `min(max_j c_j · d_j)` (Equation 5), and the paper's two tuning cases are:
+//!
+//! * **Case 1** (Lemma 2): capacities fixed, tune the data placement —
+//!   the optimum is `d_j = (1/c_j) / Σ_k (1/c_k) · D`;
+//! * **Case 2** (Lemma 3): data placement fixed, tune the capacities —
+//!   the minimal sufficient capacities are `1/c_j = f · d_j / d*` where `f` is
+//!   the largest available capacity factor and `d* = max_j d_j`.
+
+use gxplug_accel::{Device, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Errors from the balancing computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BalanceError {
+    /// No nodes were supplied.
+    NoNodes,
+    /// A capacity factor or data size was non-positive / non-finite.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalanceError::NoNodes => write!(f, "workload balancing needs at least one node"),
+            BalanceError::InvalidInput(msg) => write!(f, "invalid balancing input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+/// Result alias for balancing computations.
+pub type Result<T> = std::result::Result<T, BalanceError>;
+
+/// The prescription produced by Case 1 (Lemma 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Optimal per-node data sizes `d_j` (fractional; the partitioner rounds).
+    pub data_sizes: Vec<f64>,
+    /// Normalised weights (`d_j / D`) usable directly by a weighted
+    /// partitioner.
+    pub weights: Vec<f64>,
+    /// The optimal makespan `G = D / Σ_j (1/c_j)` in simulated milliseconds.
+    pub optimal_makespan: SimDuration,
+}
+
+/// The prescription produced by Case 2 (Lemma 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// Minimal sufficient capacity factor `1/c_j` per node.
+    pub capacity_factors: Vec<f64>,
+    /// The optimal makespan `G' = d* / f` in simulated milliseconds.
+    pub optimal_makespan: SimDuration,
+}
+
+/// Estimates the makespan `max_j(c_j · d_j)` of a configuration, where
+/// `capacity_factors[j] = 1/c_j`.
+pub fn estimate_makespan(data_sizes: &[f64], capacity_factors: &[f64]) -> Result<SimDuration> {
+    if data_sizes.is_empty() || data_sizes.len() != capacity_factors.len() {
+        return Err(BalanceError::NoNodes);
+    }
+    let mut worst = 0.0f64;
+    for (&d, &f) in data_sizes.iter().zip(capacity_factors) {
+        if !(d >= 0.0) || !d.is_finite() {
+            return Err(BalanceError::InvalidInput(format!("data size {d}")));
+        }
+        if !(f > 0.0) || !f.is_finite() {
+            return Err(BalanceError::InvalidInput(format!("capacity factor {f}")));
+        }
+        worst = worst.max(d / f);
+    }
+    Ok(SimDuration::from_millis(worst))
+}
+
+/// Case 1 (Lemma 2): given the capacity factors `1/c_j` of the distributed
+/// nodes and the total data size `D`, compute the data placement minimising
+/// the makespan.
+pub fn balance_partitioning(capacity_factors: &[f64], total_data: usize) -> Result<PartitionPlan> {
+    if capacity_factors.is_empty() {
+        return Err(BalanceError::NoNodes);
+    }
+    for &f in capacity_factors {
+        if !(f > 0.0) || !f.is_finite() {
+            return Err(BalanceError::InvalidInput(format!("capacity factor {f}")));
+        }
+    }
+    let total_capacity: f64 = capacity_factors.iter().sum();
+    let weights: Vec<f64> = capacity_factors.iter().map(|f| f / total_capacity).collect();
+    let data_sizes: Vec<f64> = weights.iter().map(|w| w * total_data as f64).collect();
+    let optimal_makespan = SimDuration::from_millis(total_data as f64 / total_capacity);
+    Ok(PartitionPlan {
+        data_sizes,
+        weights,
+        optimal_makespan,
+    })
+}
+
+/// Case 2 (Lemma 3): given the (fixed) per-node data sizes and the maximum
+/// capacity factor `f` available from the accelerator pool, compute the
+/// minimal sufficient capacity factor per node.
+pub fn balance_capacities(data_sizes: &[usize], max_capacity_factor: f64) -> Result<CapacityPlan> {
+    if data_sizes.is_empty() {
+        return Err(BalanceError::NoNodes);
+    }
+    if !(max_capacity_factor > 0.0) || !max_capacity_factor.is_finite() {
+        return Err(BalanceError::InvalidInput(format!(
+            "max capacity factor {max_capacity_factor}"
+        )));
+    }
+    let d_star = *data_sizes.iter().max().expect("non-empty") as f64;
+    if d_star == 0.0 {
+        return Ok(CapacityPlan {
+            capacity_factors: vec![max_capacity_factor; data_sizes.len()],
+            optimal_makespan: SimDuration::ZERO,
+        });
+    }
+    let capacity_factors = data_sizes
+        .iter()
+        .map(|&d| (max_capacity_factor * d as f64 / d_star).max(f64::MIN_POSITIVE))
+        .collect();
+    Ok(CapacityPlan {
+        capacity_factors,
+        optimal_makespan: SimDuration::from_millis(d_star / max_capacity_factor),
+    })
+}
+
+/// Greedy device-to-node assignment realising a [`CapacityPlan`]: devices are
+/// handed out largest-first to the node whose remaining capacity deficit
+/// (target capacity − assigned capacity) is largest.
+///
+/// Returns, per node, the indices into `devices` assigned to it.  Every device
+/// is assigned to some node (idle accelerators are never left unused), which
+/// can only exceed the minimal prescription, never fall short of fairness.
+pub fn assign_devices_to_nodes(devices: &[Device], targets: &[f64]) -> Result<Vec<Vec<usize>>> {
+    if targets.is_empty() {
+        return Err(BalanceError::NoNodes);
+    }
+    if devices.is_empty() {
+        return Ok(vec![Vec::new(); targets.len()]);
+    }
+    let mut order: Vec<usize> = (0..devices.len()).collect();
+    order.sort_by(|&x, &y| {
+        devices[y]
+            .capacity_factor()
+            .partial_cmp(&devices[x].capacity_factor())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut assigned_capacity = vec![0.0f64; targets.len()];
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); targets.len()];
+    for device_index in order {
+        let node = (0..targets.len())
+            .max_by(|&a, &b| {
+                let da = targets[a] - assigned_capacity[a];
+                let db = targets[b] - assigned_capacity[b];
+                da.partial_cmp(&db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
+            .expect("targets is non-empty");
+        assigned_capacity[node] += devices[device_index].capacity_factor();
+        assignment[node].push(device_index);
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gxplug_accel::presets;
+
+    #[test]
+    fn lemma2_balances_proportionally_to_capacity() {
+        // Node 0 has capacity 1, node 1 has capacity 3: node 1 should get 75%
+        // of the data and the makespan should equal D / (1 + 3).
+        let plan = balance_partitioning(&[1.0, 3.0], 1_000).unwrap();
+        assert!((plan.data_sizes[0] - 250.0).abs() < 1e-9);
+        assert!((plan.data_sizes[1] - 750.0).abs() < 1e-9);
+        assert!((plan.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((plan.optimal_makespan.as_millis() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma2_optimum_beats_even_partitioning_on_heterogeneous_nodes() {
+        let capacities = [1.0, 3.0];
+        let total = 1_000usize;
+        let plan = balance_partitioning(&capacities, total).unwrap();
+        let even = estimate_makespan(&[500.0, 500.0], &capacities).unwrap();
+        let balanced = estimate_makespan(&plan.data_sizes, &capacities).unwrap();
+        assert!(balanced < even);
+        assert!((balanced.as_millis() - plan.optimal_makespan.as_millis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma3_prescribes_capacity_proportional_to_data() {
+        // Node 0 holds 200 items, node 1 holds 800; with f = 4.0 the busy node
+        // needs the full capacity and the light node only a quarter of it.
+        let plan = balance_capacities(&[200, 800], 4.0).unwrap();
+        assert!((plan.capacity_factors[1] - 4.0).abs() < 1e-12);
+        assert!((plan.capacity_factors[0] - 1.0).abs() < 1e-12);
+        assert!((plan.optimal_makespan.as_millis() - 200.0).abs() < 1e-9);
+        // The prescription indeed achieves the optimal makespan.
+        let achieved =
+            estimate_makespan(&[200.0, 800.0], &plan.capacity_factors).unwrap();
+        assert!((achieved.as_millis() - plan.optimal_makespan.as_millis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma3_handles_empty_nodes() {
+        let plan = balance_capacities(&[0, 0], 2.0).unwrap();
+        assert!(plan.optimal_makespan.is_zero());
+        assert_eq!(plan.capacity_factors.len(), 2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert_eq!(balance_partitioning(&[], 10), Err(BalanceError::NoNodes));
+        assert!(matches!(
+            balance_partitioning(&[1.0, 0.0], 10),
+            Err(BalanceError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            balance_capacities(&[1, 2], f64::NAN),
+            Err(BalanceError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            estimate_makespan(&[1.0], &[1.0, 2.0]),
+            Err(BalanceError::NoNodes)
+        ));
+    }
+
+    #[test]
+    fn device_assignment_fills_the_neediest_node_first() {
+        let devices = vec![
+            presets::gpu_v100("g0"),
+            presets::gpu_v100("g1"),
+            presets::cpu_xeon_20c("c0"),
+            presets::cpu_xeon_20c("c1"),
+        ];
+        // Node 1 needs three times the capacity of node 0.
+        let gpu_cap = devices[0].capacity_factor();
+        let assignment = assign_devices_to_nodes(&devices, &[gpu_cap, 3.0 * gpu_cap]).unwrap();
+        assert_eq!(assignment.len(), 2);
+        let cap = |nodes: &Vec<usize>| -> f64 {
+            nodes.iter().map(|&i| devices[i].capacity_factor()).sum()
+        };
+        assert!(cap(&assignment[1]) > cap(&assignment[0]));
+        // Every device is used exactly once.
+        let mut all: Vec<usize> = assignment.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn device_assignment_with_no_devices_is_empty() {
+        let assignment = assign_devices_to_nodes(&[], &[1.0, 1.0]).unwrap();
+        assert_eq!(assignment, vec![Vec::<usize>::new(), Vec::new()]);
+        assert!(assign_devices_to_nodes(&[], &[]).is_err());
+    }
+}

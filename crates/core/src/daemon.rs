@@ -1,0 +1,352 @@
+//! The computation daemon (§II-A1).
+//!
+//! "A daemon represents an accelerator, where graph algorithms are executed."
+//! A [`Daemon`] wraps one [`Device`], holds an instance of the algorithm
+//! template for the duration of a run, and keeps the device context alive
+//! across iterations (runtime isolation, §IV-C) so that initialisation is paid
+//! once per daemon lifetime rather than once per call.
+//!
+//! The daemon executes the template's three APIs over blocks of data:
+//! `MSGGen` over triplet blocks on the device, `MSGMerge` combining the
+//! resulting messages, and `MSGApply` over vertex blocks.
+
+use crate::pipeline::block_size::PipelineCoefficients;
+use gxplug_accel::{AccelError, Device, DeviceKind, KernelTiming, SimDuration};
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_ipc::blocks::TripletBlock;
+use gxplug_ipc::channel::ControlLink;
+use gxplug_ipc::key::IpcKey;
+use gxplug_graph::types::VertexId;
+use std::collections::HashMap;
+
+/// Cumulative per-daemon counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Kernel launches issued to the device.
+    pub kernel_launches: u64,
+    /// Triplets processed by `MSGGen`.
+    pub triplets_processed: u64,
+    /// Messages produced by `MSGGen` (before merging).
+    pub messages_generated: u64,
+    /// Vertices updated by `MSGApply`.
+    pub vertices_applied: u64,
+}
+
+/// A computation daemon bound to one accelerator device.
+#[derive(Debug)]
+pub struct Daemon {
+    name: String,
+    device: Device,
+    key: IpcKey,
+    link: Option<ControlLink>,
+    started: bool,
+    stats: DaemonStats,
+}
+
+impl Daemon {
+    /// Creates a daemon for `device`, addressed by the System-V-style `key`.
+    pub fn new(name: impl Into<String>, device: Device, key: IpcKey) -> Self {
+        Self {
+            name: name.into(),
+            device,
+            key,
+            link: None,
+            started: false,
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// Attaches the daemon side of a control link (for protocol-level tests
+    /// and the threaded pipeline).
+    pub fn with_link(mut self, link: ControlLink) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Daemon name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The IPC key of this daemon's shared memory space.
+    pub fn key(&self) -> IpcKey {
+        self.key
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The device kind (GPU / CPU / FPGA).
+    pub fn kind(&self) -> DeviceKind {
+        self.device.kind()
+    }
+
+    /// The device's computation capacity factor `1/c_j`.
+    pub fn capacity_factor(&self) -> f64 {
+        self.device.capacity_factor()
+    }
+
+    /// Whether [`Daemon::start`] has been called.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// The control link, if attached.
+    pub fn link(&self) -> Option<&ControlLink> {
+        self.link.as_ref()
+    }
+
+    /// Starts the daemon: initialises the device context once.  Returns the
+    /// initialisation time (zero if already started).
+    ///
+    /// Under runtime isolation the daemon outlives upper-system calls, so
+    /// this cost is paid exactly once per run; the naive "raw call"
+    /// integration of Fig. 13 instead pays it on every iteration.
+    pub fn start(&mut self) -> SimDuration {
+        self.started = true;
+        self.device.initialize()
+    }
+
+    /// Stops the daemon and tears down the device context.
+    pub fn shutdown(&mut self) {
+        self.started = false;
+        self.device.shutdown();
+    }
+
+    /// Derives the Lemma-1 pipeline coefficients of this agent–daemon pair:
+    /// `k1`/`k3` come from the upper system's per-item transfer costs, `k2`
+    /// and `a` from the device's cost model.
+    pub fn coefficients(&self, profile: &RuntimeProfile) -> PipelineCoefficients {
+        let cost = self.device.cost_model();
+        PipelineCoefficients::new(
+            profile.per_item_download.as_millis().max(1e-9),
+            cost.per_item_cost().as_millis().max(1e-9),
+            profile.per_item_upload.as_millis().max(1e-9),
+            cost.call.as_millis().max(0.0),
+        )
+    }
+
+    /// `MSGGen` over one triplet block: runs the kernel on the device and
+    /// returns the generated messages together with the device timing.
+    pub fn execute_gen<V, E, A>(
+        &mut self,
+        algorithm: &A,
+        block: &TripletBlock<V, E>,
+        iteration: usize,
+    ) -> Result<(Vec<AddressedMessage<A::Msg>>, KernelTiming), AccelError>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        let run = self
+            .device
+            .execute_batch(&block.triplets, |triplet| algorithm.msg_gen(triplet, iteration))?;
+        self.stats.kernel_launches += 1;
+        self.stats.triplets_processed += block.triplets.len() as u64;
+        let messages: Vec<AddressedMessage<A::Msg>> = run.outputs.into_iter().flatten().collect();
+        self.stats.messages_generated += messages.len() as u64;
+        Ok((messages, run.timing))
+    }
+
+    /// `MSGMerge`: combines messages addressed to the same vertex.  The merge
+    /// runs on the daemon's host side (it is memory-bound, not compute-bound)
+    /// and preserves first-seen target order for determinism.
+    pub fn merge_messages<V, E, A>(
+        &mut self,
+        algorithm: &A,
+        messages: Vec<AddressedMessage<A::Msg>>,
+    ) -> Vec<AddressedMessage<A::Msg>>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        let mut order: Vec<VertexId> = Vec::new();
+        let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+        for message in messages {
+            match merged.remove(&message.target) {
+                Some(existing) => {
+                    let combined = algorithm.msg_merge(existing, message.payload);
+                    merged.insert(message.target, combined);
+                }
+                None => {
+                    order.push(message.target);
+                    merged.insert(message.target, message.payload);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|target| {
+                let payload = merged.remove(&target).expect("target recorded in order");
+                AddressedMessage::new(target, payload)
+            })
+            .collect()
+    }
+
+    /// `MSGApply` over a batch of `(vertex, current value, merged message)`
+    /// entries: runs the apply kernel on the device and returns the vertices
+    /// whose value changed, with the device timing.
+    pub fn execute_apply<V, E, A>(
+        &mut self,
+        algorithm: &A,
+        batch: &[(VertexId, V, A::Msg)],
+        iteration: usize,
+    ) -> Result<(Vec<(VertexId, V)>, KernelTiming), AccelError>
+    where
+        V: Clone,
+        A: GraphAlgorithm<V, E>,
+    {
+        let run = self.device.execute_batch(batch, |(vertex, current, message)| {
+            algorithm
+                .msg_apply(*vertex, current, message, iteration)
+                .map(|new_value| (*vertex, new_value))
+        })?;
+        self.stats.kernel_launches += 1;
+        let updated: Vec<(VertexId, V)> = run.outputs.into_iter().flatten().collect();
+        self.stats.vertices_applied += updated.len() as u64;
+        Ok((updated, run.timing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gxplug_accel::presets;
+    use gxplug_engine::template::AddressedMessage;
+    use gxplug_graph::types::Triplet;
+    use gxplug_ipc::key::KeyGenerator;
+
+    /// Min-distance relaxation used to exercise the daemon APIs.
+    struct Relax;
+
+    impl GraphAlgorithm<f64, f64> for Relax {
+        type Msg = f64;
+        fn init_vertex(&self, _v: VertexId, _d: usize) -> f64 {
+            f64::INFINITY
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            if t.src_attr.is_finite() {
+                vec![AddressedMessage::new(t.dst, t.src_attr + t.edge_attr)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.min(b)
+        }
+        fn msg_apply(&self, _v: VertexId, cur: &f64, msg: &f64, _i: usize) -> Option<f64> {
+            (msg < cur).then_some(*msg)
+        }
+        fn name(&self) -> &'static str {
+            "relax"
+        }
+    }
+
+    fn daemon() -> Daemon {
+        let key = KeyGenerator::new(0).key_for(0, 0);
+        Daemon::new("d0", presets::cpu_xeon_20c("c0"), key)
+    }
+
+    fn block() -> TripletBlock<f64, f64> {
+        TripletBlock {
+            index: 0,
+            triplets: vec![
+                Triplet::new(0, 1, 0.0, f64::INFINITY, 2.0),
+                Triplet::new(0, 2, 0.0, f64::INFINITY, 5.0),
+                Triplet::new(3, 1, f64::INFINITY, f64::INFINITY, 1.0),
+                Triplet::new(2, 1, 7.0, f64::INFINITY, 1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn start_pays_init_once() {
+        let mut d = daemon();
+        assert!(!d.is_started());
+        let first = d.start();
+        assert!(first > SimDuration::ZERO);
+        assert!(d.is_started());
+        let second = d.start();
+        assert!(second.is_zero());
+        d.shutdown();
+        assert!(!d.is_started());
+        assert!(d.start() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn execute_gen_produces_real_messages() {
+        let mut d = daemon();
+        d.start();
+        let (messages, timing) = d.execute_gen(&Relax, &block(), 0).unwrap();
+        // The triplet with an infinite source produces nothing.
+        assert_eq!(messages.len(), 3);
+        assert!(timing.total() > SimDuration::ZERO);
+        assert!(timing.init.is_zero());
+        assert_eq!(d.stats().triplets_processed, 4);
+        assert_eq!(d.stats().messages_generated, 3);
+    }
+
+    #[test]
+    fn merge_keeps_the_minimum_per_target() {
+        let mut d = daemon();
+        let merged = d.merge_messages::<f64, f64, Relax>(
+            &Relax,
+            vec![
+                AddressedMessage::new(1, 2.0),
+                AddressedMessage::new(2, 5.0),
+                AddressedMessage::new(1, 8.0),
+                AddressedMessage::new(1, 1.0),
+            ],
+        );
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].target, 1);
+        assert_eq!(merged[0].payload, 1.0);
+        assert_eq!(merged[1].target, 2);
+        assert_eq!(merged[1].payload, 5.0);
+    }
+
+    #[test]
+    fn execute_apply_returns_only_changed_vertices() {
+        let mut d = daemon();
+        d.start();
+        let batch = vec![(1u32, f64::INFINITY, 2.0f64), (2, 1.0, 5.0), (3, 9.0, 4.0)];
+        let (updated, _timing) = d.execute_apply(&Relax, &batch, 0).unwrap();
+        assert_eq!(updated, vec![(1, 2.0), (3, 4.0)]);
+        assert_eq!(d.stats().vertices_applied, 2);
+    }
+
+    #[test]
+    fn coefficients_reflect_device_and_profile() {
+        let d = daemon();
+        let coefficients = d.coefficients(&RuntimeProfile::powergraph());
+        assert!(coefficients.k2 > 0.0);
+        assert!(coefficients.a >= 0.0);
+        // GPU daemons have a larger call constant than CPU daemons.
+        let key = KeyGenerator::new(0).key_for(0, 1);
+        let gpu = Daemon::new("g0", presets::gpu_v100("g"), key);
+        let gpu_coefficients = gpu.coefficients(&RuntimeProfile::powergraph());
+        assert!(gpu_coefficients.a > coefficients.a);
+        assert!(gpu_coefficients.k2 < coefficients.k2);
+    }
+
+    #[test]
+    fn gpu_daemon_reports_oom_for_oversized_blocks() {
+        let key = KeyGenerator::new(0).key_for(0, 2);
+        let mut d = Daemon::new("g1", presets::gpu_v100("g1"), key);
+        d.start();
+        let oversized = TripletBlock {
+            index: 0,
+            triplets: vec![Triplet::new(0, 1, 0.0, 0.0, 1.0); presets::GPU_MEMORY_ITEMS + 1],
+        };
+        assert!(matches!(
+            d.execute_gen(&Relax, &oversized, 0),
+            Err(AccelError::OutOfMemory { .. })
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! # gxplug-core
+//!
+//! The GX-Plug middleware: the paper's primary contribution.
+//!
+//! GX-Plug plugs accelerators (GPUs, multi-core CPUs) into heterogeneous
+//! distributed graph systems through a *daemon–agent framework*:
+//!
+//! * a [`Daemon`](daemon::Daemon) wraps one accelerator device, holds an
+//!   instance of the `MSGGen`/`MSGMerge`/`MSGApply` algorithm template and
+//!   keeps the device context alive across iterations (runtime isolation);
+//! * an [`Agent`](agent::Agent) lives in a distributed node, bridges the upper
+//!   system and its daemons, and owns the data-exchange optimisations.
+//!
+//! The three optimisation families of §III are implemented here:
+//!
+//! * **intra-iteration** — [`pipeline`]: the 3-layer pipeline shuffle and the
+//!   Lemma-1 block-size selection;
+//! * **inter-iteration** — [`sync_cache`]: LRU synchronization caching and
+//!   lazy uploading (synchronization skipping is decided per iteration by the
+//!   cluster driver when the configuration enables it);
+//! * **beyond-iteration** — [`balance`]: the Lemma-2 / Lemma-3 workload
+//!   balancing prescriptions and device-to-node assignment.
+//!
+//! [`runner`] ties everything together into end-to-end accelerated runs that
+//! share the engine's cluster driver with the native baselines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agent;
+pub mod balance;
+pub mod config;
+pub mod daemon;
+pub mod metrics;
+pub mod pipeline;
+pub mod runner;
+pub mod sync_cache;
+
+pub use agent::Agent;
+pub use balance::{
+    assign_devices_to_nodes, balance_capacities, balance_partitioning, estimate_makespan,
+    BalanceError, CapacityPlan, PartitionPlan,
+};
+pub use config::{MiddlewareConfig, PipelineMode};
+pub use daemon::{Daemon, DaemonStats};
+pub use metrics::AgentStats;
+pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
+pub use runner::{run_accelerated, run_native, system_label, RunOutcome};
+pub use sync_cache::{CacheStats, GlobalSyncQueues, VertexCache};

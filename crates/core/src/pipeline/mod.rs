@@ -1,0 +1,24 @@
+//! Intra-iteration optimisation: pipeline shuffle (§III-A).
+//!
+//! The ordinary accelerated workflow has five steps — download from the upper
+//! system, agent→daemon transfer, compute, daemon→agent transfer, upload — and
+//! executing them back to back leaves the accelerator idle most of the time.
+//! Pipeline shuffle
+//!
+//! 1. collapses the five steps to three (download / compute / upload) by
+//!    placing the data in a shared memory space both sides can address,
+//! 2. runs the three steps as a three-layer pipeline over fixed-size blocks of
+//!    edge triplets, and
+//! 3. replaces inter-thread data copies with pointer rotation over three
+//!    memory zones (`n` → `c` → `u` → `n`), so blocks are handed between
+//!    layers in place.
+//!
+//! [`block_size`] implements the analytical block-size selection of Lemma 1;
+//! [`shuffle`] implements the runnable three-thread pipeline, including the
+//! message protocol of Algorithms 1 and 2.
+
+pub mod block_size;
+pub mod shuffle;
+
+pub use block_size::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
+pub use shuffle::{run_pipeline, run_shuffle_protocol, PipelineRunStats};

@@ -1,0 +1,359 @@
+//! Inter-iteration optimisation: synchronization caching (§III-B2).
+//!
+//! Two mechanisms reduce the data volume crossing between the upper system and
+//! the middleware at iteration boundaries:
+//!
+//! * **LRU-based caching** — the agent keeps a temporary vertex table so that
+//!   vertices repeatedly involved in computation are not re-downloaded from
+//!   the upper system when their attributes have not changed;
+//! * **Lazy uploading** — updated vertices are uploaded only when some other
+//!   distributed node actually asks for them, coordinated through a *global
+//!   query queue* and a *global data queue* (Algorithm 3).
+
+use gxplug_graph::types::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics of one agent's cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache (downloads avoided).
+    pub hits: u64,
+    /// Lookups that had to go to the upper system.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Dirty entries whose upload was deferred by lazy uploading.
+    pub lazy_deferrals: u64,
+    /// Dirty entries eventually uploaded (on eviction or on demand).
+    pub uploads: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry<V> {
+    value: V,
+    /// Iteration of last use; entries age as iterations pass and the least
+    /// recently used entry is evicted first.
+    last_used: u64,
+    /// Whether the entry was updated locally and not yet uploaded.
+    dirty: bool,
+}
+
+/// The agent-local vertex cache.
+#[derive(Debug, Clone)]
+pub struct VertexCache<V> {
+    capacity: usize,
+    entries: HashMap<VertexId, CacheEntry<V>>,
+    stats: CacheStats,
+}
+
+impl<V: Clone> VertexCache<V> {
+    /// Creates a cache holding at most `capacity` vertices.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::with_capacity(capacity.min(1 << 20)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached vertices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a vertex for computation at iteration `now`.
+    ///
+    /// A hit refreshes the entry's recency (its "weight" in the paper's
+    /// terms); a miss means the agent must download the vertex from the upper
+    /// system and then [`VertexCache::fill`] it.
+    pub fn lookup(&mut self, v: VertexId, now: u64) -> Option<V> {
+        match self.entries.get_mut(&v) {
+            Some(entry) => {
+                entry.last_used = now;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns `true` if the vertex is cached, without touching recency or
+    /// statistics.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.entries.contains_key(&v)
+    }
+
+    /// Inserts a vertex freshly downloaded from the upper system.
+    ///
+    /// Returns the dirty entries that had to be evicted (and therefore must be
+    /// uploaded to the upper system now, as the paper prescribes: "If the
+    /// chosen vertices were updated in previous iterations, corresponding
+    /// information will be uploaded").
+    pub fn fill(&mut self, v: VertexId, value: V, now: u64) -> Vec<(VertexId, V)> {
+        let mut forced_uploads = Vec::new();
+        if !self.entries.contains_key(&v) && self.entries.len() >= self.capacity {
+            if let Some((victim, entry)) = self.evict_lru() {
+                if entry.dirty {
+                    self.stats.uploads += 1;
+                    forced_uploads.push((victim, entry.value));
+                }
+            }
+        }
+        self.entries.insert(
+            v,
+            CacheEntry {
+                value,
+                last_used: now,
+                dirty: false,
+            },
+        );
+        forced_uploads
+    }
+
+    /// Records a locally computed update: the new value enters the cache,
+    /// marked dirty, with refreshed recency.  Returns forced uploads exactly
+    /// like [`VertexCache::fill`].
+    pub fn record_update(&mut self, v: VertexId, value: V, now: u64) -> Vec<(VertexId, V)> {
+        let forced = if self.entries.contains_key(&v) {
+            Vec::new()
+        } else {
+            self.fill(v, value.clone(), now)
+        };
+        if let Some(entry) = self.entries.get_mut(&v) {
+            entry.value = value;
+            entry.dirty = true;
+            entry.last_used = now;
+            self.stats.lazy_deferrals += 1;
+        }
+        forced
+    }
+
+    /// Drops a cached vertex (e.g. because another node updated it, so the
+    /// cached copy is stale).
+    pub fn invalidate(&mut self, v: VertexId) {
+        self.entries.remove(&v);
+    }
+
+    /// Answers a global query: returns (and marks uploaded) the dirty entries
+    /// among `queried`, which is exactly what lazy uploading pushes to the
+    /// global data queue (Algorithm 3, line 4-5).
+    pub fn answer_query(&mut self, queried: &HashSet<VertexId>) -> Vec<(VertexId, V)> {
+        let mut answers = Vec::new();
+        for (&v, entry) in self.entries.iter_mut() {
+            if entry.dirty && queried.contains(&v) {
+                entry.dirty = false;
+                answers.push((v, entry.value.clone()));
+            }
+        }
+        self.stats.uploads += answers.len() as u64;
+        answers
+    }
+
+    /// Number of entries currently dirty (deferred uploads outstanding).
+    pub fn dirty_count(&self) -> usize {
+        self.entries.values().filter(|e| e.dirty).count()
+    }
+
+    /// Flushes every dirty entry (used at the end of a run so the upper
+    /// system ends up with the final values).
+    pub fn flush_dirty(&mut self) -> Vec<(VertexId, V)> {
+        let mut flushed = Vec::new();
+        for (&v, entry) in self.entries.iter_mut() {
+            if entry.dirty {
+                entry.dirty = false;
+                flushed.push((v, entry.value.clone()));
+            }
+        }
+        self.stats.uploads += flushed.len() as u64;
+        flushed
+    }
+
+    fn evict_lru(&mut self) -> Option<(VertexId, CacheEntry<V>)> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(&v, entry)| (entry.last_used, v))
+            .map(|(&v, _)| v)?;
+        self.stats.evictions += 1;
+        self.entries.remove(&victim).map(|entry| (victim, entry))
+    }
+}
+
+/// The cluster-wide lazy-uploading rendezvous of Algorithm 3: agents push the
+/// vertex ids they will need next iteration into the *global query queue*,
+/// then answer each other's queries through the *global data queue*.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalSyncQueues<V> {
+    query: HashSet<VertexId>,
+    data: HashMap<VertexId, V>,
+}
+
+impl<V: Clone> GlobalSyncQueues<V> {
+    /// Creates empty queues for one synchronisation round.
+    pub fn new() -> Self {
+        Self {
+            query: HashSet::new(),
+            data: HashMap::new(),
+        }
+    }
+
+    /// An agent pushes the vertex ids its node will need next iteration
+    /// (Algorithm 3, lines 1-2).
+    pub fn push_query<I: IntoIterator<Item = VertexId>>(&mut self, needed: I) {
+        self.query.extend(needed);
+    }
+
+    /// The union of all queried vertex ids, broadcast to every agent.
+    pub fn queried(&self) -> &HashSet<VertexId> {
+        &self.query
+    }
+
+    /// An agent pushes the queried entities it owns updated copies of
+    /// (Algorithm 3, lines 4-5).
+    pub fn push_data<I: IntoIterator<Item = (VertexId, V)>>(&mut self, updates: I) {
+        self.data.extend(updates);
+    }
+
+    /// An agent fetches the values it queried (Algorithm 3, line 7).
+    pub fn fetch(&self, needed: &HashSet<VertexId>) -> Vec<(VertexId, V)> {
+        self.data
+            .iter()
+            .filter(|(v, _)| needed.contains(v))
+            .map(|(&v, value)| (v, value.clone()))
+            .collect()
+    }
+
+    /// Number of entities carried by the global data queue — the actual
+    /// synchronisation payload after lazy uploading.
+    pub fn data_volume(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of distinct queried vertices.
+    pub fn query_volume(&self) -> usize {
+        self.query.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_hit_after_fill_and_miss_before() {
+        let mut cache = VertexCache::new(8);
+        assert_eq!(cache.lookup(3, 0), None);
+        cache.fill(3, 1.5f64, 0);
+        assert_eq!(cache.lookup(3, 1), Some(1.5));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let mut cache = VertexCache::new(2);
+        cache.fill(1, 10, 0);
+        cache.fill(2, 20, 1);
+        // Touch vertex 1 so vertex 2 becomes the LRU entry.
+        cache.lookup(1, 2);
+        cache.fill(3, 30, 3);
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+        assert!(cache.contains(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evicting_a_dirty_entry_forces_an_upload() {
+        let mut cache = VertexCache::new(1);
+        cache.record_update(7, 70, 0);
+        assert_eq!(cache.dirty_count(), 1);
+        let forced = cache.fill(8, 80, 1);
+        assert_eq!(forced, vec![(7, 70)]);
+        assert_eq!(cache.stats().uploads, 1);
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn lazy_upload_only_answers_queried_vertices() {
+        let mut cache = VertexCache::new(8);
+        cache.record_update(1, 100, 0);
+        cache.record_update(2, 200, 0);
+        cache.record_update(3, 300, 0);
+        let queried: HashSet<VertexId> = [2, 3].into_iter().collect();
+        let mut answers = cache.answer_query(&queried);
+        answers.sort_unstable_by_key(|(v, _)| *v);
+        assert_eq!(answers, vec![(2, 200), (3, 300)]);
+        // Vertex 1 stays deferred; a flush gets it out eventually.
+        assert_eq!(cache.dirty_count(), 1);
+        assert_eq!(cache.flush_dirty(), vec![(1, 100)]);
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn invalidation_causes_the_next_lookup_to_miss() {
+        let mut cache = VertexCache::new(4);
+        cache.fill(5, 50, 0);
+        assert!(cache.lookup(5, 1).is_some());
+        cache.invalidate(5);
+        assert!(cache.lookup(5, 2).is_none());
+    }
+
+    #[test]
+    fn global_queues_follow_algorithm_three() {
+        let mut queues = GlobalSyncQueues::new();
+        // Agent 0 will need vertices {1, 2}; agent 1 will need {2, 3}.
+        queues.push_query([1, 2]);
+        queues.push_query([2, 3]);
+        assert_eq!(queues.query_volume(), 3);
+        // Agent 0 owns updated copies of 3; agent 1 owns 1 and 7 (7 unqueried,
+        // its cache would not answer with it).
+        queues.push_data([(3, 30)]);
+        queues.push_data([(1, 10)]);
+        assert_eq!(queues.data_volume(), 2);
+        let needed: HashSet<VertexId> = [2, 3].into_iter().collect();
+        let mut fetched = queues.fetch(&needed);
+        fetched.sort_unstable_by_key(|(v, _)| *v);
+        assert_eq!(fetched, vec![(3, 30)]);
+    }
+
+    #[test]
+    fn cache_capacity_is_at_least_one() {
+        let cache: VertexCache<u8> = VertexCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,693 @@
+//! The simulated distributed cluster.
+//!
+//! A [`Cluster`] holds one [`NodeState`] per distributed node, the runtime
+//! profile of the upper system (GraphX-like or PowerGraph-like), and the
+//! network model of the interconnect.  It drives iterations in the BSP/GAS
+//! style: a per-node *compute* phase (supplied as a closure, so the native
+//! path and the middleware-accelerated path share the same driver and are
+//! compared fairly), followed by a global *synchronisation* phase that routes
+//! messages to master vertices, applies them, refreshes replicas and
+//! re-computes the active frontier.
+
+use crate::metrics::{IterationMetrics, RunReport};
+use crate::network::NetworkModel;
+use crate::node::NodeState;
+use crate::profile::RuntimeProfile;
+use crate::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_accel::SimDuration;
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::partition::Partitioning;
+use gxplug_graph::types::{PartitionId, VertexId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Whether the cluster may skip the global synchronisation of an iteration
+/// when no cross-node data movement is required (§III-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Always run the global synchronisation (native upper systems).
+    AlwaysSync,
+    /// Skip the upper-system synchronisation when every updated vertex and
+    /// its out-edges live on the node that updated it, and no messages are
+    /// addressed to remote masters.
+    SkipWhenLocal,
+}
+
+/// What one node's compute phase produced during an iteration.
+#[derive(Debug, Clone)]
+pub struct NodeComputeOutput<V, M> {
+    /// Simulated time the node spent computing (including any middleware
+    /// work).
+    pub compute_time: SimDuration,
+    /// Portion of `compute_time` attributable to the middleware (agent and
+    /// daemon work, transfers, packaging); zero for native execution.
+    pub middleware_time: SimDuration,
+    /// Number of edge triplets processed.
+    pub triplets_processed: usize,
+    /// Messages produced by `MSGGen`, merged per target vertex *within this
+    /// node* (`MSGMerge`), still to be applied at the targets' master nodes.
+    pub messages: Vec<AddressedMessage<M>>,
+    /// New values the compute phase already wrote for locally mastered
+    /// vertices, if any (used by accelerated paths that apply locally; native
+    /// execution leaves this empty and lets the cluster apply).
+    pub pre_applied: Vec<(VertexId, V)>,
+}
+
+impl<V, M> NodeComputeOutput<V, M> {
+    /// An output representing "nothing to do" for idle nodes.
+    pub fn idle() -> Self {
+        Self {
+            compute_time: SimDuration::ZERO,
+            middleware_time: SimDuration::ZERO,
+            triplets_processed: 0,
+            messages: Vec::new(),
+            pre_applied: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of the synchronisation phase of one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct SyncOutcome {
+    time: SimDuration,
+    apply_time: SimDuration,
+    remote_messages: usize,
+    replica_updates: usize,
+    skipped: bool,
+    changed_vertices: usize,
+}
+
+/// A simulated distributed cluster running one upper system.
+#[derive(Debug, Clone)]
+pub struct Cluster<V, E> {
+    nodes: Vec<NodeState<V, E>>,
+    partitioning: Arc<Partitioning>,
+    /// For every vertex, the parts holding a replica of it.
+    replica_locations: Vec<Vec<PartitionId>>,
+    /// For every vertex, the parts holding at least one of its out-edges.
+    out_edge_parts: Vec<Vec<PartitionId>>,
+    /// For every vertex, the parts holding at least one of its in-edges.
+    in_edge_parts: Vec<Vec<PartitionId>>,
+    profile: RuntimeProfile,
+    network: NetworkModel,
+    num_vertices: usize,
+}
+
+impl<V, E> Cluster<V, E>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+{
+    /// Builds a cluster from a graph, a partitioning, and the algorithm whose
+    /// `init_vertex` seeds the vertex tables.
+    pub fn build<A>(
+        graph: &PropertyGraph<V, E>,
+        partitioning: Partitioning,
+        algorithm: &A,
+        profile: RuntimeProfile,
+        network: NetworkModel,
+    ) -> Self
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        let num_vertices = graph.num_vertices();
+        let nodes: Vec<NodeState<V, E>> = (0..partitioning.num_parts())
+            .map(|id| NodeState::build(id, graph, &partitioning, algorithm))
+            .collect();
+        let mut replica_locations = vec![Vec::new(); num_vertices];
+        for (part_id, part) in partitioning.parts().iter().enumerate() {
+            for &v in &part.vertices {
+                replica_locations[v as usize].push(part_id);
+            }
+        }
+        let mut out_edge_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); num_vertices];
+        let mut in_edge_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); num_vertices];
+        for (edge_id, edge) in graph.edges().iter().enumerate() {
+            let part = partitioning.part_of_edge(edge_id);
+            let out_list = &mut out_edge_parts[edge.src as usize];
+            if !out_list.contains(&part) {
+                out_list.push(part);
+            }
+            let in_list = &mut in_edge_parts[edge.dst as usize];
+            if !in_list.contains(&part) {
+                in_list.push(part);
+            }
+        }
+        Self {
+            nodes,
+            partitioning: Arc::new(partitioning),
+            replica_locations,
+            out_edge_parts,
+            in_edge_parts,
+            profile,
+            network,
+            num_vertices,
+        }
+    }
+
+    /// Number of distributed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of vertices in the global graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The upper system's runtime profile.
+    pub fn profile(&self) -> &RuntimeProfile {
+        &self.profile
+    }
+
+    /// The interconnect model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The partitioning this cluster was built from.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: PartitionId) -> &NodeState<V, E> {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: PartitionId) -> &mut NodeState<V, E> {
+        &mut self.nodes[id]
+    }
+
+    /// Iterates immutably over all nodes.
+    pub fn nodes(&self) -> &[NodeState<V, E>] {
+        &self.nodes
+    }
+
+    /// Total number of active vertices across the cluster.
+    pub fn total_active(&self) -> usize {
+        self.nodes.iter().map(|n| n.active_count()).sum()
+    }
+
+    /// Total number of edges whose source vertex is active across the cluster
+    /// — the data volume `D` the workload balancer reasons about.
+    pub fn total_active_edges(&self) -> usize {
+        self.nodes.iter().map(|n| n.active_edge_count()).sum()
+    }
+
+    /// Collects the converged vertex values from the master copies.
+    ///
+    /// # Panics
+    /// Panics if some vertex has no master copy (which would indicate a
+    /// broken partitioning).
+    pub fn collect_values(&self) -> Vec<V> {
+        let mut values: Vec<Option<V>> = vec![None; self.num_vertices];
+        for node in &self.nodes {
+            for row in node.vertex_table().rows() {
+                if row.is_master {
+                    values[row.id as usize] = Some(row.attr.clone());
+                }
+            }
+        }
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(v, value)| value.unwrap_or_else(|| panic!("vertex {v} has no master copy")))
+            .collect()
+    }
+
+    /// Runs the algorithm natively (no accelerators): every node processes its
+    /// active triplets at the upper system's own per-edge cost.
+    pub fn run_native<A>(&mut self, algorithm: &A, dataset: &str, max_iterations: usize) -> RunReport
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        let profile = self.profile;
+        let system = profile.name.to_string();
+        self.run_custom(
+            algorithm,
+            dataset,
+            &system,
+            max_iterations,
+            SyncPolicy::AlwaysSync,
+            SimDuration::ZERO,
+            |node, iteration| native_node_compute(node, algorithm, &profile, iteration),
+        )
+    }
+
+    /// Runs the iteration driver with a custom per-node compute phase.
+    ///
+    /// This is the entry point the middleware uses: `node_compute` performs
+    /// the daemon-agent dance for one node and one iteration, returning the
+    /// merged messages plus its own timing attribution, while the cluster
+    /// handles synchronisation, replica refresh, activity tracking and
+    /// metrics exactly as it does for native runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_custom<A, F>(
+        &mut self,
+        algorithm: &A,
+        dataset: &str,
+        system: &str,
+        max_iterations: usize,
+        sync_policy: SyncPolicy,
+        setup: SimDuration,
+        mut node_compute: F,
+    ) -> RunReport
+    where
+        A: GraphAlgorithm<V, E>,
+        F: FnMut(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, A::Msg>,
+    {
+        let iteration_cap = max_iterations.min(algorithm.max_iterations());
+        let mut report = RunReport {
+            algorithm: algorithm.name().to_string(),
+            system: system.to_string(),
+            dataset: dataset.to_string(),
+            num_nodes: self.num_nodes(),
+            iterations: Vec::new(),
+            converged: false,
+            setup,
+        };
+        for iteration in 0..iteration_cap {
+            if algorithm.always_active() {
+                // Fixed-point algorithms keep the whole frontier active.
+                for node in &mut self.nodes {
+                    let all: HashSet<VertexId> = node.vertex_table().ids().collect();
+                    node.set_active(all);
+                }
+            }
+            let active_vertices = self.total_active();
+            if active_vertices == 0 {
+                report.converged = true;
+                break;
+            }
+            // ---- compute phase (per node, barrier at the end) ----
+            let mut outputs = Vec::with_capacity(self.nodes.len());
+            let mut max_compute = SimDuration::ZERO;
+            let mut max_middleware = SimDuration::ZERO;
+            let mut triplets_processed = 0usize;
+            for node in &mut self.nodes {
+                let output = node_compute(node, iteration);
+                max_compute = max_compute.max(output.compute_time);
+                max_middleware = max_middleware.max(output.middleware_time);
+                triplets_processed += output.triplets_processed;
+                outputs.push(output);
+            }
+            // ---- synchronisation phase ----
+            let sync = self.synchronize(algorithm, outputs, sync_policy, iteration);
+            let upper_overhead = if sync.skipped {
+                SimDuration::ZERO
+            } else {
+                self.profile.per_iteration_overhead
+            };
+            report.iterations.push(IterationMetrics {
+                iteration,
+                active_vertices,
+                triplets_processed,
+                compute: max_compute + sync.apply_time,
+                middleware: max_middleware,
+                upper_overhead,
+                sync: sync.time,
+                remote_messages: sync.remote_messages,
+                replica_updates: sync.replica_updates,
+                sync_skipped: sync.skipped,
+            });
+            // A fixed point (no vertex changed) terminates the run for every
+            // algorithm, including always-active ones: re-running identical
+            // iterations cannot change anything further.
+            if sync.changed_vertices == 0 {
+                report.converged = true;
+                break;
+            }
+        }
+        if !report.converged && self.total_active() == 0 {
+            report.converged = true;
+        }
+        report
+    }
+
+    /// Routes messages to master vertices, applies them, refreshes replicas
+    /// and recomputes the active frontier.
+    fn synchronize<A>(
+        &mut self,
+        algorithm: &A,
+        outputs: Vec<NodeComputeOutput<V, A::Msg>>,
+        policy: SyncPolicy,
+        iteration: usize,
+    ) -> SyncOutcome
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        // 1. Merge all per-node messages by target vertex, remembering how
+        //    many crossed a node boundary (those are the entities the global
+        //    data queue would carry).
+        let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+        let mut remote_messages = 0usize;
+        let mut changed: HashMap<VertexId, V> = HashMap::new();
+        for (node_id, output) in outputs.into_iter().enumerate() {
+            for (v, value) in output.pre_applied {
+                changed.insert(v, value);
+            }
+            for message in output.messages {
+                let master = self.partitioning.master_of(message.target);
+                if master != node_id {
+                    remote_messages += 1;
+                }
+                match merged.remove(&message.target) {
+                    Some(existing) => {
+                        let combined = algorithm.msg_merge(existing, message.payload);
+                        merged.insert(message.target, combined);
+                    }
+                    None => {
+                        merged.insert(message.target, message.payload);
+                    }
+                }
+            }
+        }
+        // 2. Apply merged messages at the master copies.
+        let mut applies = 0usize;
+        for (target, message) in merged {
+            let master = self.partitioning.master_of(target);
+            let node = &mut self.nodes[master];
+            let current = match node.vertex_value(target) {
+                Some(value) => value.clone(),
+                None => continue,
+            };
+            applies += 1;
+            if let Some(new_value) =
+                algorithm.msg_apply(target, &current, &message, iteration)
+            {
+                if new_value != current {
+                    node.update_vertex(target, new_value.clone());
+                    changed.insert(target, new_value);
+                }
+            }
+        }
+        // 3. Decide whether the global synchronisation can be skipped: every
+        //    changed vertex must have all of its out-edges on its master node
+        //    and no message may have crossed a node boundary.
+        let needs_in_edges_local = algorithm.reads_destination_attribute();
+        let all_local = remote_messages == 0
+            && changed.keys().all(|&v| {
+                let master = self.partitioning.master_of(v);
+                let out_local = self.out_edge_parts[v as usize]
+                    .iter()
+                    .all(|&part| part == master);
+                let in_local = !needs_in_edges_local
+                    || self.in_edge_parts[v as usize]
+                        .iter()
+                        .all(|&part| part == master);
+                out_local && in_local
+            });
+        let skipped = policy == SyncPolicy::SkipWhenLocal && all_local;
+        // 4. Refresh replicas of changed vertices (unless skipped) and build
+        //    the next active frontier.
+        let mut replica_updates = 0usize;
+        for node in &mut self.nodes {
+            node.clear_active();
+        }
+        for (&v, value) in &changed {
+            let master = self.partitioning.master_of(v);
+            if skipped {
+                self.nodes[master].activate(v);
+                continue;
+            }
+            for &part in &self.replica_locations[v as usize] {
+                if part != master {
+                    self.nodes[part].update_vertex(v, value.clone());
+                    replica_updates += 1;
+                }
+                self.nodes[part].activate(v);
+            }
+            // Masters of isolated changed vertices might not appear in
+            // replica_locations (no incident edges); keep them active anyway.
+            if self.replica_locations[v as usize].is_empty() {
+                self.nodes[master].activate(v);
+            }
+        }
+        // 5. Cost attribution.
+        let apply_time = self.profile.per_apply * applies as f64;
+        let time = if skipped {
+            SimDuration::ZERO
+        } else {
+            let items = remote_messages + replica_updates;
+            self.network.synchronization(self.num_nodes(), items)
+                + self.profile.per_item_sync * items as f64
+        };
+        SyncOutcome {
+            time,
+            apply_time,
+            remote_messages,
+            replica_updates,
+            skipped,
+            changed_vertices: changed.len(),
+        }
+    }
+}
+
+/// The native (non-accelerated) compute phase of one node: `MSGGen` over the
+/// active triplets and `MSGMerge` per target, all at the upper system's own
+/// per-edge cost.
+pub fn native_node_compute<V, E, A>(
+    node: &mut NodeState<V, E>,
+    algorithm: &A,
+    profile: &RuntimeProfile,
+    iteration: usize,
+) -> NodeComputeOutput<V, A::Msg>
+where
+    V: Clone,
+    E: Clone,
+    A: GraphAlgorithm<V, E>,
+{
+    let triplets = node.active_triplets();
+    let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+    for triplet in &triplets {
+        for message in algorithm.msg_gen(triplet, iteration) {
+            match merged.remove(&message.target) {
+                Some(existing) => {
+                    let combined = algorithm.msg_merge(existing, message.payload);
+                    merged.insert(message.target, combined);
+                }
+                None => {
+                    merged.insert(message.target, message.payload);
+                }
+            }
+        }
+    }
+    let messages: Vec<AddressedMessage<A::Msg>> = merged
+        .into_iter()
+        .map(|(target, payload)| AddressedMessage::new(target, payload))
+        .collect();
+    let compute_time = profile.native_compute_cost(
+        triplets.len(),
+        0,
+        algorithm.operational_intensity(),
+    );
+    NodeComputeOutput {
+        compute_time,
+        middleware_time: SimDuration::ZERO,
+        triplets_processed: triplets.len(),
+        messages,
+        pre_applied: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::AddressedMessage;
+    use gxplug_graph::edge_list::EdgeList;
+    use gxplug_graph::partition::{GreedyVertexCutPartitioner, HashEdgePartitioner, Partitioner};
+    use gxplug_graph::types::Triplet;
+
+    /// Single-source shortest path by min-propagation (unit test algorithm).
+    struct MinDist {
+        source: VertexId,
+    }
+
+    impl GraphAlgorithm<f64, f64> for MinDist {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, _out_degree: usize) -> f64 {
+            if v == self.source {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn msg_gen(
+            &self,
+            triplet: &Triplet<f64, f64>,
+            _iteration: usize,
+        ) -> Vec<AddressedMessage<f64>> {
+            if triplet.src_attr.is_finite() {
+                vec![AddressedMessage::new(
+                    triplet.dst,
+                    triplet.src_attr + triplet.edge_attr,
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.min(b)
+        }
+        fn msg_apply(
+            &self,
+            _vertex: VertexId,
+            current: &f64,
+            message: &f64,
+            _iteration: usize,
+        ) -> Option<f64> {
+            (message < current).then_some(*message)
+        }
+        fn initial_active(&self, _num_vertices: usize) -> Option<Vec<VertexId>> {
+            Some(vec![self.source])
+        }
+        fn name(&self) -> &'static str {
+            "min-dist"
+        }
+    }
+
+    fn line_graph(n: u32) -> PropertyGraph<f64, f64> {
+        let list: EdgeList<f64> = (0..n - 1).map(|v| (v, v + 1, 1.0)).collect();
+        PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap()
+    }
+
+    #[test]
+    fn native_run_computes_correct_distances_across_nodes() {
+        let graph = line_graph(32);
+        let algorithm = MinDist { source: 0 };
+        for parts in [1usize, 2, 4] {
+            let partitioning = HashEdgePartitioner::new(3).partition(&graph, parts).unwrap();
+            let mut cluster = Cluster::build(
+                &graph,
+                partitioning,
+                &algorithm,
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+            );
+            let report = cluster.run_native(&algorithm, "line", 100);
+            assert!(report.converged, "did not converge with {parts} parts");
+            let values = cluster.collect_values();
+            for (v, value) in values.iter().enumerate() {
+                assert_eq!(*value, v as f64, "vertex {v} with {parts} parts");
+            }
+            assert!(report.total_time() > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_has_no_sync_cost() {
+        let graph = line_graph(16);
+        let algorithm = MinDist { source: 0 };
+        let partitioning = HashEdgePartitioner::new(0).partition(&graph, 1).unwrap();
+        let mut cluster = Cluster::build(
+            &graph,
+            partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let report = cluster.run_native(&algorithm, "line", 100);
+        assert!(report.sync_time().is_zero());
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn more_nodes_reduce_per_iteration_compute_time() {
+        // A uniform random graph spread over more nodes means each node
+        // processes fewer triplets, so the max-per-node compute time drops.
+        use gxplug_graph::generators::{ErdosRenyi, Generator};
+        let list = ErdosRenyi::new(400, 4000).generate(7);
+        let graph = PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap();
+        let algorithm = MinDist { source: 0 };
+        let mut times = Vec::new();
+        for parts in [1usize, 4] {
+            let partitioning = GreedyVertexCutPartitioner::default()
+                .partition(&graph, parts)
+                .unwrap();
+            let mut cluster = Cluster::build(
+                &graph,
+                partitioning,
+                &algorithm,
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+            );
+            let report = cluster.run_native(&algorithm, "er", 100);
+            times.push(report.compute_time());
+        }
+        assert!(
+            times[1] < times[0],
+            "4 nodes {:?} should compute faster than 1 node {:?}",
+            times[1],
+            times[0]
+        );
+    }
+
+    #[test]
+    fn sync_skipping_is_reported_when_updates_stay_local() {
+        // Two disconnected chains, partitioned so each chain is wholly on one
+        // node (range partitioner keeps vertex ranges together): after the
+        // frontier leaves the cut, every update stays local and syncs can be
+        // skipped.
+        let mut list: EdgeList<f64> = EdgeList::default();
+        for v in 0..15u32 {
+            list.push(v, v + 1, 1.0);
+        }
+        for v in 16..31u32 {
+            list.push(v, v + 1, 1.0);
+        }
+        let graph = PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap();
+        let algorithm = MinDist { source: 0 };
+        let partitioning = gxplug_graph::partition::RangePartitioner
+            .partition(&graph, 2)
+            .unwrap();
+        let mut cluster = Cluster::build(
+            &graph,
+            partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let profile = *cluster.profile();
+        let report = cluster.run_custom(
+            &algorithm,
+            "chains",
+            "PowerGraph+skip",
+            100,
+            SyncPolicy::SkipWhenLocal,
+            SimDuration::ZERO,
+            |node, iteration| native_node_compute(node, &algorithm, &profile, iteration),
+        );
+        assert!(report.converged);
+        assert!(
+            report.skipped_iterations() > 0,
+            "expected at least one skipped synchronisation"
+        );
+        // Results are still correct.
+        let values = cluster.collect_values();
+        for v in 0..16u32 {
+            assert_eq!(values[v as usize], v as f64);
+        }
+    }
+
+    #[test]
+    fn run_report_counts_iterations_and_triplets() {
+        let graph = line_graph(8);
+        let algorithm = MinDist { source: 0 };
+        let partitioning = HashEdgePartitioner::new(0).partition(&graph, 2).unwrap();
+        let mut cluster = Cluster::build(
+            &graph,
+            partitioning,
+            &algorithm,
+            RuntimeProfile::graphx(),
+            NetworkModel::datacenter(),
+        );
+        let report = cluster.run_native(&algorithm, "line", 100);
+        // The frontier walks the 7-edge line one hop per iteration.
+        assert!(report.num_iterations() >= 7);
+        assert_eq!(report.total_triplets(), 7);
+        assert_eq!(report.system, "GraphX");
+        assert_eq!(report.dataset, "line");
+    }
+}

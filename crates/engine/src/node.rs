@@ -1,0 +1,318 @@
+//! Per-distributed-node state.
+//!
+//! A [`NodeState`] is the local view one distributed node of the upper system
+//! holds: its partition's vertex table, edge table and vertex-edge mapping
+//! table (§II-B), plus the set of vertices that are *active* for the next
+//! iteration.  Both the native execution paths and the middleware's agents
+//! operate on this state.
+
+use crate::template::GraphAlgorithm;
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::partition::Partitioning;
+use gxplug_graph::tables::{EdgeTable, VertexEdgeMap, VertexTable};
+use gxplug_graph::types::{Edge, EdgeId, PartitionId, Triplet, VertexId};
+use std::collections::HashSet;
+
+/// The state of one distributed node.
+#[derive(Debug, Clone)]
+pub struct NodeState<V, E> {
+    id: PartitionId,
+    vertex_table: VertexTable<V>,
+    edge_table: EdgeTable<E>,
+    vertex_edge_map: VertexEdgeMap,
+    active: HashSet<VertexId>,
+}
+
+impl<V: Clone, E: Clone> NodeState<V, E> {
+    /// Builds the node state for partition `id` of a partitioned graph,
+    /// initialising vertex attributes through the algorithm template.
+    pub fn build<A>(
+        id: PartitionId,
+        graph: &PropertyGraph<V, E>,
+        partitioning: &Partitioning,
+        algorithm: &A,
+    ) -> Self
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        let part = partitioning.part(id);
+        let mut vertex_table = VertexTable::with_capacity(part.vertices.len());
+        for &v in &part.vertices {
+            let attr = algorithm.init_vertex(v, graph.out_degree(v));
+            vertex_table.upsert(v, attr, partitioning.master_of(v) == id);
+        }
+        // Isolated vertices mastered here may not appear in `vertices`.
+        for &v in &part.masters {
+            if !vertex_table.contains(v) {
+                let attr = algorithm.init_vertex(v, graph.out_degree(v));
+                vertex_table.upsert(v, attr, true);
+            }
+        }
+        let mut edge_table = EdgeTable::new();
+        for &edge_id in &part.edges {
+            edge_table.push(graph.edge(edge_id).clone());
+        }
+        let vertex_edge_map = VertexEdgeMap::from_edge_table(&edge_table);
+        let initial_active: HashSet<VertexId> =
+            match algorithm.initial_active(graph.num_vertices()) {
+                Some(seed) => seed
+                    .into_iter()
+                    .filter(|v| vertex_table.contains(*v))
+                    .collect(),
+                None => vertex_table.ids().collect(),
+            };
+        Self {
+            id,
+            vertex_table,
+            edge_table,
+            vertex_edge_map,
+            active: initial_active,
+        }
+    }
+}
+
+impl<V, E> NodeState<V, E> {
+    /// The partition / distributed node id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Number of local vertex replicas.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_table.len()
+    }
+
+    /// Number of local edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_table.len()
+    }
+
+    /// The node's vertex table.
+    pub fn vertex_table(&self) -> &VertexTable<V> {
+        &self.vertex_table
+    }
+
+    /// Mutable access to the node's vertex table.
+    pub fn vertex_table_mut(&mut self) -> &mut VertexTable<V> {
+        &mut self.vertex_table
+    }
+
+    /// The node's edge table.
+    pub fn edge_table(&self) -> &EdgeTable<E> {
+        &self.edge_table
+    }
+
+    /// The node's vertex-edge mapping table.
+    pub fn vertex_edge_map(&self) -> &VertexEdgeMap {
+        &self.vertex_edge_map
+    }
+
+    /// Number of currently active local vertices.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Returns `true` if vertex `v` is active on this node.
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active.contains(&v)
+    }
+
+    /// Iterates over the active vertices (order unspecified).
+    pub fn active_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Replaces the active set (used by the cluster at the end of an
+    /// iteration).
+    pub fn set_active(&mut self, active: HashSet<VertexId>) {
+        self.active = active;
+    }
+
+    /// Marks a single vertex active.
+    pub fn activate(&mut self, v: VertexId) {
+        self.active.insert(v);
+    }
+
+    /// Clears the active set.
+    pub fn clear_active(&mut self) {
+        self.active.clear();
+    }
+
+    /// Current attribute of a local vertex.
+    pub fn vertex_value(&self, v: VertexId) -> Option<&V> {
+        self.vertex_table.get(v).map(|row| &row.attr)
+    }
+
+    /// Local edge ids whose source vertex is currently active — the workload
+    /// of the next computation iteration on this node.
+    pub fn active_edge_ids(&self) -> Vec<EdgeId> {
+        let mut ids = Vec::new();
+        for &v in &self.active {
+            ids.extend_from_slice(self.vertex_edge_map.out_edges(v));
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of edges whose source is active (without materialising ids).
+    pub fn active_edge_count(&self) -> usize {
+        self.active
+            .iter()
+            .map(|&v| self.vertex_edge_map.out_edges(v).len())
+            .sum()
+    }
+
+    /// The local edge with the given local id.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge<E>> {
+        self.edge_table.get(id)
+    }
+}
+
+impl<V: Clone, E: Clone> NodeState<V, E> {
+    /// Materialises the triplet of local edge `id` by joining the edge and
+    /// vertex tables.  Returns `None` if either endpoint is missing locally
+    /// (which would indicate a broken partitioning).
+    pub fn triplet(&self, id: EdgeId) -> Option<Triplet<V, E>> {
+        let edge = self.edge_table.get(id)?;
+        let src_attr = self.vertex_value(edge.src)?.clone();
+        let dst_attr = self.vertex_value(edge.dst)?.clone();
+        Some(Triplet::new(
+            edge.src,
+            edge.dst,
+            src_attr,
+            dst_attr,
+            edge.attr.clone(),
+        ))
+    }
+
+    /// Materialises triplets for the given local edge ids.
+    pub fn triplets_for(&self, edge_ids: &[EdgeId]) -> Vec<Triplet<V, E>> {
+        edge_ids.iter().filter_map(|&id| self.triplet(id)).collect()
+    }
+
+    /// Materialises the triplets of all currently active edges.
+    pub fn active_triplets(&self) -> Vec<Triplet<V, E>> {
+        self.triplets_for(&self.active_edge_ids())
+    }
+
+    /// Updates the attribute of a local vertex (marking it dirty); returns
+    /// `true` if the vertex exists locally.
+    pub fn update_vertex(&mut self, v: VertexId, value: V) -> bool {
+        self.vertex_table.update(v, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::AddressedMessage;
+    use gxplug_graph::edge_list::EdgeList;
+    use gxplug_graph::partition::{HashEdgePartitioner, Partitioner};
+
+    /// Minimal min-propagation algorithm used to exercise node construction.
+    struct MinLabel;
+
+    impl GraphAlgorithm<u32, f64> for MinLabel {
+        type Msg = u32;
+        fn init_vertex(&self, v: VertexId, _out_degree: usize) -> u32 {
+            v
+        }
+        fn msg_gen(
+            &self,
+            triplet: &Triplet<u32, f64>,
+            _iteration: usize,
+        ) -> Vec<AddressedMessage<u32>> {
+            vec![AddressedMessage::new(triplet.dst, triplet.src_attr)]
+        }
+        fn msg_merge(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+        fn msg_apply(
+            &self,
+            _vertex: VertexId,
+            current: &u32,
+            message: &u32,
+            _iteration: usize,
+        ) -> Option<u32> {
+            (message < current).then_some(*message)
+        }
+        fn name(&self) -> &'static str {
+            "min-label"
+        }
+    }
+
+    fn setup() -> (PropertyGraph<u32, f64>, Partitioning) {
+        let list: EdgeList<f64> = [
+            (0u32, 1u32, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (4, 0, 1.0),
+            (2, 0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let graph = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        let partitioning = HashEdgePartitioner::new(1).partition(&graph, 2).unwrap();
+        (graph, partitioning)
+    }
+
+    #[test]
+    fn build_initialises_tables_and_active_set() {
+        let (graph, partitioning) = setup();
+        let node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        assert_eq!(node.id(), 0);
+        assert_eq!(node.num_edges(), partitioning.part(0).edges.len());
+        assert_eq!(node.num_vertices(), partitioning.part(0).vertices.len());
+        // Everything starts active by default.
+        assert_eq!(node.active_count(), node.num_vertices());
+        // Vertex attributes follow init_vertex.
+        for row in node.vertex_table().rows() {
+            assert_eq!(row.attr, row.id);
+        }
+    }
+
+    #[test]
+    fn active_edges_follow_active_sources() {
+        let (graph, partitioning) = setup();
+        let mut node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        node.clear_active();
+        assert_eq!(node.active_edge_count(), 0);
+        assert!(node.active_triplets().is_empty());
+        // Activate one vertex that has local out-edges.
+        let some_src = node
+            .edge_table()
+            .edges()
+            .first()
+            .map(|e| e.src)
+            .expect("node 0 should hold at least one edge");
+        node.activate(some_src);
+        assert!(node.is_active(some_src));
+        let expected = node.vertex_edge_map().out_edges(some_src).len();
+        assert_eq!(node.active_edge_count(), expected);
+        assert_eq!(node.active_triplets().len(), expected);
+    }
+
+    #[test]
+    fn triplets_join_local_attributes() {
+        let (graph, partitioning) = setup();
+        let node = NodeState::build(1, &graph, &partitioning, &MinLabel);
+        for id in 0..node.num_edges() {
+            let triplet = node.triplet(id).expect("local triplet must resolve");
+            assert_eq!(triplet.src_attr, triplet.src);
+            assert_eq!(triplet.dst_attr, triplet.dst);
+        }
+        assert!(node.triplet(999).is_none());
+    }
+
+    #[test]
+    fn update_vertex_marks_dirty() {
+        let (graph, partitioning) = setup();
+        let mut node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        let v = node.vertex_table().ids().next().unwrap();
+        assert!(node.update_vertex(v, 99));
+        assert!(!node.update_vertex(10_000, 0));
+        assert_eq!(node.vertex_table().dirty_count(), 1);
+        assert_eq!(*node.vertex_value(v).unwrap(), 99);
+    }
+}

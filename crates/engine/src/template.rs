@@ -1,0 +1,153 @@
+//! The iterative graph-algorithm template shared by upper systems and daemons.
+//!
+//! The paper's algorithm template exposes three APIs — `MSGGen()`,
+//! `MSGMerge()` and `MSGApply()` (§IV-A1) — whose invocation *order* is what
+//! distinguishes computation models: BSP runs `Gen → Merge → Apply`, GAS runs
+//! `Merge → Apply → Gen` (§IV-B2).  Because the template follows the same
+//! iterative model as the upper systems, "existing distributed graph
+//! algorithms can be transplanted for accessing accelerators with ease": the
+//! very same implementation of this trait drives
+//!
+//! * the native (non-accelerated) execution paths of the BSP and GAS engines
+//!   in this crate, and
+//! * the daemon-side accelerated execution in `gxplug-core`.
+
+use gxplug_graph::types::{Triplet, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// The computation model of an upper system (§IV-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputationModel {
+    /// Bulk Synchronous Parallel (Pregel / GraphX): `Gen → Merge → Apply`.
+    Bsp,
+    /// Gather-Apply-Scatter (PowerGraph): `Merge → Apply → Gen`.
+    Gas,
+}
+
+impl ComputationModel {
+    /// The API invocation order of this model, as the agent would issue
+    /// `requestX()` calls.
+    pub fn api_order(self) -> [&'static str; 3] {
+        match self {
+            ComputationModel::Bsp => ["MSGGen", "MSGMerge", "MSGApply"],
+            ComputationModel::Gas => ["MSGMerge", "MSGApply", "MSGGen"],
+        }
+    }
+}
+
+/// A message produced by `MSGGen` addressed to a destination vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressedMessage<M> {
+    /// The vertex whose value the message targets.
+    pub target: VertexId,
+    /// The message payload.
+    pub payload: M,
+}
+
+impl<M> AddressedMessage<M> {
+    /// Creates an addressed message.
+    pub fn new(target: VertexId, payload: M) -> Self {
+        Self { target, payload }
+    }
+}
+
+/// An iterative graph algorithm expressed against the GX-Plug template.
+///
+/// `V` is the vertex attribute type, `E` the edge attribute type and
+/// [`GraphAlgorithm::Msg`] the message type flowing between vertices.
+pub trait GraphAlgorithm<V, E>: Send + Sync {
+    /// Message type exchanged between vertices.
+    type Msg: Clone + Send + Sync;
+
+    /// Initial attribute of vertex `v` before the first iteration.
+    ///
+    /// `out_degree` is the vertex's out-degree in the *global* graph, which
+    /// algorithms like PageRank need to pre-compute per-edge contributions.
+    fn init_vertex(&self, v: VertexId, out_degree: usize) -> V;
+
+    /// `MSGGen()` — given an edge triplet whose *source* vertex is active,
+    /// produce messages (usually one, to the destination).  Called once per
+    /// active triplet per iteration.
+    fn msg_gen(&self, triplet: &Triplet<V, E>, iteration: usize) -> Vec<AddressedMessage<Self::Msg>>;
+
+    /// `MSGMerge()` — combine two messages addressed to the same vertex.
+    fn msg_merge(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// `MSGApply()` — apply a merged message to the current attribute of
+    /// `vertex`.  Returns `Some(new_value)` if the attribute changed (which
+    /// re-activates the vertex for the next iteration) or `None` if it is
+    /// unchanged.
+    fn msg_apply(
+        &self,
+        vertex: VertexId,
+        current: &V,
+        message: &Self::Msg,
+        iteration: usize,
+    ) -> Option<V>;
+
+    /// Vertices that are active before the first iteration.  `None` (the
+    /// default) means every vertex starts active.
+    fn initial_active(&self, _num_vertices: usize) -> Option<Vec<VertexId>> {
+        None
+    }
+
+    /// Upper bound on the number of iterations (e.g. the paper caps LP at 15).
+    fn max_iterations(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Returns `true` if every vertex stays active on every iteration
+    /// regardless of whether its value changed (PageRank-style fixed-point
+    /// algorithms).  The default, `false`, means only vertices whose value
+    /// changed in the previous iteration generate messages (SSSP-style
+    /// frontier algorithms).
+    fn always_active(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `msg_gen` reads the *destination* vertex attribute
+    /// (or addresses messages back to the source), as connected-components
+    /// style algorithms do.  Synchronization skipping must then only trigger
+    /// when a changed vertex's in-edges are co-located with its master too,
+    /// otherwise a stale replica could be read on another node.  Forward-only
+    /// algorithms (SSSP, PageRank, LP) keep the default `false`, which matches
+    /// the paper's "updated vertex and its outer edges" condition exactly.
+    fn reads_destination_attribute(&self) -> bool {
+        false
+    }
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Relative operational intensity of the per-triplet kernel, used by the
+    /// cost models to scale per-edge compute cost between cheap kernels
+    /// (label propagation) and heavier ones (multi-source SSSP).  1.0 is the
+    /// PageRank baseline.
+    fn operational_intensity(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_orders_match_the_paper() {
+        assert_eq!(
+            ComputationModel::Bsp.api_order(),
+            ["MSGGen", "MSGMerge", "MSGApply"]
+        );
+        assert_eq!(
+            ComputationModel::Gas.api_order(),
+            ["MSGMerge", "MSGApply", "MSGGen"]
+        );
+    }
+
+    #[test]
+    fn addressed_message_construction() {
+        let m = AddressedMessage::new(7, 1.5f64);
+        assert_eq!(m.target, 7);
+        assert_eq!(m.payload, 1.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Road-network-like graph generator.
+//!
+//! The paper's WRN dataset is a road network: ~24 M vertices but only ~29 M
+//! edges, i.e. mean degree barely above 1, very low maximum degree and a huge
+//! diameter.  This generator produces a 2-D lattice (every cell connected to
+//! its right and bottom neighbours, both directions) with a small fraction of
+//! random "shortcut" edges, which reproduces those properties at a reduced
+//! scale.
+
+use super::{rng_for, Generator};
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::Rng;
+
+/// Grid-with-shortcuts road network generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridRoad {
+    /// Number of rows in the lattice.
+    pub rows: usize,
+    /// Number of columns in the lattice.
+    pub cols: usize,
+    /// Fraction of lattice edges added again as random long-range shortcuts
+    /// (highways / bridges).
+    pub shortcut_fraction: f64,
+    /// Maximum edge weight (road segment length), uniform in `[1.0, max]`.
+    pub weight_max: f64,
+}
+
+impl GridRoad {
+    /// Creates a `rows x cols` road network with the given shortcut fraction.
+    pub fn new(rows: usize, cols: usize, shortcut_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&shortcut_fraction));
+        Self {
+            rows,
+            cols,
+            shortcut_fraction,
+            weight_max: 5.0,
+        }
+    }
+
+    /// Number of vertices in the lattice.
+    pub fn num_vertices(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn vertex(&self, r: usize, c: usize) -> VertexId {
+        (r * self.cols + c) as VertexId
+    }
+}
+
+impl Generator for GridRoad {
+    fn generate(&self, seed: u64) -> EdgeList<f64> {
+        let mut rng = rng_for(seed);
+        let n = self.num_vertices();
+        let mut list = EdgeList::with_capacity(n, 4 * n);
+        if n > 0 {
+            list.ensure_vertex((n - 1) as VertexId);
+        }
+        let mut lattice_edges = 0usize;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.vertex(r, c);
+                if c + 1 < self.cols {
+                    let u = self.vertex(r, c + 1);
+                    let w = rng.gen_range(1.0..=self.weight_max);
+                    list.push(v, u, w);
+                    list.push(u, v, w);
+                    lattice_edges += 2;
+                }
+                if r + 1 < self.rows {
+                    let u = self.vertex(r + 1, c);
+                    let w = rng.gen_range(1.0..=self.weight_max);
+                    list.push(v, u, w);
+                    list.push(u, v, w);
+                    lattice_edges += 2;
+                }
+            }
+        }
+        if n >= 2 {
+            let shortcuts = (lattice_edges as f64 * self.shortcut_fraction).round() as usize;
+            for _ in 0..shortcuts {
+                let a = rng.gen_range(0..n as VertexId);
+                let mut b = rng.gen_range(0..n as VertexId);
+                while b == a {
+                    b = rng.gen_range(0..n as VertexId);
+                }
+                // Shortcuts are longer than local roads.
+                let w = rng.gen_range(self.weight_max..=self.weight_max * 4.0);
+                list.push(a, b, w);
+                list.push(b, a, w);
+            }
+        }
+        list
+    }
+
+    fn name(&self) -> &'static str {
+        "grid-road"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::degree_stats;
+
+    #[test]
+    fn lattice_edge_count_is_exact_without_shortcuts() {
+        let gen = GridRoad::new(5, 7, 0.0);
+        let list = gen.generate(1);
+        // Horizontal: 5 * 6, vertical: 4 * 7, both directions.
+        assert_eq!(list.num_edges(), 2 * (5 * 6 + 4 * 7));
+        assert_eq!(list.num_vertices(), 35);
+    }
+
+    #[test]
+    fn degrees_stay_road_like() {
+        let gen = GridRoad::new(30, 30, 0.02);
+        let list = gen.generate(2);
+        let stats = degree_stats(&list);
+        // Road networks have tiny max degree compared to social graphs.
+        assert!(stats.max_out_degree <= 8, "max degree {}", stats.max_out_degree);
+        assert!(stats.mean_out_degree < 5.0);
+    }
+
+    #[test]
+    fn symmetric_by_construction() {
+        let gen = GridRoad::new(4, 4, 0.1);
+        let list = gen.generate(9);
+        for e in list.edges() {
+            assert!(
+                list.edges()
+                    .iter()
+                    .any(|r| r.src == e.dst && r.dst == e.src),
+                "missing reverse of {}->{}",
+                e.src,
+                e.dst
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_grid() {
+        let gen = GridRoad::new(1, 1, 0.5);
+        let list = gen.generate(1);
+        assert_eq!(list.num_vertices(), 1);
+        assert_eq!(list.num_edges(), 0);
+    }
+}

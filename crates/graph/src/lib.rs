@@ -1,0 +1,36 @@
+//! # gxplug-graph
+//!
+//! Graph storage, synthetic generators, partitioners and the dataset catalogue
+//! used by the GX-Plug middleware reproduction.
+//!
+//! This crate is the lowest layer of the workspace: it knows nothing about
+//! accelerators, daemons or distributed nodes.  It provides
+//!
+//! * [`EdgeList`] / [`PropertyGraph`] / [`Csr`] — construction and storage of
+//!   directed property graphs;
+//! * [`tables`] — the agent-side vertex table, edge table and vertex-edge
+//!   mapping table described in §II-B of the paper;
+//! * [`generators`] — R-MAT, Erdős–Rényi and road-network generators used to
+//!   build synthetic analogues of the paper's datasets;
+//! * [`partition`] — hash, range, greedy vertex-cut and capacity-weighted
+//!   partitioners;
+//! * [`datasets`] — the Table I catalogue with scaled synthetic analogues;
+//! * [`io`] — plain-text edge list reading and writing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csr;
+pub mod datasets;
+pub mod edge_list;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod tables;
+pub mod types;
+
+pub use csr::Csr;
+pub use edge_list::EdgeList;
+pub use graph::PropertyGraph;
+pub use types::{Edge, EdgeId, GraphError, PartitionId, Result, Triplet, VertexId};

@@ -1,0 +1,94 @@
+//! Source-hash edge partitioner.
+
+use super::{mix64, Partitioner, Partitioning};
+use crate::graph::PropertyGraph;
+use crate::types::{GraphError, Result};
+
+/// Assigns each edge to `hash(src) % num_parts`.
+///
+/// This is the default strategy of GraphX-like systems: all out-edges of a
+/// vertex land on the same node, so scatter operations are local, but
+/// power-law hubs concentrate work on single parts — exactly the imbalance the
+/// workload-balancing experiments (Fig. 12) start from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashEdgePartitioner {
+    /// Hash seed, allowing different placements for the same graph.
+    pub seed: u64,
+}
+
+impl HashEdgePartitioner {
+    /// Creates a partitioner with the given hash seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Partitioner for HashEdgePartitioner {
+    fn partition<V, E>(
+        &self,
+        graph: &PropertyGraph<V, E>,
+        num_parts: usize,
+    ) -> Result<Partitioning> {
+        if num_parts == 0 {
+            return Err(GraphError::EmptyPartitioning);
+        }
+        let assignment = graph
+            .edges()
+            .iter()
+            .map(|e| (mix64(e.src as u64 ^ self.seed) % num_parts as u64) as usize)
+            .collect();
+        Partitioning::from_edge_assignment(graph, num_parts, assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-by-source"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+    use crate::generators::{ErdosRenyi, Generator};
+
+    #[test]
+    fn all_out_edges_of_a_vertex_share_a_part() {
+        let list = ErdosRenyi::new(100, 600).generate(3);
+        let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        let p = HashEdgePartitioner::new(7).partition(&g, 4).unwrap();
+        for v in g.vertex_ids() {
+            let parts: Vec<_> = g
+                .out_edges(v)
+                .map(|(_, e)| p.part_of_edge(e))
+                .collect();
+            assert!(parts.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_graph_is_roughly_balanced() {
+        let list = ErdosRenyi::new(2000, 20000).generate(1);
+        let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        let p = HashEdgePartitioner::new(0).partition(&g, 4).unwrap();
+        assert!(p.edge_balance() < 1.15, "balance {}", p.edge_balance());
+    }
+
+    #[test]
+    fn rejects_zero_parts() {
+        let list: EdgeList<()> = [(0u32, 1u32, ())].into_iter().collect();
+        let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        assert!(HashEdgePartitioner::default().partition(&g, 0).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let list = ErdosRenyi::new(200, 1000).generate(2);
+        let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        let a = HashEdgePartitioner::new(1).partition(&g, 4).unwrap();
+        let b = HashEdgePartitioner::new(2).partition(&g, 4).unwrap();
+        let differing = (0..g.num_edges())
+            .filter(|&e| a.part_of_edge(e) != b.part_of_edge(e))
+            .count();
+        assert!(differing > 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph partitioning for distributed nodes.
+//!
+//! Upper systems partition the graph across distributed nodes before any
+//! middleware work happens (§II-B: "Initially, the graph data are partitioned
+//! to distributed nodes by upper systems").  The partitioning strategy is one
+//! of the two knobs the workload-balancing optimisation (§III-C) turns, so
+//! several strategies are provided:
+//!
+//! * [`HashEdgePartitioner`] — hash edges by source vertex (GraphX-like
+//!   default, produces roughly even parts on uniform graphs but can skew on
+//!   power-law graphs);
+//! * [`RangePartitioner`] — contiguous source-vertex ranges (cheap, very
+//!   skew-prone: used as the "Not Balanced" configuration in Fig. 12);
+//! * [`GreedyVertexCutPartitioner`] — PowerGraph-style greedy vertex cut that
+//!   minimises vertex replication while keeping edge counts even;
+//! * [`WeightedEdgePartitioner`] — capacity-aware partitioner that targets the
+//!   per-part data fractions `d_j ∝ 1/c_j` prescribed by Lemma 2.
+
+mod hash;
+mod range;
+mod vertex_cut;
+mod weighted;
+
+pub use hash::HashEdgePartitioner;
+pub use range::RangePartitioner;
+pub use vertex_cut::GreedyVertexCutPartitioner;
+pub use weighted::WeightedEdgePartitioner;
+
+use crate::graph::PropertyGraph;
+use crate::types::{EdgeId, GraphError, PartitionId, Result, VertexId};
+use std::collections::HashMap;
+
+/// The data held by a single distributed node after partitioning.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartInfo {
+    /// Global ids of the edges assigned to this part.
+    pub edges: Vec<EdgeId>,
+    /// Global ids of all vertices replicated on this part (every endpoint of a
+    /// local edge, plus isolated vertices mastered here).
+    pub vertices: Vec<VertexId>,
+    /// Global ids of the vertices whose *master* copy lives on this part.
+    pub masters: Vec<VertexId>,
+}
+
+/// A complete edge partitioning of a graph into `num_parts` distributed nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    num_vertices: usize,
+    edge_assignment: Vec<PartitionId>,
+    master_of: Vec<PartitionId>,
+    parts: Vec<PartInfo>,
+}
+
+impl Partitioning {
+    /// Builds a partitioning from a per-edge assignment.
+    ///
+    /// Vertex replicas are derived from the edge assignment; the master copy
+    /// of a vertex is placed on the part holding the most of its incident
+    /// edges (ties broken toward the lower part id), and isolated vertices are
+    /// mastered on `hash(v) % num_parts`.
+    pub fn from_edge_assignment<V, E>(
+        graph: &PropertyGraph<V, E>,
+        num_parts: usize,
+        edge_assignment: Vec<PartitionId>,
+    ) -> Result<Self> {
+        if num_parts == 0 {
+            return Err(GraphError::EmptyPartitioning);
+        }
+        assert_eq!(
+            edge_assignment.len(),
+            graph.num_edges(),
+            "edge assignment must cover every edge"
+        );
+        let mut parts = vec![PartInfo::default(); num_parts];
+        // Count, per vertex, how many incident edges each part holds.
+        let mut incidence: Vec<HashMap<PartitionId, usize>> =
+            vec![HashMap::new(); graph.num_vertices()];
+        for (edge_id, &part) in edge_assignment.iter().enumerate() {
+            assert!(part < num_parts, "edge assigned to non-existent part {part}");
+            parts[part].edges.push(edge_id);
+            let edge = graph.edge(edge_id);
+            *incidence[edge.src as usize].entry(part).or_insert(0) += 1;
+            *incidence[edge.dst as usize].entry(part).or_insert(0) += 1;
+        }
+        let mut master_of = vec![0 as PartitionId; graph.num_vertices()];
+        let mut replicas: Vec<Vec<VertexId>> = vec![Vec::new(); num_parts];
+        for v in 0..graph.num_vertices() {
+            let counts = &incidence[v];
+            if counts.is_empty() {
+                // Isolated vertex: master it deterministically.
+                let part = v % num_parts;
+                master_of[v] = part;
+                replicas[part].push(v as VertexId);
+                parts[part].masters.push(v as VertexId);
+                continue;
+            }
+            let mut best_part = usize::MAX;
+            let mut best_count = 0usize;
+            for (&part, &count) in counts {
+                if count > best_count || (count == best_count && part < best_part) {
+                    best_part = part;
+                    best_count = count;
+                }
+            }
+            master_of[v] = best_part;
+            parts[best_part].masters.push(v as VertexId);
+            for &part in counts.keys() {
+                replicas[part].push(v as VertexId);
+            }
+        }
+        for (part, mut verts) in replicas.into_iter().enumerate() {
+            verts.sort_unstable();
+            parts[part].vertices = verts;
+            parts[part].masters.sort_unstable();
+        }
+        Ok(Self {
+            num_vertices: graph.num_vertices(),
+            edge_assignment,
+            master_of,
+            parts,
+        })
+    }
+
+    /// Number of parts (distributed nodes).
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of vertices in the partitioned graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Data for one part.
+    pub fn part(&self, id: PartitionId) -> &PartInfo {
+        &self.parts[id]
+    }
+
+    /// All parts in id order.
+    pub fn parts(&self) -> &[PartInfo] {
+        &self.parts
+    }
+
+    /// Part holding edge `edge_id`.
+    pub fn part_of_edge(&self, edge_id: EdgeId) -> PartitionId {
+        self.edge_assignment[edge_id]
+    }
+
+    /// Part mastering vertex `v`.
+    pub fn master_of(&self, v: VertexId) -> PartitionId {
+        self.master_of[v as usize]
+    }
+
+    /// Edge counts per part (the paper's per-node data sizes `d_j`).
+    pub fn edge_counts(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.edges.len()).collect()
+    }
+
+    /// Vertex replication factor: total replicas divided by vertex count.
+    ///
+    /// 1.0 means no replication (a pure edge-cut on a graph where each vertex
+    /// touches a single part); PowerGraph-style vertex cuts trade replication
+    /// for balance.
+    pub fn replication_factor(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 1.0;
+        }
+        let replicas: usize = self.parts.iter().map(|p| p.vertices.len()).sum();
+        replicas as f64 / self.num_vertices as f64
+    }
+
+    /// Edge balance: max part size divided by mean part size (1.0 = perfect).
+    pub fn edge_balance(&self) -> f64 {
+        let counts = self.edge_counts();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / counts.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Counts how many vertices have at least one replica outside their
+    /// master part — the vertices whose updates require cross-node
+    /// synchronisation.  Used by the synchronization-skipping analysis.
+    pub fn boundary_vertex_count(&self) -> usize {
+        let mut counts = vec![0usize; self.num_vertices];
+        for part in &self.parts {
+            for &v in &part.vertices {
+                counts[v as usize] += 1;
+            }
+        }
+        counts.iter().filter(|&&c| c > 1).count()
+    }
+}
+
+/// A strategy that assigns every edge of a graph to one of `num_parts` parts.
+pub trait Partitioner {
+    /// Partitions `graph` into `num_parts` parts.
+    fn partition<V, E>(
+        &self,
+        graph: &PropertyGraph<V, E>,
+        num_parts: usize,
+    ) -> Result<Partitioning>;
+
+    /// Human-readable strategy name.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic 64-bit mix used by the hash-based partitioners
+/// (SplitMix64 finaliser).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn small_graph() -> PropertyGraph<u32, ()> {
+        let list: EdgeList<()> = [
+            (0u32, 1u32, ()),
+            (1, 2, ()),
+            (2, 3, ()),
+            (3, 0, ()),
+            (0, 2, ()),
+            (1, 3, ()),
+        ]
+        .into_iter()
+        .collect();
+        PropertyGraph::from_edge_list(list, 0).unwrap()
+    }
+
+    #[test]
+    fn from_edge_assignment_builds_replicas_and_masters() {
+        let g = small_graph();
+        let assignment = vec![0, 0, 1, 1, 0, 1];
+        let p = Partitioning::from_edge_assignment(&g, 2, assignment).unwrap();
+        assert_eq!(p.num_parts(), 2);
+        assert_eq!(p.edge_counts(), vec![3, 3]);
+        // Every edge endpoint must be replicated on the edge's part.
+        for (edge_id, edge) in g.edges().iter().enumerate() {
+            let part = p.part_of_edge(edge_id);
+            assert!(p.part(part).vertices.contains(&edge.src));
+            assert!(p.part(part).vertices.contains(&edge.dst));
+        }
+        // Every vertex has exactly one master.
+        let total_masters: usize = p.parts().iter().map(|q| q.masters.len()).sum();
+        assert_eq!(total_masters, g.num_vertices());
+        for v in g.vertex_ids() {
+            let m = p.master_of(v);
+            assert!(p.part(m).masters.contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_parts_is_rejected() {
+        let g = small_graph();
+        let err = Partitioning::from_edge_assignment(&g, 0, vec![]).unwrap_err();
+        assert_eq!(err, GraphError::EmptyPartitioning);
+    }
+
+    #[test]
+    fn replication_and_balance_metrics() {
+        let g = small_graph();
+        let all_in_one = Partitioning::from_edge_assignment(&g, 2, vec![0; 6]).unwrap();
+        assert_eq!(all_in_one.edge_counts(), vec![6, 0]);
+        assert!((all_in_one.edge_balance() - 2.0).abs() < 1e-12);
+        assert!((all_in_one.replication_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(all_in_one.boundary_vertex_count(), 0);
+
+        let split = Partitioning::from_edge_assignment(&g, 2, vec![0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(split.replication_factor() > 1.0);
+        assert!(split.boundary_vertex_count() > 0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_mastered_somewhere() {
+        let mut list: EdgeList<()> = EdgeList::with_vertices(5);
+        list.push(0, 1, ());
+        let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
+        let p = Partitioning::from_edge_assignment(&g, 3, vec![1]).unwrap();
+        // Vertices 2, 3, 4 are isolated but must still have masters.
+        let total_masters: usize = p.parts().iter().map(|q| q.masters.len()).sum();
+        assert_eq!(total_masters, 5);
+    }
+}

@@ -1,0 +1,293 @@
+//! Agent-side data management tables (§II-B of the paper).
+//!
+//! An agent manages the graph data of one distributed node with a *vertex
+//! table* and an *edge table*, plus a *vertex-edge mapping table* that maps a
+//! vertex to its outgoing edges so that edge blocks can be packaged for the
+//! daemon.  These are deliberately simple, index-based structures: the
+//! middleware's job is packaging and synchronising them, not providing a full
+//! graph database.
+
+use crate::types::{Edge, EdgeId, VertexId};
+use std::collections::HashMap;
+
+/// One row of the vertex table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexRow<V> {
+    /// Global vertex id.
+    pub id: VertexId,
+    /// Current attribute value.
+    pub attr: V,
+    /// Whether the attribute was updated since the last synchronisation.
+    ///
+    /// The synchronisation-caching optimisation (§III-B) only uploads vertices
+    /// whose attribute actually changed.
+    pub dirty: bool,
+    /// Whether this node is the *master* (owning) replica of the vertex.
+    pub is_master: bool,
+}
+
+/// The vertex table of a distributed node.
+///
+/// Rows are stored densely and addressed through a global-id → local-index
+/// map, because a partition only holds a subset of the global vertex space.
+#[derive(Debug, Clone, Default)]
+pub struct VertexTable<V> {
+    rows: Vec<VertexRow<V>>,
+    index: HashMap<VertexId, usize>,
+}
+
+impl<V> VertexTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty table with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of vertices stored locally.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts or replaces a vertex row; returns `true` if the vertex was new.
+    pub fn upsert(&mut self, id: VertexId, attr: V, is_master: bool) -> bool {
+        match self.index.get(&id) {
+            Some(&slot) => {
+                let row = &mut self.rows[slot];
+                row.attr = attr;
+                row.is_master = is_master;
+                false
+            }
+            None => {
+                let slot = self.rows.len();
+                self.rows.push(VertexRow {
+                    id,
+                    attr,
+                    dirty: false,
+                    is_master,
+                });
+                self.index.insert(id, slot);
+                true
+            }
+        }
+    }
+
+    /// Returns the row for `id`, if present.
+    pub fn get(&self, id: VertexId) -> Option<&VertexRow<V>> {
+        self.index.get(&id).map(|&slot| &self.rows[slot])
+    }
+
+    /// Returns a mutable row for `id`, if present.
+    pub fn get_mut(&mut self, id: VertexId) -> Option<&mut VertexRow<V>> {
+        let slot = *self.index.get(&id)?;
+        Some(&mut self.rows[slot])
+    }
+
+    /// Returns `true` if the vertex is stored locally.
+    pub fn contains(&self, id: VertexId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Updates the attribute of `id`, marking the row dirty.  Returns `false`
+    /// if the vertex is not present locally.
+    pub fn update(&mut self, id: VertexId, attr: V) -> bool {
+        match self.get_mut(id) {
+            Some(row) => {
+                row.attr = attr;
+                row.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &VertexRow<V>> {
+        self.rows.iter()
+    }
+
+    /// Iterates over dirty rows (updated since the last synchronisation).
+    pub fn dirty_rows(&self) -> impl Iterator<Item = &VertexRow<V>> {
+        self.rows.iter().filter(|r| r.dirty)
+    }
+
+    /// Number of dirty rows.
+    pub fn dirty_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.dirty).count()
+    }
+
+    /// Clears all dirty flags (after a successful synchronisation).
+    pub fn clear_dirty(&mut self) {
+        for row in &mut self.rows {
+            row.dirty = false;
+        }
+    }
+
+    /// Ids of all locally stored vertices.
+    pub fn ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.rows.iter().map(|r| r.id)
+    }
+}
+
+/// The edge table of a distributed node: the local subset of edges.
+///
+/// Edge ids here are *local* (indices into this table); the mapping back to
+/// global edge ids, when needed, is kept by the partitioning.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeTable<E> {
+    edges: Vec<Edge<E>>,
+}
+
+impl<E> EdgeTable<E> {
+    /// Creates an empty edge table.
+    pub fn new() -> Self {
+        Self { edges: Vec::new() }
+    }
+
+    /// Builds the table from local edges.
+    pub fn from_edges(edges: Vec<Edge<E>>) -> Self {
+        Self { edges }
+    }
+
+    /// Number of local edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends an edge, returning its local id.
+    pub fn push(&mut self, edge: Edge<E>) -> EdgeId {
+        self.edges.push(edge);
+        self.edges.len() - 1
+    }
+
+    /// Returns the edge with local id `id`.
+    pub fn get(&self, id: EdgeId) -> Option<&Edge<E>> {
+        self.edges.get(id)
+    }
+
+    /// All edges in local-id order.
+    pub fn edges(&self) -> &[Edge<E>] {
+        &self.edges
+    }
+
+    /// Mutable access to all edges.
+    pub fn edges_mut(&mut self) -> &mut [Edge<E>] {
+        &mut self.edges
+    }
+}
+
+/// The vertex-edge mapping table (§II-B): source vertex → local out-edge ids.
+///
+/// An agent uses this to construct edge blocks: "to construct an edge block,
+/// an agent selects a vertex and retrieves its outer edges, with vertex-edge
+/// mapping table".
+#[derive(Debug, Clone, Default)]
+pub struct VertexEdgeMap {
+    map: HashMap<VertexId, Vec<EdgeId>>,
+}
+
+impl VertexEdgeMap {
+    /// Builds the mapping from an edge table.
+    pub fn from_edge_table<E>(table: &EdgeTable<E>) -> Self {
+        let mut map: HashMap<VertexId, Vec<EdgeId>> = HashMap::new();
+        for (id, edge) in table.edges().iter().enumerate() {
+            map.entry(edge.src).or_default().push(id);
+        }
+        Self { map }
+    }
+
+    /// Out-edge local ids of `v` (empty slice if `v` has no local out-edges).
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        self.map.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct source vertices.
+    pub fn num_sources(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(vertex, out-edge ids)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[EdgeId])> {
+        self.map.iter().map(|(&v, ids)| (v, ids.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_table() -> EdgeTable<f64> {
+        EdgeTable::from_edges(vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 2, 2.0),
+            Edge::new(2, 1, 3.0),
+        ])
+    }
+
+    #[test]
+    fn vertex_table_upsert_and_lookup() {
+        let mut t = VertexTable::new();
+        assert!(t.upsert(7, 1.5, true));
+        assert!(!t.upsert(7, 2.5, false));
+        assert_eq!(t.len(), 1);
+        let row = t.get(7).unwrap();
+        assert_eq!(row.attr, 2.5);
+        assert!(!row.is_master);
+        assert!(!t.contains(8));
+    }
+
+    #[test]
+    fn vertex_table_dirty_tracking() {
+        let mut t = VertexTable::new();
+        t.upsert(1, 0.0, true);
+        t.upsert(2, 0.0, true);
+        assert_eq!(t.dirty_count(), 0);
+        assert!(t.update(1, 5.0));
+        assert!(!t.update(99, 5.0));
+        assert_eq!(t.dirty_count(), 1);
+        assert_eq!(t.dirty_rows().next().unwrap().id, 1);
+        t.clear_dirty();
+        assert_eq!(t.dirty_count(), 0);
+    }
+
+    #[test]
+    fn edge_table_push_and_get() {
+        let mut t = edge_table();
+        let id = t.push(Edge::new(1, 0, 9.0));
+        assert_eq!(id, 3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(3).unwrap().attr, 9.0);
+        assert!(t.get(10).is_none());
+    }
+
+    #[test]
+    fn vertex_edge_map_groups_out_edges() {
+        let t = edge_table();
+        let map = VertexEdgeMap::from_edge_table(&t);
+        assert_eq!(map.out_edges(0), &[0, 1]);
+        assert_eq!(map.out_edges(2), &[2]);
+        assert!(map.out_edges(1).is_empty());
+        assert_eq!(map.num_sources(), 2);
+        let total: usize = map.iter().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total, t.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fundamental identifier and edge types shared by every GX-Plug crate.
+//!
+//! The paper's middleware moves *vertices*, *edges* and *edge triplets* between
+//! an upper distributed system and accelerator daemons.  These are the common
+//! building blocks for all of those payloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex.
+///
+/// The largest graph in the paper (UK-2007-02) has ~110 M vertices, which
+/// comfortably fits in a `u32`.  Using 32-bit ids keeps vertex/edge blocks and
+/// triplets compact, which matters because the middleware's dominant cost is
+/// data movement between agents and daemons.
+pub type VertexId = u32;
+
+/// Identifier of an edge: the index of the edge in the graph's edge table.
+pub type EdgeId = usize;
+
+/// Identifier of a partition / distributed node.
+pub type PartitionId = usize;
+
+/// A directed edge with an attribute.
+///
+/// Edges are stored edge-centric on the daemon side (the paper adopts the
+/// edge-centric strategy for accelerators, §II-B) and are the unit grouped
+/// into edge blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge<E> {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge attribute (e.g. a weight for SSSP).
+    pub attr: E,
+}
+
+impl<E> Edge<E> {
+    /// Creates a new edge.
+    pub fn new(src: VertexId, dst: VertexId, attr: E) -> Self {
+        Self { src, dst, attr }
+    }
+
+    /// Returns the edge with source and destination swapped.
+    pub fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+            attr: self.attr,
+        }
+    }
+
+    /// Returns `true` if this edge is a self loop.
+    pub fn is_self_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// An *edge triplet*: an edge together with the attributes of its endpoints.
+///
+/// The paper uses triplets as the homogeneous intermediate data structure of
+/// all three pipeline layers (§III-A2a) because a triplet carries everything a
+/// kernel needs (the edge, its source attribute and its destination attribute)
+/// and triplets within an iteration have no data dependencies on one another.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Triplet<V, E> {
+    /// Source vertex id.
+    pub src: VertexId,
+    /// Destination vertex id.
+    pub dst: VertexId,
+    /// Attribute of the source vertex.
+    pub src_attr: V,
+    /// Attribute of the destination vertex.
+    pub dst_attr: V,
+    /// Attribute of the edge.
+    pub edge_attr: E,
+}
+
+impl<V, E> Triplet<V, E> {
+    /// Creates a triplet from its parts.
+    pub fn new(src: VertexId, dst: VertexId, src_attr: V, dst_attr: V, edge_attr: E) -> Self {
+        Self {
+            src,
+            dst,
+            src_attr,
+            dst_attr,
+            edge_attr,
+        }
+    }
+}
+
+/// Error type for graph construction and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that is outside the declared vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A partitioning was requested with zero parts.
+    EmptyPartitioning,
+    /// The number of per-part weights does not match the number of parts.
+    WeightCountMismatch {
+        /// Parts requested.
+        parts: usize,
+        /// Weights supplied.
+        weights: usize,
+    },
+    /// Weights must be strictly positive.
+    NonPositiveWeight,
+    /// Parsing an edge-list file failed.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing a graph.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::EmptyPartitioning => write!(f, "partitioning must have at least one part"),
+            GraphError::WeightCountMismatch { parts, weights } => write!(
+                f,
+                "expected {parts} per-part weights but {weights} were supplied"
+            ),
+            GraphError::NonPositiveWeight => write!(f, "per-part weights must be positive"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(value: std::io::Error) -> Self {
+        GraphError::Io(value.to_string())
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_reversal_swaps_endpoints() {
+        let e = Edge::new(1, 2, 3.5f64);
+        let r = e.reversed();
+        assert_eq!(r.src, 2);
+        assert_eq!(r.dst, 1);
+        assert_eq!(r.attr, 3.5);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(4, 4, ()).is_self_loop());
+        assert!(!Edge::new(4, 5, ()).is_self_loop());
+    }
+
+    #[test]
+    fn triplet_holds_both_endpoint_attributes() {
+        let t = Triplet::new(0, 1, 10.0f64, 20.0f64, 1.0f64);
+        assert_eq!(t.src_attr, 10.0);
+        assert_eq!(t.dst_attr, 20.0);
+        assert_eq!(t.edge_attr, 1.0);
+    }
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Vertex, edge and triplet blocks.
+//!
+//! "For efficient processing in accelerators, a daemon uses a series of data
+//! blocks, including vertex blocks and edge blocks, to be fed to accelerators.
+//! Each edge block contains a fixed number of edges.  Also, each edge block is
+//! associated with a paired vertex block, where both source and destination
+//! vertices of an edge can be found." (§II-B)
+//!
+//! The pipeline-shuffle optimisation additionally uses *edge triplets* as the
+//! homogeneous intermediate structure of all three pipeline layers (§III-A2a);
+//! [`TripletBlock`] is that unit.
+
+use gxplug_graph::types::{Edge, Triplet, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A block containing a fixed number of edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeBlock<E> {
+    /// The edges of this block, at most the configured block size.
+    pub edges: Vec<Edge<E>>,
+}
+
+/// The vertex block paired with an edge block: every source and destination
+/// vertex of the paired edges, with its current attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexBlock<V> {
+    /// `(vertex id, attribute)` entries, deduplicated, in first-seen order.
+    pub entries: Vec<(VertexId, V)>,
+}
+
+impl<V> VertexBlock<V> {
+    /// Looks up the attribute of `v` in this block.
+    pub fn attr_of(&self, v: VertexId) -> Option<&V> {
+        self.entries.iter().find(|(id, _)| *id == v).map(|(_, a)| a)
+    }
+}
+
+/// A paired vertex block and edge block — the unit the agent packages for the
+/// daemon in the basic (non-pipelined) data flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPair<V, E> {
+    /// Vertices referenced by the edges.
+    pub vertices: VertexBlock<V>,
+    /// The edges of this block.
+    pub edges: EdgeBlock<E>,
+}
+
+/// A block of edge triplets: the basic processing unit of a pipelined
+/// iteration.  "Within an iteration, there is no data dependencies between
+/// triplets" (§III-A2a), so blocks can flow through the pipeline layers
+/// independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripletBlock<V, E> {
+    /// Index of this block within the iteration (0-based).
+    pub index: usize,
+    /// The triplets.
+    pub triplets: Vec<Triplet<V, E>>,
+}
+
+impl<V, E> TripletBlock<V, E> {
+    /// Number of triplets in the block.
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Returns `true` if the block holds no triplets.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+}
+
+/// Groups a node's edges into paired vertex/edge blocks of size `block_size`.
+///
+/// `attr_of` supplies the current attribute of a vertex (from the agent's
+/// vertex table or its cache).
+pub fn pack_block_pairs<V: Clone, E: Clone>(
+    edges: &[Edge<E>],
+    mut attr_of: impl FnMut(VertexId) -> V,
+    block_size: usize,
+) -> Vec<BlockPair<V, E>> {
+    assert!(block_size > 0, "block size must be positive");
+    edges
+        .chunks(block_size)
+        .map(|chunk| {
+            let mut seen: HashMap<VertexId, usize> = HashMap::new();
+            let mut entries = Vec::new();
+            for edge in chunk {
+                for v in [edge.src, edge.dst] {
+                    if !seen.contains_key(&v) {
+                        seen.insert(v, entries.len());
+                        entries.push((v, attr_of(v)));
+                    }
+                }
+            }
+            BlockPair {
+                vertices: VertexBlock { entries },
+                edges: EdgeBlock {
+                    edges: chunk.to_vec(),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Groups a node's edges into triplet blocks of size `block_size`, joining the
+/// vertex attributes in (the pipelined data flow).
+pub fn pack_triplet_blocks<V: Clone, E: Clone>(
+    edges: &[Edge<E>],
+    mut attr_of: impl FnMut(VertexId) -> V,
+    block_size: usize,
+) -> Vec<TripletBlock<V, E>> {
+    assert!(block_size > 0, "block size must be positive");
+    edges
+        .chunks(block_size)
+        .enumerate()
+        .map(|(index, chunk)| TripletBlock {
+            index,
+            triplets: chunk
+                .iter()
+                .map(|edge| {
+                    Triplet::new(
+                        edge.src,
+                        edge.dst,
+                        attr_of(edge.src),
+                        attr_of(edge.dst),
+                        edge.attr.clone(),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Computes the number of blocks needed for `num_items` items at `block_size`.
+pub fn block_count(num_items: usize, block_size: usize) -> usize {
+    assert!(block_size > 0, "block size must be positive");
+    num_items.div_ceil(block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge<f64>> {
+        vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(2, 0, 3.0),
+            Edge::new(0, 2, 4.0),
+            Edge::new(3, 1, 5.0),
+        ]
+    }
+
+    #[test]
+    fn block_pairs_have_fixed_size_and_paired_vertices() {
+        let pairs = pack_block_pairs(&edges(), |v| v as f64 * 10.0, 2);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].edges.edges.len(), 2);
+        assert_eq!(pairs[2].edges.edges.len(), 1);
+        // The vertex block of the first pair covers vertices {0, 1, 2}.
+        let ids: Vec<_> = pairs[0].vertices.entries.iter().map(|(v, _)| *v).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(pairs[0].vertices.attr_of(2), Some(&20.0));
+        assert_eq!(pairs[0].vertices.attr_of(9), None);
+        // Every edge endpoint can be resolved within its own pair.
+        for pair in &pairs {
+            for e in &pair.edges.edges {
+                assert!(pair.vertices.attr_of(e.src).is_some());
+                assert!(pair.vertices.attr_of(e.dst).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_blocks_join_attributes() {
+        let blocks = pack_triplet_blocks(&edges(), |v| v as f64, 3);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len(), 3);
+        assert_eq!(blocks[1].len(), 2);
+        assert_eq!(blocks[0].index, 0);
+        assert_eq!(blocks[1].index, 1);
+        let t = &blocks[0].triplets[1]; // edge 1 -> 2
+        assert_eq!(t.src_attr, 1.0);
+        assert_eq!(t.dst_attr, 2.0);
+        assert_eq!(t.edge_attr, 2.0);
+        assert!(!blocks[0].is_empty());
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        assert_eq!(block_count(10, 3), 4);
+        assert_eq!(block_count(9, 3), 3);
+        assert_eq!(block_count(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_is_rejected() {
+        let _ = pack_triplet_blocks(&edges(), |v| v as f64, 0);
+    }
+}

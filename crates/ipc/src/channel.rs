@@ -1,0 +1,212 @@
+//! Bidirectional agent ↔ daemon control channels.
+//!
+//! Daemons and agents "work as independent processes, and they communicate
+//! with each other by message exchange" (§IV-C).  A [`ControlLink`] is one end
+//! of such a connection; [`control_link_pair`] creates the agent end and the
+//! daemon end, wired back to back over lock-free channels.
+
+use crate::messages::ControlMessage;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors produced by channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The peer end has been dropped.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout,
+    /// A non-blocking receive found no message.
+    Empty,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Disconnected => write!(f, "control link peer disconnected"),
+            ChannelError::Timeout => write!(f, "control link receive timed out"),
+            ChannelError::Empty => write!(f, "no control message pending"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Result alias for channel operations.
+pub type Result<T> = std::result::Result<T, ChannelError>;
+
+/// Which side of the link this endpoint belongs to (for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The agent (upper-system) side.
+    Agent,
+    /// The daemon (accelerator) side.
+    Daemon,
+}
+
+/// One endpoint of an agent ↔ daemon control connection.
+#[derive(Debug, Clone)]
+pub struct ControlLink {
+    side: Side,
+    tx: Sender<ControlMessage>,
+    rx: Receiver<ControlMessage>,
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+}
+
+impl ControlLink {
+    /// The side this endpoint represents.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Sends a message to the peer.
+    pub fn send(&self, message: ControlMessage) -> Result<()> {
+        self.tx
+            .send(message)
+            .map_err(|_| ChannelError::Disconnected)?;
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Blocks until a message arrives (the `Block_Recv` of Algorithms 1 & 2).
+    pub fn recv(&self) -> Result<ControlMessage> {
+        let message = self.rx.recv().map_err(|_| ChannelError::Disconnected)?;
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(message)
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ControlMessage> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(message) => {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                Ok(message)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ChannelError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ChannelError::Disconnected),
+        }
+    }
+
+    /// Returns a pending message if there is one, without blocking.
+    pub fn try_recv(&self) -> Result<ControlMessage> {
+        match self.rx.try_recv() {
+            Ok(message) => {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                Ok(message)
+            }
+            Err(TryRecvError::Empty) => Err(ChannelError::Empty),
+            Err(TryRecvError::Disconnected) => Err(ChannelError::Disconnected),
+        }
+    }
+
+    /// Total messages sent from this endpoint.
+    pub fn sent_count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total messages received by this endpoint.
+    pub fn received_count(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+/// Creates a connected `(agent, daemon)` pair of control links.
+pub fn control_link_pair() -> (ControlLink, ControlLink) {
+    let (to_daemon_tx, to_daemon_rx) = unbounded();
+    let (to_agent_tx, to_agent_rx) = unbounded();
+    let agent = ControlLink {
+        side: Side::Agent,
+        tx: to_daemon_tx,
+        rx: to_agent_rx,
+        sent: Arc::new(AtomicU64::new(0)),
+        received: Arc::new(AtomicU64::new(0)),
+    };
+    let daemon = ControlLink {
+        side: Side::Daemon,
+        tx: to_agent_tx,
+        rx: to_daemon_rx,
+        sent: Arc::new(AtomicU64::new(0)),
+        received: Arc::new(AtomicU64::new(0)),
+    };
+    (agent, daemon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ApiCall;
+
+    #[test]
+    fn messages_cross_the_link_in_order() {
+        let (agent, daemon) = control_link_pair();
+        agent.send(ControlMessage::Connect).unwrap();
+        agent.send(ControlMessage::Request(ApiCall::MsgGen)).unwrap();
+        assert_eq!(daemon.recv().unwrap(), ControlMessage::Connect);
+        assert_eq!(
+            daemon.recv().unwrap(),
+            ControlMessage::Request(ApiCall::MsgGen)
+        );
+        daemon.send(ControlMessage::Ack).unwrap();
+        assert_eq!(agent.recv().unwrap(), ControlMessage::Ack);
+        assert_eq!(agent.sent_count(), 2);
+        assert_eq!(daemon.received_count(), 2);
+        assert_eq!(daemon.sent_count(), 1);
+        assert_eq!(agent.received_count(), 1);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_timeout_works() {
+        let (agent, daemon) = control_link_pair();
+        assert_eq!(daemon.try_recv(), Err(ChannelError::Empty));
+        assert_eq!(
+            daemon.recv_timeout(Duration::from_millis(5)),
+            Err(ChannelError::Timeout)
+        );
+        agent.send(ControlMessage::ExchangeFinished).unwrap();
+        assert_eq!(
+            daemon.recv_timeout(Duration::from_millis(5)).unwrap(),
+            ControlMessage::ExchangeFinished
+        );
+    }
+
+    #[test]
+    fn dropped_peer_is_detected() {
+        let (agent, daemon) = control_link_pair();
+        drop(daemon);
+        assert_eq!(
+            agent.send(ControlMessage::Connect),
+            Err(ChannelError::Disconnected)
+        );
+        assert_eq!(agent.recv(), Err(ChannelError::Disconnected));
+    }
+
+    #[test]
+    fn sides_are_labelled() {
+        let (agent, daemon) = control_link_pair();
+        assert_eq!(agent.side(), Side::Agent);
+        assert_eq!(daemon.side(), Side::Daemon);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (agent, daemon) = control_link_pair();
+        let handle = std::thread::spawn(move || {
+            // Daemon thread: echo three compute-finished messages then finish.
+            for _ in 0..3 {
+                assert_eq!(daemon.recv().unwrap(), ControlMessage::ExchangeFinished);
+                daemon.send(ControlMessage::ComputeFinished).unwrap();
+            }
+            daemon.send(ControlMessage::ComputeAllFinished).unwrap();
+        });
+        for _ in 0..3 {
+            agent.send(ControlMessage::ExchangeFinished).unwrap();
+            assert_eq!(agent.recv().unwrap(), ControlMessage::ComputeFinished);
+        }
+        assert_eq!(agent.recv().unwrap(), ControlMessage::ComputeAllFinished);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! # gxplug-ipc
+//!
+//! System-V-IPC-like substrate for the GX-Plug reproduction: keyed shared
+//! memory segments, the vertex/edge/triplet block formats that travel through
+//! them, and the control-message protocol spoken between agents and daemons.
+//!
+//! * [`key`] — IPC keys and the `ftok`-style key generator;
+//! * [`segment`] — shared memory segments with mutual visibility and traffic
+//!   statistics;
+//! * [`blocks`] — vertex blocks, edge blocks, block pairs and triplet blocks;
+//! * [`messages`] — the control-message vocabulary of Algorithms 1 and 2;
+//! * [`channel`] — bidirectional agent ↔ daemon control links.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blocks;
+pub mod channel;
+pub mod key;
+pub mod messages;
+pub mod segment;
+
+pub use blocks::{pack_block_pairs, pack_triplet_blocks, BlockPair, EdgeBlock, TripletBlock, VertexBlock};
+pub use channel::{control_link_pair, ChannelError, ControlLink, Side};
+pub use key::{IpcKey, KeyGenerator};
+pub use messages::{ApiCall, ControlMessage};
+pub use segment::{SegmentStats, SharedSegment};

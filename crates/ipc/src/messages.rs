@@ -1,0 +1,130 @@
+//! Control messages exchanged between agents and daemons.
+//!
+//! The daemon and agent "work as independent processes, and they communicate
+//! with each other by message exchange" (§IV-C).  The message vocabulary
+//! below is exactly the one used by the pipeline-shuffle protocol
+//! (Algorithms 1 and 2) plus the lifecycle and API-request messages of the
+//! operation interface (§IV-A2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three APIs of the algorithm template (§IV-A1).
+///
+/// Their invocation order is what distinguishes computation models: BSP runs
+/// `Gen → Merge → Apply`, GAS runs `Merge → Apply → Gen` (§IV-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiCall {
+    /// `MSGGen()` — compute initial results from vertex/edge blocks and turn
+    /// them into messages.
+    MsgGen,
+    /// `MSGMerge()` — deliver / combine messages per destination partition.
+    MsgMerge,
+    /// `MSGApply()` — apply merged messages to local vertices and edges.
+    MsgApply,
+}
+
+impl fmt::Display for ApiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiCall::MsgGen => write!(f, "MSGGen"),
+            ApiCall::MsgMerge => write!(f, "MSGMerge"),
+            ApiCall::MsgApply => write!(f, "MSGApply"),
+        }
+    }
+}
+
+/// Messages flowing between an agent and a daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Agent → daemon: the upper-system exchange (download of new data and
+    /// upload of results) has finished; the daemon may rotate its block
+    /// pointers (Algorithm 2, line 2 / Algorithm 1, line 3).
+    ExchangeFinished,
+    /// Daemon → agent: the pointer rotation is done; the agent may start the
+    /// next download/upload pair (Algorithm 1, line 5).
+    RotateFinished,
+    /// Daemon → agent: one block finished computing (Algorithm 1, line 10).
+    ComputeFinished,
+    /// Daemon → agent: every block of this iteration finished computing
+    /// (Algorithm 1, line 12).
+    ComputeAllFinished,
+    /// Agent → daemon: execute one API of the algorithm template
+    /// (`requestX()` of the operation interface).
+    Request(ApiCall),
+    /// Agent → daemon: establish the connection (`connect()`).
+    Connect,
+    /// Agent → daemon: terminate the daemon (`disconnect()`).
+    Disconnect,
+    /// Daemon → agent: acknowledgement of `Connect` / `Request`.
+    Ack,
+    /// Daemon → agent: the requested API call finished.
+    RequestDone(ApiCall),
+    /// Either direction: the iteration is complete on this side.
+    IterationDone,
+}
+
+impl ControlMessage {
+    /// Returns `true` for messages sent from the agent to the daemon.
+    pub fn is_agent_to_daemon(&self) -> bool {
+        matches!(
+            self,
+            ControlMessage::ExchangeFinished
+                | ControlMessage::Request(_)
+                | ControlMessage::Connect
+                | ControlMessage::Disconnect
+        )
+    }
+
+    /// Returns `true` for messages sent from the daemon to the agent.
+    pub fn is_daemon_to_agent(&self) -> bool {
+        matches!(
+            self,
+            ControlMessage::RotateFinished
+                | ControlMessage::ComputeFinished
+                | ControlMessage::ComputeAllFinished
+                | ControlMessage::Ack
+                | ControlMessage::RequestDone(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_calls_render_paper_names() {
+        assert_eq!(ApiCall::MsgGen.to_string(), "MSGGen");
+        assert_eq!(ApiCall::MsgMerge.to_string(), "MSGMerge");
+        assert_eq!(ApiCall::MsgApply.to_string(), "MSGApply");
+    }
+
+    #[test]
+    fn direction_classification_is_consistent() {
+        let agent_msgs = [
+            ControlMessage::ExchangeFinished,
+            ControlMessage::Request(ApiCall::MsgGen),
+            ControlMessage::Connect,
+            ControlMessage::Disconnect,
+        ];
+        let daemon_msgs = [
+            ControlMessage::RotateFinished,
+            ControlMessage::ComputeFinished,
+            ControlMessage::ComputeAllFinished,
+            ControlMessage::Ack,
+            ControlMessage::RequestDone(ApiCall::MsgApply),
+        ];
+        for m in agent_msgs {
+            assert!(m.is_agent_to_daemon(), "{m:?}");
+            assert!(!m.is_daemon_to_agent(), "{m:?}");
+        }
+        for m in daemon_msgs {
+            assert!(m.is_daemon_to_agent(), "{m:?}");
+            assert!(!m.is_agent_to_daemon(), "{m:?}");
+        }
+        // IterationDone flows both ways.
+        assert!(!ControlMessage::IterationDone.is_agent_to_daemon());
+        assert!(!ControlMessage::IterationDone.is_daemon_to_agent());
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared memory segments.
+//!
+//! The middleware stores graph data "neither in the agent side, nor in the
+//! daemon side.  Instead, data is stored in the shared memory space based on
+//! the System V IPC" (§II-B).  A [`SharedSegment`] models one such space: both
+//! the agent and the daemon hold handles to the *same* underlying buffer, so
+//!
+//! 1. data written by one side is immediately visible to the other,
+//! 2. no intermediate copy is needed to cross the process boundary, and
+//! 3. updates can be perceived without extra sensing effort.
+//!
+//! Access statistics (reads/writes/bytes) are tracked so the evaluation can
+//! report how much data movement the optimisations save.
+
+use crate::key::IpcKey;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters describing the traffic through a segment.
+#[derive(Debug, Default)]
+struct SegmentCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    items_read: AtomicU64,
+    items_written: AtomicU64,
+}
+
+/// Snapshot of a segment's access statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Number of read transactions.
+    pub reads: u64,
+    /// Number of write transactions.
+    pub writes: u64,
+    /// Total items read across all read transactions.
+    pub items_read: u64,
+    /// Total items written across all write transactions.
+    pub items_written: u64,
+}
+
+/// A keyed, shared, growable buffer of `T` visible to both the agent and the
+/// daemon attached to it.
+///
+/// Cloning a `SharedSegment` clones the *handle*, not the data, exactly like
+/// attaching the same System V segment from a second process.
+#[derive(Debug, Clone)]
+pub struct SharedSegment<T> {
+    key: IpcKey,
+    data: Arc<RwLock<Vec<T>>>,
+    counters: Arc<SegmentCounters>,
+}
+
+impl<T> SharedSegment<T> {
+    /// Creates (the simulation of) a new shared memory segment with `key`.
+    pub fn create(key: IpcKey) -> Self {
+        Self {
+            key,
+            data: Arc::new(RwLock::new(Vec::new())),
+            counters: Arc::new(SegmentCounters::default()),
+        }
+    }
+
+    /// Creates a segment pre-filled with `initial`.
+    pub fn with_data(key: IpcKey, initial: Vec<T>) -> Self {
+        let segment = Self::create(key);
+        *segment.data.write() = initial;
+        segment
+    }
+
+    /// The key of this segment.
+    pub fn key(&self) -> IpcKey {
+        self.key
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Returns `true` if the segment holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.data.read().is_empty()
+    }
+
+    /// Number of handles attached to this segment (including this one).
+    pub fn attach_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Runs `f` with read access to the buffer.
+    pub fn read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        let guard = self.data.read();
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .items_read
+            .fetch_add(guard.len() as u64, Ordering::Relaxed);
+        f(&guard)
+    }
+
+    /// Runs `f` with exclusive write access to the buffer.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        let mut guard = self.data.write();
+        let result = f(&mut guard);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .items_written
+            .fetch_add(guard.len() as u64, Ordering::Relaxed);
+        result
+    }
+
+    /// Replaces the whole buffer, returning the previous contents.
+    pub fn replace(&self, new_data: Vec<T>) -> Vec<T> {
+        self.write(|buf| std::mem::replace(buf, new_data))
+    }
+
+    /// Takes the whole buffer, leaving it empty.
+    pub fn take(&self) -> Vec<T> {
+        self.replace(Vec::new())
+    }
+
+    /// Current access statistics.
+    pub fn stats(&self) -> SegmentStats {
+        SegmentStats {
+            reads: self.counters.reads.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            items_read: self.counters.items_read.load(Ordering::Relaxed),
+            items_written: self.counters.items_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T: Clone> SharedSegment<T> {
+    /// Copies the current contents out of the segment.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.read(|buf| buf.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_same_buffer() {
+        let agent_side = SharedSegment::create(IpcKey::from_raw(1));
+        let daemon_side = agent_side.clone();
+        agent_side.write(|buf| buf.extend_from_slice(&[1, 2, 3]));
+        // The daemon sees the write without any transfer.
+        assert_eq!(daemon_side.snapshot(), vec![1, 2, 3]);
+        daemon_side.write(|buf| buf.push(4));
+        assert_eq!(agent_side.len(), 4);
+        assert_eq!(agent_side.attach_count(), 2);
+    }
+
+    #[test]
+    fn replace_and_take() {
+        let seg = SharedSegment::with_data(IpcKey::from_raw(2), vec![10u32, 20]);
+        let old = seg.replace(vec![30]);
+        assert_eq!(old, vec![10, 20]);
+        assert_eq!(seg.snapshot(), vec![30]);
+        let taken = seg.take();
+        assert_eq!(taken, vec![30]);
+        assert!(seg.is_empty());
+    }
+
+    #[test]
+    fn stats_track_reads_and_writes() {
+        let seg = SharedSegment::create(IpcKey::from_raw(3));
+        seg.write(|buf| buf.extend(0..10));
+        seg.read(|_| ());
+        seg.read(|_| ());
+        let stats = seg.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.items_written, 10);
+        assert_eq!(stats.items_read, 20);
+    }
+
+    #[test]
+    fn keys_are_preserved() {
+        let key = IpcKey::from_raw(99);
+        let seg: SharedSegment<u8> = SharedSegment::create(key);
+        assert_eq!(seg.key(), key);
+    }
+}

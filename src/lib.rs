@@ -1,0 +1,82 @@
+//! # gx-plug
+//!
+//! A Rust reproduction of **"GX-Plug: a Middleware for Plugging Accelerators
+//! to Distributed Graph Processing"** (ICDE 2022).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — graph storage, generators, partitioners, dataset catalogue;
+//! * [`accel`] — the accelerator substrate (simulated CPU/GPU devices);
+//! * [`ipc`] — shared-memory segments, blocks and the agent/daemon protocol;
+//! * [`engine`] — the simulated distributed upper systems (GraphX-like BSP,
+//!   PowerGraph-like GAS) and the cluster iteration driver;
+//! * [`core`] — the GX-Plug middleware itself (daemon–agent framework,
+//!   pipeline shuffle, synchronization caching/skipping, workload balancing);
+//! * [`algos`] — SSSP-BF, PageRank, LP, CC and k-core on the algorithm
+//!   template;
+//! * [`baselines`] — the Gunrock-like and Lux-like comparator engines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gx_plug::prelude::*;
+//!
+//! // A small power-law graph, partitioned over two simulated nodes.
+//! let dataset = gx_plug::graph::datasets::find("Orkut").unwrap();
+//! let graph = dataset.build_graph(Scale::Tiny, 7, Vec::new()).unwrap();
+//! let partitioning = GreedyVertexCutPartitioner::default()
+//!     .partition(&graph, 2)
+//!     .unwrap();
+//!
+//! // Plug one GPU daemon into each node and run multi-source SSSP.
+//! let devices = vec![vec![gpu_v100("node0-gpu0")], vec![gpu_v100("node1-gpu0")]];
+//! let outcome = run_accelerated(
+//!     &graph,
+//!     partitioning,
+//!     &MultiSourceSssp::paper_default(),
+//!     RuntimeProfile::powergraph(),
+//!     NetworkModel::datacenter(),
+//!     devices,
+//!     MiddlewareConfig::default(),
+//!     "Orkut",
+//!     100,
+//! );
+//! assert!(outcome.report.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use gxplug_accel as accel;
+pub use gxplug_algos as algos;
+pub use gxplug_baselines as baselines;
+pub use gxplug_core as core;
+pub use gxplug_engine as engine;
+pub use gxplug_graph as graph;
+pub use gxplug_ipc as ipc;
+
+/// Convenience re-exports covering the most common entry points.
+pub mod prelude {
+    pub use gxplug_accel::presets::{cpu_xeon_20c, fpga, gpu_v100, node_devices};
+    pub use gxplug_accel::{Device, DeviceKind, DeviceRegistry, SimClock, SimDuration};
+    pub use gxplug_algos::{
+        ConnectedComponents, KCore, LabelPropagation, MultiSourceSssp, PageRank, RankValue,
+    };
+    pub use gxplug_baselines::{GunrockLike, LuxLike};
+    pub use gxplug_core::{
+        balance_capacities, balance_partitioning, run_accelerated, run_native, Agent, Daemon,
+        MiddlewareConfig, PipelineCoefficients, PipelineMode, RunOutcome,
+    };
+    pub use gxplug_engine::{
+        AddressedMessage, Cluster, ComputationModel, GraphAlgorithm, NetworkModel, RunReport,
+        RuntimeProfile, SyncPolicy,
+    };
+    pub use gxplug_graph::datasets::{DatasetSpec, Scale, CATALOGUE};
+    pub use gxplug_graph::generators::{ErdosRenyi, Generator, GridRoad, Rmat};
+    pub use gxplug_graph::partition::{
+        GreedyVertexCutPartitioner, HashEdgePartitioner, Partitioner, Partitioning,
+        RangePartitioner, WeightedEdgePartitioner,
+    };
+    pub use gxplug_graph::{Edge, EdgeList, PropertyGraph, Triplet, VertexId};
+}

@@ -1,0 +1,279 @@
+//! Cross-crate integration tests: the full middleware stack (graph →
+//! partitioning → cluster → agents → daemons → devices) must produce exactly
+//! the same algorithm results as native execution and as the sequential
+//! references, under every middleware configuration.
+
+use gx_plug::prelude::*;
+
+fn orkut_like(seed: u64) -> EdgeList<f64> {
+    Rmat::new(10, 7.0).generate(seed)
+}
+
+fn gpus(nodes: usize) -> Vec<Vec<Device>> {
+    (0..nodes).map(|n| vec![gpu_v100(format!("n{n}-g0"))]).collect()
+}
+
+fn cpus(nodes: usize) -> Vec<Vec<Device>> {
+    (0..nodes)
+        .map(|n| vec![cpu_xeon_20c(format!("n{n}-c0"))])
+        .collect()
+}
+
+#[test]
+fn sssp_is_identical_across_native_cpu_gpu_and_baselines() {
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(orkut_like(5), Vec::new()).unwrap();
+    let algorithm = MultiSourceSssp::paper_default();
+    let nodes = 3;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, nodes)
+        .unwrap();
+    let reference =
+        gx_plug::algos::reference::multi_source_sssp_reference(&graph, algorithm.sources());
+
+    let check = |label: &str, values: &[Vec<f64>]| {
+        for (v, (got, want)) in values.iter().zip(&reference).enumerate() {
+            for (g, w) in got.iter().zip(want) {
+                let same = (g.is_infinite() && w.is_infinite()) || (g - w).abs() < 1e-9;
+                assert!(same, "{label}: vertex {v} differs ({g} vs {w})");
+            }
+        }
+    };
+
+    let native = gx_plug::core::run_native(
+        &graph,
+        partitioning.clone(),
+        &algorithm,
+        RuntimeProfile::powergraph(),
+        NetworkModel::datacenter(),
+        "orkut-like",
+        500,
+    );
+    check("native", &native.values);
+
+    for (label, devices) in [("gpu", gpus(nodes)), ("cpu", cpus(nodes))] {
+        let accelerated = gx_plug::core::run_accelerated(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+            devices,
+            MiddlewareConfig::default(),
+            "orkut-like",
+            500,
+        );
+        check(label, &accelerated.values);
+        assert!(accelerated.report.converged);
+    }
+
+    // Baselines must agree as well.
+    let mut gunrock = GunrockLike::new(gpu_v100("gunrock"));
+    let (_, gunrock_values) = gunrock.run(&graph, &algorithm, "orkut-like", 500).unwrap();
+    check("gunrock", &gunrock_values);
+
+    let mut lux = LuxLike::new(gpus(nodes), NetworkModel::datacenter());
+    let (_, lux_values) = lux
+        .run(&graph, partitioning, &algorithm, "orkut-like", 500)
+        .unwrap();
+    check("lux", &lux_values);
+}
+
+#[test]
+fn middleware_configuration_never_changes_pagerank_results() {
+    let graph: PropertyGraph<RankValue, f64> = PropertyGraph::from_edge_list(
+        orkut_like(9),
+        RankValue {
+            rank: 1.0,
+            out_degree: 0,
+        },
+    )
+    .unwrap();
+    let algorithm = PageRank::new(10);
+    let partitioning = HashEdgePartitioner::new(3).partition(&graph, 4).unwrap();
+    let reference = gx_plug::algos::reference::pagerank_reference(&graph, 0.85, 10, 1.0);
+
+    let configs = [
+        ("optimised", MiddlewareConfig::optimized()),
+        ("baseline", MiddlewareConfig::baseline()),
+        (
+            "no pipeline",
+            MiddlewareConfig::optimized().with_pipeline(PipelineMode::Disabled),
+        ),
+        (
+            "fixed blocks",
+            MiddlewareConfig::optimized().with_pipeline(PipelineMode::FixedBlockCount(7)),
+        ),
+        ("no caching", MiddlewareConfig::optimized().with_caching(false)),
+        ("no skipping", MiddlewareConfig::optimized().with_skipping(false)),
+    ];
+    for (label, config) in configs {
+        let outcome = gx_plug::core::run_accelerated(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::graphx(),
+            NetworkModel::datacenter(),
+            gpus(4),
+            config,
+            "orkut-like",
+            10,
+        );
+        for (v, (got, want)) in outcome.values.iter().zip(&reference).enumerate() {
+            assert!(
+                (got.rank - want).abs() < 1e-9,
+                "{label}: vertex {v} rank {} vs reference {}",
+                got.rank,
+                want
+            );
+        }
+    }
+}
+
+#[test]
+fn label_propagation_matches_reference_through_the_middleware() {
+    let graph: PropertyGraph<u32, f64> =
+        PropertyGraph::from_edge_list(orkut_like(13), 0u32).unwrap();
+    let algorithm = LabelPropagation::paper_default();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 3)
+        .unwrap();
+    let reference = gx_plug::algos::reference::label_propagation_reference(&graph, 15);
+    let outcome = gx_plug::core::run_accelerated(
+        &graph,
+        partitioning,
+        &algorithm,
+        RuntimeProfile::powergraph(),
+        NetworkModel::datacenter(),
+        gpus(3),
+        MiddlewareConfig::default(),
+        "orkut-like",
+        15,
+    );
+    assert_eq!(outcome.values, reference);
+}
+
+#[test]
+fn connected_components_and_kcore_run_through_the_full_stack() {
+    // Connected components.
+    let graph: PropertyGraph<u32, f64> =
+        PropertyGraph::from_edge_list(orkut_like(21), 0u32).unwrap();
+    let cc = ConnectedComponents;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let reference = gx_plug::algos::reference::connected_components_reference(&graph);
+    let outcome = gx_plug::core::run_accelerated(
+        &graph,
+        partitioning,
+        &cc,
+        RuntimeProfile::powergraph(),
+        NetworkModel::datacenter(),
+        gpus(2),
+        MiddlewareConfig::default(),
+        "orkut-like",
+        10_000,
+    );
+    assert_eq!(outcome.values, reference);
+
+    // k-core over a symmetrised version of the same graph.
+    let mut symmetric = orkut_like(21);
+    symmetric.symmetrize();
+    let graph: PropertyGraph<gx_plug::algos::CoreState, f64> =
+        PropertyGraph::from_edge_list(symmetric, gx_plug::algos::CoreState { alive: true })
+            .unwrap();
+    let kcore = KCore::new(8);
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let reference = gx_plug::algos::reference::k_core_reference(&graph, 8);
+    let outcome = gx_plug::core::run_accelerated(
+        &graph,
+        partitioning,
+        &kcore,
+        RuntimeProfile::powergraph(),
+        NetworkModel::datacenter(),
+        gpus(2),
+        MiddlewareConfig::default(),
+        "orkut-like",
+        kcore.max_rounds,
+    );
+    let alive: Vec<bool> = outcome.values.iter().map(|s| s.alive).collect();
+    assert_eq!(alive, reference);
+}
+
+#[test]
+fn graphx_and_powergraph_profiles_agree_on_results_but_not_on_time() {
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(orkut_like(33), Vec::new()).unwrap();
+    let algorithm = MultiSourceSssp::new(vec![0, 1]);
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 4)
+        .unwrap();
+    let graphx = gx_plug::core::run_native(
+        &graph,
+        partitioning.clone(),
+        &algorithm,
+        RuntimeProfile::graphx(),
+        NetworkModel::datacenter(),
+        "orkut-like",
+        500,
+    );
+    let powergraph = gx_plug::core::run_native(
+        &graph,
+        partitioning,
+        &algorithm,
+        RuntimeProfile::powergraph(),
+        NetworkModel::datacenter(),
+        "orkut-like",
+        500,
+    );
+    assert_eq!(graphx.values, powergraph.values);
+    assert!(
+        powergraph.report.total_time() < graphx.report.total_time(),
+        "the C++ upper system must be faster than the JVM one"
+    );
+}
+
+#[test]
+fn inter_iteration_optimisations_reduce_data_movement_and_time() {
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(orkut_like(44), Vec::new()).unwrap();
+    let algorithm = MultiSourceSssp::paper_default();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 4)
+        .unwrap();
+    let run = |config: MiddlewareConfig| {
+        gx_plug::core::run_accelerated(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::graphx(),
+            NetworkModel::datacenter(),
+            gpus(4),
+            config,
+            "orkut-like",
+            500,
+        )
+    };
+    let optimised = run(MiddlewareConfig::optimized());
+    let naive = run(MiddlewareConfig::baseline());
+    let moved = |outcome: &RunOutcome<Vec<f64>>| {
+        outcome
+            .agent_stats
+            .iter()
+            .map(|s| s.downloaded_entities + s.uploaded_entities)
+            .sum::<u64>()
+    };
+    assert!(
+        moved(&optimised) < moved(&naive),
+        "optimisations must reduce upper-system data movement ({} vs {})",
+        moved(&optimised),
+        moved(&naive)
+    );
+    assert!(
+        optimised.report.total_time() < naive.report.total_time(),
+        "optimisations must reduce total time"
+    );
+    assert_eq!(optimised.values, naive.values);
+}

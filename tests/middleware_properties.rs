@@ -1,0 +1,265 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! analytical results of the paper: Lemma 1 (block sizing), Lemmas 2 and 3
+//! (workload balancing), partitioning invariants, the cache, and the pipeline
+//! mechanism.
+
+use gx_plug::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- Lemma 1: block-size selection ----------------
+
+    /// The closed-form optimum of Lemma 1 is never worse (beyond integer
+    /// rounding slack) than any block size in a log-spaced sweep.
+    #[test]
+    fn lemma1_optimum_beats_sweep(
+        k1 in 0.001f64..1.0,
+        k2 in 0.001f64..1.0,
+        k3 in 0.001f64..1.0,
+        a in 0.0f64..50.0,
+        d in 100usize..200_000,
+    ) {
+        let coefficients = PipelineCoefficients::new(k1, k2, k3, a);
+        let best = coefficients.optimal_block_size(d);
+        prop_assert!(best.block_size >= 1 && best.block_size <= d);
+        let mut b = 1usize;
+        while b <= d {
+            let swept = coefficients.estimate_total(d, b);
+            prop_assert!(
+                best.estimated_total <= swept * 1.02 + 1e-9,
+                "b={} swept {} beats optimum {}", b, swept, best.estimated_total
+            );
+            b *= 2;
+        }
+    }
+
+    /// The Equation-2 estimate stays close to the exact discrete schedule.
+    #[test]
+    fn estimate_tracks_discrete_schedule(
+        k1 in 0.001f64..1.0,
+        k2 in 0.001f64..1.0,
+        k3 in 0.001f64..1.0,
+        a in 0.0f64..10.0,
+        d in 100usize..50_000,
+        b in 1usize..5_000,
+    ) {
+        let coefficients = PipelineCoefficients::new(k1, k2, k3, a);
+        let estimate = coefficients.estimate_total(d, b);
+        let executed = coefficients.simulate_schedule(d, b);
+        prop_assert!(estimate >= 0.0 && executed >= 0.0);
+        // The estimate assumes `s` full blocks; the executed schedule handles
+        // the ragged tail, so they may differ by at most one block's worth of
+        // work plus modelling slack.
+        let block = b.min(d) as f64;
+        let slack = k1 * block + (a + k2 * block) + k3 * block + 1e-9;
+        prop_assert!((estimate - executed).abs() <= slack + 0.15 * executed,
+            "estimate {} vs executed {}", estimate, executed);
+    }
+
+    // ---------------- Lemmas 2 and 3: workload balancing ----------------
+
+    /// The Lemma-2 placement achieves the analytical optimum `D / Σ(1/c_j)`
+    /// and no random alternative placement does better.
+    #[test]
+    fn lemma2_placement_is_optimal(
+        capacities in prop::collection::vec(0.1f64..100.0, 1..8),
+        total in 1_000usize..1_000_000,
+        noise in prop::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let plan = balance_partitioning(&capacities, total).unwrap();
+        let optimal = gx_plug::core::estimate_makespan(&plan.data_sizes, &capacities).unwrap();
+        prop_assert!((optimal.as_millis() - plan.optimal_makespan.as_millis()).abs() < 1e-6);
+        // A random (normalised) alternative placement is never faster.
+        let weights: Vec<f64> = capacities.iter().zip(&noise).map(|(_, n)| *n).collect();
+        let sum: f64 = weights.iter().sum();
+        let alternative: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+        let alt = gx_plug::core::estimate_makespan(&alternative, &capacities).unwrap();
+        prop_assert!(alt.as_millis() + 1e-9 >= optimal.as_millis());
+    }
+
+    /// Lemma 3's capacity prescription is (a) sufficient to reach the optimal
+    /// makespan `d* / f` and (b) minimal: reducing any node's capacity makes
+    /// that node slower than the optimum.
+    #[test]
+    fn lemma3_capacities_are_sufficient_and_minimal(
+        data in prop::collection::vec(1usize..100_000, 1..8),
+        f in 0.5f64..500.0,
+    ) {
+        let plan = balance_capacities(&data, f).unwrap();
+        let sizes: Vec<f64> = data.iter().map(|&d| d as f64).collect();
+        let achieved = gx_plug::core::estimate_makespan(&sizes, &plan.capacity_factors).unwrap();
+        prop_assert!((achieved.as_millis() - plan.optimal_makespan.as_millis()).abs() < 1e-6);
+        for (j, &d_j) in data.iter().enumerate() {
+            if d_j == 0 { continue; }
+            let reduced = plan.capacity_factors[j] * 0.9;
+            let slower = d_j as f64 / reduced;
+            prop_assert!(slower > plan.optimal_makespan.as_millis() - 1e-9);
+        }
+    }
+
+    // ---------------- Partitioning invariants ----------------
+
+    /// Every partitioner assigns each edge exactly once, gives every vertex
+    /// exactly one master, and replicates each edge's endpoints onto the
+    /// edge's part.
+    #[test]
+    fn partitioning_invariants_hold(
+        seed in 0u64..1_000,
+        parts in 1usize..9,
+        scale in 6u32..9,
+    ) {
+        let list = Rmat::new(scale, 4.0).generate(seed);
+        let graph: PropertyGraph<u32, f64> = PropertyGraph::from_edge_list(list, 0).unwrap();
+        let partitionings: Vec<(&str, Partitioning)> = vec![
+            ("hash", HashEdgePartitioner::new(seed).partition(&graph, parts).unwrap()),
+            ("range", RangePartitioner.partition(&graph, parts).unwrap()),
+            (
+                "greedy",
+                GreedyVertexCutPartitioner::default().partition(&graph, parts).unwrap(),
+            ),
+            (
+                "weighted",
+                WeightedEdgePartitioner::uniform(parts)
+                    .unwrap()
+                    .partition(&graph, parts)
+                    .unwrap(),
+            ),
+        ];
+        for (name, partitioning) in partitionings {
+            let total_edges: usize = partitioning.edge_counts().iter().sum();
+            prop_assert_eq!(total_edges, graph.num_edges(), "{}", name);
+            let total_masters: usize = partitioning.parts().iter().map(|p| p.masters.len()).sum();
+            prop_assert_eq!(total_masters, graph.num_vertices(), "{}", name);
+            for (edge_id, edge) in graph.edges().iter().enumerate() {
+                let part = partitioning.part_of_edge(edge_id);
+                prop_assert!(partitioning.part(part).vertices.contains(&edge.src));
+                prop_assert!(partitioning.part(part).vertices.contains(&edge.dst));
+            }
+            prop_assert!(partitioning.replication_factor() >= 1.0 - 1e-12);
+            prop_assert!(partitioning.replication_factor() <= parts as f64 + 1e-12);
+        }
+    }
+
+    /// The capacity-weighted partitioner hits its target fractions within one
+    /// edge per part.
+    #[test]
+    fn weighted_partitioner_matches_targets(
+        weights in prop::collection::vec(0.5f64..8.0, 2..6),
+        seed in 0u64..100,
+    ) {
+        let list = ErdosRenyi::new(400, 4_000).generate(seed);
+        let graph: PropertyGraph<u32, f64> = PropertyGraph::from_edge_list(list, 0).unwrap();
+        let partitioner = WeightedEdgePartitioner::new(weights.clone()).unwrap();
+        let partitioning = partitioner.partition(&graph, weights.len()).unwrap();
+        let total: f64 = weights.iter().sum();
+        for (count, weight) in partitioning.edge_counts().iter().zip(&weights) {
+            let target = weight / total * graph.num_edges() as f64;
+            prop_assert!((*count as f64 - target).abs() <= 1.0 + 1e-9,
+                "count {} vs target {}", count, target);
+        }
+    }
+
+    // ---------------- Cache and pipeline mechanics ----------------
+
+    /// The LRU cache never exceeds its capacity, never loses a dirty entry
+    /// silently, and reports every deferred update either through a forced
+    /// eviction upload, a query answer, or the final flush.
+    #[test]
+    fn cache_never_loses_dirty_updates(
+        capacity in 1usize..64,
+        operations in prop::collection::vec((0u32..200, any::<bool>()), 1..300),
+    ) {
+        let mut cache: gx_plug::core::VertexCache<u64> = gx_plug::core::VertexCache::new(capacity);
+        let mut expected: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut surfaced: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for (step, (vertex, is_update)) in operations.iter().enumerate() {
+            let now = step as u64;
+            if *is_update {
+                let value = step as u64;
+                expected.insert(*vertex, value);
+                for (v, val) in cache.record_update(*vertex, value, now) {
+                    surfaced.insert(v, val);
+                }
+            } else {
+                let _ = cache.lookup(*vertex, now);
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+        for (v, val) in cache.flush_dirty() {
+            surfaced.insert(v, val);
+        }
+        // Every vertex whose latest update was not overwritten by a newer one
+        // must have surfaced with its latest value.
+        for (vertex, value) in expected {
+            prop_assert_eq!(surfaced.get(&vertex).copied(), Some(value),
+                "vertex {} lost its update", vertex);
+        }
+    }
+
+    /// The threaded pipeline outputs exactly the transformed input, in order.
+    #[test]
+    fn pipeline_preserves_items(
+        block_sizes in prop::collection::vec(1usize..50, 0..20),
+    ) {
+        let mut counter = 0u64;
+        let blocks: Vec<Vec<u64>> = block_sizes
+            .iter()
+            .map(|&len| {
+                let block: Vec<u64> = (counter..counter + len as u64).collect();
+                counter += len as u64;
+                block
+            })
+            .collect();
+        let mut output = Vec::new();
+        gx_plug::core::pipeline::shuffle::run_pipeline(
+            blocks,
+            |&x| x * 2 + 1,
+            |block: Vec<u64>| output.extend(block),
+        );
+        let expected: Vec<u64> = (0..counter).map(|x| x * 2 + 1).collect();
+        prop_assert_eq!(output, expected);
+    }
+
+    /// The literal Algorithms-1-and-2 protocol computes every block exactly
+    /// once regardless of block count and size.
+    #[test]
+    fn shuffle_protocol_computes_all_items(
+        block_sizes in prop::collection::vec(1usize..40, 0..12),
+    ) {
+        let blocks: Vec<Vec<u32>> = block_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len as u32).map(|x| x + (i as u32) * 1_000).collect())
+            .collect();
+        let expected: HashSet<u32> = blocks.iter().flatten().map(|&x| x + 5).collect();
+        let (output, _stats) =
+            gx_plug::core::pipeline::shuffle::run_shuffle_protocol(blocks, |&x| x + 5);
+        let got: HashSet<u32> = output.into_iter().flatten().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    // ---------------- Graph construction ----------------
+
+    /// CSR degrees always sum to the edge count and triplets join the right
+    /// attributes.
+    #[test]
+    fn graph_construction_invariants(seed in 0u64..500, n in 2usize..200, m in 1usize..800) {
+        let list = ErdosRenyi::new(n, m).generate(seed);
+        let graph: PropertyGraph<u32, f64> =
+            PropertyGraph::from_edge_list_with(list, |v| v * 3).unwrap();
+        let out_sum: usize = graph.vertex_ids().map(|v| graph.out_degree(v)).sum();
+        let in_sum: usize = graph.vertex_ids().map(|v| graph.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, graph.num_edges());
+        prop_assert_eq!(in_sum, graph.num_edges());
+        for (id, edge) in graph.edges().iter().enumerate().take(50) {
+            let triplet = graph.triplet(id);
+            prop_assert_eq!(triplet.src, edge.src);
+            prop_assert_eq!(triplet.dst, edge.dst);
+            prop_assert_eq!(triplet.src_attr, edge.src * 3);
+            prop_assert_eq!(triplet.dst_attr, edge.dst * 3);
+        }
+    }
+}
