@@ -278,7 +278,14 @@ mod tests {
         let mut dev = tiny_gpu();
         let items = vec![0u8; 10_001];
         let err = dev.execute_batch(&items, |_| ()).unwrap_err();
-        assert!(matches!(err, AccelError::OutOfMemory { requested: 10_001, capacity: 10_000, .. }));
+        assert!(matches!(
+            err,
+            AccelError::OutOfMemory {
+                requested: 10_001,
+                capacity: 10_000,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("out of device memory"));
     }
 
@@ -286,8 +293,8 @@ mod tests {
     fn timing_scales_with_batch_size() {
         let mut dev = tiny_gpu();
         dev.initialize();
-        let small = dev.execute_batch(&vec![0u8; 100], |_| ()).unwrap();
-        let large = dev.execute_batch(&vec![0u8; 10_000], |_| ()).unwrap();
+        let small = dev.execute_batch(&[0u8; 100], |_| ()).unwrap();
+        let large = dev.execute_batch(&[0u8; 10_000], |_| ()).unwrap();
         assert!(large.timing.total() > small.timing.total());
         assert_eq!(small.timing.call, large.timing.call);
     }

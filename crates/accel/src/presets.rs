@@ -110,7 +110,10 @@ mod tests {
         let devices = node_devices(3, 2, 1);
         assert_eq!(devices.len(), 3);
         assert_eq!(
-            devices.iter().filter(|d| d.kind() == DeviceKind::Gpu).count(),
+            devices
+                .iter()
+                .filter(|d| d.kind() == DeviceKind::Gpu)
+                .count(),
             2
         );
         assert!(devices[0].name().contains("node3"));

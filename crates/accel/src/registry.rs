@@ -8,8 +8,7 @@
 //! agents take / return devices as daemons are created and destroyed.
 
 use crate::device::{AccelError, Device, DeviceKind, Result};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A pool of accelerator devices available for daemon creation.
 ///
@@ -26,6 +25,12 @@ impl DeviceRegistry {
         Self::default()
     }
 
+    /// Locks the pool, recovering from poisoning (the pool's invariants hold
+    /// between operations, so a panicking holder cannot corrupt it).
+    fn pool(&self) -> MutexGuard<'_, Vec<Device>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a registry pre-populated with `devices`.
     pub fn with_devices(devices: Vec<Device>) -> Self {
         Self {
@@ -35,23 +40,23 @@ impl DeviceRegistry {
 
     /// Adds a device to the pool.
     pub fn add(&self, device: Device) {
-        self.inner.lock().push(device);
+        self.pool().push(device);
     }
 
     /// Number of idle devices currently in the pool.
     pub fn available(&self) -> usize {
-        self.inner.lock().len()
+        self.pool().len()
     }
 
     /// Number of idle devices of the given kind.
     pub fn available_of(&self, kind: DeviceKind) -> usize {
-        self.inner.lock().iter().filter(|d| d.kind() == kind).count()
+        self.pool().iter().filter(|d| d.kind() == kind).count()
     }
 
     /// Takes any idle device out of the pool, preferring GPUs (highest
     /// capacity factor first).
     pub fn take_any(&self) -> Option<Device> {
-        let mut devices = self.inner.lock();
+        let mut devices = self.pool();
         if devices.is_empty() {
             return None;
         }
@@ -69,7 +74,7 @@ impl DeviceRegistry {
 
     /// Takes an idle device of the requested kind.
     pub fn take(&self, kind: DeviceKind) -> Result<Device> {
-        let mut devices = self.inner.lock();
+        let mut devices = self.pool();
         let pos = devices.iter().position(|d| d.kind() == kind);
         match pos {
             Some(i) => Ok(devices.swap_remove(i)),
@@ -79,13 +84,13 @@ impl DeviceRegistry {
 
     /// Returns a device to the pool (e.g. when a daemon shuts down).
     pub fn release(&self, device: Device) {
-        self.inner.lock().push(device);
+        self.pool().push(device);
     }
 
     /// Sum of capacity factors of all idle devices — the maximum additional
     /// computation capacity the balancer can still hand out.
     pub fn idle_capacity(&self) -> f64 {
-        self.inner.lock().iter().map(|d| d.capacity_factor()).sum()
+        self.pool().iter().map(|d| d.capacity_factor()).sum()
     }
 }
 

@@ -35,10 +35,7 @@ pub struct KCore {
 impl KCore {
     /// Creates a k-core computation for the given `k`.
     pub fn new(k: usize) -> Self {
-        Self {
-            k,
-            max_rounds: 200,
-        }
+        Self { k, max_rounds: 200 }
     }
 
     /// Overrides the round cap.
@@ -175,14 +172,9 @@ mod tests {
     #[test]
     fn triangle_with_pendant_matches_reference() {
         // Undirected triangle 0-1-2 with pendant 3 attached to 2.
-        let list: EdgeList<f64> = [
-            (0u32, 1u32, 1.0),
-            (1, 2, 1.0),
-            (2, 0, 1.0),
-            (2, 3, 1.0),
-        ]
-        .into_iter()
-        .collect();
+        let list: EdgeList<f64> = [(0u32, 1u32, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)]
+            .into_iter()
+            .collect();
         let graph = symmetric_graph(list);
         let got = run_kcore(&graph, 4, 2);
         let want = k_core_reference(&graph, 4);
@@ -191,7 +183,7 @@ mod tests {
     }
 
     #[test]
-    fn whole_graph_survives_k_one_on_connected_graphs(){
+    fn whole_graph_survives_k_one_on_connected_graphs() {
         let list = ErdosRenyi::new(60, 400).generate(5);
         let graph = symmetric_graph(list);
         let got = run_kcore(&graph, 1, 2);

@@ -181,7 +181,10 @@ mod tests {
         let distributed = run_template(&graph, &algorithm, 4);
         let want = pagerank_reference(&graph, 0.85, 8, 1.0);
         for v in 0..graph.num_vertices() {
-            assert!((single[v] - want[v]).abs() < 1e-9, "single partition, vertex {v}");
+            assert!(
+                (single[v] - want[v]).abs() < 1e-9,
+                "single partition, vertex {v}"
+            );
             assert!(
                 (distributed[v] - want[v]).abs() < 1e-9,
                 "four partitions, vertex {v}"
@@ -192,8 +195,7 @@ mod tests {
     #[test]
     fn hub_vertices_accumulate_rank() {
         // A star pointing at vertex 0 concentrates rank there.
-        let list: gxplug_graph::EdgeList<f64> =
-            (1u32..50).map(|v| (v, 0u32, 1.0)).collect();
+        let list: gxplug_graph::EdgeList<f64> = (1u32..50).map(|v| (v, 0u32, 1.0)).collect();
         let graph = PropertyGraph::from_edge_list(
             list,
             RankValue {

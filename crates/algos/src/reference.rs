@@ -26,6 +26,9 @@ pub fn multi_source_sssp_reference<V>(
     for _ in 0..n.saturating_sub(1).max(1) {
         let mut changed = false;
         for edge in graph.edges() {
+            // Indexes two rows of `dist` at once (src read, dst write), which
+            // an iterator cannot express without split borrows.
+            #[allow(clippy::needless_range_loop)]
             for s_index in 0..sources.len() {
                 let candidate = dist[edge.src as usize][s_index] + edge.attr;
                 if candidate < dist[edge.dst as usize][s_index] {
@@ -58,7 +61,8 @@ pub fn pagerank_reference<V>(
         let mut incoming = vec![0.0f64; n];
         let mut has_incoming = vec![false; n];
         for edge in graph.edges() {
-            let contribution = rank[edge.src as usize] / out_degree[edge.src as usize].max(1) as f64;
+            let contribution =
+                rank[edge.src as usize] / out_degree[edge.src as usize].max(1) as f64;
             incoming[edge.dst as usize] += contribution;
             has_incoming[edge.dst as usize] = true;
         }
@@ -115,7 +119,7 @@ pub fn label_propagation_reference<V>(
 pub fn connected_components_reference<V>(graph: &PropertyGraph<V, f64>) -> Vec<u32> {
     let n = graph.num_vertices();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -180,14 +184,9 @@ mod tests {
 
     fn diamond() -> PropertyGraph<(), f64> {
         // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 2 -> 3 (1), plus isolated 4.
-        let mut list: EdgeList<f64> = [
-            (0u32, 1u32, 1.0),
-            (0, 2, 4.0),
-            (1, 2, 1.0),
-            (2, 3, 1.0),
-        ]
-        .into_iter()
-        .collect();
+        let mut list: EdgeList<f64> = [(0u32, 1u32, 1.0), (0, 2, 4.0), (1, 2, 1.0), (2, 3, 1.0)]
+            .into_iter()
+            .collect();
         list.ensure_vertex(4);
         PropertyGraph::from_edge_list(list, ()).unwrap()
     }

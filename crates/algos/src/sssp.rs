@@ -129,7 +129,11 @@ mod tests {
     use gxplug_graph::graph::PropertyGraph;
     use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
 
-    fn check_against_reference(graph: &PropertyGraph<Distances, f64>, sources: Vec<VertexId>, parts: usize) {
+    fn check_against_reference(
+        graph: &PropertyGraph<Distances, f64>,
+        sources: Vec<VertexId>,
+        parts: usize,
+    ) {
         let algorithm = MultiSourceSssp::new(sources.clone());
         let partitioning = GreedyVertexCutPartitioner::default()
             .partition(graph, parts)

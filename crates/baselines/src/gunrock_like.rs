@@ -56,11 +56,7 @@ impl GunrockLike {
         if self.device.cost_model().exceeds_memory(graph.num_edges()) {
             return Err(AccelError::OutOfMemory {
                 requested: graph.num_edges(),
-                capacity: self
-                    .device
-                    .cost_model()
-                    .memory_capacity_items
-                    .unwrap_or(0),
+                capacity: self.device.cost_model().memory_capacity_items.unwrap_or(0),
                 device: self.device.name().to_string(),
             });
         }

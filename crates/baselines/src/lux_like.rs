@@ -97,7 +97,11 @@ impl LuxLike {
             let partition_edges = partitioning.part(node_id).edges.len();
             let capacity: usize = devices
                 .iter()
-                .map(|d| d.cost_model().memory_capacity_items.unwrap_or(usize::MAX / 2))
+                .map(|d| {
+                    d.cost_model()
+                        .memory_capacity_items
+                        .unwrap_or(usize::MAX / 2)
+                })
                 .sum();
             if partition_edges > capacity {
                 return Err(AccelError::OutOfMemory {
@@ -273,6 +277,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn every_node_needs_a_device() {
-        let _ = LuxLike::new(vec![vec![], vec![presets::gpu_v100("g")]], NetworkModel::ideal());
+        let _ = LuxLike::new(
+            vec![vec![], vec![presets::gpu_v100("g")]],
+            NetworkModel::ideal(),
+        );
     }
 }

@@ -4,19 +4,39 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gxplug_bench::{run_combo, Accel, Algo, ComboSpec, Upper};
-use gxplug_core::{MiddlewareConfig, PipelineMode};
+use gxplug_core::{ExecutionMode, MiddlewareConfig, PipelineMode};
 use gxplug_graph::datasets::{self, Scale};
 
 fn ablation_configs() -> Vec<(&'static str, MiddlewareConfig)> {
+    // Every arm is pinned to the same execution mode: the ablation isolates
+    // the paper's middleware features (pipeline / caching / skipping), and
+    // letting `baseline()` fall back to serial host threading would fold
+    // scheduling differences into the measured feature gains.
+    let mode = ExecutionMode::Threaded;
     vec![
-        ("full", MiddlewareConfig::optimized()),
+        ("full", MiddlewareConfig::optimized().with_execution(mode)),
         (
             "no_pipeline",
-            MiddlewareConfig::optimized().with_pipeline(PipelineMode::Disabled),
+            MiddlewareConfig::optimized()
+                .with_pipeline(PipelineMode::Disabled)
+                .with_execution(mode),
         ),
-        ("no_caching", MiddlewareConfig::optimized().with_caching(false)),
-        ("no_skipping", MiddlewareConfig::optimized().with_skipping(false)),
-        ("baseline_naive", MiddlewareConfig::baseline()),
+        (
+            "no_caching",
+            MiddlewareConfig::optimized()
+                .with_caching(false)
+                .with_execution(mode),
+        ),
+        (
+            "no_skipping",
+            MiddlewareConfig::optimized()
+                .with_skipping(false)
+                .with_execution(mode),
+        ),
+        (
+            "baseline_naive",
+            MiddlewareConfig::baseline().with_execution(mode),
+        ),
     ]
 }
 
@@ -43,7 +63,11 @@ fn bench_native_vs_accelerated(c: &mut Criterion) {
     let dataset = datasets::find("Wiki-topcats").expect("catalogue entry");
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
-    for (name, accel) in [("native", Accel::None), ("cpu", Accel::Cpu(1)), ("gpu", Accel::Gpu(1))] {
+    for (name, accel) in [
+        ("native", Accel::None),
+        ("cpu", Accel::Cpu(1)),
+        ("gpu", Accel::Gpu(1)),
+    ] {
         group.bench_with_input(BenchmarkId::new("pagerank", name), &accel, |b, &accel| {
             b.iter(|| {
                 let spec = ComboSpec::new(Algo::PageRank, Upper::GraphX, accel, dataset)

@@ -20,12 +20,16 @@ fn bench_partitioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioners");
     group.sample_size(20);
     for &parts in &[4usize, 8] {
-        group.bench_with_input(BenchmarkId::new("hash_by_source", parts), &parts, |b, &p| {
-            b.iter(|| black_box(HashEdgePartitioner::new(1).partition(&graph, p).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("range_by_source", parts), &parts, |b, &p| {
-            b.iter(|| black_box(RangePartitioner.partition(&graph, p).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hash_by_source", parts),
+            &parts,
+            |b, &p| b.iter(|| black_box(HashEdgePartitioner::new(1).partition(&graph, p).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("range_by_source", parts),
+            &parts,
+            |b, &p| b.iter(|| black_box(RangePartitioner.partition(&graph, p).unwrap())),
+        );
         group.bench_with_input(
             BenchmarkId::new("greedy_vertex_cut", parts),
             &parts,

@@ -1,10 +1,18 @@
 //! Criterion micro-benchmarks for the pipeline-shuffle mechanism:
 //! the threaded pipeline vs sequential processing, the literal Algorithms 1&2
-//! protocol, and the Lemma-1 block-size machinery.
+//! protocol, the Lemma-1 block-size machinery, and the end-to-end
+//! serial-vs-threaded execution modes of the middleware runtime.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gxplug_accel::presets;
+use gxplug_algos::MultiSourceSssp;
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
-use gxplug_core::PipelineCoefficients;
+use gxplug_core::{run_accelerated, ExecutionMode, MiddlewareConfig, PipelineCoefficients};
+use gxplug_engine::network::NetworkModel;
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_graph::generators::{Generator, Rmat};
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
 
 fn make_blocks(blocks: usize, block_size: usize) -> Vec<Vec<u64>> {
     (0..blocks)
@@ -16,7 +24,9 @@ fn kernel(x: &u64) -> u64 {
     // A small but non-trivial per-item computation (relaxation-like).
     let mut v = *x;
     for _ in 0..8 {
-        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     v
 }
@@ -25,6 +35,8 @@ fn bench_threaded_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_shuffle");
     for &blocks in &[4usize, 16, 64] {
         let input = make_blocks(blocks, 2_048);
+        // Both arms fold the *computed values* into the result so the kernel
+        // work cannot be optimised away, and both pay the same input clone.
         group.bench_with_input(
             BenchmarkId::new("three_thread_pipeline", blocks),
             &input,
@@ -32,7 +44,7 @@ fn bench_threaded_pipeline(c: &mut Criterion) {
                 b.iter(|| {
                     let mut out = 0u64;
                     run_pipeline(input.clone(), kernel, |block: Vec<u64>| {
-                        out = out.wrapping_add(block.len() as u64);
+                        out = block.iter().fold(out, |acc, &v| acc.wrapping_add(v));
                     });
                     black_box(out)
                 })
@@ -44,9 +56,11 @@ fn bench_threaded_pipeline(c: &mut Criterion) {
             |b, input| {
                 b.iter(|| {
                     let mut out = 0u64;
-                    for block in input {
-                        let computed: Vec<u64> = block.iter().map(kernel).collect();
-                        out = out.wrapping_add(computed.len() as u64);
+                    for block in input.clone() {
+                        out = block
+                            .iter()
+                            .map(kernel)
+                            .fold(out, |acc, v| acc.wrapping_add(v));
                     }
                     black_box(out)
                 })
@@ -85,10 +99,60 @@ fn bench_block_size_selection(c: &mut Criterion) {
     });
 }
 
+/// End-to-end wall-clock comparison of the middleware execution modes: the
+/// same SSSP run with daemons serialised on one thread vs daemons on worker
+/// threads and nodes fanned out per superstep.  On a multi-core host the
+/// threaded mode's throughput should be at or above serial; results are
+/// bit-identical either way (see the `determinism` integration test).
+fn bench_execution_modes(c: &mut Criterion) {
+    let list = Rmat::new(12, 8.0).generate(42);
+    let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+    let parts = 4;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    let algorithm = MultiSourceSssp::paper_default();
+    let mut group = c.benchmark_group("execution_modes");
+    for (name, mode) in [
+        ("serial", ExecutionMode::Serial),
+        ("threaded", ExecutionMode::Threaded),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sssp_rmat12_4nodes", name),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let outcome = run_accelerated(
+                        &graph,
+                        partitioning.clone(),
+                        &algorithm,
+                        RuntimeProfile::powergraph(),
+                        NetworkModel::datacenter(),
+                        (0..parts)
+                            .map(|n| {
+                                vec![
+                                    presets::gpu_v100(format!("n{n}g")),
+                                    presets::cpu_xeon_20c(format!("n{n}c")),
+                                ]
+                            })
+                            .collect(),
+                        MiddlewareConfig::default().with_execution(mode),
+                        "rmat",
+                        100,
+                    );
+                    black_box(outcome.report.num_iterations())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
     bench_shuffle_protocol,
-    bench_block_size_selection
+    bench_block_size_selection,
+    bench_execution_modes
 );
 criterion_main!(benches);

@@ -5,7 +5,9 @@
 //! 5-step workflow).  The paper reports 30–50% acceleration of Pipeline* over
 //! WithoutPipeline and a further 20–30% over fixed-block Pipeline.
 
-use gxplug_bench::{format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper};
+use gxplug_bench::{
+    format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper,
+};
 use gxplug_core::{MiddlewareConfig, PipelineMode};
 use gxplug_graph::datasets;
 

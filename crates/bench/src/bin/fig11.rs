@@ -8,7 +8,9 @@
 //!   60–90% skipped on real graphs and almost nothing on the uniform
 //!   synthetic one).
 
-use gxplug_bench::{format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper};
+use gxplug_bench::{
+    format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper,
+};
 use gxplug_core::MiddlewareConfig;
 use gxplug_graph::datasets;
 
@@ -50,7 +52,13 @@ fn part_a(scale: gxplug_graph::datasets::Scale) {
     }
     print_table(
         &format!("Fig. 11a: synchronization caching, SSSP-BF ({scale:?})"),
-        &["System", "Dataset", "No caching (middleware time)", "Caching (middleware time)", "Speedup"],
+        &[
+            "System",
+            "Dataset",
+            "No caching (middleware time)",
+            "Caching (middleware time)",
+            "Speedup",
+        ],
         &rows,
     );
 }
@@ -77,7 +85,12 @@ fn part_b(scale: gxplug_graph::datasets::Scale) {
     }
     print_table(
         &format!("Fig. 11b: synchronization skipping, SSSP-BF ({scale:?})"),
-        &["Dataset", "Total iterations", "Skipped iterations", "Skipped %"],
+        &[
+            "Dataset",
+            "Total iterations",
+            "Skipped iterations",
+            "Skipped %",
+        ],
         &rows,
     );
 }

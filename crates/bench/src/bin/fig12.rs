@@ -46,8 +46,9 @@ fn run_with_devices(
     let nodes = devices.len();
     match algo {
         Algo::Sssp => {
-            let graph: PropertyGraph<Vec<f64>, f64> =
-                dataset.build_graph(scale, DEFAULT_SEED, Vec::new()).unwrap();
+            let graph: PropertyGraph<Vec<f64>, f64> = dataset
+                .build_graph(scale, DEFAULT_SEED, Vec::new())
+                .unwrap();
             let partitioning = WeightedEdgePartitioner::new(weights.to_vec())
                 .unwrap()
                 .partition(&graph, nodes)

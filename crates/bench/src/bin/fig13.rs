@@ -21,7 +21,14 @@ fn main() {
     let iterations = 11; // as in the paper's Figure 13 experiment
     let dataset = datasets::find("Orkut").unwrap();
     let graph = dataset
-        .build_graph(scale, DEFAULT_SEED, RankValue { rank: 1.0, out_degree: 0 })
+        .build_graph(
+            scale,
+            DEFAULT_SEED,
+            RankValue {
+                rank: 1.0,
+                out_degree: 0,
+            },
+        )
         .unwrap();
     let algorithm = PageRank::new(iterations);
     // One node's worth of triplet blocks, re-used every iteration.

@@ -7,7 +7,9 @@
 //! per-configuration total time plus the acceleration ratio over the
 //! corresponding native system so the shape can be compared directly.
 
-use gxplug_bench::{format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper};
+use gxplug_bench::{
+    format_duration, print_table, run_combo, scale_from_env, Accel, Algo, ComboSpec, Upper,
+};
 use gxplug_graph::datasets;
 
 fn main() {

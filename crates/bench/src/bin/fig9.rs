@@ -8,6 +8,7 @@
 //! * (d) mixing and matching CPU and GPU daemons.
 
 use gxplug_accel::{presets, Device};
+use gxplug_bench::DEFAULT_SEED;
 use gxplug_bench::{
     format_duration, print_table, run_combo, scale_from_env, suite, Accel, Algo, ComboSpec, Upper,
 };
@@ -15,7 +16,6 @@ use gxplug_core::{run_accelerated, MiddlewareConfig};
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_graph::datasets::{self, Scale};
-use gxplug_bench::DEFAULT_SEED;
 
 /// Distributes `total_gpus` over at most 6 nodes the way the paper's testbed
 /// would (2 GPUs per node maximum).
@@ -36,9 +36,14 @@ fn part_a(scale: Scale) {
     for total_gpus in [1usize, 2, 4, 12] {
         let (nodes, per_node) = gpu_layout(total_gpus);
         let gxplug = run_combo(
-            &ComboSpec::new(Algo::PageRank, Upper::PowerGraph, Accel::Gpu(per_node), dataset)
-                .with_scale(scale)
-                .with_nodes(nodes),
+            &ComboSpec::new(
+                Algo::PageRank,
+                Upper::PowerGraph,
+                Accel::Gpu(per_node),
+                dataset,
+            )
+            .with_scale(scale)
+            .with_nodes(nodes),
         );
         let lux = suite::run_lux_pagerank(dataset, scale, DEFAULT_SEED, nodes, per_node);
         let gunrock = if total_gpus == 1 {
@@ -115,8 +120,17 @@ fn part_b(scale: Scale) {
         }
     }
     print_table(
-        &format!("Fig. 9b: PageRank on Twitter & UK-2007 analogues ({:?})", scale),
-        &["Config", "Analogue size", "GX-Plug+PowerGraph", "Lux", "Gunrock"],
+        &format!(
+            "Fig. 9b: PageRank on Twitter & UK-2007 analogues ({:?})",
+            scale
+        ),
+        &[
+            "Config",
+            "Analogue size",
+            "GX-Plug+PowerGraph",
+            "Lux",
+            "Gunrock",
+        ],
         &rows,
     );
 }

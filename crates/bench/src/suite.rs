@@ -161,10 +161,7 @@ pub fn devices_for(accel: Accel, num_nodes: usize) -> Vec<Vec<Device>> {
 
 /// Partitions a graph with the default strategy of the evaluation
 /// (PowerGraph-style greedy vertex cut).
-pub fn default_partitioning<V, E>(
-    graph: &PropertyGraph<V, E>,
-    num_nodes: usize,
-) -> Partitioning {
+pub fn default_partitioning<V, E>(graph: &PropertyGraph<V, E>, num_nodes: usize) -> Partitioning {
     GreedyVertexCutPartitioner::default()
         .partition(graph, num_nodes)
         .expect("partitioning a non-empty graph cannot fail")

@@ -1,0 +1,194 @@
+//! Offline minimal stand-in for the `criterion` bench harness.
+//!
+//! Supports the subset this workspace's benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a short calibrated loop printing mean wall-clock
+//! nanoseconds per iteration — enough to compare variants on one machine.
+//! When the binary is invoked with `--test` (which is what `cargo test`
+//! passes to `harness = false` bench targets) every benchmark body runs
+//! exactly once so the test suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id such as `"three_thread_pipeline/64"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that runs for at
+        // least ~20 ms, capped so pathological benches still terminate.
+        let mut n: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 20 {
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        // Measurement pass at the calibrated count.
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let measured = start.elapsed();
+        self.last_ns_per_iter = measured.as_nanos() as f64 / n as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        last_ns_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("bench {name:<56} ... ok (ran once, --test mode)");
+    } else {
+        println!(
+            "bench {name:<56} {:>14.1} ns/iter",
+            bencher.last_ns_per_iter
+        );
+    }
+}
+
+/// The bench harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness = false bench targets with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's calibration ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's calibration ignores it.
+    pub fn measurement_time(&mut self, _duration: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

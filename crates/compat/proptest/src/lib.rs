@@ -1,0 +1,257 @@
+//! Offline minimal stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! integer/float range strategies, 2- and 3-tuples, [`prop::collection::vec`]
+//! with either an exact size or a size range, [`any`], and the
+//! `prop_assert*` macros (which forward to the std `assert*` macros).
+//!
+//! Every case is generated from a seed derived deterministically from the
+//! test's module path, name and case index, so a failing case reproduces on
+//! re-run.  There is no shrinking: the failing inputs are reported by the
+//! panic message of the assertion that fired.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property against `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategy drawing arbitrary values of `T` (the shim supports the types the
+/// `rand` shim can draw: `bool`, `u32`, `u64`, `f32`, `f64`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::draw(rng)
+    }
+}
+
+/// Returns a strategy producing arbitrary values of `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection sizes: either exact or drawn from a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        Self {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+/// Combinator strategies, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng as _;
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = if self.size.min + 1 >= self.size.max_exclusive {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..self.size.max_exclusive)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Produces vectors whose elements come from `element` and whose
+        /// length comes from `size` (an exact `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Derives the deterministic generator for one test case.
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the fully qualified test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property (forwards to [`assert!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (forwards to [`assert_eq!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that checks `body` against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated values respect their strategy's bounds.
+        #[test]
+        fn ranges_and_collections_respect_bounds(
+            x in 10u32..20,
+            f in 0.5f64..1.5,
+            pairs in prop::collection::vec((0u32..5, any::<bool>()), 1..10),
+            exact in prop::collection::vec(0.0f64..1.0, 4),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 10);
+            for (v, _flag) in &pairs {
+                prop_assert!(*v < 5);
+            }
+            prop_assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let a = super::case_rng("mod::test", 3).next_u64();
+        let b = super::case_rng("mod::test", 3).next_u64();
+        let c = super::case_rng("mod::test", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

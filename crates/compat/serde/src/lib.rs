@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compile
+//! without the real serde.  See `crates/compat/README.md` for the swap-back
+//! story.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-ins for the `serde_derive` proc macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! plain-old-data types; nothing serializes at runtime yet.  These derives
+//! accept the same attribute grammar (`#[serde(...)]`) and expand to nothing,
+//! so the annotated types compile unchanged on machines without access to
+//! crates.io.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

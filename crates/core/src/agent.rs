@@ -13,9 +13,15 @@
 //!    result actually has to be uploaded to the upper system (lazy uploading),
 //! 5. attributes simulated time to the whole exchange using the pipeline
 //!    model of §III-A.
+//!
+//! Two agent front-ends share this logic through [`AgentCore`]: the serial
+//! [`Agent`] here, which owns its daemons and drives them on the calling
+//! thread, and the threaded
+//! [`ThreadedAgent`](crate::runtime::ThreadedAgent), which dispatches shares
+//! to daemon worker threads so its daemons genuinely compute concurrently.
 
 use crate::config::{MiddlewareConfig, PipelineMode};
-use crate::daemon::Daemon;
+use crate::daemon::{execute_share, merge_addressed, Daemon};
 use crate::metrics::AgentStats;
 use crate::pipeline::block_size::PipelineCoefficients;
 use crate::sync_cache::VertexCache;
@@ -25,19 +31,48 @@ use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::types::{PartitionId, Triplet, VertexId};
-use gxplug_ipc::blocks::TripletBlock;
 use std::collections::HashSet;
 
 /// Fallback batch size for the unpipelined ("5-step") workflow, so that even
 /// without the pipeline a daemon never receives a batch beyond its device
 /// memory.
-const UNPIPELINED_MAX_BATCH: usize = 65_536;
+pub(crate) const UNPIPELINED_MAX_BATCH: usize = 65_536;
 
-/// The agent of one distributed node.
+/// The download plan of one iteration: what the agent found active and what
+/// it had to move across the upper-system boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct IterationPlan {
+    /// Local ids of the active edges.
+    pub active_edge_ids: Vec<usize>,
+    /// Number of active edge triplets (`d`, the iteration's data volume).
+    pub d: usize,
+    /// Entities (vertices + first-time edges) downloaded this iteration.
+    pub download_entities: usize,
+}
+
+/// What executing one daemon's share produced, together with the planning
+/// metadata the timing attribution needs.
+#[derive(Debug, Clone)]
+pub(crate) struct ShareRun {
+    /// Coefficients of the daemon that ran the share.
+    pub coefficients: PipelineCoefficients,
+    /// Number of triplets in the share.
+    pub share_len: usize,
+    /// Block size the share was chunked into.
+    pub block_size: usize,
+    /// Number of blocks launched.
+    pub blocks: usize,
+}
+
+/// The middleware bookkeeping of one distributed node: configuration, cache,
+/// statistics and the per-iteration phases that do *not* involve a device.
+///
+/// Both agent front-ends delegate here, so serial and threaded execution
+/// share one implementation of the download, merge, upload and timing logic —
+/// which is what makes their results bit-identical.
 #[derive(Debug)]
-pub struct Agent<V> {
+pub(crate) struct AgentCore<V> {
     node_id: PartitionId,
-    daemons: Vec<Daemon>,
     config: MiddlewareConfig,
     profile: RuntimeProfile,
     cache: Option<VertexCache<V>>,
@@ -45,23 +80,16 @@ pub struct Agent<V> {
     stats: AgentStats,
 }
 
-impl<V> Agent<V>
+impl<V> AgentCore<V>
 where
-    V: Clone + PartialEq + Send + Sync,
+    V: Clone + PartialEq,
 {
-    /// Creates an agent for distributed node `node_id`, bridging the given
-    /// daemons to an upper system with runtime profile `profile`.
-    ///
-    /// `local_vertices` sizes the synchronization cache (a configured
-    /// fraction of the node's vertex count).
-    pub fn new(
+    pub(crate) fn new(
         node_id: PartitionId,
-        daemons: Vec<Daemon>,
         profile: RuntimeProfile,
         config: MiddlewareConfig,
         local_vertices: usize,
     ) -> Self {
-        assert!(!daemons.is_empty(), "an agent needs at least one daemon");
         let cache = config.caching.then(|| {
             let capacity =
                 ((local_vertices as f64 * config.cache_capacity_fraction).ceil() as usize).max(1);
@@ -69,7 +97,6 @@ where
         });
         Self {
             node_id,
-            daemons,
             config,
             profile,
             cache,
@@ -78,33 +105,19 @@ where
         }
     }
 
-    /// The distributed node this agent serves.
-    pub fn node_id(&self) -> PartitionId {
+    pub(crate) fn node_id(&self) -> PartitionId {
         self.node_id
     }
 
-    /// The daemons attached to this agent.
-    pub fn daemons(&self) -> &[Daemon] {
-        &self.daemons
-    }
-
-    /// Number of attached daemons.
-    pub fn num_daemons(&self) -> usize {
-        self.daemons.len()
-    }
-
-    /// Total computation capacity factor of the attached daemons.
-    pub fn capacity_factor(&self) -> f64 {
-        self.daemons.iter().map(Daemon::capacity_factor).sum()
-    }
-
-    /// The middleware configuration in force.
-    pub fn config(&self) -> &MiddlewareConfig {
+    pub(crate) fn config(&self) -> &MiddlewareConfig {
         &self.config
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> AgentStats {
+    pub(crate) fn profile(&self) -> &RuntimeProfile {
+        &self.profile
+    }
+
+    pub(crate) fn stats(&self) -> AgentStats {
         let mut stats = self.stats;
         if let Some(cache) = &self.cache {
             stats.cache = cache.stats();
@@ -112,53 +125,41 @@ where
         stats
     }
 
-    /// `connect()`: starts every daemon (device initialisation happens here,
-    /// once per run — runtime isolation).  Returns the summed initialisation
-    /// time, which the runner reports as setup cost.
-    pub fn connect(&mut self) -> SimDuration {
-        let mut total = SimDuration::ZERO;
-        for daemon in &mut self.daemons {
-            total += daemon.start();
-        }
-        self.stats.init_time += total;
-        total
+    pub(crate) fn record_init_time(&mut self, init: SimDuration) {
+        self.stats.init_time += init;
     }
 
-    /// `disconnect()`: shuts every daemon down.
-    pub fn disconnect(&mut self) {
-        for daemon in &mut self.daemons {
-            daemon.shutdown();
-        }
-    }
-
-    /// Executes one middleware iteration for this agent's node and returns
-    /// the merged messages plus the timing attribution the cluster driver
-    /// expects.
-    pub fn process_iteration<E, A>(
+    /// The download phase: determines the active workload and moves the
+    /// needed vertex data (and, once, the edge topology) into the shared
+    /// memory space, consulting the cache when enabled.  Returns `None` when
+    /// the node is idle.
+    pub(crate) fn begin_iteration<E>(
         &mut self,
-        node: &mut NodeState<V, E>,
-        algorithm: &A,
+        node: &NodeState<V, E>,
         iteration: usize,
-    ) -> NodeComputeOutput<V, A::Msg>
-    where
-        E: Clone + Send + Sync,
-        A: GraphAlgorithm<V, E>,
-    {
+    ) -> Option<IterationPlan> {
         let active_edge_ids = node.active_edge_ids();
         let d = active_edge_ids.len();
         if d == 0 {
-            return NodeComputeOutput::idle();
+            return None;
         }
         self.stats.iterations += 1;
 
-        // ---- download phase -------------------------------------------------
-        let mut needed_vertices: HashSet<VertexId> = HashSet::new();
+        let mut needed_set: HashSet<VertexId> = HashSet::new();
         for &edge_id in &active_edge_ids {
             if let Some(edge) = node.edge(edge_id) {
-                needed_vertices.insert(edge.src);
-                needed_vertices.insert(edge.dst);
+                needed_set.insert(edge.src);
+                needed_set.insert(edge.dst);
             }
         }
+        // Probe the cache in a deterministic order: hash-set iteration order
+        // varies run to run, and the probe order decides LRU evictions, so a
+        // fixed order is what makes the hit/miss counters reproducible.  The
+        // order is scrambled by a fixed mix (not ascending) because a strict
+        // sequential scan is the LRU worst case — it would evict every entry
+        // just before re-probing it.
+        let mut needed_vertices: Vec<VertexId> = needed_set.into_iter().collect();
+        needed_vertices.sort_unstable_by_key(|&v| (gxplug_ipc::key::splitmix64(v as u64), v));
         let needed_count = needed_vertices.len();
         let vertex_downloads = match &mut self.cache {
             Some(cache) => {
@@ -195,50 +196,53 @@ where
         };
         let download_entities = vertex_downloads + edge_downloads;
         self.stats.downloaded_entities += download_entities as u64;
+        Some(IterationPlan {
+            active_edge_ids,
+            d,
+            download_entities,
+        })
+    }
 
-        // ---- compute phase ---------------------------------------------------
-        // Ground-truth triplets come from the node tables (the shared memory
-        // space holds the same values the cache mirrors).
-        let triplets = node.triplets_for(&active_edge_ids);
-        let shares = split_by_capacity(&triplets, &self.daemons);
-        let mut raw_messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
-        // (daemon index, share length, block size, block count) per non-empty share.
-        let mut per_daemon: Vec<(usize, usize, usize, usize)> = Vec::new();
-        for (daemon_index, share) in shares.iter().enumerate() {
-            if share.is_empty() {
-                continue;
-            }
-            let daemon = &mut self.daemons[daemon_index];
-            let coefficients = daemon.coefficients(&self.profile);
-            let block_size = choose_block_size(
-                &self.config.pipeline,
-                &coefficients,
-                share.len(),
-                daemon
-                    .device()
-                    .cost_model()
-                    .memory_capacity_items
-                    .unwrap_or(UNPIPELINED_MAX_BATCH),
-            );
-            let mut blocks = 0usize;
-            for (index, chunk) in share.chunks(block_size).enumerate() {
-                let block = TripletBlock {
-                    index,
-                    triplets: chunk.to_vec(),
-                };
-                let (messages, _timing) = daemon
-                    .execute_gen(algorithm, &block, iteration)
-                    .expect("block size is bounded by device memory");
-                raw_messages.extend(messages);
-                blocks += 1;
-            }
-            self.stats.kernel_launches += blocks as u64;
-            per_daemon.push((daemon_index, share.len(), block_size, blocks));
-        }
+    /// Chooses the block size for a share on a daemon with the given
+    /// coefficients and memory capacity.
+    pub(crate) fn block_size_for(
+        &self,
+        coefficients: &PipelineCoefficients,
+        share_len: usize,
+        memory_capacity_items: Option<usize>,
+    ) -> usize {
+        choose_block_size(
+            &self.config.pipeline,
+            coefficients,
+            share_len,
+            memory_capacity_items.unwrap_or(UNPIPELINED_MAX_BATCH),
+        )
+    }
+
+    /// The merge, upload and timing-attribution phases, shared by the serial
+    /// and threaded paths.  `raw_messages` must be ordered by daemon index
+    /// (then block, then triplet) — both paths collect them that way, which
+    /// keeps the first-seen merge order, and therefore the results,
+    /// identical.
+    pub(crate) fn finish_iteration<E, A>(
+        &mut self,
+        node: &NodeState<V, E>,
+        algorithm: &A,
+        plan: &IterationPlan,
+        raw_messages: Vec<AddressedMessage<A::Msg>>,
+        share_runs: &[ShareRun],
+    ) -> NodeComputeOutput<V, A::Msg>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        let d = plan.d;
         self.stats.triplets_processed += d as u64;
+        for run in share_runs {
+            self.stats.kernel_launches += run.blocks as u64;
+        }
 
         // ---- merge phase (MSGMerge) ------------------------------------------
-        let merged = self.daemons[0].merge_messages::<V, E, A>(algorithm, raw_messages);
+        let merged = merge_addressed(algorithm, raw_messages);
 
         // ---- upload phase -----------------------------------------------------
         let uploads = if self.config.lazy_upload && self.cache.is_some() {
@@ -265,15 +269,17 @@ where
         // ---- timing attribution (pipeline model of §III-A) --------------------
         let mut compute_time = SimDuration::ZERO;
         let mut overhead_time = SimDuration::ZERO;
-        for &(daemon_index, share_len, block_size, blocks) in &per_daemon {
-            let base = self.daemons[daemon_index].coefficients(&self.profile);
+        for run in share_runs {
+            let base = &run.coefficients;
+            let share_len = run.share_len;
             let share_fraction = share_len as f64 / d as f64;
-            let k1_eff =
-                (base.k1 * (download_entities as f64 * share_fraction) / share_len as f64).max(1e-9);
+            let k1_eff = (base.k1 * (plan.download_entities as f64 * share_fraction)
+                / share_len as f64)
+                .max(1e-9);
             let k3_eff = (base.k3 * (uploads as f64 * share_fraction) / share_len as f64).max(1e-9);
             let effective = PipelineCoefficients::new(k1_eff, base.k2, k3_eff, base.a);
             let share_time_ms = if self.config.pipeline.is_enabled() {
-                effective.estimate_total(share_len, block_size)
+                effective.estimate_total(share_len, run.block_size)
             } else {
                 effective.estimate_unpipelined(share_len)
             };
@@ -282,13 +288,13 @@ where
             let crossings = self.profile.per_crossing * 2.0;
             let share_time = SimDuration::from_millis(share_time_ms) + crossings;
             let pure_compute =
-                SimDuration::from_millis(base.a * blocks as f64 + base.k2 * share_len as f64);
+                SimDuration::from_millis(base.a * run.blocks as f64 + base.k2 * share_len as f64);
             compute_time = compute_time.max(share_time);
             // Everything that is not pure device compute is middleware
             // overhead (transfers, packaging, crossings).
             overhead_time = overhead_time.max(share_time - pure_compute);
-            self.stats.block_size_sum += block_size as u64;
-            self.stats.block_count_sum += blocks as u64;
+            self.stats.block_size_sum += run.block_size as u64;
+            self.stats.block_count_sum += run.blocks as u64;
         }
         self.stats.pipeline_time += compute_time;
         self.stats.overhead_time += overhead_time;
@@ -303,22 +309,152 @@ where
     }
 }
 
-/// Splits triplets into contiguous shares proportional to daemon capacity
-/// factors (faster daemons receive more triplets).
-fn split_by_capacity<V: Clone, E: Clone>(
+/// The agent of one distributed node, driving its daemons serially on the
+/// calling thread.
+#[derive(Debug)]
+pub struct Agent<V> {
+    core: AgentCore<V>,
+    daemons: Vec<Daemon>,
+}
+
+impl<V> Agent<V>
+where
+    V: Clone + PartialEq + Send + Sync,
+{
+    /// Creates an agent for distributed node `node_id`, bridging the given
+    /// daemons to an upper system with runtime profile `profile`.
+    ///
+    /// `local_vertices` sizes the synchronization cache (a configured
+    /// fraction of the node's vertex count).
+    pub fn new(
+        node_id: PartitionId,
+        daemons: Vec<Daemon>,
+        profile: RuntimeProfile,
+        config: MiddlewareConfig,
+        local_vertices: usize,
+    ) -> Self {
+        assert!(!daemons.is_empty(), "an agent needs at least one daemon");
+        Self {
+            core: AgentCore::new(node_id, profile, config, local_vertices),
+            daemons,
+        }
+    }
+
+    /// The distributed node this agent serves.
+    pub fn node_id(&self) -> PartitionId {
+        self.core.node_id()
+    }
+
+    /// The daemons attached to this agent.
+    pub fn daemons(&self) -> &[Daemon] {
+        &self.daemons
+    }
+
+    /// Number of attached daemons.
+    pub fn num_daemons(&self) -> usize {
+        self.daemons.len()
+    }
+
+    /// Total computation capacity factor of the attached daemons.
+    pub fn capacity_factor(&self) -> f64 {
+        self.daemons.iter().map(Daemon::capacity_factor).sum()
+    }
+
+    /// The middleware configuration in force.
+    pub fn config(&self) -> &MiddlewareConfig {
+        self.core.config()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> AgentStats {
+        self.core.stats()
+    }
+
+    /// `connect()`: starts every daemon (device initialisation happens here,
+    /// once per run — runtime isolation).  Returns the summed initialisation
+    /// time, which the runner reports as setup cost.
+    pub fn connect(&mut self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for daemon in &mut self.daemons {
+            total += daemon.start();
+        }
+        self.core.record_init_time(total);
+        total
+    }
+
+    /// `disconnect()`: shuts every daemon down.
+    pub fn disconnect(&mut self) {
+        for daemon in &mut self.daemons {
+            daemon.shutdown();
+        }
+    }
+
+    /// Executes one middleware iteration for this agent's node and returns
+    /// the merged messages plus the timing attribution the cluster driver
+    /// expects.
+    pub fn process_iteration<E, A>(
+        &mut self,
+        node: &mut NodeState<V, E>,
+        algorithm: &A,
+        iteration: usize,
+    ) -> NodeComputeOutput<V, A::Msg>
+    where
+        E: Clone + Send + Sync,
+        A: GraphAlgorithm<V, E>,
+    {
+        let plan = match self.core.begin_iteration(node, iteration) {
+            Some(plan) => plan,
+            None => return NodeComputeOutput::idle(),
+        };
+
+        // ---- compute phase (MSGGen over capacity shares) ---------------------
+        let triplets = node.triplets_for(&plan.active_edge_ids);
+        let capacities: Vec<f64> = self.daemons.iter().map(Daemon::capacity_factor).collect();
+        let shares = split_by_capacity(&triplets, &capacities);
+        let mut raw_messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
+        let mut share_runs: Vec<ShareRun> = Vec::new();
+        for (daemon_index, share) in shares.iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let daemon = &mut self.daemons[daemon_index];
+            let coefficients = daemon.coefficients(self.core.profile());
+            let block_size = self.core.block_size_for(
+                &coefficients,
+                share.len(),
+                daemon.device().cost_model().memory_capacity_items,
+            );
+            let (messages, blocks) = execute_share(daemon, algorithm, share, block_size, iteration);
+            raw_messages.extend(messages);
+            share_runs.push(ShareRun {
+                coefficients,
+                share_len: share.len(),
+                block_size,
+                blocks,
+            });
+        }
+
+        self.core
+            .finish_iteration(node, algorithm, &plan, raw_messages, &share_runs)
+    }
+}
+
+/// Splits triplets into contiguous shares proportional to the daemons'
+/// capacity factors (faster daemons receive more triplets).
+pub(crate) fn split_by_capacity<V: Clone, E: Clone>(
     triplets: &[Triplet<V, E>],
-    daemons: &[Daemon],
+    capacities: &[f64],
 ) -> Vec<Vec<Triplet<V, E>>> {
-    let total_capacity: f64 = daemons.iter().map(Daemon::capacity_factor).sum();
+    let total_capacity: f64 = capacities.iter().sum();
     let d = triplets.len();
-    let mut shares = Vec::with_capacity(daemons.len());
+    let mut shares = Vec::with_capacity(capacities.len());
     let mut offset = 0usize;
-    for (index, daemon) in daemons.iter().enumerate() {
-        let remaining_daemons = daemons.len() - index;
+    for (index, capacity) in capacities.iter().enumerate() {
+        let remaining_daemons = capacities.len() - index;
         let take = if remaining_daemons == 1 {
             d - offset
         } else {
-            ((d as f64) * daemon.capacity_factor() / total_capacity).round() as usize
+            ((d as f64) * capacity / total_capacity).round() as usize
         }
         .min(d - offset);
         shares.push(triplets[offset..offset + take].to_vec());
@@ -521,14 +657,13 @@ mod tests {
 
     #[test]
     fn work_splits_across_daemons_by_capacity() {
-        let keys = KeyGenerator::new(2);
-        let daemons = vec![
-            Daemon::new("gpu", presets::gpu_v100("gpu"), keys.key_for(0, 0)),
-            Daemon::new("cpu", presets::cpu_xeon_20c("cpu"), keys.key_for(0, 1)),
-        ];
-        let triplets: Vec<Triplet<f64, f64>> =
-            (0..100).map(|i| Triplet::new(i, i + 1, 0.0, 0.0, 1.0)).collect();
-        let shares = split_by_capacity(&triplets, &daemons);
+        let gpu = presets::gpu_v100("gpu");
+        let cpu = presets::cpu_xeon_20c("cpu");
+        let capacities = vec![gpu.capacity_factor(), cpu.capacity_factor()];
+        let triplets: Vec<Triplet<f64, f64>> = (0..100)
+            .map(|i| Triplet::new(i, i + 1, 0.0, 0.0, 1.0))
+            .collect();
+        let shares = split_by_capacity(&triplets, &capacities);
         assert_eq!(shares.len(), 2);
         assert_eq!(shares[0].len() + shares[1].len(), 100);
         // The GPU daemon (higher capacity factor) gets the larger share.

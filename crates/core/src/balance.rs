@@ -68,10 +68,10 @@ pub fn estimate_makespan(data_sizes: &[f64], capacity_factors: &[f64]) -> Result
     }
     let mut worst = 0.0f64;
     for (&d, &f) in data_sizes.iter().zip(capacity_factors) {
-        if !(d >= 0.0) || !d.is_finite() {
+        if d < 0.0 || !d.is_finite() {
             return Err(BalanceError::InvalidInput(format!("data size {d}")));
         }
-        if !(f > 0.0) || !f.is_finite() {
+        if f <= 0.0 || !f.is_finite() {
             return Err(BalanceError::InvalidInput(format!("capacity factor {f}")));
         }
         worst = worst.max(d / f);
@@ -87,12 +87,15 @@ pub fn balance_partitioning(capacity_factors: &[f64], total_data: usize) -> Resu
         return Err(BalanceError::NoNodes);
     }
     for &f in capacity_factors {
-        if !(f > 0.0) || !f.is_finite() {
+        if f <= 0.0 || !f.is_finite() {
             return Err(BalanceError::InvalidInput(format!("capacity factor {f}")));
         }
     }
     let total_capacity: f64 = capacity_factors.iter().sum();
-    let weights: Vec<f64> = capacity_factors.iter().map(|f| f / total_capacity).collect();
+    let weights: Vec<f64> = capacity_factors
+        .iter()
+        .map(|f| f / total_capacity)
+        .collect();
     let data_sizes: Vec<f64> = weights.iter().map(|w| w * total_data as f64).collect();
     let optimal_makespan = SimDuration::from_millis(total_data as f64 / total_capacity);
     Ok(PartitionPlan {
@@ -109,7 +112,7 @@ pub fn balance_capacities(data_sizes: &[usize], max_capacity_factor: f64) -> Res
     if data_sizes.is_empty() {
         return Err(BalanceError::NoNodes);
     }
-    if !(max_capacity_factor > 0.0) || !max_capacity_factor.is_finite() {
+    if max_capacity_factor <= 0.0 || !max_capacity_factor.is_finite() {
         return Err(BalanceError::InvalidInput(format!(
             "max capacity factor {max_capacity_factor}"
         )));
@@ -206,8 +209,7 @@ mod tests {
         assert!((plan.capacity_factors[0] - 1.0).abs() < 1e-12);
         assert!((plan.optimal_makespan.as_millis() - 200.0).abs() < 1e-9);
         // The prescription indeed achieves the optimal makespan.
-        let achieved =
-            estimate_makespan(&[200.0, 800.0], &plan.capacity_factors).unwrap();
+        let achieved = estimate_makespan(&[200.0, 800.0], &plan.capacity_factors).unwrap();
         assert!((achieved.as_millis() - plan.optimal_makespan.as_millis()).abs() < 1e-9);
     }
 

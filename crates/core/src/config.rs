@@ -2,9 +2,16 @@
 //!
 //! Every optimisation the paper studies can be toggled independently so the
 //! evaluation harness can reproduce the ablations of §V (pipeline on/off/optimal,
-//! caching on/off, skipping on/off, balancing on/off).
+//! caching on/off, skipping on/off, balancing on/off).  On top of the paper's
+//! knobs, [`MiddlewareConfig::execution`] selects how the runtime schedules
+//! the work on the host: [`ExecutionMode::Threaded`] (the default) runs every
+//! daemon on its own worker thread and every node's agent on its own scoped
+//! thread; [`ExecutionMode::Serial`] runs everything on the calling thread.
+//! Results are identical in both modes.
 
 use serde::{Deserialize, Serialize};
+
+pub use gxplug_engine::cluster::ExecutionMode;
 
 /// How the intra-iteration pipeline is configured (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +51,9 @@ pub struct MiddlewareConfig {
     /// Fraction of a node's local vertices the agent cache may hold
     /// (in `(0, 1]`).
     pub cache_capacity_fraction: f64,
+    /// How the runtime schedules daemons and agents on the host (threaded by
+    /// default; serial execution produces identical results).
+    pub execution: ExecutionMode,
 }
 
 impl Default for MiddlewareConfig {
@@ -54,6 +64,7 @@ impl Default for MiddlewareConfig {
             lazy_upload: true,
             skipping: true,
             cache_capacity_fraction: 0.5,
+            execution: ExecutionMode::Threaded,
         }
     }
 }
@@ -65,7 +76,8 @@ impl MiddlewareConfig {
     }
 
     /// A configuration with every optimisation disabled: the naive
-    /// daemon-agent integration the paper's ablations compare against.
+    /// daemon-agent integration the paper's ablations compare against
+    /// (single-threaded, like the naive integration's blocking calls).
     pub fn baseline() -> Self {
         Self {
             pipeline: PipelineMode::Disabled,
@@ -73,6 +85,7 @@ impl MiddlewareConfig {
             lazy_upload: false,
             skipping: false,
             cache_capacity_fraction: 0.5,
+            execution: ExecutionMode::Serial,
         }
     }
 
@@ -95,6 +108,12 @@ impl MiddlewareConfig {
     /// Enables or disables synchronization skipping.
     pub fn with_skipping(mut self, skipping: bool) -> Self {
         self.skipping = skipping;
+        self
+    }
+
+    /// Selects serial or threaded execution of daemons and agents.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -156,5 +175,19 @@ mod tests {
     #[should_panic]
     fn invalid_cache_fraction_is_rejected() {
         let _ = MiddlewareConfig::default().with_cache_capacity_fraction(0.0);
+    }
+
+    #[test]
+    fn execution_mode_defaults_and_overrides() {
+        assert_eq!(
+            MiddlewareConfig::default().execution,
+            ExecutionMode::Threaded
+        );
+        assert_eq!(
+            MiddlewareConfig::baseline().execution,
+            ExecutionMode::Serial
+        );
+        let config = MiddlewareConfig::baseline().with_execution(ExecutionMode::Threaded);
+        assert_eq!(config.execution, ExecutionMode::Threaded);
     }
 }

@@ -11,14 +11,162 @@
 //! resulting messages, and `MSGApply` over vertex blocks.
 
 use crate::pipeline::block_size::PipelineCoefficients;
-use gxplug_accel::{AccelError, Device, DeviceKind, KernelTiming, SimDuration};
+use gxplug_accel::{AccelError, CostModel, Device, DeviceKind, KernelTiming, SimDuration};
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::types::{Triplet, VertexId};
 use gxplug_ipc::blocks::TripletBlock;
 use gxplug_ipc::channel::ControlLink;
 use gxplug_ipc::key::IpcKey;
-use gxplug_graph::types::VertexId;
 use std::collections::HashMap;
+
+/// Immutable description of a daemon: everything an agent needs to plan work
+/// for it — splitting shares by capacity, choosing block sizes, attributing
+/// pipeline time — without touching the daemon itself.
+///
+/// This is what makes the threaded runtime possible: while the [`Daemon`]
+/// lives on its worker thread, the agent keeps a `DaemonInfo` snapshot and
+/// plans against it, sending only the actual kernel work across the thread
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct DaemonInfo {
+    name: String,
+    kind: DeviceKind,
+    key: IpcKey,
+    capacity_factor: f64,
+    cost: CostModel,
+}
+
+impl DaemonInfo {
+    /// Snapshots the metadata of `daemon`.
+    pub fn of(daemon: &Daemon) -> Self {
+        Self {
+            name: daemon.name.clone(),
+            kind: daemon.kind(),
+            key: daemon.key(),
+            capacity_factor: daemon.capacity_factor(),
+            cost: *daemon.device().cost_model(),
+        }
+    }
+
+    /// Daemon name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped device's kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The IPC key of the daemon's shared memory space.
+    pub fn key(&self) -> IpcKey {
+        self.key
+    }
+
+    /// The device's computation capacity factor `1/c_j`.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// The device's memory capacity in items, if bounded.
+    pub fn memory_capacity_items(&self) -> Option<usize> {
+        self.cost.memory_capacity_items
+    }
+
+    /// Derives the Lemma-1 pipeline coefficients of this daemon when driven
+    /// by an upper system with the given runtime profile.
+    pub fn coefficients(&self, profile: &RuntimeProfile) -> PipelineCoefficients {
+        coefficients_for(&self.cost, profile)
+    }
+}
+
+/// The Lemma-1 coefficients of a device cost model under a runtime profile:
+/// `k1`/`k3` come from the upper system's per-item transfer costs, `k2` and
+/// `a` from the device.
+fn coefficients_for(cost: &CostModel, profile: &RuntimeProfile) -> PipelineCoefficients {
+    PipelineCoefficients::new(
+        profile.per_item_download.as_millis().max(1e-9),
+        cost.per_item_cost().as_millis().max(1e-9),
+        profile.per_item_upload.as_millis().max(1e-9),
+        cost.call.as_millis().max(0.0),
+    )
+}
+
+/// What one `MSGGen` kernel launch produces: the generated messages plus the
+/// device timing attribution.
+pub type GenOutput<M> = (Vec<AddressedMessage<M>>, KernelTiming);
+
+/// `MSGMerge` as a pure function: combines messages addressed to the same
+/// vertex, preserving first-seen target order for determinism.  The merge is
+/// memory-bound host work, so it does not need a device; both the serial
+/// [`Agent`](crate::Agent) and the threaded runtime call this directly.
+pub fn merge_addressed<V, E, A>(
+    algorithm: &A,
+    messages: Vec<AddressedMessage<A::Msg>>,
+) -> Vec<AddressedMessage<A::Msg>>
+where
+    A: GraphAlgorithm<V, E>,
+{
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+    for message in messages {
+        match merged.remove(&message.target) {
+            Some(existing) => {
+                let combined = algorithm.msg_merge(existing, message.payload);
+                merged.insert(message.target, combined);
+            }
+            None => {
+                order.push(message.target);
+                merged.insert(message.target, message.payload);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|target| {
+            let payload = merged.remove(&target).expect("target recorded in order");
+            AddressedMessage::new(target, payload)
+        })
+        .collect()
+}
+
+/// Runs `MSGGen` over one capacity share of triplets, chunked into blocks of
+/// `block_size`.  Returns the generated messages (in block order) and the
+/// number of blocks launched.  This is the unit of work an agent hands to a
+/// daemon — on the calling thread in serial mode, on the daemon's worker
+/// thread in threaded mode.
+///
+/// # Panics
+/// Panics if a block exceeds the device memory (callers bound `block_size` by
+/// the device capacity, so this indicates a planning bug).
+pub fn execute_share<V, E, A>(
+    daemon: &mut Daemon,
+    algorithm: &A,
+    share: &[Triplet<V, E>],
+    block_size: usize,
+    iteration: usize,
+) -> (Vec<AddressedMessage<A::Msg>>, usize)
+where
+    V: Clone,
+    E: Clone,
+    A: GraphAlgorithm<V, E>,
+{
+    let mut messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
+    let mut blocks = 0usize;
+    for (index, chunk) in share.chunks(block_size.max(1)).enumerate() {
+        let block = TripletBlock {
+            index,
+            triplets: chunk.to_vec(),
+        };
+        let (generated, _timing) = daemon
+            .execute_gen(algorithm, &block, iteration)
+            .expect("block size is bounded by device memory");
+        messages.extend(generated);
+        blocks += 1;
+    }
+    (messages, blocks)
+}
 
 /// Cumulative per-daemon counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,17 +269,16 @@ impl Daemon {
         self.device.shutdown();
     }
 
-    /// Derives the Lemma-1 pipeline coefficients of this agent–daemon pair:
-    /// `k1`/`k3` come from the upper system's per-item transfer costs, `k2`
-    /// and `a` from the device's cost model.
+    /// Snapshots the planning metadata of this daemon (see [`DaemonInfo`]).
+    pub fn info(&self) -> DaemonInfo {
+        DaemonInfo::of(self)
+    }
+
+    /// Derives the Lemma-1 pipeline coefficients of this agent–daemon pair
+    /// (no snapshot is built: this sits in the serial agent's per-iteration
+    /// loop).
     pub fn coefficients(&self, profile: &RuntimeProfile) -> PipelineCoefficients {
-        let cost = self.device.cost_model();
-        PipelineCoefficients::new(
-            profile.per_item_download.as_millis().max(1e-9),
-            cost.per_item_cost().as_millis().max(1e-9),
-            profile.per_item_upload.as_millis().max(1e-9),
-            cost.call.as_millis().max(0.0),
-        )
+        coefficients_for(self.device.cost_model(), profile)
     }
 
     /// `MSGGen` over one triplet block: runs the kernel on the device and
@@ -141,13 +288,13 @@ impl Daemon {
         algorithm: &A,
         block: &TripletBlock<V, E>,
         iteration: usize,
-    ) -> Result<(Vec<AddressedMessage<A::Msg>>, KernelTiming), AccelError>
+    ) -> Result<GenOutput<A::Msg>, AccelError>
     where
         A: GraphAlgorithm<V, E>,
     {
-        let run = self
-            .device
-            .execute_batch(&block.triplets, |triplet| algorithm.msg_gen(triplet, iteration))?;
+        let run = self.device.execute_batch(&block.triplets, |triplet| {
+            algorithm.msg_gen(triplet, iteration)
+        })?;
         self.stats.kernel_launches += 1;
         self.stats.triplets_processed += block.triplets.len() as u64;
         let messages: Vec<AddressedMessage<A::Msg>> = run.outputs.into_iter().flatten().collect();
@@ -157,7 +304,8 @@ impl Daemon {
 
     /// `MSGMerge`: combines messages addressed to the same vertex.  The merge
     /// runs on the daemon's host side (it is memory-bound, not compute-bound)
-    /// and preserves first-seen target order for determinism.
+    /// and preserves first-seen target order for determinism.  Delegates to
+    /// the free function [`merge_addressed`].
     pub fn merge_messages<V, E, A>(
         &mut self,
         algorithm: &A,
@@ -166,27 +314,7 @@ impl Daemon {
     where
         A: GraphAlgorithm<V, E>,
     {
-        let mut order: Vec<VertexId> = Vec::new();
-        let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
-        for message in messages {
-            match merged.remove(&message.target) {
-                Some(existing) => {
-                    let combined = algorithm.msg_merge(existing, message.payload);
-                    merged.insert(message.target, combined);
-                }
-                None => {
-                    order.push(message.target);
-                    merged.insert(message.target, message.payload);
-                }
-            }
-        }
-        order
-            .into_iter()
-            .map(|target| {
-                let payload = merged.remove(&target).expect("target recorded in order");
-                AddressedMessage::new(target, payload)
-            })
-            .collect()
+        merge_addressed(algorithm, messages)
     }
 
     /// `MSGApply` over a batch of `(vertex, current value, merged message)`
@@ -202,11 +330,13 @@ impl Daemon {
         V: Clone,
         A: GraphAlgorithm<V, E>,
     {
-        let run = self.device.execute_batch(batch, |(vertex, current, message)| {
-            algorithm
-                .msg_apply(*vertex, current, message, iteration)
-                .map(|new_value| (*vertex, new_value))
-        })?;
+        let run = self
+            .device
+            .execute_batch(batch, |(vertex, current, message)| {
+                algorithm
+                    .msg_apply(*vertex, current, message, iteration)
+                    .map(|new_value| (*vertex, new_value))
+            })?;
         self.stats.kernel_launches += 1;
         let updated: Vec<(VertexId, V)> = run.outputs.into_iter().flatten().collect();
         self.stats.vertices_applied += updated.len() as u64;

@@ -21,6 +21,30 @@
 //! * **beyond-iteration** — [`balance`]: the Lemma-2 / Lemma-3 workload
 //!   balancing prescriptions and device-to-node assignment.
 //!
+//! # The threaded runtime
+//!
+//! By default the middleware executes *concurrently*, matching the process
+//! structure of the paper rather than simulating it:
+//!
+//! * every daemon lives on its own OS worker thread for the whole run
+//!   ([`runtime::DaemonHandle`]: spawn / submit / join, panic-safe shutdown),
+//!   so device contexts stay alive across iterations on their own threads
+//!   (runtime isolation, §IV-C);
+//! * an agent dispatches each daemon's capacity share as a job and collects
+//!   the results afterwards ([`runtime::ThreadedAgent`]), so the daemons of a
+//!   node compute their blocks concurrently and the 3-layer pipeline shuffle
+//!   genuinely overlaps transfers with computation;
+//! * the cluster's per-node compute phase fans out across scoped threads
+//!   within each superstep ([`runtime::ThreadedNodes`]), with the BSP barrier
+//!   and metric aggregation joining in node order.
+//!
+//! The [`config::ExecutionMode`] switch in [`MiddlewareConfig`] selects
+//! between this threaded runtime and a serial one running the identical
+//! logic on the calling thread; shares are split, dispatched and merged in a
+//! fixed order, so the two modes produce **bit-identical** results (the
+//! `determinism` integration test runs PageRank and SSSP both ways and
+//! compares exactly).
+//!
 //! [`runner`] ties everything together into end-to-end accelerated runs that
 //! share the engine's cluster driver with the native baselines.
 
@@ -34,6 +58,7 @@ pub mod daemon;
 pub mod metrics;
 pub mod pipeline;
 pub mod runner;
+pub mod runtime;
 pub mod sync_cache;
 
 pub use agent::Agent;
@@ -41,9 +66,10 @@ pub use balance::{
     assign_devices_to_nodes, balance_capacities, balance_partitioning, estimate_makespan,
     BalanceError, CapacityPlan, PartitionPlan,
 };
-pub use config::{MiddlewareConfig, PipelineMode};
-pub use daemon::{Daemon, DaemonStats};
+pub use config::{ExecutionMode, MiddlewareConfig, PipelineMode};
+pub use daemon::{merge_addressed, Daemon, DaemonInfo, DaemonStats};
 pub use metrics::AgentStats;
 pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
-pub use runner::{run_accelerated, run_native, system_label, RunOutcome};
+pub use runner::{run_accelerated, run_native, run_native_mode, system_label, RunOutcome};
+pub use runtime::{DaemonHandle, DaemonJob, RuntimeError, ThreadedAgent, ThreadedNodes};
 pub use sync_cache::{CacheStats, GlobalSyncQueues, VertexCache};

@@ -201,7 +201,10 @@ impl PipelineCoefficients {
             b_opt.ceil().max(1.0) as usize,
         ];
         let s_opt = d_f / b_opt.max(1.0);
-        for s in [s_opt.floor().max(1.0) as usize, s_opt.ceil().max(1.0) as usize] {
+        for s in [
+            s_opt.floor().max(1.0) as usize,
+            s_opt.ceil().max(1.0) as usize,
+        ] {
             if s >= 1 {
                 candidates.push(d.div_ceil(s));
             }

@@ -13,15 +13,19 @@
 //!   coordinate with `ExchangeFinished` / `RotateFinished` /
 //!   `ComputeFinished` / `ComputeAllFinished` control messages.
 //!
-//! The benchmark harness uses the analytic model of [`super::block_size`] for
-//! host-independent timing; these implementations exist to prove the
-//! mechanism works and to exercise the IPC substrate end to end.
+//! Both are built entirely on `std` scoped threads and the `Send + Sync`
+//! primitives of `gxplug-ipc`, the same substrate the threaded daemon
+//! runtime ([`crate::runtime`]) runs on.  The benchmark harness uses the
+//! analytic model of [`super::block_size`] for host-independent timing; these
+//! implementations exist to prove the mechanism works and to exercise the
+//! IPC substrate end to end.
 
-use crossbeam::channel::bounded;
 use gxplug_ipc::channel::{control_link_pair, ControlLink};
 use gxplug_ipc::key::IpcKey;
 use gxplug_ipc::messages::ControlMessage;
 use gxplug_ipc::segment::SharedSegment;
+use std::sync::mpsc::sync_channel;
+use std::thread;
 
 /// Statistics of one pipeline execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,11 +45,7 @@ pub struct PipelineRunStats {
 ///
 /// `compute` maps each item; `upload` receives each computed block in order.
 /// Returns statistics about the run.
-pub fn run_pipeline<T, R, C, U>(
-    blocks: Vec<Vec<T>>,
-    compute: C,
-    mut upload: U,
-) -> PipelineRunStats
+pub fn run_pipeline<T, R, C, U>(blocks: Vec<Vec<T>>, compute: C, mut upload: U) -> PipelineRunStats
 where
     T: Send,
     R: Send,
@@ -62,11 +62,13 @@ where
     }
     // Single-slot channels model the single in-flight block per layer of the
     // rotation scheme.
-    let (to_compute_tx, to_compute_rx) = bounded::<Vec<T>>(1);
-    let (to_upload_tx, to_upload_rx) = bounded::<Vec<R>>(1);
-    crossbeam::scope(|scope| {
+    let (to_compute_tx, to_compute_rx) = sync_channel::<Vec<T>>(1);
+    let (to_upload_tx, to_upload_rx) = sync_channel::<Vec<R>>(1);
+    // Scoped threads: panics propagate when the scope joins, and the closures
+    // may borrow `compute` without `'static` gymnastics.
+    thread::scope(|scope| {
         // Thread.Download: feeds blocks into the compute layer.
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for block in blocks {
                 if to_compute_tx.send(block).is_err() {
                     return;
@@ -75,7 +77,7 @@ where
         });
         // Thread.Compute: transforms each block and hands it to the uploader.
         let compute_ref = &compute;
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for block in to_compute_rx.iter() {
                 let out: Vec<R> = block.iter().map(compute_ref).collect();
                 if to_upload_tx.send(out).is_err() {
@@ -87,8 +89,7 @@ where
         for block in to_upload_rx.iter() {
             upload(block);
         }
-    })
-    .expect("pipeline threads must not panic");
+    });
     stats
 }
 
@@ -145,10 +146,10 @@ where
     let daemon_zones: Vec<SharedSegment<T>> = zones.clone();
 
     let mut uploaded: Vec<Vec<T>> = Vec::with_capacity(blocks.len());
-    crossbeam::scope(|scope| {
+    thread::scope(|scope| {
         // ---- Daemon side (Algorithm 1) ----
         let compute_ref = &compute;
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             daemon_loop(&daemon_link, &daemon_zones, compute_ref);
         });
 
@@ -204,8 +205,7 @@ where
             }
         }
         stats.control_messages += agent_link.sent_count() as usize;
-    })
-    .expect("shuffle protocol threads must not panic");
+    });
     (uploaded, stats)
 }
 

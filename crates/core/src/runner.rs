@@ -1,16 +1,24 @@
 //! End-to-end accelerated execution.
 //!
 //! The runner wires everything together: it builds a simulated cluster from a
-//! graph and a partitioning, creates one [`Agent`] per distributed node with
-//! the daemons (devices) assigned to that node, and drives the iteration loop
+//! graph and a partitioning, creates one agent per distributed node with the
+//! daemons (devices) assigned to that node, and drives the iteration loop
 //! through the engine's cluster driver — so native and accelerated runs share
 //! the same synchronisation, activity tracking and metric collection and are
 //! compared apples to apples.
+//!
+//! [`MiddlewareConfig::execution`] selects the runtime: in the default
+//! [`ExecutionMode::Threaded`], every daemon runs on its own worker thread
+//! ([`crate::runtime::DaemonHandle`]) and every node's compute phase runs on
+//! its own scoped thread per superstep ([`crate::runtime::ThreadedNodes`]);
+//! [`ExecutionMode::Serial`] drives the same logic on the calling thread.
+//! The two modes produce bit-identical results.
 
 use crate::agent::Agent;
-use crate::config::MiddlewareConfig;
+use crate::config::{ExecutionMode, MiddlewareConfig};
 use crate::daemon::Daemon;
 use crate::metrics::AgentStats;
+use crate::runtime::{ThreadedAgent, ThreadedNodes};
 use gxplug_accel::{Device, DeviceKind, SimDuration};
 use gxplug_engine::cluster::{Cluster, SyncPolicy};
 use gxplug_engine::metrics::RunReport;
@@ -20,6 +28,7 @@ use gxplug_engine::template::GraphAlgorithm;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
 use gxplug_ipc::key::KeyGenerator;
+use std::thread;
 
 /// The outcome of an accelerated (or native) run.
 #[derive(Debug, Clone)]
@@ -55,7 +64,9 @@ pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<Device>]) 
     format!("{}+{}", profile.name, accel)
 }
 
-/// Runs `algorithm` natively (no accelerators) on a simulated cluster.
+/// Runs `algorithm` natively (no accelerators) on a simulated cluster, with
+/// the nodes of each superstep computing concurrently (the default
+/// [`ExecutionMode::Threaded`]).
 pub fn run_native<V, E, A>(
     graph: &PropertyGraph<V, E>,
     partitioning: Partitioning,
@@ -70,8 +81,37 @@ where
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
+    run_native_mode(
+        graph,
+        partitioning,
+        algorithm,
+        profile,
+        network,
+        dataset,
+        max_iterations,
+        ExecutionMode::default(),
+    )
+}
+
+/// [`run_native`] with an explicit [`ExecutionMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_native_mode<V, E, A>(
+    graph: &PropertyGraph<V, E>,
+    partitioning: Partitioning,
+    algorithm: &A,
+    profile: RuntimeProfile,
+    network: NetworkModel,
+    dataset: &str,
+    max_iterations: usize,
+    mode: ExecutionMode,
+) -> RunOutcome<V>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
     let mut cluster = Cluster::build(graph, partitioning, algorithm, profile, network);
-    let report = cluster.run_native(algorithm, dataset, max_iterations);
+    let report = cluster.run_native_mode(algorithm, dataset, max_iterations, mode);
     let values = cluster.collect_values();
     RunOutcome {
         report,
@@ -80,13 +120,35 @@ where
     }
 }
 
+/// Builds the named daemons of one node from its device list.
+fn daemons_for_node(
+    key_generator: &KeyGenerator,
+    node_id: usize,
+    devices: Vec<Device>,
+) -> Vec<Daemon> {
+    devices
+        .into_iter()
+        .enumerate()
+        .map(|(daemon_index, device)| {
+            let key = key_generator.key_for(node_id, daemon_index);
+            Daemon::new(format!("node{node_id}-daemon{daemon_index}"), device, key)
+        })
+        .collect()
+}
+
 /// Runs `algorithm` through the GX-Plug middleware: one agent per distributed
 /// node, with the devices in `devices_per_node[j]` plugged into node `j` as
 /// daemons.
 ///
+/// `config.execution` selects the runtime.  In the default
+/// [`ExecutionMode::Threaded`], every daemon computes on its own worker
+/// thread and nodes advance in parallel within each superstep; results are
+/// bit-identical to [`ExecutionMode::Serial`].
+///
 /// # Panics
 /// Panics if `devices_per_node` does not have one (possibly empty is not
-/// allowed) device list per partition.
+/// allowed) device list per partition, or if a daemon worker panics while
+/// computing (the worker's panic is propagated).
 #[allow(clippy::too_many_arguments)]
 pub fn run_accelerated<V, E, A>(
     graph: &PropertyGraph<V, E>,
@@ -115,28 +177,74 @@ where
     );
     let system = system_label(&profile, &devices_per_node);
     let mut cluster = Cluster::build(graph, partitioning, algorithm, profile, network);
-
-    // One agent per node, one daemon per device, with System-V-style keys.
+    let sync_policy = if config.skipping {
+        SyncPolicy::SkipWhenLocal
+    } else {
+        SyncPolicy::AlwaysSync
+    };
     let key_generator = KeyGenerator::new(0xC1);
+
+    let (report, agent_stats) = match config.execution {
+        ExecutionMode::Serial => run_agents_serial(
+            &mut cluster,
+            algorithm,
+            profile,
+            config,
+            devices_per_node,
+            &key_generator,
+            dataset,
+            &system,
+            max_iterations,
+            sync_policy,
+        ),
+        ExecutionMode::Threaded => run_agents_threaded(
+            &mut cluster,
+            algorithm,
+            profile,
+            config,
+            devices_per_node,
+            &key_generator,
+            dataset,
+            &system,
+            max_iterations,
+            sync_policy,
+        ),
+    };
+    let values = cluster.collect_values();
+    RunOutcome {
+        report,
+        agent_stats,
+        values,
+    }
+}
+
+/// The serial middleware path: agents own their daemons and drive them on the
+/// calling thread.
+#[allow(clippy::too_many_arguments)]
+fn run_agents_serial<V, E, A>(
+    cluster: &mut Cluster<V, E>,
+    algorithm: &A,
+    profile: RuntimeProfile,
+    config: MiddlewareConfig,
+    devices_per_node: Vec<Vec<Device>>,
+    key_generator: &KeyGenerator,
+    dataset: &str,
+    system: &str,
+    max_iterations: usize,
+    sync_policy: SyncPolicy,
+) -> (RunReport, Vec<AgentStats>)
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
     let mut agents: Vec<Agent<V>> = devices_per_node
         .into_iter()
         .enumerate()
         .map(|(node_id, devices)| {
-            let daemons: Vec<Daemon> = devices
-                .into_iter()
-                .enumerate()
-                .map(|(daemon_index, device)| {
-                    let key = key_generator.key_for(node_id, daemon_index);
-                    Daemon::new(
-                        format!("node{node_id}-daemon{daemon_index}"),
-                        device,
-                        key,
-                    )
-                })
-                .collect();
             Agent::new(
                 node_id,
-                daemons,
+                daemons_for_node(key_generator, node_id, devices),
                 profile,
                 config,
                 cluster.node(node_id).num_vertices(),
@@ -151,30 +259,86 @@ where
         .map(Agent::connect)
         .fold(SimDuration::ZERO, SimDuration::max);
 
-    let sync_policy = if config.skipping {
-        SyncPolicy::SkipWhenLocal
-    } else {
-        SyncPolicy::AlwaysSync
-    };
     let report = cluster.run_custom(
         algorithm,
         dataset,
-        &system,
+        system,
         max_iterations,
         sync_policy,
         setup,
         |node, iteration| agents[node.id()].process_iteration(node, algorithm, iteration),
     );
-    let values = cluster.collect_values();
     let agent_stats = agents.iter().map(Agent::stats).collect();
     for agent in &mut agents {
         agent.disconnect();
     }
-    RunOutcome {
-        report,
-        agent_stats,
-        values,
-    }
+    (report, agent_stats)
+}
+
+/// The threaded middleware path: a scoped thread per daemon for the whole
+/// run, plus a scoped thread per node within each superstep.
+#[allow(clippy::too_many_arguments)]
+fn run_agents_threaded<V, E, A>(
+    cluster: &mut Cluster<V, E>,
+    algorithm: &A,
+    profile: RuntimeProfile,
+    config: MiddlewareConfig,
+    devices_per_node: Vec<Vec<Device>>,
+    key_generator: &KeyGenerator,
+    dataset: &str,
+    system: &str,
+    max_iterations: usize,
+    sync_policy: SyncPolicy,
+) -> (RunReport, Vec<AgentStats>)
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    thread::scope(|scope| {
+        let mut agents: Vec<ThreadedAgent<'_, '_, V>> = devices_per_node
+            .into_iter()
+            .enumerate()
+            .map(|(node_id, devices)| {
+                ThreadedAgent::spawn(
+                    scope,
+                    node_id,
+                    daemons_for_node(key_generator, node_id, devices),
+                    profile,
+                    config,
+                    cluster.node(node_id).num_vertices(),
+                )
+            })
+            .collect();
+
+        let setup = agents
+            .iter_mut()
+            .map(ThreadedAgent::connect)
+            .fold(SimDuration::ZERO, SimDuration::max);
+
+        let mut phase = ThreadedNodes {
+            agents: &mut agents,
+            algorithm,
+        };
+        let report = cluster.run_phased(
+            algorithm,
+            dataset,
+            system,
+            max_iterations,
+            sync_policy,
+            setup,
+            &mut phase,
+        );
+        let agent_stats = agents.iter().map(ThreadedAgent::stats).collect();
+        for agent in &mut agents {
+            agent.disconnect();
+        }
+        // Join every daemon worker; a worker that panicked re-raises here.
+        for agent in agents {
+            let _daemons = agent.join();
+        }
+        (report, agent_stats)
+    })
 }
 
 #[cfg(test)]
@@ -276,7 +440,9 @@ mod tests {
     #[test]
     fn gpu_acceleration_beats_native_powergraph() {
         let graph = test_graph();
-        let algorithm = Sssp { sources: vec![0, 1, 2, 3] };
+        let algorithm = Sssp {
+            sources: vec![0, 1, 2, 3],
+        };
         let parts = 2;
         let partitioning = GreedyVertexCutPartitioner::default()
             .partition(&graph, parts)

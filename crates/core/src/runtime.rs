@@ -1,0 +1,515 @@
+//! The threaded daemon–agent runtime.
+//!
+//! The paper's daemons "work as independent processes" (§IV-C); this module
+//! gives the reproduction real concurrency instead of a single-threaded
+//! simulation of it:
+//!
+//! * [`DaemonHandle`] runs one [`Daemon`] on its own OS worker thread for the
+//!   whole lifetime of a run (runtime isolation: the device context is
+//!   created once and stays alive across iterations).  Work is submitted as
+//!   jobs over the `Send + Sync` queue of `gxplug-ipc`; [`DaemonHandle::join`]
+//!   recovers the daemon — or the panic payload if a kernel panicked.
+//! * [`ThreadedAgent`] is the threaded front-end of the agent: it plans an
+//!   iteration exactly like the serial [`Agent`](crate::Agent) (same
+//!   download/cache/merge/upload/timing code via `AgentCore`), but dispatches
+//!   every daemon's capacity share as a job and only then collects the
+//!   results — so all daemons of a node genuinely compute concurrently, the
+//!   overlap the §III pipeline shuffle is designed around.
+//! * [`ThreadedNodes`] is the cluster-level
+//!   [`ComputePhase`](gxplug_engine::cluster::ComputePhase): one scoped
+//!   thread per distributed node per superstep, joined in node order at the
+//!   BSP barrier.
+//!
+//! Determinism: shares are split, dispatched and collected in daemon-index
+//! order, and node outputs are joined in node order, so a threaded run
+//! produces bit-identical results to a serial run (covered by the
+//! `determinism` integration test).
+//!
+//! Worker threads are *scoped* (`std::thread::scope`), which is what lets
+//! jobs borrow the algorithm and the iteration's data without `'static`
+//! bounds or reference counting; the scope guarantees every worker is joined
+//! before the borrowed data goes away.
+
+use crate::agent::{split_by_capacity, AgentCore, ShareRun};
+use crate::config::MiddlewareConfig;
+use crate::daemon::{execute_share, Daemon, DaemonInfo, DaemonStats};
+use crate::metrics::AgentStats;
+use gxplug_accel::SimDuration;
+use gxplug_engine::cluster::{ComputePhase, NodeComputeOutput};
+use gxplug_engine::node::NodeState;
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::types::PartitionId;
+use gxplug_ipc::queue::{sync_queue, QueueSender};
+use std::fmt;
+use std::panic::resume_unwind;
+use std::sync::mpsc;
+use std::thread::{Scope, ScopedJoinHandle};
+
+/// Errors surfaced by the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The daemon's worker thread is no longer accepting work (it panicked or
+    /// was shut down).
+    DaemonStopped {
+        /// Name of the unavailable daemon.
+        name: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DaemonStopped { name } => {
+                write!(f, "daemon '{name}' has stopped and no longer accepts work")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A unit of work executed on a daemon's worker thread.
+pub type DaemonJob<'env> = Box<dyn FnOnce(&mut Daemon) + Send + 'env>;
+
+/// A [`Daemon`] running on its own OS worker thread.
+///
+/// The worker owns the daemon for the duration of the enclosing
+/// [`std::thread::scope`]; the handle keeps a [`DaemonInfo`] snapshot so
+/// agents can plan (capacity split, block sizing, timing) without crossing
+/// the thread boundary.  Lifecycle:
+///
+/// 1. [`DaemonHandle::spawn`] moves the daemon onto a new worker thread;
+/// 2. [`DaemonHandle::submit`] enqueues fire-and-forget jobs,
+///    [`DaemonHandle::call`] runs a job and blocks for its result;
+/// 3. [`DaemonHandle::join`] closes the job queue, joins the worker and
+///    returns the daemon (or the panic payload of a job that panicked).
+///
+/// Panic safety: a panicking job unwinds its worker thread, which drops the
+/// job queue receiver.  Pending [`DaemonHandle::call`]s then observe the
+/// disconnect and return [`RuntimeError::DaemonStopped`] instead of hanging,
+/// and [`DaemonHandle::join`] yields `Err(payload)` so the panic can be
+/// propagated with [`std::panic::resume_unwind`].
+#[derive(Debug)]
+pub struct DaemonHandle<'scope, 'env> {
+    info: DaemonInfo,
+    jobs: QueueSender<DaemonJob<'env>>,
+    worker: ScopedJoinHandle<'scope, Daemon>,
+}
+
+impl<'scope, 'env> DaemonHandle<'scope, 'env> {
+    /// Moves `daemon` onto a new worker thread spawned on `scope`.
+    pub fn spawn(scope: &'scope Scope<'scope, 'env>, daemon: Daemon) -> Self {
+        let info = daemon.info();
+        let (jobs, job_rx) = sync_queue::<DaemonJob<'env>>();
+        let worker = scope.spawn(move || {
+            let mut daemon = daemon;
+            // The loop ends when every sender is dropped (normal shutdown) —
+            // or by unwinding out of a panicking job, in which case `job_rx`
+            // is dropped mid-loop and waiting callers observe the disconnect.
+            while let Ok(job) = job_rx.recv() {
+                job(&mut daemon);
+            }
+            daemon
+        });
+        Self { info, jobs, worker }
+    }
+
+    /// The planning metadata snapshot of the daemon.
+    pub fn info(&self) -> &DaemonInfo {
+        &self.info
+    }
+
+    /// Enqueues a job without waiting for it.
+    pub fn submit(&self, job: impl FnOnce(&mut Daemon) + Send + 'env) -> Result<(), RuntimeError> {
+        self.jobs
+            .send(Box::new(job))
+            .map_err(|_| RuntimeError::DaemonStopped {
+                name: self.info.name().to_string(),
+            })
+    }
+
+    /// Runs `f` on the daemon thread and blocks until its result arrives.
+    pub fn call<R, F>(&self, f: F) -> Result<R, RuntimeError>
+    where
+        R: Send + 'env,
+        F: FnOnce(&mut Daemon) -> R + Send + 'env,
+    {
+        let (reply_tx, reply_rx) = mpsc::channel::<R>();
+        self.submit(move |daemon| {
+            let _ = reply_tx.send(f(daemon));
+        })?;
+        reply_rx.recv().map_err(|_| RuntimeError::DaemonStopped {
+            name: self.info.name().to_string(),
+        })
+    }
+
+    /// Cumulative statistics of the daemon (a blocking round-trip).
+    pub fn stats(&self) -> Result<DaemonStats, RuntimeError> {
+        self.call(|daemon| daemon.stats())
+    }
+
+    /// Closes the job queue and joins the worker, returning the daemon, or
+    /// the panic payload of the job that killed the worker.
+    pub fn join(self) -> std::thread::Result<Daemon> {
+        let DaemonHandle { jobs, worker, .. } = self;
+        drop(jobs);
+        worker.join()
+    }
+}
+
+/// The threaded front-end of an agent: same planning and bookkeeping as the
+/// serial [`Agent`](crate::Agent), with every daemon behind a
+/// [`DaemonHandle`] so capacity shares execute concurrently.
+#[derive(Debug)]
+pub struct ThreadedAgent<'scope, 'env, V> {
+    core: AgentCore<V>,
+    handles: Vec<DaemonHandle<'scope, 'env>>,
+}
+
+impl<'scope, 'env, V> ThreadedAgent<'scope, 'env, V>
+where
+    V: Clone + PartialEq + Send + Sync + 'env,
+{
+    /// Creates the agent for distributed node `node_id` and spawns one worker
+    /// thread per daemon on `scope`.
+    pub fn spawn(
+        scope: &'scope Scope<'scope, 'env>,
+        node_id: PartitionId,
+        daemons: Vec<Daemon>,
+        profile: RuntimeProfile,
+        config: MiddlewareConfig,
+        local_vertices: usize,
+    ) -> Self {
+        assert!(!daemons.is_empty(), "an agent needs at least one daemon");
+        let handles = daemons
+            .into_iter()
+            .map(|daemon| DaemonHandle::spawn(scope, daemon))
+            .collect();
+        Self {
+            core: AgentCore::new(node_id, profile, config, local_vertices),
+            handles,
+        }
+    }
+
+    /// The distributed node this agent serves.
+    pub fn node_id(&self) -> PartitionId {
+        self.core.node_id()
+    }
+
+    /// Number of attached daemons.
+    pub fn num_daemons(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Planning metadata of the attached daemons.
+    pub fn daemon_infos(&self) -> Vec<&DaemonInfo> {
+        self.handles.iter().map(DaemonHandle::info).collect()
+    }
+
+    /// Total computation capacity factor of the attached daemons.
+    pub fn capacity_factor(&self) -> f64 {
+        self.handles
+            .iter()
+            .map(|h| h.info().capacity_factor())
+            .sum()
+    }
+
+    /// The middleware configuration in force.
+    pub fn config(&self) -> &MiddlewareConfig {
+        self.core.config()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> AgentStats {
+        self.core.stats()
+    }
+
+    /// `connect()`: initialises every daemon's device context, concurrently
+    /// across the worker threads, once per run (runtime isolation).  Returns
+    /// the summed initialisation time.
+    pub fn connect(&mut self) -> SimDuration {
+        let replies: Vec<_> = self
+            .handles
+            .iter()
+            .map(|handle| {
+                let (tx, rx) = mpsc::channel::<SimDuration>();
+                handle
+                    .submit(move |daemon| {
+                        let _ = tx.send(daemon.start());
+                    })
+                    .expect("daemon worker alive during connect");
+                rx
+            })
+            .collect();
+        let mut total = SimDuration::ZERO;
+        for (handle, reply) in self.handles.iter().zip(replies) {
+            total += reply.recv().unwrap_or_else(|_| {
+                panic!("daemon '{}' died during connect", handle.info().name())
+            });
+        }
+        self.core.record_init_time(total);
+        total
+    }
+
+    /// `disconnect()`: shuts every daemon down (device contexts torn down on
+    /// the worker threads; the workers stay alive until [`Self::join`]).
+    pub fn disconnect(&mut self) {
+        for handle in &self.handles {
+            let _ = handle.call(|daemon| daemon.shutdown());
+        }
+    }
+
+    /// Executes one middleware iteration for this agent's node: plans the
+    /// download and the capacity shares, dispatches every share to its
+    /// daemon's worker thread, then collects the results in daemon order and
+    /// finishes the merge/upload/timing phases.
+    ///
+    /// # Panics
+    /// Panics if a daemon worker dies while computing its share (the panic
+    /// then propagates to the run through the cluster driver's join).
+    pub fn process_iteration<E, A>(
+        &mut self,
+        node: &mut NodeState<V, E>,
+        algorithm: &'env A,
+        iteration: usize,
+    ) -> NodeComputeOutput<V, A::Msg>
+    where
+        E: Clone + Send + Sync + 'env,
+        A: GraphAlgorithm<V, E>,
+        A::Msg: 'env,
+    {
+        let plan = match self.core.begin_iteration(node, iteration) {
+            Some(plan) => plan,
+            None => return NodeComputeOutput::idle(),
+        };
+
+        // ---- compute phase: dispatch every share, then collect -----------
+        let triplets = node.triplets_for(&plan.active_edge_ids);
+        let capacities: Vec<f64> = self
+            .handles
+            .iter()
+            .map(|h| h.info().capacity_factor())
+            .collect();
+        let shares = split_by_capacity(&triplets, &capacities);
+        type ShareReply<M> = (Vec<AddressedMessage<M>>, usize);
+        type PendingShare<M> = (usize, ShareRun, mpsc::Receiver<ShareReply<M>>);
+        let mut pending: Vec<PendingShare<A::Msg>> = Vec::new();
+        for (daemon_index, share) in shares.into_iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let handle = &self.handles[daemon_index];
+            let coefficients = handle.info().coefficients(self.core.profile());
+            let block_size = self.core.block_size_for(
+                &coefficients,
+                share.len(),
+                handle.info().memory_capacity_items(),
+            );
+            let (reply_tx, reply_rx) = mpsc::channel::<ShareReply<A::Msg>>();
+            let share_len = share.len();
+            handle
+                .submit(move |daemon| {
+                    let result = execute_share(daemon, algorithm, &share, block_size, iteration);
+                    let _ = reply_tx.send(result);
+                })
+                .unwrap_or_else(|error| panic!("{error}"));
+            pending.push((
+                daemon_index,
+                ShareRun {
+                    coefficients,
+                    share_len,
+                    block_size,
+                    blocks: 0,
+                },
+                reply_rx,
+            ));
+        }
+        // Collect in daemon-index order (the dispatch order), which keeps the
+        // raw message order — and therefore the merge — identical to the
+        // serial agent's.
+        let mut raw_messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
+        let mut share_runs: Vec<ShareRun> = Vec::new();
+        for (daemon_index, mut run, reply_rx) in pending {
+            let (messages, blocks) = reply_rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "daemon '{}' died while computing its share",
+                    self.handles[daemon_index].info().name()
+                )
+            });
+            run.blocks = blocks;
+            raw_messages.extend(messages);
+            share_runs.push(run);
+        }
+
+        self.core
+            .finish_iteration(node, algorithm, &plan, raw_messages, &share_runs)
+    }
+
+    /// Joins every daemon worker, returning the daemons.  Re-raises the panic
+    /// of any worker that died from a panicking job.
+    pub fn join(self) -> Vec<Daemon> {
+        self.handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(daemon) => daemon,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+/// Cluster-level compute phase running one scoped thread per distributed
+/// node, each driving that node's [`ThreadedAgent`].
+///
+/// Outputs are joined in node order, so the global synchronisation sees the
+/// same message order as with the serial driver.
+pub struct ThreadedNodes<'agents, 'scope, 'env, V, A> {
+    /// One threaded agent per node, in node order.
+    pub agents: &'agents mut [ThreadedAgent<'scope, 'env, V>],
+    /// The algorithm being executed.
+    pub algorithm: &'env A,
+}
+
+impl<'agents, 'scope, 'env, V, E, A> ComputePhase<V, E, A::Msg>
+    for ThreadedNodes<'agents, 'scope, 'env, V, A>
+where
+    V: Clone + PartialEq + Send + Sync + 'env,
+    E: Clone + Send + Sync + 'env,
+    A: GraphAlgorithm<V, E>,
+    A::Msg: 'env,
+{
+    fn compute(
+        &mut self,
+        nodes: &mut [NodeState<V, E>],
+        iteration: usize,
+    ) -> Vec<NodeComputeOutput<V, A::Msg>> {
+        assert_eq!(
+            nodes.len(),
+            self.agents.len(),
+            "one threaded agent per node is required"
+        );
+        let algorithm = self.algorithm;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter_mut()
+                .zip(self.agents.iter_mut())
+                .map(|(node, agent)| {
+                    scope.spawn(move || agent.process_iteration(node, algorithm, iteration))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(output) => output,
+                    Err(payload) => resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gxplug_accel::presets;
+    use gxplug_ipc::key::KeyGenerator;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    fn daemon(index: usize) -> Daemon {
+        let key = KeyGenerator::new(9).key_for(0, index);
+        Daemon::new(
+            format!("d{index}"),
+            presets::cpu_xeon_20c(format!("c{index}")),
+            key,
+        )
+    }
+
+    #[test]
+    fn spawn_submit_join_lifecycle() {
+        let counter = AtomicUsize::new(0);
+        let returned = thread::scope(|scope| {
+            let handle = DaemonHandle::spawn(scope, daemon(0));
+            assert_eq!(handle.info().name(), "d0");
+            for _ in 0..10 {
+                handle
+                    .submit(|_daemon| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .unwrap();
+            }
+            let started = handle.call(|daemon| daemon.start()).unwrap();
+            assert!(started > SimDuration::ZERO);
+            handle.join().expect("no job panicked")
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert!(returned.is_started());
+    }
+
+    #[test]
+    fn jobs_run_on_a_different_thread_and_borrow_locals() {
+        let main_thread = thread::current().id();
+        // Declared outside the scope, borrowed by jobs inside it — the scoped
+        // runtime needs no 'static bounds.
+        let data = [1u64, 2, 3];
+        let mut observed = Vec::new();
+        thread::scope(|scope| {
+            let handle = DaemonHandle::spawn(scope, daemon(0));
+            let worker_thread = handle.call(|_d| thread::current().id()).unwrap();
+            assert_ne!(worker_thread, main_thread);
+            let sum = handle.call(|_d| data.iter().sum::<u64>()).unwrap();
+            observed.push(sum);
+            handle.join().unwrap();
+        });
+        assert_eq!(observed, vec![6]);
+    }
+
+    #[test]
+    fn panicking_job_surfaces_through_join_and_stops_the_worker() {
+        thread::scope(|scope| {
+            let handle = DaemonHandle::spawn(scope, daemon(0));
+            handle
+                .submit(|_daemon| panic!("kernel exploded"))
+                .expect("worker was alive at submit time");
+            // The worker dies; a blocking call must error, not hang.
+            let mut saw_stop = false;
+            for _ in 0..50 {
+                match handle.call(|d| d.stats()) {
+                    Err(RuntimeError::DaemonStopped { name }) => {
+                        assert_eq!(name, "d0");
+                        saw_stop = true;
+                        break;
+                    }
+                    Ok(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            assert!(saw_stop, "worker kept accepting work after a panic");
+            let payload = handle.join().expect_err("join must surface the panic");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert_eq!(message, "kernel exploded");
+        });
+    }
+
+    #[test]
+    fn threaded_agent_requires_a_daemon() {
+        let result = std::panic::catch_unwind(|| {
+            thread::scope(|scope| {
+                let agent: ThreadedAgent<'_, '_, f64> = ThreadedAgent::spawn(
+                    scope,
+                    0,
+                    Vec::new(),
+                    RuntimeProfile::powergraph(),
+                    MiddlewareConfig::default(),
+                    8,
+                );
+                drop(agent);
+            });
+        });
+        assert!(result.is_err());
+    }
+}

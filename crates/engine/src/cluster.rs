@@ -18,8 +18,100 @@ use gxplug_accel::SimDuration;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
 use gxplug_graph::types::{PartitionId, VertexId};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::thread;
+
+/// How the per-node compute phase of a superstep is executed.
+///
+/// The simulated *time* model is identical in both modes (per-iteration time
+/// is the maximum over the nodes either way); the switch controls whether the
+/// host actually overlaps the nodes' work on OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Nodes compute one after another on the calling thread.
+    Serial,
+    /// Nodes compute concurrently, one scoped OS thread per node, joined in
+    /// node order at the BSP barrier (results are identical to
+    /// [`ExecutionMode::Serial`]).
+    #[default]
+    Threaded,
+}
+
+/// The compute phase of one BSP superstep over every node of the cluster.
+///
+/// [`Cluster::run_phased`] calls [`ComputePhase::compute`] once per
+/// iteration; implementations decide how the per-node work is scheduled
+/// (serially, across scoped threads, through middleware agents, ...).  The
+/// returned outputs must be in node order — the synchronisation phase relies
+/// on that for deterministic message merging.
+pub trait ComputePhase<V, E, M> {
+    /// Runs the compute phase of iteration `iteration` on every node,
+    /// returning one output per node, in node order.
+    fn compute(
+        &mut self,
+        nodes: &mut [NodeState<V, E>],
+        iteration: usize,
+    ) -> Vec<NodeComputeOutput<V, M>>;
+}
+
+/// [`ComputePhase`] adapter running a per-node closure sequentially.
+struct SerialNodes<F>(F);
+
+impl<V, E, M, F> ComputePhase<V, E, M> for SerialNodes<F>
+where
+    F: FnMut(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, M>,
+{
+    fn compute(
+        &mut self,
+        nodes: &mut [NodeState<V, E>],
+        iteration: usize,
+    ) -> Vec<NodeComputeOutput<V, M>> {
+        nodes
+            .iter_mut()
+            .map(|node| (self.0)(node, iteration))
+            .collect()
+    }
+}
+
+/// [`ComputePhase`] adapter fanning a shared per-node function out across
+/// scoped OS threads, one per node, joining in node order.
+///
+/// The function is shared (`Fn + Sync`) rather than mutable per node, which
+/// fits stateless compute phases such as [`native_node_compute`]; stateful
+/// phases (one middleware agent per node) implement [`ComputePhase`]
+/// directly.
+pub struct ParallelNodes<F>(pub F);
+
+impl<V, E, M, F> ComputePhase<V, E, M> for ParallelNodes<F>
+where
+    V: Send,
+    E: Send,
+    M: Send,
+    F: Fn(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, M> + Sync,
+{
+    fn compute(
+        &mut self,
+        nodes: &mut [NodeState<V, E>],
+        iteration: usize,
+    ) -> Vec<NodeComputeOutput<V, M>> {
+        let f = &self.0;
+        thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter_mut()
+                .map(|node| scope.spawn(move || f(node, iteration)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(output) => output,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
 
 /// Whether the cluster may skip the global synchronisation of an iteration
 /// when no cross-node data movement is required (§III-B3).
@@ -218,31 +310,66 @@ where
     }
 
     /// Runs the algorithm natively (no accelerators): every node processes its
-    /// active triplets at the upper system's own per-edge cost.
-    pub fn run_native<A>(&mut self, algorithm: &A, dataset: &str, max_iterations: usize) -> RunReport
+    /// active triplets at the upper system's own per-edge cost.  Nodes
+    /// advance concurrently ([`ExecutionMode::Threaded`]); use
+    /// [`Cluster::run_native_mode`] to pin the execution mode.
+    pub fn run_native<A>(
+        &mut self,
+        algorithm: &A,
+        dataset: &str,
+        max_iterations: usize,
+    ) -> RunReport
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        self.run_native_mode(algorithm, dataset, max_iterations, ExecutionMode::default())
+    }
+
+    /// [`Cluster::run_native`] with an explicit [`ExecutionMode`].
+    pub fn run_native_mode<A>(
+        &mut self,
+        algorithm: &A,
+        dataset: &str,
+        max_iterations: usize,
+        mode: ExecutionMode,
+    ) -> RunReport
     where
         A: GraphAlgorithm<V, E>,
     {
         let profile = self.profile;
         let system = profile.name.to_string();
-        self.run_custom(
-            algorithm,
-            dataset,
-            &system,
-            max_iterations,
-            SyncPolicy::AlwaysSync,
-            SimDuration::ZERO,
-            |node, iteration| native_node_compute(node, algorithm, &profile, iteration),
-        )
+        let compute = |node: &mut NodeState<V, E>, iteration: usize| {
+            native_node_compute(node, algorithm, &profile, iteration)
+        };
+        match mode {
+            ExecutionMode::Serial => self.run_phased(
+                algorithm,
+                dataset,
+                &system,
+                max_iterations,
+                SyncPolicy::AlwaysSync,
+                SimDuration::ZERO,
+                &mut SerialNodes(compute),
+            ),
+            ExecutionMode::Threaded => self.run_phased(
+                algorithm,
+                dataset,
+                &system,
+                max_iterations,
+                SyncPolicy::AlwaysSync,
+                SimDuration::ZERO,
+                &mut ParallelNodes(compute),
+            ),
+        }
     }
 
     /// Runs the iteration driver with a custom per-node compute phase.
     ///
-    /// This is the entry point the middleware uses: `node_compute` performs
-    /// the daemon-agent dance for one node and one iteration, returning the
-    /// merged messages plus its own timing attribution, while the cluster
-    /// handles synchronisation, replica refresh, activity tracking and
-    /// metrics exactly as it does for native runs.
+    /// This is the sequential-closure convenience over
+    /// [`Cluster::run_phased`]: `node_compute` is called once per node per
+    /// iteration on the calling thread.  Compute phases that need
+    /// node-parallelism (such as the middleware's threaded agents) implement
+    /// [`ComputePhase`] and call [`Cluster::run_phased`] directly.
     #[allow(clippy::too_many_arguments)]
     pub fn run_custom<A, F>(
         &mut self,
@@ -252,11 +379,46 @@ where
         max_iterations: usize,
         sync_policy: SyncPolicy,
         setup: SimDuration,
-        mut node_compute: F,
+        node_compute: F,
     ) -> RunReport
     where
         A: GraphAlgorithm<V, E>,
         F: FnMut(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, A::Msg>,
+    {
+        self.run_phased(
+            algorithm,
+            dataset,
+            system,
+            max_iterations,
+            sync_policy,
+            setup,
+            &mut SerialNodes(node_compute),
+        )
+    }
+
+    /// Runs the iteration driver with a pluggable superstep compute phase.
+    ///
+    /// Each iteration runs `compute_phase` over all nodes (which may fan out
+    /// across threads — the BSP barrier is the return of
+    /// [`ComputePhase::compute`]), then the cluster performs the global
+    /// synchronisation: message routing to masters, apply, replica refresh,
+    /// activity tracking and metric collection.  Because outputs are
+    /// consumed in node order, results are independent of how the compute
+    /// phase schedules the per-node work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_phased<A, P>(
+        &mut self,
+        algorithm: &A,
+        dataset: &str,
+        system: &str,
+        max_iterations: usize,
+        sync_policy: SyncPolicy,
+        setup: SimDuration,
+        compute_phase: &mut P,
+    ) -> RunReport
+    where
+        A: GraphAlgorithm<V, E>,
+        P: ComputePhase<V, E, A::Msg>,
     {
         let iteration_cap = max_iterations.min(algorithm.max_iterations());
         let mut report = RunReport {
@@ -282,16 +444,15 @@ where
                 break;
             }
             // ---- compute phase (per node, barrier at the end) ----
-            let mut outputs = Vec::with_capacity(self.nodes.len());
+            let outputs = compute_phase.compute(&mut self.nodes, iteration);
+            debug_assert_eq!(outputs.len(), self.nodes.len());
             let mut max_compute = SimDuration::ZERO;
             let mut max_middleware = SimDuration::ZERO;
             let mut triplets_processed = 0usize;
-            for node in &mut self.nodes {
-                let output = node_compute(node, iteration);
+            for output in &outputs {
                 max_compute = max_compute.max(output.compute_time);
                 max_middleware = max_middleware.max(output.middleware_time);
                 triplets_processed += output.triplets_processed;
-                outputs.push(output);
             }
             // ---- synchronisation phase ----
             let sync = self.synchronize(algorithm, outputs, sync_policy, iteration);
@@ -374,9 +535,7 @@ where
                 None => continue,
             };
             applies += 1;
-            if let Some(new_value) =
-                algorithm.msg_apply(target, &current, &message, iteration)
-            {
+            if let Some(new_value) = algorithm.msg_apply(target, &current, &message, iteration) {
                 if new_value != current {
                     node.update_vertex(target, new_value.clone());
                     changed.insert(target, new_value);
@@ -478,11 +637,8 @@ where
         .into_iter()
         .map(|(target, payload)| AddressedMessage::new(target, payload))
         .collect();
-    let compute_time = profile.native_compute_cost(
-        triplets.len(),
-        0,
-        algorithm.operational_intensity(),
-    );
+    let compute_time =
+        profile.native_compute_cost(triplets.len(), 0, algorithm.operational_intensity());
     NodeComputeOutput {
         compute_time,
         middleware_time: SimDuration::ZERO,
@@ -558,7 +714,9 @@ mod tests {
         let graph = line_graph(32);
         let algorithm = MinDist { source: 0 };
         for parts in [1usize, 2, 4] {
-            let partitioning = HashEdgePartitioner::new(3).partition(&graph, parts).unwrap();
+            let partitioning = HashEdgePartitioner::new(3)
+                .partition(&graph, parts)
+                .unwrap();
             let mut cluster = Cluster::build(
                 &graph,
                 partitioning,

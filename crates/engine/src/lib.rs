@@ -24,7 +24,10 @@ pub mod node;
 pub mod profile;
 pub mod template;
 
-pub use cluster::{native_node_compute, Cluster, NodeComputeOutput, SyncPolicy};
+pub use cluster::{
+    native_node_compute, Cluster, ComputePhase, ExecutionMode, NodeComputeOutput, ParallelNodes,
+    SyncPolicy,
+};
 pub use metrics::{IterationMetrics, RunReport};
 pub use network::NetworkModel;
 pub use node::NodeState;

@@ -145,7 +145,12 @@ impl RunReport {
 mod tests {
     use super::*;
 
-    fn iteration(compute_ms: f64, sync_ms: f64, middleware_ms: f64, skipped: bool) -> IterationMetrics {
+    fn iteration(
+        compute_ms: f64,
+        sync_ms: f64,
+        middleware_ms: f64,
+        skipped: bool,
+    ) -> IterationMetrics {
         IterationMetrics {
             compute: SimDuration::from_millis(compute_ms),
             sync: SimDuration::from_millis(sync_ms),

@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn transfer_scales_linearly() {
         let net = NetworkModel::datacenter();
-        assert!((net.transfer(2_000).as_millis() - 2.0 * net.transfer(1_000).as_millis()).abs() < 1e-9);
+        assert!(
+            (net.transfer(2_000).as_millis() - 2.0 * net.transfer(1_000).as_millis()).abs() < 1e-9
+        );
     }
 
     #[test]

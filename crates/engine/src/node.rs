@@ -53,14 +53,14 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
             edge_table.push(graph.edge(edge_id).clone());
         }
         let vertex_edge_map = VertexEdgeMap::from_edge_table(&edge_table);
-        let initial_active: HashSet<VertexId> =
-            match algorithm.initial_active(graph.num_vertices()) {
-                Some(seed) => seed
-                    .into_iter()
-                    .filter(|v| vertex_table.contains(*v))
-                    .collect(),
-                None => vertex_table.ids().collect(),
-            };
+        let initial_active: HashSet<VertexId> = match algorithm.initial_active(graph.num_vertices())
+        {
+            Some(seed) => seed
+                .into_iter()
+                .filter(|v| vertex_table.contains(*v))
+                .collect(),
+            None => vertex_table.ids().collect(),
+        };
         Self {
             id,
             vertex_table,

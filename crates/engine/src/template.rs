@@ -68,7 +68,11 @@ pub trait GraphAlgorithm<V, E>: Send + Sync {
     /// `MSGGen()` — given an edge triplet whose *source* vertex is active,
     /// produce messages (usually one, to the destination).  Called once per
     /// active triplet per iteration.
-    fn msg_gen(&self, triplet: &Triplet<V, E>, iteration: usize) -> Vec<AddressedMessage<Self::Msg>>;
+    fn msg_gen(
+        &self,
+        triplet: &Triplet<V, E>,
+        iteration: usize,
+    ) -> Vec<AddressedMessage<Self::Msg>>;
 
     /// `MSGMerge()` — combine two messages addressed to the same vertex.
     fn msg_merge(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;

@@ -71,10 +71,8 @@ impl Csr {
         I: IntoIterator<Item = (VertexId, VertexId)>,
         I::IntoIter: Clone,
     {
-        let reversed: Vec<(VertexId, VertexId)> = edges
-            .into_iter()
-            .map(|(src, dst)| (dst, src))
-            .collect();
+        let reversed: Vec<(VertexId, VertexId)> =
+            edges.into_iter().map(|(src, dst)| (dst, src)).collect();
         Self::from_edges(num_vertices, reversed.iter().copied())
     }
 

@@ -133,9 +133,7 @@ pub const CATALOGUE: &[DatasetSpec] = &[
 
 /// Looks up a dataset by (case-insensitive) name.
 pub fn find(name: &str) -> Option<&'static DatasetSpec> {
-    CATALOGUE
-        .iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
+    CATALOGUE.iter().find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 impl DatasetSpec {
@@ -223,7 +221,10 @@ mod tests {
         // The paper picks Orkut as the default because it has the highest
         // vertex degree among the six real datasets.
         let orkut = find("Orkut").unwrap();
-        for d in CATALOGUE.iter().filter(|d| d.kind != DatasetKind::Synthetic) {
+        for d in CATALOGUE
+            .iter()
+            .filter(|d| d.kind != DatasetKind::Synthetic)
+        {
             if d.name != "Orkut" && d.name != "Twitter" && d.name != "UK-2007-02" {
                 assert!(orkut.mean_degree > d.mean_degree, "{}", d.name);
             }

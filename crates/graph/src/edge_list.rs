@@ -108,8 +108,7 @@ impl<E> EdgeList<E> {
     /// Sorts edges by `(src, dst)`, which groups each vertex's out-edges
     /// contiguously.  Sorting is stable so parallel edges keep insertion order.
     pub fn sort_by_source(&mut self) {
-        self.edges
-            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        self.edges.sort_by_key(|e| (e.src, e.dst));
     }
 
     /// Removes self loops in place and returns how many were removed.

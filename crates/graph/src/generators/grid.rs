@@ -118,7 +118,11 @@ mod tests {
         let list = gen.generate(2);
         let stats = degree_stats(&list);
         // Road networks have tiny max degree compared to social graphs.
-        assert!(stats.max_out_degree <= 8, "max degree {}", stats.max_out_degree);
+        assert!(
+            stats.max_out_degree <= 8,
+            "max degree {}",
+            stats.max_out_degree
+        );
         assert!(stats.mean_out_degree < 5.0);
     }
 

@@ -77,7 +77,11 @@ pub fn degree_stats<E>(list: &EdgeList<E>) -> DegreeStats {
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let top = (n / 100).max(1).min(n);
     let top_sum: usize = sorted.iter().take(top).sum();
-    let top1pct_edge_share = if m == 0 { 0.0 } else { top_sum as f64 / m as f64 };
+    let top1pct_edge_share = if m == 0 {
+        0.0
+    } else {
+        top_sum as f64 / m as f64
+    };
     DegreeStats {
         num_vertices: n,
         num_edges: m,
@@ -125,7 +129,12 @@ mod tests {
             let a = g.generate(42);
             let b = g.generate(42);
             let c = g.generate(43);
-            assert_eq!(a.num_edges(), b.num_edges(), "{} not deterministic", g.name());
+            assert_eq!(
+                a.num_edges(),
+                b.num_edges(),
+                "{} not deterministic",
+                g.name()
+            );
             assert_eq!(a.edges(), b.edges(), "{} not deterministic", g.name());
             // Different seeds should (overwhelmingly) give different graphs.
             assert_ne!(a.edges(), c.edges(), "{} ignores seed", g.name());

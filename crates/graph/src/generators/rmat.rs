@@ -161,10 +161,7 @@ mod tests {
     fn weights_lie_in_configured_range() {
         let gen = Rmat::new(8, 4.0).with_weight_max(3.0);
         let list = gen.generate(3);
-        assert!(list
-            .edges()
-            .iter()
-            .all(|e| e.attr >= 1.0 && e.attr <= 3.0));
+        assert!(list.edges().iter().all(|e| e.attr >= 1.0 && e.attr <= 3.0));
     }
 
     #[test]

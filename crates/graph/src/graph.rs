@@ -50,7 +50,9 @@ where
         let pairs: Vec<(VertexId, VertexId)> = edges.iter().map(|e| (e.src, e.dst)).collect();
         let out_csr = Csr::from_edges(num_vertices, pairs.iter().copied());
         let in_csr = Csr::reversed_from_edges(num_vertices, pairs.iter().copied());
-        let vertex_attrs = (0..num_vertices as VertexId).map(&mut vertex_attr).collect();
+        let vertex_attrs = (0..num_vertices as VertexId)
+            .map(&mut vertex_attr)
+            .collect();
         Ok(Self {
             vertex_attrs,
             edges,

@@ -57,10 +57,7 @@ mod tests {
         let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
         let p = HashEdgePartitioner::new(7).partition(&g, 4).unwrap();
         for v in g.vertex_ids() {
-            let parts: Vec<_> = g
-                .out_edges(v)
-                .map(|(_, e)| p.part_of_edge(e))
-                .collect();
+            let parts: Vec<_> = g.out_edges(v).map(|(_, e)| p.part_of_edge(e)).collect();
             assert!(parts.windows(2).all(|w| w[0] == w[1]));
         }
     }

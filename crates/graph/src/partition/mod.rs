@@ -76,7 +76,10 @@ impl Partitioning {
         let mut incidence: Vec<HashMap<PartitionId, usize>> =
             vec![HashMap::new(); graph.num_vertices()];
         for (edge_id, &part) in edge_assignment.iter().enumerate() {
-            assert!(part < num_parts, "edge assigned to non-existent part {part}");
+            assert!(
+                part < num_parts,
+                "edge assigned to non-existent part {part}"
+            );
             parts[part].edges.push(edge_id);
             let edge = graph.edge(edge_id);
             *incidence[edge.src as usize].entry(part).or_insert(0) += 1;

@@ -48,9 +48,7 @@ mod tests {
 
     #[test]
     fn ranges_are_contiguous() {
-        let list: EdgeList<()> = (0u32..100)
-            .map(|v| (v, (v + 1) % 100, ()))
-            .collect();
+        let list: EdgeList<()> = (0u32..100).map(|v| (v, (v + 1) % 100, ())).collect();
         let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
         let p = RangePartitioner.partition(&g, 4).unwrap();
         for (edge_id, edge) in g.edges().iter().enumerate() {

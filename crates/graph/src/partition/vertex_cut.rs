@@ -73,7 +73,7 @@ impl Partitioner for GreedyVertexCutPartitioner {
             let spread = (max_load - min_load) + 1.0;
             let mut best_part = 0usize;
             let mut best_score = f64::NEG_INFINITY;
-            for part in 0..num_parts {
+            for (part, &part_load) in load.iter().enumerate() {
                 let mut rep_gain = 0.0;
                 if replica_sets[u].contains(&part) {
                     rep_gain += 1.0 + (1.0 - theta_u);
@@ -81,7 +81,7 @@ impl Partitioner for GreedyVertexCutPartitioner {
                 if replica_sets[v].contains(&part) {
                     rep_gain += 1.0 + (1.0 - theta_v);
                 }
-                let bal_gain = (max_load - load[part] as f64) / spread;
+                let bal_gain = (max_load - part_load as f64) / spread;
                 let score = rep_gain + self.balance_weight * bal_gain;
                 if score > best_score {
                     best_score = score;
@@ -130,16 +130,20 @@ mod tests {
     fn replication_factor_is_bounded_by_part_count() {
         let list = Rmat::new(9, 6.0).generate(2);
         let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
-        let p = GreedyVertexCutPartitioner::default().partition(&g, 4).unwrap();
+        let p = GreedyVertexCutPartitioner::default()
+            .partition(&g, 4)
+            .unwrap();
         let rf = p.replication_factor();
-        assert!(rf >= 1.0 && rf <= 4.0, "replication factor {rf}");
+        assert!((1.0..=4.0).contains(&rf), "replication factor {rf}");
     }
 
     #[test]
     fn every_edge_is_assigned_exactly_once() {
         let list = Rmat::new(8, 4.0).generate(6);
         let g = PropertyGraph::from_edge_list(list, 0u32).unwrap();
-        let p = GreedyVertexCutPartitioner::default().partition(&g, 3).unwrap();
+        let p = GreedyVertexCutPartitioner::default()
+            .partition(&g, 3)
+            .unwrap();
         let total: usize = p.edge_counts().iter().sum();
         assert_eq!(total, g.num_edges());
     }
@@ -152,12 +156,9 @@ mod tests {
             .partition(&g, 8)
             .unwrap();
         // Round-robin assignment ignores locality entirely.
-        let round_robin = Partitioning::from_edge_assignment(
-            &g,
-            8,
-            (0..g.num_edges()).map(|e| e % 8).collect(),
-        )
-        .unwrap();
+        let round_robin =
+            Partitioning::from_edge_assignment(&g, 8, (0..g.num_edges()).map(|e| e % 8).collect())
+                .unwrap();
         assert!(
             greedy.replication_factor() < round_robin.replication_factor(),
             "greedy {} vs round robin {}",

@@ -30,7 +30,7 @@ impl WeightedEdgePartitioner {
         if weights.is_empty() {
             return Err(GraphError::EmptyPartitioning);
         }
-        if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+        if weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
             return Err(GraphError::NonPositiveWeight);
         }
         Ok(Self { weights, seed: 0 })
@@ -149,7 +149,10 @@ mod tests {
         let p = WeightedEdgePartitioner::new(vec![1.0, 2.0]).unwrap();
         assert!(matches!(
             p.partition(&g, 3),
-            Err(GraphError::WeightCountMismatch { parts: 3, weights: 2 })
+            Err(GraphError::WeightCountMismatch {
+                parts: 3,
+                weights: 2
+            })
         ));
     }
 }

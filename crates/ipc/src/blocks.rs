@@ -87,8 +87,8 @@ pub fn pack_block_pairs<V: Clone, E: Clone>(
             let mut entries = Vec::new();
             for edge in chunk {
                 for v in [edge.src, edge.dst] {
-                    if !seen.contains_key(&v) {
-                        seen.insert(v, entries.len());
+                    if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(v) {
+                        slot.insert(entries.len());
                         entries.push((v, attr_of(v)));
                     }
                 }

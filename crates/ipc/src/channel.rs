@@ -3,10 +3,18 @@
 //! Daemons and agents "work as independent processes, and they communicate
 //! with each other by message exchange" (§IV-C).  A [`ControlLink`] is one end
 //! of such a connection; [`control_link_pair`] creates the agent end and the
-//! daemon end, wired back to back over lock-free channels.
+//! daemon end, wired back to back over the `Send + Sync`
+//! [`queue`](crate::queue) primitives, so the two endpoints can live on
+//! different OS threads (the threaded daemon runtime of `gxplug-core` does
+//! exactly that).
+//!
+//! Endpoints are cheap to clone: clones share the same underlying queues and
+//! traffic counters, which makes the link multi-producer — several worker
+//! threads on one side may send concurrently, and per-sender FIFO order is
+//! preserved.
 
 use crate::messages::ControlMessage;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSender};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +43,16 @@ impl fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
+impl From<QueueRecvError> for ChannelError {
+    fn from(error: QueueRecvError) -> Self {
+        match error {
+            QueueRecvError::Disconnected => ChannelError::Disconnected,
+            QueueRecvError::Timeout => ChannelError::Timeout,
+            QueueRecvError::Empty => ChannelError::Empty,
+        }
+    }
+}
+
 /// Result alias for channel operations.
 pub type Result<T> = std::result::Result<T, ChannelError>;
 
@@ -48,11 +66,14 @@ pub enum Side {
 }
 
 /// One endpoint of an agent ↔ daemon control connection.
+///
+/// `ControlLink` is `Send + Sync + Clone`: endpoints (and their clones) can
+/// be moved to or shared across threads freely.
 #[derive(Debug, Clone)]
 pub struct ControlLink {
     side: Side,
-    tx: Sender<ControlMessage>,
-    rx: Receiver<ControlMessage>,
+    tx: QueueSender<ControlMessage>,
+    rx: QueueReceiver<ControlMessage>,
     sent: Arc<AtomicU64>,
     received: Arc<AtomicU64>,
 }
@@ -74,41 +95,32 @@ impl ControlLink {
 
     /// Blocks until a message arrives (the `Block_Recv` of Algorithms 1 & 2).
     pub fn recv(&self) -> Result<ControlMessage> {
-        let message = self.rx.recv().map_err(|_| ChannelError::Disconnected)?;
+        let message = self.rx.recv()?;
         self.received.fetch_add(1, Ordering::Relaxed);
         Ok(message)
     }
 
     /// Blocks until a message arrives or the timeout elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<ControlMessage> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(message) => {
-                self.received.fetch_add(1, Ordering::Relaxed);
-                Ok(message)
-            }
-            Err(RecvTimeoutError::Timeout) => Err(ChannelError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(ChannelError::Disconnected),
-        }
+        let message = self.rx.recv_timeout(timeout)?;
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(message)
     }
 
     /// Returns a pending message if there is one, without blocking.
     pub fn try_recv(&self) -> Result<ControlMessage> {
-        match self.rx.try_recv() {
-            Ok(message) => {
-                self.received.fetch_add(1, Ordering::Relaxed);
-                Ok(message)
-            }
-            Err(TryRecvError::Empty) => Err(ChannelError::Empty),
-            Err(TryRecvError::Disconnected) => Err(ChannelError::Disconnected),
-        }
+        let message = self.rx.try_recv()?;
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(message)
     }
 
-    /// Total messages sent from this endpoint.
+    /// Total messages sent from this endpoint (including all of its clones).
     pub fn sent_count(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
     }
 
-    /// Total messages received by this endpoint.
+    /// Total messages received by this endpoint (including all of its
+    /// clones).
     pub fn received_count(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
     }
@@ -116,8 +128,8 @@ impl ControlLink {
 
 /// Creates a connected `(agent, daemon)` pair of control links.
 pub fn control_link_pair() -> (ControlLink, ControlLink) {
-    let (to_daemon_tx, to_daemon_rx) = unbounded();
-    let (to_agent_tx, to_agent_rx) = unbounded();
+    let (to_daemon_tx, to_daemon_rx) = sync_queue();
+    let (to_agent_tx, to_agent_rx) = sync_queue();
     let agent = ControlLink {
         side: Side::Agent,
         tx: to_daemon_tx,
@@ -139,12 +151,15 @@ pub fn control_link_pair() -> (ControlLink, ControlLink) {
 mod tests {
     use super::*;
     use crate::messages::ApiCall;
+    use std::thread;
 
     #[test]
     fn messages_cross_the_link_in_order() {
         let (agent, daemon) = control_link_pair();
         agent.send(ControlMessage::Connect).unwrap();
-        agent.send(ControlMessage::Request(ApiCall::MsgGen)).unwrap();
+        agent
+            .send(ControlMessage::Request(ApiCall::MsgGen))
+            .unwrap();
         assert_eq!(daemon.recv().unwrap(), ControlMessage::Connect);
         assert_eq!(
             daemon.recv().unwrap(),
@@ -174,6 +189,21 @@ mod tests {
     }
 
     #[test]
+    fn recv_timeout_expires_after_the_deadline_not_before() {
+        let (_agent, daemon) = control_link_pair();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            daemon.recv_timeout(Duration::from_millis(40)),
+            Err(ChannelError::Timeout)
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "timed out after only {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn dropped_peer_is_detected() {
         let (agent, daemon) = control_link_pair();
         drop(daemon);
@@ -194,7 +224,7 @@ mod tests {
     #[test]
     fn works_across_threads() {
         let (agent, daemon) = control_link_pair();
-        let handle = std::thread::spawn(move || {
+        let handle = thread::spawn(move || {
             // Daemon thread: echo three compute-finished messages then finish.
             for _ in 0..3 {
                 assert_eq!(daemon.recv().unwrap(), ControlMessage::ExchangeFinished);
@@ -208,5 +238,41 @@ mod tests {
         }
         assert_eq!(agent.recv().unwrap(), ControlMessage::ComputeAllFinished);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_endpoints_are_multi_producer_with_per_sender_ordering() {
+        let (agent, daemon) = control_link_pair();
+        // Four producer threads share the agent endpoint via clones; each
+        // sends an ordered burst terminated by a distinct marker.
+        let bursts = 50u64;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let link = agent.clone();
+                thread::spawn(move || {
+                    for _ in 0..bursts {
+                        let message = match p {
+                            0 => ControlMessage::ExchangeFinished,
+                            1 => ControlMessage::RotateFinished,
+                            2 => ControlMessage::ComputeFinished,
+                            _ => ControlMessage::IterationDone,
+                        };
+                        link.send(message).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in producers {
+            handle.join().unwrap();
+        }
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4 * bursts {
+            let message = daemon.recv().unwrap();
+            *counts.entry(format!("{message:?}")).or_insert(0u64) += 1;
+        }
+        assert_eq!(daemon.try_recv(), Err(ChannelError::Empty));
+        assert!(counts.values().all(|&c| c == bursts), "{counts:?}");
+        assert_eq!(agent.sent_count(), 4 * bursts);
+        assert_eq!(daemon.received_count(), 4 * bursts);
     }
 }

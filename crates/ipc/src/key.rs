@@ -55,16 +55,20 @@ impl KeyGenerator {
         // Pack namespace | node | daemon into 64 bits, then mix so that keys
         // do not look sequential (mirrors how ftok hashes path + project id).
         let packed = ((self.namespace as u64) << 48)
-            | ((node_id as u64 & 0xffff_ff) << 24)
-            | (daemon_index as u64 & 0xff_ffff);
+            | ((node_id as u64 & 0x00ff_ffff) << 24)
+            | (daemon_index as u64 & 0x00ff_ffff);
         IpcKey(splitmix64(packed))
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+/// The SplitMix64 scramble used for key derivation: a cheap, deterministic,
+/// well-distributed bit mix.  Exposed because other layers reuse it wherever
+/// a fixed scrambled-but-reproducible order is needed (e.g. the agent's
+/// cache probe order).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
 

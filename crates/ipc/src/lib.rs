@@ -5,11 +5,19 @@
 //! them, and the control-message protocol spoken between agents and daemons.
 //!
 //! * [`key`] — IPC keys and the `ftok`-style key generator;
+//! * [`queue`] — the `Send + Sync` Mutex/Condvar-backed MPMC queue every
+//!   control channel (and the threaded daemon runtime) is built on;
 //! * [`segment`] — shared memory segments with mutual visibility and traffic
 //!   statistics;
 //! * [`blocks`] — vertex blocks, edge blocks, block pairs and triplet blocks;
 //! * [`messages`] — the control-message vocabulary of Algorithms 1 and 2;
 //! * [`channel`] — bidirectional agent ↔ daemon control links.
+//!
+//! All of these primitives are cross-thread safe: `ControlLink`,
+//! `SharedSegment` and the queue endpoints are `Send + Sync` (for `Send +
+//! Sync` payloads), block on condition variables rather than spinning, and
+//! detect peer disconnection — the substrate the daemon worker threads of
+//! `gxplug-core` run on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,10 +26,14 @@ pub mod blocks;
 pub mod channel;
 pub mod key;
 pub mod messages;
+pub mod queue;
 pub mod segment;
 
-pub use blocks::{pack_block_pairs, pack_triplet_blocks, BlockPair, EdgeBlock, TripletBlock, VertexBlock};
+pub use blocks::{
+    pack_block_pairs, pack_triplet_blocks, BlockPair, EdgeBlock, TripletBlock, VertexBlock,
+};
 pub use channel::{control_link_pair, ChannelError, ControlLink, Side};
 pub use key::{IpcKey, KeyGenerator};
 pub use messages::{ApiCall, ControlMessage};
+pub use queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSendError, QueueSender};
 pub use segment::{SegmentStats, SharedSegment};

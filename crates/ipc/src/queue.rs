@@ -1,0 +1,397 @@
+//! The cross-thread message queue underlying every control channel.
+//!
+//! Daemons run on their own OS threads (§IV-C: agents and daemons "work as
+//! independent processes"), so the primitives connecting them must be
+//! `Send + Sync` and block efficiently.  [`sync_queue`] creates a multi-producer,
+//! multi-consumer FIFO built from `std::sync::Mutex` + `Condvar` — no
+//! external dependencies, no spinning:
+//!
+//! * both endpoints are cloneable, so any number of producer and consumer
+//!   threads can share one queue (the agent fan-out / daemon worker pattern);
+//! * receivers block on a condition variable and are woken per message;
+//! * [`QueueReceiver::recv_timeout`] provides real deadline semantics
+//!   (re-arming the wait after spurious wake-ups);
+//! * disconnection is tracked by endpoint counts: sends fail once every
+//!   receiver is gone, receives fail once every sender is gone *and* the
+//!   queue has drained.
+//!
+//! Values need not be `'static`: the queue is used to pass borrowed daemon
+//! jobs between scoped threads in `gxplug-core`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`QueueSender::send`] when every receiver is gone; the
+/// unsent value is handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSendError<T>(pub T);
+
+impl<T> fmt::Display for QueueSendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "every receiver of the queue has disconnected")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for QueueSendError<T> {}
+
+/// Errors returned by the receiving operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRecvError {
+    /// Every sender is gone and the queue has drained.
+    Disconnected,
+    /// The deadline of [`QueueReceiver::recv_timeout`] elapsed.
+    Timeout,
+    /// [`QueueReceiver::try_recv`] found no pending message.
+    Empty,
+}
+
+impl fmt::Display for QueueRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueRecvError::Disconnected => write!(f, "every sender of the queue disconnected"),
+            QueueRecvError::Timeout => write!(f, "queue receive timed out"),
+            QueueRecvError::Empty => write!(f, "no message pending in the queue"),
+        }
+    }
+}
+
+impl std::error::Error for QueueRecvError {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender departs.
+    readable: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from poisoning: the lock is only ever held
+    /// for queue bookkeeping, which cannot leave the state inconsistent.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a [`sync_queue`] pair.  Cloning adds a producer.
+pub struct QueueSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a [`sync_queue`] pair.  Cloning adds a consumer.
+pub struct QueueReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded multi-producer multi-consumer FIFO.
+pub fn sync_queue<T>() -> (QueueSender<T>, QueueReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+    });
+    (
+        QueueSender {
+            shared: Arc::clone(&shared),
+        },
+        QueueReceiver { shared },
+    )
+}
+
+impl<T> QueueSender<T> {
+    /// Enqueues `value`, failing (and returning it) if every receiver is
+    /// gone.
+    pub fn send(&self, value: T) -> Result<(), QueueSendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(QueueSendError(value));
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().items.len()
+    }
+
+    /// Returns `true` if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for QueueSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for QueueSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake every blocked receiver so it can observe disconnection.
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for QueueSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("QueueSender")
+            .field("queued", &state.items.len())
+            .field("senders", &state.senders)
+            .field("receivers", &state.receivers)
+            .finish()
+    }
+}
+
+impl<T> QueueReceiver<T> {
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, QueueRecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.items.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(QueueRecvError::Disconnected);
+            }
+            state = self
+                .shared
+                .readable
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until a message arrives, every sender disconnects, or `timeout`
+    /// elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, QueueRecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.items.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(QueueRecvError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(QueueRecvError::Timeout);
+            }
+            let (guard, _result) = self
+                .shared
+                .readable
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Returns a pending message without blocking.
+    pub fn try_recv(&self) -> Result<T, QueueRecvError> {
+        let mut state = self.shared.lock();
+        match state.items.pop_front() {
+            Some(value) => Ok(value),
+            None if state.senders == 0 => Err(QueueRecvError::Disconnected),
+            None => Err(QueueRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().items.len()
+    }
+
+    /// Returns `true` if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for QueueReceiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for QueueReceiver<T> {
+    fn drop(&mut self) {
+        let orphaned = {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // No receiver will ever consume the remaining messages, so
+                // drop them now: messages often carry reply handles whose
+                // drop is what unblocks a waiting peer (the daemon runtime's
+                // panic path relies on this).  Taken out under the lock,
+                // dropped after releasing it, since their destructors may
+                // take other locks.
+                std::mem::take(&mut state.items)
+            } else {
+                VecDeque::new()
+            }
+        };
+        drop(orphaned);
+    }
+}
+
+impl<T> fmt::Debug for QueueReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("QueueReceiver")
+            .field("queued", &state.items.len())
+            .field("senders", &state.senders)
+            .field("receivers", &state.receivers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = sync_queue();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_producers_deliver_everything() {
+        let (tx, rx) = sync_queue();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100u32 {
+                        tx.send(p * 1_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for handle in producers {
+            handle.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+        // Per-producer FIFO: each producer's stream arrives in order.
+        for p in 0..4 {
+            let stream: Vec<u32> = got.iter().copied().filter(|v| v / 1_000 == p).collect();
+            let expected: Vec<u32> = (0..100).map(|i| p * 1_000 + i).collect();
+            assert_eq!(stream, expected);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_recovers() {
+        let (tx, rx) = sync_queue::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(QueueRecvError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+    }
+
+    #[test]
+    fn disconnection_is_observed_on_both_ends() {
+        let (tx, rx) = sync_queue();
+        tx.send(1).unwrap();
+        drop(tx);
+        // Queued messages survive sender disconnection...
+        assert_eq!(rx.recv(), Ok(1));
+        // ...then the disconnect is reported.
+        assert_eq!(rx.recv(), Err(QueueRecvError::Disconnected));
+        let (tx, rx) = sync_queue();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(QueueSendError(7)));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_disconnect() {
+        let (tx, rx) = sync_queue::<u8>();
+        let waiter = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(QueueRecvError::Disconnected));
+    }
+
+    #[test]
+    fn queued_messages_are_dropped_when_the_last_receiver_disconnects() {
+        // A message carrying a reply handle: dropping the queue's receiver
+        // must drop the queued message, which disconnects the reply channel
+        // and unblocks whoever is waiting on it.
+        let (tx, rx) = sync_queue();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<u8>();
+        tx.send(reply_tx).unwrap();
+        drop(rx);
+        assert_eq!(
+            reply_rx.recv_timeout(Duration::from_secs(5)),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected)
+        );
+        // The sender still observes the disconnect on its next send.
+        let (other_tx, _) = std::sync::mpsc::channel::<u8>();
+        assert!(tx.send(other_tx).is_err());
+    }
+
+    #[test]
+    fn multiple_consumers_split_the_stream() {
+        let (tx, rx) = sync_queue();
+        let rx2 = rx.clone();
+        let consumer = |rx: QueueReceiver<u32>| {
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        let a = consumer(rx);
+        let b = consumer(rx2);
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all = a.join().unwrap();
+        all.extend(b.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

@@ -13,9 +13,8 @@
 //! report how much data movement the optimisations save.
 
 use crate::key::IpcKey;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Counters describing the traffic through a segment.
 #[derive(Debug, Default)]
@@ -64,8 +63,20 @@ impl<T> SharedSegment<T> {
     /// Creates a segment pre-filled with `initial`.
     pub fn with_data(key: IpcKey, initial: Vec<T>) -> Self {
         let segment = Self::create(key);
-        *segment.data.write() = initial;
+        *segment.write_guard() = initial;
         segment
+    }
+
+    /// Shared read access, recovering from lock poisoning: a panicking writer
+    /// may leave *stale* data behind, never a torn buffer, and daemon-thread
+    /// panics must not wedge the other attached threads.
+    fn read_guard(&self) -> RwLockReadGuard<'_, Vec<T>> {
+        self.data.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive write access (same poisoning policy as [`Self::read_guard`]).
+    fn write_guard(&self) -> RwLockWriteGuard<'_, Vec<T>> {
+        self.data.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The key of this segment.
@@ -75,12 +86,12 @@ impl<T> SharedSegment<T> {
 
     /// Number of items currently stored.
     pub fn len(&self) -> usize {
-        self.data.read().len()
+        self.read_guard().len()
     }
 
     /// Returns `true` if the segment holds no items.
     pub fn is_empty(&self) -> bool {
-        self.data.read().is_empty()
+        self.read_guard().is_empty()
     }
 
     /// Number of handles attached to this segment (including this one).
@@ -90,7 +101,7 @@ impl<T> SharedSegment<T> {
 
     /// Runs `f` with read access to the buffer.
     pub fn read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
-        let guard = self.data.read();
+        let guard = self.read_guard();
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
         self.counters
             .items_read
@@ -100,7 +111,7 @@ impl<T> SharedSegment<T> {
 
     /// Runs `f` with exclusive write access to the buffer.
     pub fn write<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
-        let mut guard = self.data.write();
+        let mut guard = self.write_guard();
         let result = f(&mut guard);
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
         self.counters

@@ -27,10 +27,7 @@ fn run(graph: &PropertyGraph<u32, f64>, weights: &[f64], label: &str) -> RunRepo
         .expect("positive weights")
         .partition(graph, weights.len())
         .expect("partitioning succeeds");
-    println!(
-        "{label:<14} edge split {:?}",
-        partitioning.edge_counts()
-    );
+    println!("{label:<14} edge split {:?}", partitioning.edge_counts());
     let outcome = gx_plug::core::run_accelerated(
         graph,
         partitioning,
@@ -93,8 +90,7 @@ fn main() {
 
     // Case 2 of §III-C: fixed data, tune the accelerator allocation (Lemma 3).
     let loads = [250_000usize, 750_000];
-    let capacity_plan =
-        balance_capacities(&loads, capacities[1]).expect("valid maximum capacity");
+    let capacity_plan = balance_capacities(&loads, capacities[1]).expect("valid maximum capacity");
     println!(
         "\nLemma 3: with loads {:?} and a maximum node capacity of {:.0} items/ms,\n\
          the minimal sufficient capacities are {:?} items/ms",

@@ -40,7 +40,10 @@ fn main() {
     );
     let d = 120_000usize; // one node-iteration worth of triplets
     println!("\nblock-size sweep for d = {d} triplets (times in simulated ms):");
-    println!("{:>10} {:>10} {:>14} {:>14}", "blocks s", "size b", "Eq.2 estimate", "executed");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14}",
+        "blocks s", "size b", "Eq.2 estimate", "executed"
+    );
     for s in [1usize, 4, 16, 64, 256, 1_024, 4_096] {
         let b = d.div_ceil(s);
         println!(

@@ -37,10 +37,7 @@ fn main() {
 
     // 3. Accelerators: one V100-class GPU per node, wrapped in daemons by the
     //    middleware.
-    let devices = vec![
-        vec![gpu_v100("node0-gpu0")],
-        vec![gpu_v100("node1-gpu0")],
-    ];
+    let devices = vec![vec![gpu_v100("node0-gpu0")], vec![gpu_v100("node1-gpu0")]];
 
     // 4. Run the paper's SSSP-BF (4 simultaneous sources) through GX-Plug.
     let algorithm = MultiSourceSssp::paper_default();

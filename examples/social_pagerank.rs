@@ -106,8 +106,7 @@ fn main() {
 
     println!(
         "\nGPU speedup: GraphX {:.1}x, PowerGraph {:.1}x (amortised, excluding device init)",
-        graphx.total_time().as_millis()
-            / (graphx_gpu.total_time() - graphx_gpu.setup).as_millis(),
+        graphx.total_time().as_millis() / (graphx_gpu.total_time() - graphx_gpu.setup).as_millis(),
         powergraph.total_time().as_millis()
             / (powergraph_gpu.total_time() - powergraph_gpu.setup).as_millis(),
     );

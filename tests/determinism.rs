@@ -1,0 +1,141 @@
+//! Serial vs threaded determinism.
+//!
+//! The threaded runtime (daemon worker threads + per-node scoped threads)
+//! must be a pure scheduling change: a threaded `run_accelerated` has to
+//! produce **bit-identical** vertex values, iteration counts and middleware
+//! data-movement counters to the serial mode.  PageRank exercises
+//! floating-point *sum* merging (where any reordering would show up in the
+//! last bits) and SSSP exercises frontier-driven min merging.
+
+use gx_plug::core::ExecutionMode;
+use gx_plug::prelude::*;
+
+fn mixed_devices(nodes: usize) -> Vec<Vec<Device>> {
+    (0..nodes)
+        .map(|n| {
+            vec![
+                gpu_v100(format!("n{n}-gpu")),
+                cpu_xeon_20c(format!("n{n}-cpu")),
+            ]
+        })
+        .collect()
+}
+
+/// Runs the same workload in both execution modes and compares exactly;
+/// `canonical_bits` maps a vertex value to its exact bit representation.
+fn assert_modes_identical<V, A, B>(
+    algorithm: &A,
+    default_value: V,
+    parts: usize,
+    seed: u64,
+    canonical_bits: B,
+) where
+    V: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+    A: GraphAlgorithm<V, f64>,
+    B: Fn(&V) -> Vec<u64>,
+{
+    let list = Rmat::new(10, 8.0).generate(seed);
+    let graph = PropertyGraph::from_edge_list(list, default_value).unwrap();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    let run = |mode| {
+        run_accelerated(
+            &graph,
+            partitioning.clone(),
+            algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+            mixed_devices(parts),
+            MiddlewareConfig::default().with_execution(mode),
+            "rmat",
+            100,
+        )
+    };
+    let serial = run(ExecutionMode::Serial);
+    let threaded = run(ExecutionMode::Threaded);
+
+    assert_eq!(
+        serial.report.num_iterations(),
+        threaded.report.num_iterations(),
+        "iteration counts diverged for {}",
+        algorithm.name()
+    );
+    assert_eq!(serial.report.converged, threaded.report.converged);
+    assert_eq!(serial.values.len(), threaded.values.len());
+    for (v, (a, b)) in serial.values.iter().zip(&threaded.values).enumerate() {
+        assert_eq!(
+            canonical_bits(a),
+            canonical_bits(b),
+            "vertex {v} diverged for {}: serial {a:?} vs threaded {b:?}",
+            algorithm.name()
+        );
+    }
+    // The middleware's data-movement accounting must match too: the threaded
+    // agent plans with the very same code as the serial one.
+    assert_eq!(serial.agent_stats.len(), threaded.agent_stats.len());
+    for (node, (s, t)) in serial
+        .agent_stats
+        .iter()
+        .zip(&threaded.agent_stats)
+        .enumerate()
+    {
+        assert_eq!(s, t, "agent stats diverged on node {node}");
+    }
+}
+
+#[test]
+fn threaded_pagerank_is_bit_identical_to_serial() {
+    // PageRank merges messages by floating-point *addition*: any reordering
+    // of the merge would flip low-order mantissa bits and fail this test.
+    let default = RankValue {
+        rank: 1.0,
+        out_degree: 0,
+    };
+    assert_modes_identical(&PageRank::new(20), default, 3, 11, |value: &RankValue| {
+        vec![value.rank.to_bits(), value.out_degree as u64]
+    });
+}
+
+#[test]
+fn threaded_sssp_is_bit_identical_to_serial() {
+    assert_modes_identical(
+        &MultiSourceSssp::paper_default(),
+        Vec::new(),
+        3,
+        23,
+        |distances: &Vec<f64>| distances.iter().map(|d| d.to_bits()).collect(),
+    );
+}
+
+#[test]
+fn threaded_sssp_is_deterministic_across_repeated_runs() {
+    let list = Rmat::new(10, 8.0).generate(5);
+    let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let run = || {
+        run_accelerated(
+            &graph,
+            partitioning.clone(),
+            &MultiSourceSssp::paper_default(),
+            RuntimeProfile::graphx(),
+            NetworkModel::datacenter(),
+            mixed_devices(2),
+            MiddlewareConfig::default(),
+            "rmat",
+            100,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.report.num_iterations(),
+        second.report.num_iterations()
+    );
+    for (a, b) in first.values.iter().zip(&second.values) {
+        let bits = |d: &Vec<f64>| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a), bits(b));
+    }
+}

@@ -10,7 +10,9 @@ fn orkut_like(seed: u64) -> EdgeList<f64> {
 }
 
 fn gpus(nodes: usize) -> Vec<Vec<Device>> {
-    (0..nodes).map(|n| vec![gpu_v100(format!("n{n}-g0"))]).collect()
+    (0..nodes)
+        .map(|n| vec![gpu_v100(format!("n{n}-g0"))])
+        .collect()
 }
 
 fn cpus(nodes: usize) -> Vec<Vec<Device>> {
@@ -104,8 +106,14 @@ fn middleware_configuration_never_changes_pagerank_results() {
             "fixed blocks",
             MiddlewareConfig::optimized().with_pipeline(PipelineMode::FixedBlockCount(7)),
         ),
-        ("no caching", MiddlewareConfig::optimized().with_caching(false)),
-        ("no skipping", MiddlewareConfig::optimized().with_skipping(false)),
+        (
+            "no caching",
+            MiddlewareConfig::optimized().with_caching(false),
+        ),
+        (
+            "no skipping",
+            MiddlewareConfig::optimized().with_skipping(false),
+        ),
     ];
     for (label, config) in configs {
         let outcome = gx_plug::core::run_accelerated(
