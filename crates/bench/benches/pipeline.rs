@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use gxplug_accel::presets;
 use gxplug_algos::MultiSourceSssp;
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
-use gxplug_core::{run_accelerated, ExecutionMode, MiddlewareConfig, PipelineCoefficients};
+use gxplug_core::{ExecutionMode, MiddlewareConfig, PipelineCoefficients, SessionBuilder};
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_graph::generators::{Generator, Rmat};
@@ -122,24 +122,27 @@ fn bench_execution_modes(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let outcome = run_accelerated(
-                        &graph,
-                        partitioning.clone(),
-                        &algorithm,
-                        RuntimeProfile::powergraph(),
-                        NetworkModel::datacenter(),
-                        (0..parts)
-                            .map(|n| {
-                                vec![
-                                    presets::gpu_v100(format!("n{n}g")),
-                                    presets::cpu_xeon_20c(format!("n{n}c")),
-                                ]
-                            })
-                            .collect(),
-                        MiddlewareConfig::default().with_execution(mode),
-                        "rmat",
-                        100,
-                    );
+                    let outcome = SessionBuilder::new(&graph)
+                        .partitioned_by(partitioning.clone())
+                        .profile(RuntimeProfile::powergraph())
+                        .network(NetworkModel::datacenter())
+                        .devices(
+                            (0..parts)
+                                .map(|n| {
+                                    vec![
+                                        presets::gpu_v100(format!("n{n}g")),
+                                        presets::cpu_xeon_20c(format!("n{n}c")),
+                                    ]
+                                })
+                                .collect(),
+                        )
+                        .config(MiddlewareConfig::default().with_execution(mode))
+                        .dataset("rmat")
+                        .max_iterations(100)
+                        .build()
+                        .unwrap()
+                        .run(&algorithm)
+                        .unwrap();
                     black_box(outcome.report.num_iterations())
                 })
             },
@@ -148,11 +151,68 @@ fn bench_execution_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Setup amortization: running N jobs on one deployed session vs N one-shot
+/// deployments.  The session arm builds the cluster (partition metadata,
+/// node tables, vertex-edge maps) and initialises the devices once, then
+/// only re-seeds vertex state between runs — the one-shot arm pays the full
+/// deployment every time.  Results are bit-identical either way (see the
+/// `determinism` integration test).
+fn bench_session_reuse(c: &mut Criterion) {
+    let list = Rmat::new(12, 8.0).generate(42);
+    let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+    let parts = 4;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    // A parameter sweep: the same algorithm submitted with different sources.
+    let jobs: Vec<MultiSourceSssp> = (0..4u32)
+        .map(|i| MultiSourceSssp::new(vec![i, i + 8]))
+        .collect();
+    let deploy = || {
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::powergraph())
+            .network(NetworkModel::datacenter())
+            .devices(
+                (0..parts)
+                    .map(|n| vec![presets::gpu_v100(format!("n{n}g"))])
+                    .collect(),
+            )
+            .dataset("rmat")
+            .max_iterations(100)
+            .build()
+            .unwrap()
+    };
+    let mut group = c.benchmark_group("session_reuse");
+    group.bench_function("one_shot_per_job", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for job in &jobs {
+                let mut session = deploy();
+                total += session.run(job).unwrap().report.num_iterations();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("reused_session", |b| {
+        b.iter(|| {
+            let mut session = deploy();
+            let mut total = 0usize;
+            for job in &jobs {
+                total += session.run(job).unwrap().report.num_iterations();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
     bench_shuffle_protocol,
     bench_block_size_selection,
-    bench_execution_modes
+    bench_execution_modes,
+    bench_session_reuse
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use gxplug_accel::{presets, Device, SimDuration};
 use gxplug_bench::{format_duration, print_table, scale_from_env, DEFAULT_SEED};
-use gxplug_core::{balance_partitioning, run_accelerated, MiddlewareConfig};
+use gxplug_core::{balance_partitioning, SessionBuilder};
 use gxplug_engine::metrics::RunReport;
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
@@ -53,18 +53,19 @@ fn run_with_devices(
                 .unwrap()
                 .partition(&graph, nodes)
                 .unwrap();
-            run_accelerated(
-                &graph,
-                partitioning,
-                &gxplug_algos::MultiSourceSssp::paper_default(),
-                RuntimeProfile::powergraph(),
-                NetworkModel::datacenter(),
-                devices,
-                MiddlewareConfig::default(),
-                dataset.name,
-                100,
-            )
-            .report
+            let mut session = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning)
+                .profile(RuntimeProfile::powergraph())
+                .network(NetworkModel::datacenter())
+                .devices(devices)
+                .dataset(dataset.name)
+                .max_iterations(100)
+                .build()
+                .unwrap();
+            session
+                .run(&gxplug_algos::MultiSourceSssp::paper_default())
+                .unwrap()
+                .report
         }
         Algo::PageRank => {
             let graph: PropertyGraph<gxplug_algos::RankValue, f64> = dataset
@@ -81,18 +82,19 @@ fn run_with_devices(
                 .unwrap()
                 .partition(&graph, nodes)
                 .unwrap();
-            run_accelerated(
-                &graph,
-                partitioning,
-                &gxplug_algos::PageRank::new(20),
-                RuntimeProfile::powergraph(),
-                NetworkModel::datacenter(),
-                devices,
-                MiddlewareConfig::default(),
-                dataset.name,
-                20,
-            )
-            .report
+            let mut session = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning)
+                .profile(RuntimeProfile::powergraph())
+                .network(NetworkModel::datacenter())
+                .devices(devices)
+                .dataset(dataset.name)
+                .max_iterations(20)
+                .build()
+                .unwrap();
+            session
+                .run(&gxplug_algos::PageRank::new(20))
+                .unwrap()
+                .report
         }
     }
 }

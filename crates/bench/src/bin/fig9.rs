@@ -12,7 +12,7 @@ use gxplug_bench::DEFAULT_SEED;
 use gxplug_bench::{
     format_duration, print_table, run_combo, scale_from_env, suite, Accel, Algo, ComboSpec, Upper,
 };
-use gxplug_core::{run_accelerated, MiddlewareConfig};
+use gxplug_core::SessionBuilder;
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_graph::datasets::{self, Scale};
@@ -227,18 +227,19 @@ fn run_mix_match(
                 .build_graph(scale, DEFAULT_SEED, Vec::new())
                 .unwrap();
             let partitioning = balanced_partitioning(&graph, &capacities);
-            run_accelerated(
-                &graph,
-                partitioning,
-                &gxplug_algos::MultiSourceSssp::paper_default(),
-                RuntimeProfile::powergraph(),
-                NetworkModel::datacenter(),
-                devices,
-                MiddlewareConfig::default(),
-                dataset.name,
-                100,
-            )
-            .report
+            let mut session = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning)
+                .profile(RuntimeProfile::powergraph())
+                .network(NetworkModel::datacenter())
+                .devices(devices)
+                .dataset(dataset.name)
+                .max_iterations(100)
+                .build()
+                .unwrap();
+            session
+                .run(&gxplug_algos::MultiSourceSssp::paper_default())
+                .unwrap()
+                .report
         }
         Algo::PageRank => {
             let graph = dataset
@@ -252,34 +253,36 @@ fn run_mix_match(
                 )
                 .unwrap();
             let partitioning = balanced_partitioning(&graph, &capacities);
-            run_accelerated(
-                &graph,
-                partitioning,
-                &gxplug_algos::PageRank::new(20),
-                RuntimeProfile::powergraph(),
-                NetworkModel::datacenter(),
-                devices,
-                MiddlewareConfig::default(),
-                dataset.name,
-                20,
-            )
-            .report
+            let mut session = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning)
+                .profile(RuntimeProfile::powergraph())
+                .network(NetworkModel::datacenter())
+                .devices(devices)
+                .dataset(dataset.name)
+                .max_iterations(20)
+                .build()
+                .unwrap();
+            session
+                .run(&gxplug_algos::PageRank::new(20))
+                .unwrap()
+                .report
         }
         Algo::Lp => {
             let graph = dataset.build_graph(scale, DEFAULT_SEED, 0u32).unwrap();
             let partitioning = balanced_partitioning(&graph, &capacities);
-            run_accelerated(
-                &graph,
-                partitioning,
-                &gxplug_algos::LabelPropagation::paper_default(),
-                RuntimeProfile::powergraph(),
-                NetworkModel::datacenter(),
-                devices,
-                MiddlewareConfig::default(),
-                dataset.name,
-                15,
-            )
-            .report
+            let mut session = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning)
+                .profile(RuntimeProfile::powergraph())
+                .network(NetworkModel::datacenter())
+                .devices(devices)
+                .dataset(dataset.name)
+                .max_iterations(15)
+                .build()
+                .unwrap();
+            session
+                .run(&gxplug_algos::LabelPropagation::paper_default())
+                .unwrap()
+                .report
         }
     };
     let _ = nodes;

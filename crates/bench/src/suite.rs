@@ -4,7 +4,7 @@
 use gxplug_accel::{presets, AccelError, Device};
 use gxplug_algos::{LabelPropagation, MultiSourceSssp, PageRank};
 use gxplug_baselines::{GunrockLike, LuxLike};
-use gxplug_core::{run_accelerated, run_native, MiddlewareConfig, RunOutcome};
+use gxplug_core::{MiddlewareConfig, RunOutcome, SessionBuilder};
 use gxplug_engine::metrics::RunReport;
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
@@ -215,29 +215,27 @@ where
     A: gxplug_engine::template::GraphAlgorithm<V, f64>,
 {
     let partitioning = default_partitioning(graph, spec.num_nodes);
-    let profile = spec.upper.profile();
-    let network = NetworkModel::datacenter();
+    // Native runs deploy no devices at all; accelerated runs plug one list
+    // per node.
+    let devices = match spec.accel {
+        Accel::None => Vec::new(),
+        accel => devices_for(accel, spec.num_nodes),
+    };
+    let mut session = SessionBuilder::new(graph)
+        .partitioned_by(partitioning)
+        .profile(spec.upper.profile())
+        .network(NetworkModel::datacenter())
+        .devices(devices)
+        .config(spec.config)
+        .dataset(spec.dataset.name)
+        .max_iterations(max_iterations)
+        .build()
+        .expect("a valid experiment deployment");
     let outcome: RunOutcome<V> = match spec.accel {
-        Accel::None => run_native(
-            graph,
-            partitioning,
-            algorithm,
-            profile,
-            network,
-            spec.dataset.name,
-            max_iterations,
-        ),
-        accel => run_accelerated(
-            graph,
-            partitioning,
-            algorithm,
-            profile,
-            network,
-            devices_for(accel, spec.num_nodes),
-            spec.config,
-            spec.dataset.name,
-            max_iterations,
-        ),
+        Accel::None => session.run_native(algorithm),
+        _ => session
+            .run(algorithm)
+            .expect("accelerated specs plug devices into every node"),
     };
     outcome.report
 }

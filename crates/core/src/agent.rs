@@ -389,6 +389,12 @@ where
         }
     }
 
+    /// Releases the daemons without shutting them down, so a session can keep
+    /// their device contexts alive for the next run.
+    pub fn into_daemons(self) -> Vec<Daemon> {
+        self.daemons
+    }
+
     /// Executes one middleware iteration for this agent's node and returns
     /// the merged messages plus the timing attribution the cluster driver
     /// expects.

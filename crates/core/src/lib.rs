@@ -45,8 +45,12 @@
 //! `determinism` integration test runs PageRank and SSSP both ways and
 //! compares exactly).
 //!
-//! [`runner`] ties everything together into end-to-end accelerated runs that
-//! share the engine's cluster driver with the native baselines.
+//! [`session`] ties everything together: a [`SessionBuilder`] validates and
+//! deploys the cluster once (typed [`SessionError`]s instead of panics), and
+//! the resulting [`Session`] serves many algorithm runs on the same deployed
+//! graph, partitioning and daemon device contexts — parameter sweeps and
+//! multi-algorithm serving pay the setup cost once.  The legacy one-shot
+//! [`runner`] functions survive as deprecated wrappers over a session.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -59,6 +63,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod runner;
 pub mod runtime;
+pub mod session;
 pub mod sync_cache;
 
 pub use agent::Agent;
@@ -70,6 +75,8 @@ pub use config::{ExecutionMode, MiddlewareConfig, PipelineMode};
 pub use daemon::{merge_addressed, Daemon, DaemonInfo, DaemonStats};
 pub use metrics::AgentStats;
 pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
-pub use runner::{run_accelerated, run_native, run_native_mode, system_label, RunOutcome};
+#[allow(deprecated)]
+pub use runner::{run_accelerated, run_native, run_native_mode};
 pub use runtime::{DaemonHandle, DaemonJob, RuntimeError, ThreadedAgent, ThreadedNodes};
+pub use session::{system_label, RunOutcome, Session, SessionBuilder, SessionError};
 pub use sync_cache::{CacheStats, GlobalSyncQueues, VertexCache};

@@ -1,72 +1,36 @@
-//! End-to-end accelerated execution.
+//! Legacy one-shot runners, kept as thin wrappers over the session API.
 //!
-//! The runner wires everything together: it builds a simulated cluster from a
-//! graph and a partitioning, creates one agent per distributed node with the
-//! daemons (devices) assigned to that node, and drives the iteration loop
-//! through the engine's cluster driver — so native and accelerated runs share
-//! the same synchronisation, activity tracking and metric collection and are
-//! compared apples to apples.
+//! These free functions deploy a whole cluster — partition metadata, agents,
+//! daemons, device contexts — run a single algorithm and tear everything
+//! down again.  That wastes the deployment on every call, which is exactly
+//! what the [`crate::session`] API fixes: build a
+//! [`SessionBuilder`](crate::SessionBuilder) once and submit many runs to
+//! the deployed [`Session`](crate::Session).
 //!
-//! [`MiddlewareConfig::execution`] selects the runtime: in the default
-//! [`ExecutionMode::Threaded`], every daemon runs on its own worker thread
-//! ([`crate::runtime::DaemonHandle`]) and every node's compute phase runs on
-//! its own scoped thread per superstep ([`crate::runtime::ThreadedNodes`]);
-//! [`ExecutionMode::Serial`] drives the same logic on the calling thread.
-//! The two modes produce bit-identical results.
+//! New code should use the session API; these wrappers exist so downstream
+//! callers migrate on their own schedule.  They panic on misconfiguration
+//! (as they always did) where the builder returns typed
+//! [`SessionError`](crate::SessionError)s.
 
-use crate::agent::Agent;
 use crate::config::{ExecutionMode, MiddlewareConfig};
-use crate::daemon::Daemon;
-use crate::metrics::AgentStats;
-use crate::runtime::{ThreadedAgent, ThreadedNodes};
-use gxplug_accel::{Device, DeviceKind, SimDuration};
-use gxplug_engine::cluster::{Cluster, SyncPolicy};
-use gxplug_engine::metrics::RunReport;
+use crate::session::{RunOutcome, SessionBuilder};
+use gxplug_accel::Device;
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::GraphAlgorithm;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
-use gxplug_ipc::key::KeyGenerator;
-use std::thread;
 
-/// The outcome of an accelerated (or native) run.
-#[derive(Debug, Clone)]
-pub struct RunOutcome<V> {
-    /// The cluster-level report (iterations, timing, convergence).
-    pub report: RunReport,
-    /// Per-agent middleware statistics (empty for native runs).
-    pub agent_stats: Vec<AgentStats>,
-    /// The final vertex values collected from the master copies.
-    pub values: Vec<V>,
-}
+pub use crate::session::system_label;
 
-/// Builds a human-readable system label such as `"PowerGraph+GPU"` from the
-/// devices plugged into each node.
-pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<Device>]) -> String {
-    let mut has_gpu = false;
-    let mut has_cpu = false;
-    let mut has_fpga = false;
-    for device in devices_per_node.iter().flatten() {
-        match device.kind() {
-            DeviceKind::Gpu => has_gpu = true,
-            DeviceKind::Cpu => has_cpu = true,
-            DeviceKind::Fpga => has_fpga = true,
-        }
-    }
-    let accel = match (has_gpu, has_cpu, has_fpga) {
-        (true, false, false) => "GPU",
-        (false, true, false) => "CPU",
-        (false, false, true) => "FPGA",
-        (false, false, false) => return profile.name.to_string(),
-        _ => "Mixed",
-    };
-    format!("{}+{}", profile.name, accel)
-}
-
-/// Runs `algorithm` natively (no accelerators) on a simulated cluster, with
-/// the nodes of each superstep computing concurrently (the default
-/// [`ExecutionMode::Threaded`]).
+/// Runs `algorithm` natively (no accelerators) on a freshly deployed
+/// cluster, with the nodes of each superstep computing concurrently (the
+/// default [`ExecutionMode::Threaded`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "deploy a reusable `Session` with `SessionBuilder` and call `run_native` on it; \
+            a session amortizes the deployment across runs"
+)]
 pub fn run_native<V, E, A>(
     graph: &PropertyGraph<V, E>,
     partitioning: Partitioning,
@@ -81,7 +45,7 @@ where
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
-    run_native_mode(
+    one_shot_native(
         graph,
         partitioning,
         algorithm,
@@ -94,7 +58,12 @@ where
 }
 
 /// [`run_native`] with an explicit [`ExecutionMode`].
-#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.2.0",
+    note = "deploy a reusable `Session` with `SessionBuilder` (the execution mode lives in \
+            `MiddlewareConfig::execution`) and call `run_native` on it"
+)]
+#[allow(clippy::too_many_arguments)] // the legacy signature is the reason this API is deprecated
 pub fn run_native_mode<V, E, A>(
     graph: &PropertyGraph<V, E>,
     partitioning: Partitioning,
@@ -110,46 +79,60 @@ where
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
-    let mut cluster = Cluster::build(graph, partitioning, algorithm, profile, network);
-    let report = cluster.run_native_mode(algorithm, dataset, max_iterations, mode);
-    let values = cluster.collect_values();
-    RunOutcome {
-        report,
-        agent_stats: Vec::new(),
-        values,
-    }
+    one_shot_native(
+        graph,
+        partitioning,
+        algorithm,
+        profile,
+        network,
+        dataset,
+        max_iterations,
+        mode,
+    )
 }
 
-/// Builds the named daemons of one node from its device list.
-fn daemons_for_node(
-    key_generator: &KeyGenerator,
-    node_id: usize,
-    devices: Vec<Device>,
-) -> Vec<Daemon> {
-    devices
-        .into_iter()
-        .enumerate()
-        .map(|(daemon_index, device)| {
-            let key = key_generator.key_for(node_id, daemon_index);
-            Daemon::new(format!("node{node_id}-daemon{daemon_index}"), device, key)
-        })
-        .collect()
+#[allow(clippy::too_many_arguments)] // internal trampoline sharing the legacy signatures above
+fn one_shot_native<V, E, A>(
+    graph: &PropertyGraph<V, E>,
+    partitioning: Partitioning,
+    algorithm: &A,
+    profile: RuntimeProfile,
+    network: NetworkModel,
+    dataset: &str,
+    max_iterations: usize,
+    mode: ExecutionMode,
+) -> RunOutcome<V>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    let mut session = SessionBuilder::new(graph)
+        .partitioned_by(partitioning)
+        .profile(profile)
+        .network(network)
+        .config(MiddlewareConfig::default().with_execution(mode))
+        .dataset(dataset)
+        .max_iterations(max_iterations)
+        .build()
+        .unwrap_or_else(|error| panic!("{error}"));
+    session.run_native(algorithm)
 }
 
-/// Runs `algorithm` through the GX-Plug middleware: one agent per distributed
-/// node, with the devices in `devices_per_node[j]` plugged into node `j` as
-/// daemons.
-///
-/// `config.execution` selects the runtime.  In the default
-/// [`ExecutionMode::Threaded`], every daemon computes on its own worker
-/// thread and nodes advance in parallel within each superstep; results are
-/// bit-identical to [`ExecutionMode::Serial`].
+/// Runs `algorithm` through the GX-Plug middleware on a freshly deployed
+/// cluster: one agent per distributed node, with the devices in
+/// `devices_per_node[j]` plugged into node `j` as daemons.
 ///
 /// # Panics
-/// Panics if `devices_per_node` does not have one (possibly empty is not
-/// allowed) device list per partition, or if a daemon worker panics while
-/// computing (the worker's panic is propagated).
-#[allow(clippy::too_many_arguments)]
+/// Panics if `devices_per_node` does not have one non-empty device list per
+/// partition.  The session API reports these as typed
+/// [`SessionError`](crate::SessionError)s instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "deploy a reusable `Session` with `SessionBuilder` and call `run` on it; \
+            a session amortizes the deployment (cluster build + device init) across runs"
+)]
+#[allow(clippy::too_many_arguments)] // the legacy 9-argument signature is the reason this API is deprecated
 pub fn run_accelerated<V, E, A>(
     graph: &PropertyGraph<V, E>,
     partitioning: Partitioning,
@@ -166,185 +149,25 @@ where
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
-    assert_eq!(
-        devices_per_node.len(),
-        partitioning.num_parts(),
-        "one device list per distributed node is required"
-    );
-    assert!(
-        devices_per_node.iter().all(|d| !d.is_empty()),
-        "every node needs at least one accelerator to run accelerated"
-    );
-    let system = system_label(&profile, &devices_per_node);
-    let mut cluster = Cluster::build(graph, partitioning, algorithm, profile, network);
-    let sync_policy = if config.skipping {
-        SyncPolicy::SkipWhenLocal
-    } else {
-        SyncPolicy::AlwaysSync
-    };
-    let key_generator = KeyGenerator::new(0xC1);
-
-    let (report, agent_stats) = match config.execution {
-        ExecutionMode::Serial => run_agents_serial(
-            &mut cluster,
-            algorithm,
-            profile,
-            config,
-            devices_per_node,
-            &key_generator,
-            dataset,
-            &system,
-            max_iterations,
-            sync_policy,
-        ),
-        ExecutionMode::Threaded => run_agents_threaded(
-            &mut cluster,
-            algorithm,
-            profile,
-            config,
-            devices_per_node,
-            &key_generator,
-            dataset,
-            &system,
-            max_iterations,
-            sync_policy,
-        ),
-    };
-    let values = cluster.collect_values();
-    RunOutcome {
-        report,
-        agent_stats,
-        values,
-    }
-}
-
-/// The serial middleware path: agents own their daemons and drive them on the
-/// calling thread.
-#[allow(clippy::too_many_arguments)]
-fn run_agents_serial<V, E, A>(
-    cluster: &mut Cluster<V, E>,
-    algorithm: &A,
-    profile: RuntimeProfile,
-    config: MiddlewareConfig,
-    devices_per_node: Vec<Vec<Device>>,
-    key_generator: &KeyGenerator,
-    dataset: &str,
-    system: &str,
-    max_iterations: usize,
-    sync_policy: SyncPolicy,
-) -> (RunReport, Vec<AgentStats>)
-where
-    V: Clone + PartialEq + Send + Sync,
-    E: Clone + Send + Sync,
-    A: GraphAlgorithm<V, E>,
-{
-    let mut agents: Vec<Agent<V>> = devices_per_node
-        .into_iter()
-        .enumerate()
-        .map(|(node_id, devices)| {
-            Agent::new(
-                node_id,
-                daemons_for_node(key_generator, node_id, devices),
-                profile,
-                config,
-                cluster.node(node_id).num_vertices(),
-            )
-        })
-        .collect();
-
-    // connect(): device contexts are initialised once, in parallel across
-    // nodes, so the setup cost is the slowest node's initialisation.
-    let setup = agents
-        .iter_mut()
-        .map(Agent::connect)
-        .fold(SimDuration::ZERO, SimDuration::max);
-
-    let report = cluster.run_custom(
-        algorithm,
-        dataset,
-        system,
-        max_iterations,
-        sync_policy,
-        setup,
-        |node, iteration| agents[node.id()].process_iteration(node, algorithm, iteration),
-    );
-    let agent_stats = agents.iter().map(Agent::stats).collect();
-    for agent in &mut agents {
-        agent.disconnect();
-    }
-    (report, agent_stats)
-}
-
-/// The threaded middleware path: a scoped thread per daemon for the whole
-/// run, plus a scoped thread per node within each superstep.
-#[allow(clippy::too_many_arguments)]
-fn run_agents_threaded<V, E, A>(
-    cluster: &mut Cluster<V, E>,
-    algorithm: &A,
-    profile: RuntimeProfile,
-    config: MiddlewareConfig,
-    devices_per_node: Vec<Vec<Device>>,
-    key_generator: &KeyGenerator,
-    dataset: &str,
-    system: &str,
-    max_iterations: usize,
-    sync_policy: SyncPolicy,
-) -> (RunReport, Vec<AgentStats>)
-where
-    V: Clone + PartialEq + Send + Sync,
-    E: Clone + Send + Sync,
-    A: GraphAlgorithm<V, E>,
-{
-    thread::scope(|scope| {
-        let mut agents: Vec<ThreadedAgent<'_, '_, V>> = devices_per_node
-            .into_iter()
-            .enumerate()
-            .map(|(node_id, devices)| {
-                ThreadedAgent::spawn(
-                    scope,
-                    node_id,
-                    daemons_for_node(key_generator, node_id, devices),
-                    profile,
-                    config,
-                    cluster.node(node_id).num_vertices(),
-                )
-            })
-            .collect();
-
-        let setup = agents
-            .iter_mut()
-            .map(ThreadedAgent::connect)
-            .fold(SimDuration::ZERO, SimDuration::max);
-
-        let mut phase = ThreadedNodes {
-            agents: &mut agents,
-            algorithm,
-        };
-        let report = cluster.run_phased(
-            algorithm,
-            dataset,
-            system,
-            max_iterations,
-            sync_policy,
-            setup,
-            &mut phase,
-        );
-        let agent_stats = agents.iter().map(ThreadedAgent::stats).collect();
-        for agent in &mut agents {
-            agent.disconnect();
-        }
-        // Join every daemon worker; a worker that panicked re-raises here.
-        for agent in agents {
-            let _daemons = agent.join();
-        }
-        (report, agent_stats)
-    })
+    let mut session = SessionBuilder::new(graph)
+        .partitioned_by(partitioning)
+        .profile(profile)
+        .network(network)
+        .devices(devices_per_node)
+        .config(config)
+        .dataset(dataset)
+        .max_iterations(max_iterations)
+        .build()
+        .unwrap_or_else(|error| panic!("{error}"));
+    session
+        .run(algorithm)
+        .unwrap_or_else(|error| panic!("{error}"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::config::PipelineMode;
     use gxplug_accel::presets;
     use gxplug_engine::template::AddressedMessage;
     use gxplug_graph::generators::{Generator, Rmat};
@@ -386,145 +209,60 @@ mod tests {
     }
 
     fn test_graph() -> PropertyGraph<f64, f64> {
-        let list = Rmat::new(11, 8.0).generate(11);
+        let list = Rmat::new(10, 8.0).generate(11);
         PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap()
     }
 
-    fn gpus_per_node(nodes: usize, per_node: usize) -> Vec<Vec<Device>> {
-        (0..nodes)
-            .map(|n| {
-                (0..per_node)
-                    .map(|g| presets::gpu_v100(format!("n{n}g{g}")))
-                    .collect()
-            })
-            .collect()
-    }
-
     #[test]
-    fn accelerated_run_matches_native_results() {
+    fn legacy_wrappers_match_the_session_api() {
         let graph = test_graph();
         let algorithm = Sssp { sources: vec![0] };
-        let parts = 3;
-        let partitioning = GreedyVertexCutPartitioner::default()
-            .partition(&graph, parts)
-            .unwrap();
-        let native = run_native(
-            &graph,
-            partitioning.clone(),
-            &algorithm,
-            RuntimeProfile::powergraph(),
-            NetworkModel::datacenter(),
-            "rmat",
-            200,
-        );
-        let accelerated = run_accelerated(
-            &graph,
-            partitioning,
-            &algorithm,
-            RuntimeProfile::powergraph(),
-            NetworkModel::datacenter(),
-            gpus_per_node(parts, 1),
-            MiddlewareConfig::default(),
-            "rmat",
-            200,
-        );
-        assert!(native.report.converged);
-        assert!(accelerated.report.converged);
-        assert_eq!(native.values.len(), accelerated.values.len());
-        for (v, (a, b)) in native.values.iter().zip(&accelerated.values).enumerate() {
-            let same = (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9;
-            assert!(same, "vertex {v}: native {a} vs accelerated {b}");
-        }
-    }
-
-    #[test]
-    fn gpu_acceleration_beats_native_powergraph() {
-        let graph = test_graph();
-        let algorithm = Sssp {
-            sources: vec![0, 1, 2, 3],
-        };
         let parts = 2;
         let partitioning = GreedyVertexCutPartitioner::default()
             .partition(&graph, parts)
             .unwrap();
-        let native = run_native(
+        let devices = || {
+            (0..parts)
+                .map(|n| vec![presets::gpu_v100(format!("n{n}g0"))])
+                .collect::<Vec<_>>()
+        };
+        let legacy = run_accelerated(
             &graph,
             partitioning.clone(),
             &algorithm,
             RuntimeProfile::powergraph(),
             NetworkModel::datacenter(),
+            devices(),
+            MiddlewareConfig::default(),
             "rmat",
             200,
         );
-        let accelerated = run_accelerated(
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .devices(devices())
+            .dataset("rmat")
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let modern = session.run(&algorithm).unwrap();
+        assert_eq!(legacy.report.iterations, modern.report.iterations);
+        assert_eq!(legacy.report.setup, modern.report.setup);
+        for (a, b) in legacy.values.iter().zip(&modern.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let legacy_native = run_native(
             &graph,
             partitioning,
             &algorithm,
             RuntimeProfile::powergraph(),
             NetworkModel::datacenter(),
-            gpus_per_node(parts, 1),
-            MiddlewareConfig::default(),
             "rmat",
             200,
         );
-        // Compare iteration time excluding the one-off GPU initialisation
-        // (which amortises over long runs; this test graph is small).
-        let native_iter_time = native.report.total_time();
-        let accel_iter_time = accelerated.report.total_time() - accelerated.report.setup;
-        assert!(
-            accel_iter_time < native_iter_time,
-            "accelerated {accel_iter_time:?} should beat native {native_iter_time:?}"
-        );
-        assert_eq!(accelerated.report.system, "PowerGraph+GPU");
-    }
-
-    #[test]
-    fn agent_stats_are_collected_per_node() {
-        let graph = test_graph();
-        let algorithm = Sssp { sources: vec![0] };
-        let partitioning = GreedyVertexCutPartitioner::default()
-            .partition(&graph, 2)
-            .unwrap();
-        let outcome = run_accelerated(
-            &graph,
-            partitioning,
-            &algorithm,
-            RuntimeProfile::graphx(),
-            NetworkModel::datacenter(),
-            gpus_per_node(2, 2),
-            MiddlewareConfig::default().with_pipeline(PipelineMode::Optimal),
-            "rmat",
-            200,
-        );
-        assert_eq!(outcome.agent_stats.len(), 2);
-        let total_triplets: u64 = outcome
-            .agent_stats
-            .iter()
-            .map(|s| s.triplets_processed)
-            .sum();
-        assert_eq!(total_triplets as usize, outcome.report.total_triplets());
-        assert!(outcome.report.setup > SimDuration::ZERO);
-        assert_eq!(outcome.report.system, "GraphX+GPU");
-    }
-
-    #[test]
-    fn system_labels_follow_device_mix() {
-        let profile = RuntimeProfile::powergraph();
-        assert_eq!(system_label(&profile, &[]), "PowerGraph");
+        let modern_native = session.run_native(&algorithm);
         assert_eq!(
-            system_label(&profile, &[vec![presets::gpu_v100("g")]]),
-            "PowerGraph+GPU"
-        );
-        assert_eq!(
-            system_label(&profile, &[vec![presets::cpu_xeon_20c("c")]]),
-            "PowerGraph+CPU"
-        );
-        assert_eq!(
-            system_label(
-                &profile,
-                &[vec![presets::gpu_v100("g"), presets::cpu_xeon_20c("c")]]
-            ),
-            "PowerGraph+Mixed"
+            legacy_native.report.iterations,
+            modern_native.report.iterations
         );
     }
 
@@ -542,7 +280,10 @@ mod tests {
             &algorithm,
             RuntimeProfile::powergraph(),
             NetworkModel::datacenter(),
-            gpus_per_node(2, 1),
+            vec![
+                vec![presets::gpu_v100("n0g0")],
+                vec![presets::gpu_v100("n1g0")],
+            ],
             MiddlewareConfig::default(),
             "rmat",
             10,

@@ -1,0 +1,934 @@
+//! The session API: deploy once, run many times.
+//!
+//! GX-Plug's central claim is that accelerators are *plugged in* as
+//! long-lived daemons that an upper system attaches to — so the public API
+//! separates the *deployed system* from the *submitted job*, the way GraphX
+//! separates a graph from the queries run against it:
+//!
+//! * [`SessionBuilder`] describes a deployment fluently (graph, partitioning,
+//!   upper-system profile, network, plugged devices, middleware
+//!   configuration) and validates it with typed [`SessionError`]s instead of
+//!   panics deep inside the runner;
+//! * [`Session::run`] / [`Session::run_native`] submit one algorithm run to
+//!   the deployed cluster.  Repeated runs — parameter sweeps, multi-algorithm
+//!   serving, benchmarks — reuse the deployed graph, partitioning metadata
+//!   and daemon device contexts: the cluster is built once and *reset*
+//!   between runs ([`Cluster::reset_for`]), and the daemons stay connected,
+//!   so every accelerated run after the first accelerated one reports
+//!   `setup == 0` (native runs never touch the daemons).
+//!
+//! Per-run middleware state (agent caches, statistics, the edge-topology
+//! registration) is created fresh for every run, which keeps a reused
+//! session **bit-identical** to a sequence of one-shot runs — the only
+//! difference is the amortised deployment cost (device initialisation and
+//! host-side cluster construction).  The `determinism` integration test
+//! checks this exactly.
+//!
+//! [`MiddlewareConfig::execution`] still selects the runtime per run: in the
+//! default [`ExecutionMode::Threaded`], every daemon computes on its own
+//! worker thread ([`crate::runtime::DaemonHandle`]) and every node's compute
+//! phase runs on its own scoped thread per superstep
+//! ([`crate::runtime::ThreadedNodes`]); [`ExecutionMode::Serial`] drives the
+//! same logic on the calling thread.  The two modes produce bit-identical
+//! results, and [`Session::set_config`] can switch any middleware knob
+//! between runs on the same deployment (ablations without re-deploying).
+
+use crate::agent::Agent;
+use crate::config::{ExecutionMode, MiddlewareConfig};
+use crate::daemon::Daemon;
+use crate::metrics::AgentStats;
+use crate::runtime::{ThreadedAgent, ThreadedNodes};
+use gxplug_accel::{Device, DeviceKind, SimDuration};
+use gxplug_engine::cluster::{Cluster, SyncPolicy};
+use gxplug_engine::metrics::RunReport;
+use gxplug_engine::network::NetworkModel;
+use gxplug_engine::profile::RuntimeProfile;
+use gxplug_engine::template::GraphAlgorithm;
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::partition::Partitioning;
+use gxplug_ipc::key::KeyGenerator;
+use std::fmt;
+use std::thread;
+
+/// Iteration cap used when [`SessionBuilder::max_iterations`] is not called.
+pub const DEFAULT_MAX_ITERATIONS: usize = 10_000;
+
+/// The outcome of an accelerated (or native) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<V> {
+    /// The cluster-level report (iterations, timing, convergence).
+    pub report: RunReport,
+    /// Per-agent middleware statistics (empty for native runs).
+    pub agent_stats: Vec<AgentStats>,
+    /// The final vertex values collected from the master copies.
+    pub values: Vec<V>,
+}
+
+/// Typed validation errors of the session API.
+///
+/// These replace the panics (and silent misconfigurations) of the legacy
+/// free-function runners: a deployment that cannot work is rejected at
+/// [`SessionBuilder::build`] time with a description of what is wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The builder was never given a partitioning
+    /// ([`SessionBuilder::partitioned_by`]).
+    MissingPartitioning,
+    /// `devices_per_node` does not have exactly one device list per
+    /// partition of the deployed graph.
+    DeviceCountMismatch {
+        /// Number of partitions (distributed nodes) in the deployment.
+        partitions: usize,
+        /// Number of per-node device lists supplied.
+        device_lists: usize,
+    },
+    /// A node's device list is empty — every node of an accelerated
+    /// deployment needs at least one device to plug in.
+    EmptyDeviceList {
+        /// The node whose device list is empty.
+        node: usize,
+    },
+    /// [`Session::run`] was called on a session deployed without devices
+    /// (use [`Session::run_native`], or rebuild with
+    /// [`SessionBuilder::devices`]).
+    NoDevices,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::MissingPartitioning => {
+                write!(
+                    f,
+                    "the session needs a partitioning (SessionBuilder::partitioned_by)"
+                )
+            }
+            SessionError::DeviceCountMismatch {
+                partitions,
+                device_lists,
+            } => write!(
+                f,
+                "one device list per distributed node is required: \
+                 the partitioning has {partitions} parts but {device_lists} device lists were given"
+            ),
+            SessionError::EmptyDeviceList { node } => write!(
+                f,
+                "node {node} has an empty device list: every node of an accelerated \
+                 deployment needs at least one device"
+            ),
+            SessionError::NoDevices => write!(
+                f,
+                "the session was deployed without devices; plug devices in with \
+                 SessionBuilder::devices or use Session::run_native"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Builds a human-readable system label such as `"PowerGraph+GPU"` from the
+/// devices plugged into each node.
+pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<Device>]) -> String {
+    let mut has_gpu = false;
+    let mut has_cpu = false;
+    let mut has_fpga = false;
+    for device in devices_per_node.iter().flatten() {
+        match device.kind() {
+            DeviceKind::Gpu => has_gpu = true,
+            DeviceKind::Cpu => has_cpu = true,
+            DeviceKind::Fpga => has_fpga = true,
+        }
+    }
+    let accel = match (has_gpu, has_cpu, has_fpga) {
+        (true, false, false) => "GPU",
+        (false, true, false) => "CPU",
+        (false, false, true) => "FPGA",
+        (false, false, false) => return profile.name.to_string(),
+        _ => "Mixed",
+    };
+    format!("{}+{}", profile.name, accel)
+}
+
+/// Builds the named daemons of one node from its device list.
+fn daemons_for_node(
+    key_generator: &KeyGenerator,
+    node_id: usize,
+    devices: Vec<Device>,
+) -> Vec<Daemon> {
+    devices
+        .into_iter()
+        .enumerate()
+        .map(|(daemon_index, device)| {
+            let key = key_generator.key_for(node_id, daemon_index);
+            Daemon::new(format!("node{node_id}-daemon{daemon_index}"), device, key)
+        })
+        .collect()
+}
+
+/// Fluent description of a GX-Plug deployment.
+///
+/// Required: the graph (constructor) and a partitioning
+/// ([`SessionBuilder::partitioned_by`]).  Everything else has defaults: the
+/// PowerGraph-like profile, the datacenter network, no devices (native-only
+/// session), [`MiddlewareConfig::default`], dataset label `"unnamed"` and a
+/// cap of [`DEFAULT_MAX_ITERATIONS`] iterations per run.
+///
+/// ```
+/// use gxplug_accel::presets::gpu_v100;
+/// use gxplug_core::{SessionBuilder, SessionError};
+/// use gxplug_graph::generators::{Generator, Rmat};
+/// use gxplug_graph::graph::PropertyGraph;
+/// use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
+///
+/// let list = Rmat::new(6, 4.0).generate(3);
+/// let graph: PropertyGraph<f64, f64> =
+///     PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap();
+/// let partitioning = GreedyVertexCutPartitioner::default()
+///     .partition(&graph, 2)
+///     .unwrap();
+/// // Misconfigured deployments are typed errors, not panics: here one device
+/// // list is missing for the two-node partitioning.
+/// let err = SessionBuilder::new(&graph)
+///     .partitioned_by(partitioning)
+///     .devices(vec![vec![gpu_v100("n0-g0")]])
+///     .build()
+///     .unwrap_err();
+/// assert!(matches!(err, SessionError::DeviceCountMismatch { .. }));
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder<'g, V, E> {
+    graph: &'g PropertyGraph<V, E>,
+    partitioning: Option<Partitioning>,
+    profile: RuntimeProfile,
+    network: NetworkModel,
+    devices: Vec<Vec<Device>>,
+    config: MiddlewareConfig,
+    dataset: String,
+    max_iterations: usize,
+}
+
+impl<'g, V, E> SessionBuilder<'g, V, E>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+{
+    /// Starts describing a deployment of `graph`.
+    pub fn new(graph: &'g PropertyGraph<V, E>) -> Self {
+        Self {
+            graph,
+            partitioning: None,
+            profile: RuntimeProfile::powergraph(),
+            network: NetworkModel::datacenter(),
+            devices: Vec::new(),
+            config: MiddlewareConfig::default(),
+            dataset: "unnamed".to_string(),
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+
+    /// The partitioning of the graph over distributed nodes (required).
+    pub fn partitioned_by(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = Some(partitioning);
+        self
+    }
+
+    /// The upper system's runtime profile (default: PowerGraph-like).
+    pub fn profile(mut self, profile: RuntimeProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The interconnect model (default: datacenter).
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The devices plugged into each node, one list per partition.  Leave
+    /// unset for a native-only session.
+    pub fn devices(mut self, devices_per_node: Vec<Vec<Device>>) -> Self {
+        self.devices = devices_per_node;
+        self
+    }
+
+    /// The middleware configuration (default: all optimisations on,
+    /// threaded execution).
+    pub fn config(mut self, config: MiddlewareConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The dataset label carried into run reports (default: `"unnamed"`).
+    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.dataset = dataset.into();
+        self
+    }
+
+    /// The per-run iteration cap (default: [`DEFAULT_MAX_ITERATIONS`];
+    /// algorithms with their own caps converge earlier).
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Validates the deployment and builds the [`Session`].
+    ///
+    /// # Errors
+    /// [`SessionError::MissingPartitioning`] without a partitioning;
+    /// [`SessionError::DeviceCountMismatch`] if the number of device lists
+    /// does not match the partition count; [`SessionError::EmptyDeviceList`]
+    /// if some node of an accelerated deployment has no device.
+    pub fn build(self) -> Result<Session<'g, V, E>, SessionError> {
+        let partitioning = self.partitioning.ok_or(SessionError::MissingPartitioning)?;
+        if !self.devices.is_empty() {
+            if self.devices.len() != partitioning.num_parts() {
+                return Err(SessionError::DeviceCountMismatch {
+                    partitions: partitioning.num_parts(),
+                    device_lists: self.devices.len(),
+                });
+            }
+            if let Some(node) = self.devices.iter().position(Vec::is_empty) {
+                return Err(SessionError::EmptyDeviceList { node });
+            }
+        }
+        let system = system_label(&self.profile, &self.devices);
+        let key_generator = KeyGenerator::new(0xC1);
+        let daemons = self
+            .devices
+            .into_iter()
+            .enumerate()
+            .map(|(node_id, devices)| daemons_for_node(&key_generator, node_id, devices))
+            .collect();
+        Ok(Session {
+            graph: self.graph,
+            partitioning,
+            profile: self.profile,
+            network: self.network,
+            config: self.config,
+            dataset: self.dataset,
+            max_iterations: self.max_iterations,
+            system,
+            daemons,
+            cluster: None,
+        })
+    }
+}
+
+/// Everything a single run needs besides the cluster and the algorithm.
+struct RunContext<'a> {
+    profile: RuntimeProfile,
+    config: MiddlewareConfig,
+    dataset: &'a str,
+    system: &'a str,
+    max_iterations: usize,
+    sync_policy: SyncPolicy,
+}
+
+/// A deployed GX-Plug system: the partitioned graph distributed over a
+/// simulated cluster, with the configured daemons plugged into its nodes.
+///
+/// Built by [`SessionBuilder`].  [`Session::run`] submits one algorithm run
+/// through the middleware; [`Session::run_native`] runs the upper system
+/// without accelerators on the same deployment (apples-to-apples baseline).
+/// The deployment — cluster structure and daemon device contexts — is reused
+/// across runs: only the first run pays the setup cost.
+pub struct Session<'g, V, E> {
+    graph: &'g PropertyGraph<V, E>,
+    partitioning: Partitioning,
+    profile: RuntimeProfile,
+    network: NetworkModel,
+    config: MiddlewareConfig,
+    dataset: String,
+    max_iterations: usize,
+    system: String,
+    /// One daemon list per node; daemons stay connected between runs.
+    daemons: Vec<Vec<Daemon>>,
+    /// Built on the first run, reset (not rebuilt) on every further run.
+    cluster: Option<Cluster<V, E>>,
+}
+
+impl<V, E> fmt::Debug for Session<'_, V, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("system", &self.system)
+            .field("nodes", &self.partitioning.num_parts())
+            .field("daemons", &self.daemons.iter().map(Vec::len).sum::<usize>())
+            .field("deployed", &self.cluster.is_some())
+            .finish()
+    }
+}
+
+impl<'g, V, E> Session<'g, V, E>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+{
+    /// Starts a [`SessionBuilder`] for `graph` (same as
+    /// [`SessionBuilder::new`]).
+    pub fn builder(graph: &'g PropertyGraph<V, E>) -> SessionBuilder<'g, V, E> {
+        SessionBuilder::new(graph)
+    }
+
+    /// Number of distributed nodes in the deployment.
+    pub fn num_nodes(&self) -> usize {
+        self.partitioning.num_parts()
+    }
+
+    /// The partitioning the session was deployed with.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The middleware configuration used for the next run.
+    pub fn config(&self) -> &MiddlewareConfig {
+        &self.config
+    }
+
+    /// The system label reported by accelerated runs (e.g.
+    /// `"PowerGraph+GPU"`).
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// Whether any devices are plugged into this session.
+    pub fn has_devices(&self) -> bool {
+        !self.daemons.is_empty()
+    }
+
+    /// Replaces the middleware configuration for subsequent runs.
+    ///
+    /// Middleware state is per run, so this is exactly as if the session had
+    /// been deployed with `config` — ablation sweeps can reuse one deployment
+    /// for every configuration.
+    pub fn set_config(&mut self, config: MiddlewareConfig) {
+        self.config = config;
+    }
+
+    /// Replaces the per-run iteration cap for subsequent runs.
+    pub fn set_max_iterations(&mut self, max_iterations: usize) {
+        self.max_iterations = max_iterations;
+    }
+
+    /// Builds the cluster on the first run, resets it on every further run.
+    fn prepare_cluster<A>(&mut self, algorithm: &A)
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        match self.cluster.as_mut() {
+            Some(cluster) => cluster.reset_for(algorithm),
+            None => {
+                self.cluster = Some(Cluster::build(
+                    self.graph,
+                    self.partitioning.clone(),
+                    algorithm,
+                    self.profile,
+                    self.network,
+                ));
+            }
+        }
+    }
+
+    /// Runs `algorithm` through the GX-Plug middleware on the deployed
+    /// cluster: one agent per distributed node, bridging the node's plugged
+    /// daemons.
+    ///
+    /// The first run pays the device initialisation (`report.setup`); every
+    /// further run reuses the live daemon contexts and reports zero setup.
+    ///
+    /// # Errors
+    /// [`SessionError::NoDevices`] if the session was deployed without
+    /// devices.
+    ///
+    /// # Panics
+    /// Panics if a daemon worker panics while computing (the worker's panic
+    /// is propagated).  A panicked worker takes its daemon with it, so a
+    /// session whose run panicked is poisoned: if the panic is caught,
+    /// further [`Session::run`] calls report [`SessionError::NoDevices`].
+    pub fn run<A>(&mut self, algorithm: &A) -> Result<RunOutcome<V>, SessionError>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        if self.daemons.is_empty() {
+            return Err(SessionError::NoDevices);
+        }
+        self.prepare_cluster(algorithm);
+        let context = RunContext {
+            profile: self.profile,
+            config: self.config,
+            dataset: &self.dataset,
+            system: &self.system,
+            max_iterations: self.max_iterations,
+            sync_policy: if self.config.skipping {
+                SyncPolicy::SkipWhenLocal
+            } else {
+                SyncPolicy::AlwaysSync
+            },
+        };
+        let cluster = self.cluster.as_mut().expect("cluster deployed above");
+        let daemons = std::mem::take(&mut self.daemons);
+        let (report, agent_stats, daemons) = match context.config.execution {
+            ExecutionMode::Serial => run_agents_serial(cluster, algorithm, &context, daemons),
+            ExecutionMode::Threaded => run_agents_threaded(cluster, algorithm, &context, daemons),
+        };
+        self.daemons = daemons;
+        let values = cluster.collect_values();
+        Ok(RunOutcome {
+            report,
+            agent_stats,
+            values,
+        })
+    }
+
+    /// Runs `algorithm` natively (no accelerators) on the same deployed
+    /// cluster, using the configured [`ExecutionMode`].
+    pub fn run_native<A>(&mut self, algorithm: &A) -> RunOutcome<V>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        self.prepare_cluster(algorithm);
+        let cluster = self.cluster.as_mut().expect("cluster deployed above");
+        let report = cluster.run_native_mode(
+            algorithm,
+            &self.dataset,
+            self.max_iterations,
+            self.config.execution,
+        );
+        let values = cluster.collect_values();
+        RunOutcome {
+            report,
+            agent_stats: Vec::new(),
+            values,
+        }
+    }
+}
+
+impl<V, E> Session<'_, V, E> {
+    /// Tears the deployment down: shuts every daemon's device context down.
+    /// Called automatically when the session is dropped.
+    pub fn close(&mut self) {
+        for daemon in self.daemons.iter_mut().flatten() {
+            daemon.shutdown();
+        }
+    }
+}
+
+impl<V, E> Drop for Session<'_, V, E> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The serial middleware path: agents own their daemons for the duration of
+/// the run and drive them on the calling thread.  Returns the daemons so the
+/// session can keep their contexts alive for the next run.
+fn run_agents_serial<V, E, A>(
+    cluster: &mut Cluster<V, E>,
+    algorithm: &A,
+    context: &RunContext<'_>,
+    daemons: Vec<Vec<Daemon>>,
+) -> (RunReport, Vec<AgentStats>, Vec<Vec<Daemon>>)
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    let mut agents: Vec<Agent<V>> = daemons
+        .into_iter()
+        .enumerate()
+        .map(|(node_id, node_daemons)| {
+            Agent::new(
+                node_id,
+                node_daemons,
+                context.profile,
+                context.config,
+                cluster.node(node_id).num_vertices(),
+            )
+        })
+        .collect();
+
+    // connect(): device contexts are initialised in parallel across nodes,
+    // so the setup cost is the slowest node's initialisation — and zero when
+    // the session already connected them on an earlier run.
+    let setup = agents
+        .iter_mut()
+        .map(Agent::connect)
+        .fold(SimDuration::ZERO, SimDuration::max);
+
+    let report = cluster.run_custom(
+        algorithm,
+        context.dataset,
+        context.system,
+        context.max_iterations,
+        context.sync_policy,
+        setup,
+        |node, iteration| agents[node.id()].process_iteration(node, algorithm, iteration),
+    );
+    let agent_stats = agents.iter().map(Agent::stats).collect();
+    // No disconnect: the daemons stay connected across session runs.
+    let daemons = agents.into_iter().map(Agent::into_daemons).collect();
+    (report, agent_stats, daemons)
+}
+
+/// The threaded middleware path: a scoped thread per daemon for the whole
+/// run, plus a scoped thread per node within each superstep.
+fn run_agents_threaded<V, E, A>(
+    cluster: &mut Cluster<V, E>,
+    algorithm: &A,
+    context: &RunContext<'_>,
+    daemons: Vec<Vec<Daemon>>,
+) -> (RunReport, Vec<AgentStats>, Vec<Vec<Daemon>>)
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    thread::scope(|scope| {
+        let mut agents: Vec<ThreadedAgent<'_, '_, V>> = daemons
+            .into_iter()
+            .enumerate()
+            .map(|(node_id, node_daemons)| {
+                ThreadedAgent::spawn(
+                    scope,
+                    node_id,
+                    node_daemons,
+                    context.profile,
+                    context.config,
+                    cluster.node(node_id).num_vertices(),
+                )
+            })
+            .collect();
+
+        let setup = agents
+            .iter_mut()
+            .map(ThreadedAgent::connect)
+            .fold(SimDuration::ZERO, SimDuration::max);
+
+        let mut phase = ThreadedNodes {
+            agents: &mut agents,
+            algorithm,
+        };
+        let report = cluster.run_phased(
+            algorithm,
+            context.dataset,
+            context.system,
+            context.max_iterations,
+            context.sync_policy,
+            setup,
+            &mut phase,
+        );
+        let agent_stats = agents.iter().map(ThreadedAgent::stats).collect();
+        // Join every daemon worker (a worker that panicked re-raises here)
+        // WITHOUT disconnecting: the recovered daemons keep their device
+        // contexts alive for the session's next run.
+        let daemons = agents
+            .into_iter()
+            .map(ThreadedAgent::join)
+            .collect::<Vec<Vec<Daemon>>>();
+        (report, agent_stats, daemons)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineMode;
+    use gxplug_accel::presets;
+    use gxplug_engine::template::AddressedMessage;
+    use gxplug_graph::generators::{Generator, Rmat};
+    use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
+    use gxplug_graph::types::{Triplet, VertexId};
+
+    struct Sssp {
+        sources: Vec<VertexId>,
+    }
+
+    impl GraphAlgorithm<f64, f64> for Sssp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, _d: usize) -> f64 {
+            if self.sources.contains(&v) {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            if t.src_attr.is_finite() {
+                vec![AddressedMessage::new(t.dst, t.src_attr + t.edge_attr)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.min(b)
+        }
+        fn msg_apply(&self, _v: VertexId, cur: &f64, msg: &f64, _i: usize) -> Option<f64> {
+            (msg + 1e-12 < *cur).then_some(*msg)
+        }
+        fn initial_active(&self, _n: usize) -> Option<Vec<VertexId>> {
+            Some(self.sources.clone())
+        }
+        fn name(&self) -> &'static str {
+            "sssp-bf"
+        }
+    }
+
+    fn test_graph() -> PropertyGraph<f64, f64> {
+        let list = Rmat::new(11, 8.0).generate(11);
+        PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap()
+    }
+
+    fn gpus_per_node(nodes: usize, per_node: usize) -> Vec<Vec<Device>> {
+        (0..nodes)
+            .map(|n| {
+                (0..per_node)
+                    .map(|g| presets::gpu_v100(format!("n{n}g{g}")))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn partitioned(graph: &PropertyGraph<f64, f64>, parts: usize) -> Partitioning {
+        GreedyVertexCutPartitioner::default()
+            .partition(graph, parts)
+            .unwrap()
+    }
+
+    #[test]
+    fn accelerated_run_matches_native_results() {
+        let graph = test_graph();
+        let algorithm = Sssp { sources: vec![0] };
+        let parts = 3;
+        let partitioning = partitioned(&graph, parts);
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioning)
+            .devices(gpus_per_node(parts, 1))
+            .dataset("rmat")
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let native = session.run_native(&algorithm);
+        let accelerated = session.run(&algorithm).unwrap();
+        assert!(native.report.converged);
+        assert!(accelerated.report.converged);
+        assert_eq!(native.values.len(), accelerated.values.len());
+        for (v, (a, b)) in native.values.iter().zip(&accelerated.values).enumerate() {
+            let same = (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9;
+            assert!(same, "vertex {v}: native {a} vs accelerated {b}");
+        }
+    }
+
+    #[test]
+    fn gpu_acceleration_beats_native_powergraph() {
+        let graph = test_graph();
+        let algorithm = Sssp {
+            sources: vec![0, 1, 2, 3],
+        };
+        let parts = 2;
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, parts))
+            .devices(gpus_per_node(parts, 1))
+            .dataset("rmat")
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let native = session.run_native(&algorithm);
+        let accelerated = session.run(&algorithm).unwrap();
+        // Compare iteration time excluding the one-off GPU initialisation
+        // (which amortises over a session's lifetime; this test graph is
+        // small).
+        let native_iter_time = native.report.total_time();
+        let accel_iter_time = accelerated.report.total_time() - accelerated.report.setup;
+        assert!(
+            accel_iter_time < native_iter_time,
+            "accelerated {accel_iter_time:?} should beat native {native_iter_time:?}"
+        );
+        assert_eq!(accelerated.report.system, "PowerGraph+GPU");
+    }
+
+    #[test]
+    fn agent_stats_are_collected_per_node() {
+        let graph = test_graph();
+        let algorithm = Sssp { sources: vec![0] };
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(gpus_per_node(2, 2))
+            .profile(RuntimeProfile::graphx())
+            .config(MiddlewareConfig::default().with_pipeline(PipelineMode::Optimal))
+            .dataset("rmat")
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let outcome = session.run(&algorithm).unwrap();
+        assert_eq!(outcome.agent_stats.len(), 2);
+        let total_triplets: u64 = outcome
+            .agent_stats
+            .iter()
+            .map(|s| s.triplets_processed)
+            .sum();
+        assert_eq!(total_triplets as usize, outcome.report.total_triplets());
+        assert!(outcome.report.setup > SimDuration::ZERO);
+        assert_eq!(outcome.report.system, "GraphX+GPU");
+    }
+
+    #[test]
+    fn session_reuse_amortizes_setup_and_keeps_results_identical() {
+        let graph = test_graph();
+        let algorithm = Sssp { sources: vec![0] };
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(gpus_per_node(2, 1))
+            .dataset("rmat")
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let first = session.run(&algorithm).unwrap();
+        let second = session.run(&algorithm).unwrap();
+        // The deployment is paid exactly once...
+        assert!(first.report.setup > SimDuration::ZERO);
+        assert!(second.report.setup.is_zero());
+        // ...and nothing else differs between the runs.
+        assert_eq!(first.report.iterations, second.report.iterations);
+        for (a, b) in first.values.iter().zip(&second.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sessions_serve_different_algorithms_on_one_deployment() {
+        let graph = test_graph();
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(gpus_per_node(2, 1))
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        // A parameter sweep: each source set is its own submitted job.
+        for sources in [vec![0], vec![1, 2], vec![5]] {
+            let outcome = session.run(&Sssp { sources }).unwrap();
+            assert!(outcome.report.converged);
+        }
+        // The cluster was reset in between: the last run is not polluted by
+        // the earlier frontiers.
+        let last = session.run(&Sssp { sources: vec![0] }).unwrap();
+        let fresh = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(gpus_per_node(2, 1))
+            .max_iterations(200)
+            .build()
+            .unwrap()
+            .run(&Sssp { sources: vec![0] })
+            .unwrap();
+        for (a, b) in last.values.iter().zip(&fresh.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn set_config_applies_to_subsequent_runs() {
+        let graph = test_graph();
+        let algorithm = Sssp { sources: vec![0] };
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(gpus_per_node(2, 1))
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let optimised = session.run(&algorithm).unwrap();
+        session.set_config(MiddlewareConfig::baseline());
+        let baseline = session.run(&algorithm).unwrap();
+        assert_eq!(session.config(), &MiddlewareConfig::baseline());
+        for (a, b) in optimised.values.iter().zip(&baseline.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The baseline moves more data through the upper system.
+        let moved = |stats: &[AgentStats]| {
+            stats
+                .iter()
+                .map(|s| s.downloaded_entities + s.uploaded_entities)
+                .sum::<u64>()
+        };
+        assert!(moved(&baseline.agent_stats) > moved(&optimised.agent_stats));
+    }
+
+    #[test]
+    fn builder_requires_a_partitioning() {
+        let graph = test_graph();
+        let result = SessionBuilder::new(&graph).build();
+        assert_eq!(
+            result.err().map(|e| e.to_string()),
+            Some(SessionError::MissingPartitioning.to_string())
+        );
+    }
+
+    #[test]
+    fn device_list_length_must_match_partition_count() {
+        let graph = test_graph();
+        let result = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 3))
+            .devices(gpus_per_node(2, 1))
+            .build();
+        match result {
+            Err(SessionError::DeviceCountMismatch {
+                partitions,
+                device_lists,
+            }) => {
+                assert_eq!(partitions, 3);
+                assert_eq!(device_lists, 2);
+            }
+            other => panic!("expected DeviceCountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_device_lists_are_rejected() {
+        let graph = test_graph();
+        let result = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .devices(vec![vec![presets::gpu_v100("g0")], Vec::new()])
+            .build();
+        assert_eq!(
+            result.err(),
+            Some(SessionError::EmptyDeviceList { node: 1 })
+        );
+    }
+
+    #[test]
+    fn running_accelerated_without_devices_is_a_typed_error() {
+        let graph = test_graph();
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioned(&graph, 2))
+            .build()
+            .unwrap();
+        let result = session.run(&Sssp { sources: vec![0] });
+        assert_eq!(result.err(), Some(SessionError::NoDevices));
+        // The native path still works on the same session.
+        assert!(
+            session
+                .run_native(&Sssp { sources: vec![0] })
+                .report
+                .converged
+        );
+    }
+
+    #[test]
+    fn system_labels_follow_device_mix() {
+        let profile = RuntimeProfile::powergraph();
+        assert_eq!(system_label(&profile, &[]), "PowerGraph");
+        assert_eq!(
+            system_label(&profile, &[vec![presets::gpu_v100("g")]]),
+            "PowerGraph+GPU"
+        );
+        assert_eq!(
+            system_label(&profile, &[vec![presets::cpu_xeon_20c("c")]]),
+            "PowerGraph+CPU"
+        );
+        assert_eq!(
+            system_label(
+                &profile,
+                &[vec![presets::gpu_v100("g"), presets::cpu_xeon_20c("c")]]
+            ),
+            "PowerGraph+Mixed"
+        );
+    }
+}

@@ -237,6 +237,24 @@ where
         }
     }
 
+    /// Re-seeds every node's vertex attributes and active frontier for a
+    /// fresh run of `algorithm`, keeping the expensive structural state
+    /// (edge tables, vertex-edge maps, replica and edge-placement indexes)
+    /// built by [`Cluster::build`].
+    ///
+    /// A reset cluster is bit-identical to a freshly built one, which is what
+    /// lets a deployed session serve many algorithm runs: the deployment is
+    /// paid once, each run only re-initialises the vertex state.
+    pub fn reset_for<A>(&mut self, algorithm: &A)
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        let num_vertices = self.num_vertices;
+        for node in &mut self.nodes {
+            node.reset_for(algorithm, num_vertices);
+        }
+    }
+
     /// Number of distributed nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -732,6 +750,34 @@ mod tests {
             }
             assert!(report.total_time() > SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn reset_cluster_reruns_bit_identically_to_a_fresh_one() {
+        let graph = line_graph(24);
+        let algorithm = MinDist { source: 0 };
+        let partitioning = HashEdgePartitioner::new(3).partition(&graph, 3).unwrap();
+        let mut reused = Cluster::build(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let first = reused.run_native(&algorithm, "line", 100);
+        reused.reset_for(&algorithm);
+        let second = reused.run_native(&algorithm, "line", 100);
+        let mut fresh = Cluster::build(
+            &graph,
+            partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let reference = fresh.run_native(&algorithm, "line", 100);
+        assert_eq!(second.iterations, first.iterations);
+        assert_eq!(second.iterations, reference.iterations);
+        assert_eq!(reused.collect_values(), fresh.collect_values());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
 use gxplug_graph::tables::{EdgeTable, VertexEdgeMap, VertexTable};
 use gxplug_graph::types::{Edge, EdgeId, PartitionId, Triplet, VertexId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// The state of one distributed node.
 #[derive(Debug, Clone)]
@@ -21,6 +21,9 @@ pub struct NodeState<V, E> {
     edge_table: EdgeTable<E>,
     vertex_edge_map: VertexEdgeMap,
     active: HashSet<VertexId>,
+    /// Global out-degree of every local vertex, captured at build time so the
+    /// node can re-seed itself for a new algorithm without the graph.
+    out_degrees: HashMap<VertexId, usize>,
 }
 
 impl<V: Clone, E: Clone> NodeState<V, E> {
@@ -37,15 +40,20 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
     {
         let part = partitioning.part(id);
         let mut vertex_table = VertexTable::with_capacity(part.vertices.len());
+        let mut out_degrees = HashMap::with_capacity(part.vertices.len());
         for &v in &part.vertices {
-            let attr = algorithm.init_vertex(v, graph.out_degree(v));
+            let degree = graph.out_degree(v);
+            let attr = algorithm.init_vertex(v, degree);
             vertex_table.upsert(v, attr, partitioning.master_of(v) == id);
+            out_degrees.insert(v, degree);
         }
         // Isolated vertices mastered here may not appear in `vertices`.
         for &v in &part.masters {
             if !vertex_table.contains(v) {
-                let attr = algorithm.init_vertex(v, graph.out_degree(v));
+                let degree = graph.out_degree(v);
+                let attr = algorithm.init_vertex(v, degree);
                 vertex_table.upsert(v, attr, true);
+                out_degrees.insert(v, degree);
             }
         }
         let mut edge_table = EdgeTable::new();
@@ -67,7 +75,38 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
             edge_table,
             vertex_edge_map,
             active: initial_active,
+            out_degrees,
         }
+    }
+
+    /// Re-seeds the vertex attributes and the active frontier for a fresh run
+    /// of `algorithm`, keeping the structural state (edge table, vertex-edge
+    /// map, master assignment) untouched.  `num_global_vertices` is the size
+    /// of the global vertex space (the argument `initial_active` expects).
+    ///
+    /// After a reset the node is indistinguishable from one freshly built for
+    /// the same algorithm — this is what lets a deployed session serve many
+    /// runs without rebuilding its cluster.
+    pub fn reset_for<A>(&mut self, algorithm: &A, num_global_vertices: usize)
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        let ids: Vec<VertexId> = self.vertex_table.ids().collect();
+        for v in ids {
+            let degree = self.out_degrees.get(&v).copied().unwrap_or(0);
+            let attr = algorithm.init_vertex(v, degree);
+            if let Some(row) = self.vertex_table.get_mut(v) {
+                row.attr = attr;
+                row.dirty = false;
+            }
+        }
+        self.active = match algorithm.initial_active(num_global_vertices) {
+            Some(seed) => seed
+                .into_iter()
+                .filter(|v| self.vertex_table.contains(*v))
+                .collect(),
+            None => self.vertex_table.ids().collect(),
+        };
     }
 }
 
@@ -303,6 +342,27 @@ mod tests {
             assert_eq!(triplet.dst_attr, triplet.dst);
         }
         assert!(node.triplet(999).is_none());
+    }
+
+    #[test]
+    fn reset_restores_a_freshly_built_state() {
+        let (graph, partitioning) = setup();
+        let mut node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        let fresh = node.clone();
+        // Dirty the node the way a run would: update values, shrink the
+        // frontier, mark rows dirty.
+        let ids: Vec<VertexId> = node.vertex_table().ids().collect();
+        for &v in &ids {
+            node.update_vertex(v, 999);
+        }
+        node.clear_active();
+        assert_ne!(node.vertex_table().dirty_count(), 0);
+        node.reset_for(&MinLabel, graph.num_vertices());
+        assert_eq!(node.active_count(), fresh.active_count());
+        assert_eq!(node.vertex_table().dirty_count(), 0);
+        for (got, want) in node.vertex_table().rows().zip(fresh.vertex_table().rows()) {
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -23,22 +23,25 @@ fn devices() -> Vec<Vec<Device>> {
 }
 
 fn run(graph: &PropertyGraph<u32, f64>, weights: &[f64], label: &str) -> RunReport {
+    // The data placement is part of the deployment, so each weighting is its
+    // own session.
     let partitioning = WeightedEdgePartitioner::new(weights.to_vec())
         .expect("positive weights")
         .partition(graph, weights.len())
         .expect("partitioning succeeds");
     println!("{label:<14} edge split {:?}", partitioning.edge_counts());
-    let outcome = gx_plug::core::run_accelerated(
-        graph,
-        partitioning,
-        &LabelPropagation::paper_default(),
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        devices(),
-        MiddlewareConfig::default(),
-        "LiveJournal-analogue",
-        15,
-    );
+    let mut session = SessionBuilder::new(graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .network(NetworkModel::datacenter())
+        .devices(devices())
+        .dataset("LiveJournal-analogue")
+        .max_iterations(15)
+        .build()
+        .expect("a valid deployment");
+    let outcome = session
+        .run(&LabelPropagation::paper_default())
+        .expect("devices are plugged in");
     println!(
         "{label:<14} total {:>8.1} ms, slowest-node compute {:>8.1} ms",
         outcome.report.total_time().as_millis(),

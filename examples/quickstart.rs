@@ -35,23 +35,24 @@ fn main() {
         partitioning.replication_factor()
     );
 
-    // 3. Accelerators: one V100-class GPU per node, wrapped in daemons by the
-    //    middleware.
-    let devices = vec![vec![gpu_v100("node0-gpu0")], vec![gpu_v100("node1-gpu0")]];
+    // 3. Deploy the middleware once: one V100-class GPU per node, wrapped in
+    //    daemons that stay alive for the whole session.
+    let mut session = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .network(NetworkModel::datacenter())
+        .devices(vec![
+            vec![gpu_v100("node0-gpu0")],
+            vec![gpu_v100("node1-gpu0")],
+        ])
+        .dataset(dataset.name)
+        .max_iterations(200)
+        .build()
+        .expect("a valid deployment");
 
-    // 4. Run the paper's SSSP-BF (4 simultaneous sources) through GX-Plug.
+    // 4. Submit the paper's SSSP-BF (4 simultaneous sources) to the session.
     let algorithm = MultiSourceSssp::paper_default();
-    let outcome = gx_plug::core::run_accelerated(
-        &graph,
-        partitioning.clone(),
-        &algorithm,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        devices,
-        MiddlewareConfig::default(),
-        dataset.name,
-        200,
-    );
+    let outcome = session.run(&algorithm).expect("devices are plugged in");
     println!(
         "PowerGraph+GPU: {} iterations, total {:.1} ms (setup {:.1} ms), middleware ratio {:.1}%",
         outcome.report.num_iterations(),
@@ -61,16 +62,8 @@ fn main() {
     );
 
     // 5. Compare against the native (non-accelerated) run of the very same
-    //    algorithm on the very same cluster.
-    let native = gx_plug::core::run_native(
-        &graph,
-        partitioning,
-        &algorithm,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        dataset.name,
-        200,
-    );
+    //    algorithm on the very same deployed cluster.
+    let native = session.run_native(&algorithm);
     println!(
         "PowerGraph native: {} iterations, total {:.1} ms",
         native.report.num_iterations(),
@@ -89,4 +82,16 @@ fn main() {
         .zip(&native.values[0])
         .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9);
     println!("results match the native run: {reachable}");
+
+    // 7. Sessions amortize the deployment: a second run — here a parameter
+    //    sweep with a different source set — reuses the plugged daemons and
+    //    pays no setup at all.
+    let sweep = session
+        .run(&MultiSourceSssp::new(vec![1, 2]))
+        .expect("devices are plugged in");
+    println!(
+        "second run on the same session: {} iterations, setup {:.1} ms (deployment already paid)",
+        sweep.report.num_iterations(),
+        sweep.report.setup.as_millis()
+    );
 }

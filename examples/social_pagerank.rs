@@ -3,52 +3,42 @@
 //! with and without GPU acceleration — the workload the paper's introduction
 //! motivates ("big graph analytics … social networks").
 //!
+//! Each upper system is deployed **once** as a [`Session`]; the native
+//! baseline and the accelerated run are both submitted to the same deployed
+//! cluster, which is exactly the apples-to-apples comparison the middleware
+//! is designed for.
+//!
 //! ```bash
 //! cargo run --release --example social_pagerank
 //! ```
 
 use gx_plug::prelude::*;
 
-fn run(
-    label: &str,
-    graph: &PropertyGraph<RankValue, f64>,
+fn deploy<'g>(
+    graph: &'g PropertyGraph<RankValue, f64>,
     partitioning: &Partitioning,
     profile: RuntimeProfile,
     gpus_per_node: usize,
-) -> RunReport {
-    let algorithm = PageRank::new(20);
-    let report = if gpus_per_node == 0 {
-        gx_plug::core::run_native(
-            graph,
-            partitioning.clone(),
-            &algorithm,
-            profile,
-            NetworkModel::datacenter(),
-            "Twitter-analogue",
-            20,
-        )
-        .report
-    } else {
-        let devices: Vec<Vec<Device>> = (0..partitioning.num_parts())
-            .map(|n| {
-                (0..gpus_per_node)
-                    .map(|g| gpu_v100(format!("node{n}-gpu{g}")))
-                    .collect()
-            })
-            .collect();
-        gx_plug::core::run_accelerated(
-            graph,
-            partitioning.clone(),
-            &algorithm,
-            profile,
-            NetworkModel::datacenter(),
-            devices,
-            MiddlewareConfig::default(),
-            "Twitter-analogue",
-            20,
-        )
-        .report
-    };
+) -> Session<'g, RankValue, f64> {
+    let devices: Vec<Vec<Device>> = (0..partitioning.num_parts())
+        .map(|n| {
+            (0..gpus_per_node)
+                .map(|g| gpu_v100(format!("node{n}-gpu{g}")))
+                .collect()
+        })
+        .collect();
+    SessionBuilder::new(graph)
+        .partitioned_by(partitioning.clone())
+        .profile(profile)
+        .network(NetworkModel::datacenter())
+        .devices(devices)
+        .dataset("Twitter-analogue")
+        .max_iterations(20)
+        .build()
+        .expect("a valid deployment")
+}
+
+fn print_report(label: &str, report: &RunReport) {
     println!(
         "{label:<18} {:>8.1} ms  ({} iterations, sync {:>7.1} ms, middleware {:>5.1}%)",
         report.total_time().as_millis(),
@@ -56,7 +46,6 @@ fn run(
         report.sync_time().as_millis(),
         report.middleware_ratio() * 100.0
     );
-    report
 }
 
 fn main() {
@@ -81,28 +70,26 @@ fn main() {
         partitioning.num_parts()
     );
 
-    let graphx = run("GraphX", &graph, &partitioning, RuntimeProfile::graphx(), 0);
-    let graphx_gpu = run(
-        "GraphX+GPU",
-        &graph,
-        &partitioning,
-        RuntimeProfile::graphx(),
-        2,
-    );
-    let powergraph = run(
-        "PowerGraph",
-        &graph,
-        &partitioning,
-        RuntimeProfile::powergraph(),
-        0,
-    );
-    let powergraph_gpu = run(
-        "PowerGraph+GPU",
-        &graph,
-        &partitioning,
-        RuntimeProfile::powergraph(),
-        2,
-    );
+    let algorithm = PageRank::new(20);
+
+    // One deployment per upper system; two runs (native + accelerated) each.
+    let mut graphx_session = deploy(&graph, &partitioning, RuntimeProfile::graphx(), 2);
+    let graphx = graphx_session.run_native(&algorithm).report;
+    print_report("GraphX", &graphx);
+    let graphx_gpu = graphx_session
+        .run(&algorithm)
+        .expect("devices are plugged in")
+        .report;
+    print_report("GraphX+GPU", &graphx_gpu);
+
+    let mut powergraph_session = deploy(&graph, &partitioning, RuntimeProfile::powergraph(), 2);
+    let powergraph = powergraph_session.run_native(&algorithm).report;
+    print_report("PowerGraph", &powergraph);
+    let powergraph_gpu = powergraph_session
+        .run(&algorithm)
+        .expect("devices are plugged in")
+        .report;
+    print_report("PowerGraph+GPU", &powergraph_gpu);
 
     println!(
         "\nGPU speedup: GraphX {:.1}x, PowerGraph {:.1}x (amortised, excluding device init)",
@@ -111,19 +98,12 @@ fn main() {
             / (powergraph_gpu.total_time() - powergraph_gpu.setup).as_millis(),
     );
 
-    // Show the top influencers found by the accelerated run (results are the
-    // same regardless of the execution path).
-    let outcome = gx_plug::core::run_accelerated(
-        &graph,
-        partitioning,
-        &PageRank::new(20),
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        (0..6).map(|n| vec![gpu_v100(format!("n{n}"))]).collect(),
-        MiddlewareConfig::default(),
-        "Twitter-analogue",
-        20,
-    );
+    // Serving on the same deployment: the top-influencer query is just one
+    // more run on the already-plugged PowerGraph session (setup == 0).
+    let outcome = powergraph_session
+        .run(&PageRank::new(20))
+        .expect("devices are plugged in");
+    assert!(outcome.report.setup.is_zero());
     let mut ranked: Vec<(VertexId, f64)> = outcome
         .values
         .iter()

@@ -19,6 +19,10 @@
 //!
 //! # Quickstart
 //!
+//! Deploy once with [`SessionBuilder`](prelude::SessionBuilder), then submit
+//! as many runs as you like — the deployed graph, partitioning and daemon
+//! device contexts are reused, so only the first run pays the setup cost:
+//!
 //! ```
 //! use gx_plug::prelude::*;
 //!
@@ -29,20 +33,29 @@
 //!     .partition(&graph, 2)
 //!     .unwrap();
 //!
-//! // Plug one GPU daemon into each node and run multi-source SSSP.
-//! let devices = vec![vec![gpu_v100("node0-gpu0")], vec![gpu_v100("node1-gpu0")]];
-//! let outcome = run_accelerated(
-//!     &graph,
-//!     partitioning,
-//!     &MultiSourceSssp::paper_default(),
-//!     RuntimeProfile::powergraph(),
-//!     NetworkModel::datacenter(),
-//!     devices,
-//!     MiddlewareConfig::default(),
-//!     "Orkut",
-//!     100,
-//! );
+//! // Deploy: plug one GPU daemon into each node.
+//! let mut session = SessionBuilder::new(&graph)
+//!     .partitioned_by(partitioning)
+//!     .profile(RuntimeProfile::powergraph())
+//!     .network(NetworkModel::datacenter())
+//!     .devices(vec![vec![gpu_v100("node0-gpu0")], vec![gpu_v100("node1-gpu0")]])
+//!     .dataset("Orkut")
+//!     .max_iterations(100)
+//!     .build()
+//!     .expect("a valid deployment");
+//!
+//! // Submit runs: the paper's multi-source SSSP, then a parameter sweep.
+//! let outcome = session.run(&MultiSourceSssp::paper_default()).unwrap();
 //! assert!(outcome.report.converged);
+//!
+//! let sweep = session.run(&MultiSourceSssp::new(vec![1, 2])).unwrap();
+//! assert!(sweep.report.converged);
+//! // The deployment was already paid by the first run.
+//! assert!(sweep.report.setup.is_zero());
+//!
+//! // The same deployed cluster also serves the native baseline.
+//! let native = session.run_native(&MultiSourceSssp::paper_default());
+//! assert_eq!(native.values, outcome.values);
 //! ```
 
 #![warn(missing_docs)]
@@ -65,9 +78,11 @@ pub mod prelude {
     };
     pub use gxplug_baselines::{GunrockLike, LuxLike};
     pub use gxplug_core::{
-        balance_capacities, balance_partitioning, run_accelerated, run_native, Agent, Daemon,
-        MiddlewareConfig, PipelineCoefficients, PipelineMode, RunOutcome,
+        balance_capacities, balance_partitioning, Agent, Daemon, ExecutionMode, MiddlewareConfig,
+        PipelineCoefficients, PipelineMode, RunOutcome, Session, SessionBuilder, SessionError,
     };
+    #[allow(deprecated)]
+    pub use gxplug_core::{run_accelerated, run_native};
     pub use gxplug_engine::{
         AddressedMessage, Cluster, ComputationModel, GraphAlgorithm, NetworkModel, RunReport,
         RuntimeProfile, SyncPolicy,

@@ -1,13 +1,16 @@
-//! Serial vs threaded determinism.
+//! Serial vs threaded determinism, and session-reuse determinism.
 //!
 //! The threaded runtime (daemon worker threads + per-node scoped threads)
-//! must be a pure scheduling change: a threaded `run_accelerated` has to
-//! produce **bit-identical** vertex values, iteration counts and middleware
+//! must be a pure scheduling change: a threaded session run has to produce
+//! **bit-identical** vertex values, iteration counts and middleware
 //! data-movement counters to the serial mode.  PageRank exercises
 //! floating-point *sum* merging (where any reordering would show up in the
 //! last bits) and SSSP exercises frontier-driven min merging.
+//!
+//! Session reuse must be a pure *deployment* change as well: running twice
+//! on one deployed [`Session`] has to be bit-identical to two fresh one-shot
+//! runs — only the amortised setup cost may differ.
 
-use gx_plug::core::ExecutionMode;
 use gx_plug::prelude::*;
 
 fn mixed_devices(nodes: usize) -> Vec<Vec<Device>> {
@@ -39,18 +42,21 @@ fn assert_modes_identical<V, A, B>(
     let partitioning = GreedyVertexCutPartitioner::default()
         .partition(&graph, parts)
         .unwrap();
+    // One fresh deployment per mode, so both runs pay the same setup and the
+    // agent statistics (including init time) must match exactly.
     let run = |mode| {
-        run_accelerated(
-            &graph,
-            partitioning.clone(),
-            algorithm,
-            RuntimeProfile::powergraph(),
-            NetworkModel::datacenter(),
-            mixed_devices(parts),
-            MiddlewareConfig::default().with_execution(mode),
-            "rmat",
-            100,
-        )
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::powergraph())
+            .network(NetworkModel::datacenter())
+            .devices(mixed_devices(parts))
+            .config(MiddlewareConfig::default().with_execution(mode))
+            .dataset("rmat")
+            .max_iterations(100)
+            .build()
+            .unwrap()
+            .run(algorithm)
+            .unwrap()
     };
     let serial = run(ExecutionMode::Serial);
     let threaded = run(ExecutionMode::Threaded);
@@ -116,17 +122,16 @@ fn threaded_sssp_is_deterministic_across_repeated_runs() {
         .partition(&graph, 2)
         .unwrap();
     let run = || {
-        run_accelerated(
-            &graph,
-            partitioning.clone(),
-            &MultiSourceSssp::paper_default(),
-            RuntimeProfile::graphx(),
-            NetworkModel::datacenter(),
-            mixed_devices(2),
-            MiddlewareConfig::default(),
-            "rmat",
-            100,
-        )
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::graphx())
+            .devices(mixed_devices(2))
+            .dataset("rmat")
+            .max_iterations(100)
+            .build()
+            .unwrap()
+            .run(&MultiSourceSssp::paper_default())
+            .unwrap()
     };
     let first = run();
     let second = run();
@@ -138,4 +143,80 @@ fn threaded_sssp_is_deterministic_across_repeated_runs() {
         let bits = |d: &Vec<f64>| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(a), bits(b));
     }
+}
+
+/// Strips the amortised deployment cost from agent statistics so a reused
+/// session's run can be compared exactly against a fresh one-shot run.
+fn without_init_time(stats: &[gx_plug::core::AgentStats]) -> Vec<gx_plug::core::AgentStats> {
+    stats
+        .iter()
+        .map(|s| {
+            let mut s = *s;
+            s.init_time = SimDuration::ZERO;
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn reused_session_is_bit_identical_to_one_shot_runs() {
+    let list = Rmat::new(10, 8.0).generate(31);
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+    let parts = 3;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    let deploy = || {
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::powergraph())
+            .devices(mixed_devices(parts))
+            .dataset("rmat")
+            .max_iterations(100)
+            .build()
+            .unwrap()
+    };
+    // Two different jobs — a multi-algorithm serving scenario.
+    let algo_a = MultiSourceSssp::paper_default();
+    let algo_b = MultiSourceSssp::new(vec![1, 2, 3]);
+
+    // Two consecutive runs on one deployed session...
+    let mut session = deploy();
+    let first = session.run(&algo_a).unwrap();
+    let second = session.run(&algo_b).unwrap();
+    // ...versus two fresh one-shot deployments.
+    let fresh_a = deploy().run(&algo_a).unwrap();
+    let fresh_b = deploy().run(&algo_b).unwrap();
+
+    let bits = |values: &[Vec<f64>]| -> Vec<Vec<u64>> {
+        values
+            .iter()
+            .map(|d| d.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
+    // Vertex values are bit-identical.
+    assert_eq!(bits(&first.values), bits(&fresh_a.values));
+    assert_eq!(bits(&second.values), bits(&fresh_b.values));
+    // Every per-iteration metric (compute, middleware, sync, counters) is
+    // identical too — the reused session re-runs the exact same computation.
+    assert_eq!(first.report.iterations, fresh_a.report.iterations);
+    assert_eq!(second.report.iterations, fresh_b.report.iterations);
+    assert_eq!(first.report.converged, fresh_a.report.converged);
+    assert_eq!(second.report.converged, fresh_b.report.converged);
+    // The middleware data movement matches exactly; only the amortised
+    // device-initialisation time may differ (zero on the reused run).
+    assert_eq!(
+        without_init_time(&first.agent_stats),
+        without_init_time(&fresh_a.agent_stats)
+    );
+    assert_eq!(
+        without_init_time(&second.agent_stats),
+        without_init_time(&fresh_b.agent_stats)
+    );
+    // The deployment itself is paid exactly once per session.
+    assert_eq!(first.report.setup, fresh_a.report.setup);
+    assert!(first.report.setup > SimDuration::ZERO);
+    assert!(second.report.setup.is_zero());
+    assert!(fresh_b.report.setup > SimDuration::ZERO);
 }

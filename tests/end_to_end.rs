@@ -1,5 +1,5 @@
 //! Cross-crate integration tests: the full middleware stack (graph →
-//! partitioning → cluster → agents → daemons → devices) must produce exactly
+//! partitioning → session → agents → daemons → devices) must produce exactly
 //! the same algorithm results as native execution and as the sequential
 //! references, under every middleware configuration.
 
@@ -42,29 +42,26 @@ fn sssp_is_identical_across_native_cpu_gpu_and_baselines() {
         }
     };
 
-    let native = gx_plug::core::run_native(
-        &graph,
-        partitioning.clone(),
-        &algorithm,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        "orkut-like",
-        500,
-    );
+    let native = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning.clone())
+        .profile(RuntimeProfile::powergraph())
+        .dataset("orkut-like")
+        .max_iterations(500)
+        .build()
+        .unwrap()
+        .run_native(&algorithm);
     check("native", &native.values);
 
     for (label, devices) in [("gpu", gpus(nodes)), ("cpu", cpus(nodes))] {
-        let accelerated = gx_plug::core::run_accelerated(
-            &graph,
-            partitioning.clone(),
-            &algorithm,
-            RuntimeProfile::powergraph(),
-            NetworkModel::datacenter(),
-            devices,
-            MiddlewareConfig::default(),
-            "orkut-like",
-            500,
-        );
+        let mut session = SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::powergraph())
+            .devices(devices)
+            .dataset("orkut-like")
+            .max_iterations(500)
+            .build()
+            .unwrap();
+        let accelerated = session.run(&algorithm).unwrap();
         check(label, &accelerated.values);
         assert!(accelerated.report.converged);
     }
@@ -95,6 +92,17 @@ fn middleware_configuration_never_changes_pagerank_results() {
     let partitioning = HashEdgePartitioner::new(3).partition(&graph, 4).unwrap();
     let reference = gx_plug::algos::reference::pagerank_reference(&graph, 0.85, 10, 1.0);
 
+    // One deployment serves the whole configuration sweep: only the
+    // middleware configuration changes between runs.
+    let mut session = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::graphx())
+        .devices(gpus(4))
+        .dataset("orkut-like")
+        .max_iterations(10)
+        .build()
+        .unwrap();
+
     let configs = [
         ("optimised", MiddlewareConfig::optimized()),
         ("baseline", MiddlewareConfig::baseline()),
@@ -116,17 +124,8 @@ fn middleware_configuration_never_changes_pagerank_results() {
         ),
     ];
     for (label, config) in configs {
-        let outcome = gx_plug::core::run_accelerated(
-            &graph,
-            partitioning.clone(),
-            &algorithm,
-            RuntimeProfile::graphx(),
-            NetworkModel::datacenter(),
-            gpus(4),
-            config,
-            "orkut-like",
-            10,
-        );
+        session.set_config(config);
+        let outcome = session.run(&algorithm).unwrap();
         for (v, (got, want)) in outcome.values.iter().zip(&reference).enumerate() {
             assert!(
                 (got.rank - want).abs() < 1e-9,
@@ -147,17 +146,16 @@ fn label_propagation_matches_reference_through_the_middleware() {
         .partition(&graph, 3)
         .unwrap();
     let reference = gx_plug::algos::reference::label_propagation_reference(&graph, 15);
-    let outcome = gx_plug::core::run_accelerated(
-        &graph,
-        partitioning,
-        &algorithm,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        gpus(3),
-        MiddlewareConfig::default(),
-        "orkut-like",
-        15,
-    );
+    let outcome = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .devices(gpus(3))
+        .dataset("orkut-like")
+        .max_iterations(15)
+        .build()
+        .unwrap()
+        .run(&algorithm)
+        .unwrap();
     assert_eq!(outcome.values, reference);
 }
 
@@ -171,17 +169,16 @@ fn connected_components_and_kcore_run_through_the_full_stack() {
         .partition(&graph, 2)
         .unwrap();
     let reference = gx_plug::algos::reference::connected_components_reference(&graph);
-    let outcome = gx_plug::core::run_accelerated(
-        &graph,
-        partitioning,
-        &cc,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        gpus(2),
-        MiddlewareConfig::default(),
-        "orkut-like",
-        10_000,
-    );
+    let outcome = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .devices(gpus(2))
+        .dataset("orkut-like")
+        .max_iterations(10_000)
+        .build()
+        .unwrap()
+        .run(&cc)
+        .unwrap();
     assert_eq!(outcome.values, reference);
 
     // k-core over a symmetrised version of the same graph.
@@ -195,17 +192,16 @@ fn connected_components_and_kcore_run_through_the_full_stack() {
         .partition(&graph, 2)
         .unwrap();
     let reference = gx_plug::algos::reference::k_core_reference(&graph, 8);
-    let outcome = gx_plug::core::run_accelerated(
-        &graph,
-        partitioning,
-        &kcore,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        gpus(2),
-        MiddlewareConfig::default(),
-        "orkut-like",
-        kcore.max_rounds,
-    );
+    let outcome = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .devices(gpus(2))
+        .dataset("orkut-like")
+        .max_iterations(kcore.max_rounds)
+        .build()
+        .unwrap()
+        .run(&kcore)
+        .unwrap();
     let alive: Vec<bool> = outcome.values.iter().map(|s| s.alive).collect();
     assert_eq!(alive, reference);
 }
@@ -218,24 +214,18 @@ fn graphx_and_powergraph_profiles_agree_on_results_but_not_on_time() {
     let partitioning = GreedyVertexCutPartitioner::default()
         .partition(&graph, 4)
         .unwrap();
-    let graphx = gx_plug::core::run_native(
-        &graph,
-        partitioning.clone(),
-        &algorithm,
-        RuntimeProfile::graphx(),
-        NetworkModel::datacenter(),
-        "orkut-like",
-        500,
-    );
-    let powergraph = gx_plug::core::run_native(
-        &graph,
-        partitioning,
-        &algorithm,
-        RuntimeProfile::powergraph(),
-        NetworkModel::datacenter(),
-        "orkut-like",
-        500,
-    );
+    let run_profile = |profile: RuntimeProfile| {
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(profile)
+            .dataset("orkut-like")
+            .max_iterations(500)
+            .build()
+            .unwrap()
+            .run_native(&algorithm)
+    };
+    let graphx = run_profile(RuntimeProfile::graphx());
+    let powergraph = run_profile(RuntimeProfile::powergraph());
     assert_eq!(graphx.values, powergraph.values);
     assert!(
         powergraph.report.total_time() < graphx.report.total_time(),
@@ -251,18 +241,20 @@ fn inter_iteration_optimisations_reduce_data_movement_and_time() {
     let partitioning = GreedyVertexCutPartitioner::default()
         .partition(&graph, 4)
         .unwrap();
+    // One deployment per configuration so both runs pay the same setup and
+    // the total-time comparison stays apples to apples.
     let run = |config: MiddlewareConfig| {
-        gx_plug::core::run_accelerated(
-            &graph,
-            partitioning.clone(),
-            &algorithm,
-            RuntimeProfile::graphx(),
-            NetworkModel::datacenter(),
-            gpus(4),
-            config,
-            "orkut-like",
-            500,
-        )
+        SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .profile(RuntimeProfile::graphx())
+            .devices(gpus(4))
+            .config(config)
+            .dataset("orkut-like")
+            .max_iterations(500)
+            .build()
+            .unwrap()
+            .run(&algorithm)
+            .unwrap()
     };
     let optimised = run(MiddlewareConfig::optimized());
     let naive = run(MiddlewareConfig::baseline());
