@@ -204,24 +204,51 @@ impl Device {
         batch: &[T],
         mut kernel: impl FnMut(&T) -> R,
     ) -> Result<KernelRun<R>> {
-        if self.cost.exceeds_memory(batch.len()) {
+        // Reject oversized batches BEFORE sizing the output buffer: an
+        // over-capacity batch must cost an error, not a giant host
+        // allocation.
+        self.check_memory(batch.len())?;
+        let mut outputs: Vec<R> = Vec::with_capacity(batch.len());
+        let timing = self.execute_batch_with(batch, |item| outputs.push(kernel(item)))?;
+        Ok(KernelRun { outputs, timing })
+    }
+
+    /// Fails with [`AccelError::OutOfMemory`] if a batch of `n` items would
+    /// exceed the device memory.
+    fn check_memory(&self, n: usize) -> Result<()> {
+        if self.cost.exceeds_memory(n) {
             return Err(AccelError::OutOfMemory {
-                requested: batch.len(),
+                requested: n,
                 capacity: self.cost.memory_capacity_items.unwrap_or(0),
                 device: self.name.clone(),
             });
         }
+        Ok(())
+    }
+
+    /// Executes `per_item` over every item in `batch` without collecting
+    /// outputs — the sink-style variant of [`Device::execute_batch`] the
+    /// zero-copy pipeline uses: the caller's closure writes results straight
+    /// into its own reusable buffer, so the device allocates nothing per
+    /// launch.
+    pub fn execute_batch_with<T>(
+        &mut self,
+        batch: &[T],
+        mut per_item: impl FnMut(&T),
+    ) -> Result<KernelTiming> {
+        self.check_memory(batch.len())?;
         let init = self.initialize();
-        let outputs: Vec<R> = batch.iter().map(&mut kernel).collect();
+        for item in batch {
+            per_item(item);
+        }
         self.items_processed += batch.len() as u64;
         self.kernel_launches += 1;
-        let timing = KernelTiming {
+        Ok(KernelTiming {
             init,
             call: self.cost.call,
             copy: self.cost.copy_time(batch.len()),
             compute: self.cost.compute_time(batch.len()),
-        };
-        Ok(KernelRun { outputs, timing })
+        })
     }
 }
 
@@ -271,6 +298,26 @@ mod tests {
         assert_eq!(run.outputs[31], 31 * 31);
         assert_eq!(dev.items_processed(), 1000);
         assert_eq!(dev.kernel_launches(), 1);
+    }
+
+    #[test]
+    fn sink_variant_feeds_a_caller_owned_buffer() {
+        let mut dev = tiny_gpu();
+        let items: Vec<u64> = (0..100).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(items.len());
+        let timing = dev
+            .execute_batch_with(&items, |&x| out.push(x + 1))
+            .unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[10], 11);
+        assert_eq!(timing.call, dev.cost_model().call);
+        assert_eq!(dev.items_processed(), 100);
+        // The sink variant respects device memory like the collecting one.
+        let oversized = vec![0u8; 10_001];
+        assert!(matches!(
+            dev.execute_batch_with(&oversized, |_| {}),
+            Err(AccelError::OutOfMemory { .. })
+        ));
     }
 
     #[test]

@@ -1,18 +1,36 @@
 //! Criterion micro-benchmarks for the pipeline-shuffle mechanism:
 //! the threaded pipeline vs sequential processing, the literal Algorithms 1&2
-//! protocol, the Lemma-1 block-size machinery, and the end-to-end
-//! serial-vs-threaded execution modes of the middleware runtime.
+//! protocol, the Lemma-1 block-size machinery, the zero-copy vs owned-copy
+//! triplet hot path, and the end-to-end serial-vs-threaded execution modes of
+//! the middleware runtime.
+//!
+//! Besides the human-readable criterion output, the suite emits a
+//! machine-readable `BENCH_pipeline.json` (mode, graph, wall time, blocks,
+//! bytes moved) so the perf trajectory of the hot path is tracked commit over
+//! commit.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use gxplug_accel::presets;
 use gxplug_algos::MultiSourceSssp;
+use gxplug_core::daemon::{execute_share, merge_addressed};
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
-use gxplug_core::{ExecutionMode, MiddlewareConfig, PipelineCoefficients, SessionBuilder};
+use gxplug_core::{
+    split_by_capacity, Daemon, ExecutionMode, MiddlewareConfig, PipelineCoefficients, Session,
+    SessionBuilder,
+};
 use gxplug_engine::network::NetworkModel;
+use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
+use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::generators::{Generator, Rmat};
 use gxplug_graph::graph::PropertyGraph;
-use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
+use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner, Partitioning};
+use gxplug_graph::types::{Triplet, VertexId};
+use gxplug_graph::view::TripletBuffer;
+use gxplug_ipc::blocks::TripletBlock;
+use gxplug_ipc::key::KeyGenerator;
+use std::collections::HashSet;
+use std::time::Instant;
 
 fn make_blocks(blocks: usize, block_size: usize) -> Vec<Vec<u64>> {
     (0..blocks)
@@ -99,18 +117,185 @@ fn bench_block_size_selection(c: &mut Criterion) {
     });
 }
 
+/// The message type of the hot-path workload.
+type SsspMsg = <MultiSourceSssp as GraphAlgorithm<Vec<f64>, f64>>::Msg;
+
+/// One node's worth of hot-path state: an all-active [`NodeState`] plus two
+/// started mixed daemons, shared by the owned-copy and borrowed-block arms.
+struct HotPathFixture {
+    node: NodeState<Vec<f64>, f64>,
+    edge_ids: Vec<usize>,
+    daemons: Vec<Daemon>,
+    capacities: Vec<f64>,
+    algorithm: MultiSourceSssp,
+}
+
+impl HotPathFixture {
+    fn new() -> Self {
+        let list = Rmat::new(12, 8.0).generate(7);
+        let graph: PropertyGraph<Vec<f64>, f64> =
+            PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 1)
+            .unwrap();
+        let algorithm = MultiSourceSssp::paper_default();
+        let mut node = NodeState::build(0, &graph, &partitioning, &algorithm);
+        let all: HashSet<VertexId> = node.vertex_table().ids().collect();
+        node.set_active(all);
+        let edge_ids = node.active_edge_ids();
+        let keys = KeyGenerator::new(0xB0);
+        let mut daemons = vec![
+            Daemon::new("gpu", presets::gpu_v100("gpu"), keys.key_for(0, 0)),
+            Daemon::new("cpu", presets::cpu_xeon_20c("cpu"), keys.key_for(0, 1)),
+        ];
+        for daemon in &mut daemons {
+            daemon.start();
+        }
+        let capacities: Vec<f64> = daemons.iter().map(Daemon::capacity_factor).collect();
+        Self {
+            node,
+            edge_ids,
+            daemons,
+            capacities,
+            algorithm,
+        }
+    }
+
+    /// The seed's owned-copy pipeline: materialise a fresh triplet vector,
+    /// copy each capacity share out, copy each chunk into an owned block,
+    /// collect messages into fresh vectors.  Three full triplet copies.
+    fn iteration_owned(&mut self, block_size: usize) -> (usize, usize) {
+        let triplets = self.node.triplets_for(&self.edge_ids);
+        let mut raw = Vec::new();
+        let mut blocks = 0usize;
+        for (daemon_index, range) in split_by_capacity(triplets.len(), &self.capacities)
+            .into_iter()
+            .enumerate()
+        {
+            let share: Vec<Triplet<Vec<f64>, f64>> = triplets[range].to_vec();
+            for (index, chunk) in share.chunks(block_size).enumerate() {
+                let block = TripletBlock {
+                    index,
+                    triplets: chunk.to_vec(),
+                };
+                let (messages, _timing) = self.daemons[daemon_index]
+                    .execute_gen(&self.algorithm, block.as_ref(), 0)
+                    .unwrap();
+                raw.extend(messages);
+                blocks += 1;
+            }
+        }
+        let merged = merge_addressed(&self.algorithm, raw);
+        (merged.len(), blocks)
+    }
+
+    /// The zero-copy pipeline: refill the reusable arena, split into index
+    /// ranges, feed borrowed block views to the daemons, drain pooled
+    /// message buffers into the merge.  One triplet materialisation, zero
+    /// further copies.
+    fn iteration_borrowed(
+        &mut self,
+        block_size: usize,
+        buffer: &mut TripletBuffer<Vec<f64>, f64>,
+        msg_bufs: &mut [Vec<AddressedMessage<SsspMsg>>],
+    ) -> (usize, usize) {
+        self.node.fill_triplets(&self.edge_ids, buffer);
+        let triplets = buffer.as_slice();
+        let mut blocks = 0usize;
+        for (daemon_index, range) in split_by_capacity(triplets.len(), &self.capacities)
+            .into_iter()
+            .enumerate()
+        {
+            let out = &mut msg_bufs[daemon_index];
+            out.clear();
+            blocks += execute_share(
+                &mut self.daemons[daemon_index],
+                &self.algorithm,
+                &triplets[range],
+                block_size,
+                0,
+                out,
+            )
+            .unwrap();
+        }
+        let merged = merge_addressed(
+            &self.algorithm,
+            msg_bufs.iter_mut().flat_map(|buf| buf.drain(..)),
+        );
+        (merged.len(), blocks)
+    }
+}
+
+/// The agent→daemon `MSGGen` hot path, one full all-active iteration per
+/// sample: the owned-copy pipeline of the seed (materialise + share copy +
+/// block copy) against the borrowed-block zero-copy pipeline.  The workload
+/// (triplets, kernels, merge) is identical; the difference is purely the
+/// copies and allocations the borrowed path no longer performs.
+fn bench_msg_gen_hot_path(c: &mut Criterion) {
+    let mut fixture = HotPathFixture::new();
+    let block_size = 1_024usize;
+    let mut group = c.benchmark_group("msg_gen_hot_path");
+    group.bench_function("owned_copy_path", |b| {
+        b.iter(|| black_box(fixture.iteration_owned(block_size)))
+    });
+    let mut buffer = TripletBuffer::new();
+    let mut msg_bufs = vec![Vec::new(), Vec::new()];
+    group.bench_function("borrowed_block_path", |b| {
+        b.iter(|| black_box(fixture.iteration_borrowed(block_size, &mut buffer, &mut msg_bufs)))
+    });
+    group.finish();
+}
+
+/// The end-to-end bench workload shared by the `execution_modes` criterion
+/// group and the JSON emitter: the rmat-12 graph, vertex-cut over 4 nodes.
+fn end_to_end_workload() -> (PropertyGraph<Vec<f64>, f64>, Partitioning, usize) {
+    let parts = 4;
+    let list = Rmat::new(12, 8.0).generate(42);
+    let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    (graph, partitioning, parts)
+}
+
+/// Deploys the shared end-to-end configuration (one GPU + one CPU daemon per
+/// node) in the given execution mode.  Both consumers of
+/// [`end_to_end_workload`] go through this, so the criterion numbers and
+/// `BENCH_pipeline.json` always measure the same deployment.
+fn mixed_device_session<'g>(
+    graph: &'g PropertyGraph<Vec<f64>, f64>,
+    partitioning: &Partitioning,
+    parts: usize,
+    mode: ExecutionMode,
+) -> Session<'g, Vec<f64>, f64> {
+    SessionBuilder::new(graph)
+        .partitioned_by(partitioning.clone())
+        .profile(RuntimeProfile::powergraph())
+        .network(NetworkModel::datacenter())
+        .devices(
+            (0..parts)
+                .map(|n| {
+                    vec![
+                        presets::gpu_v100(format!("n{n}g")),
+                        presets::cpu_xeon_20c(format!("n{n}c")),
+                    ]
+                })
+                .collect(),
+        )
+        .config(MiddlewareConfig::default().with_execution(mode))
+        .dataset("rmat12")
+        .max_iterations(100)
+        .build()
+        .unwrap()
+}
+
 /// End-to-end wall-clock comparison of the middleware execution modes: the
 /// same SSSP run with daemons serialised on one thread vs daemons on worker
 /// threads and nodes fanned out per superstep.  On a multi-core host the
 /// threaded mode's throughput should be at or above serial; results are
 /// bit-identical either way (see the `determinism` integration test).
 fn bench_execution_modes(c: &mut Criterion) {
-    let list = Rmat::new(12, 8.0).generate(42);
-    let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
-    let parts = 4;
-    let partitioning = GreedyVertexCutPartitioner::default()
-        .partition(&graph, parts)
-        .unwrap();
+    let (graph, partitioning, parts) = end_to_end_workload();
     let algorithm = MultiSourceSssp::paper_default();
     let mut group = c.benchmark_group("execution_modes");
     for (name, mode) in [
@@ -122,25 +307,7 @@ fn bench_execution_modes(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let outcome = SessionBuilder::new(&graph)
-                        .partitioned_by(partitioning.clone())
-                        .profile(RuntimeProfile::powergraph())
-                        .network(NetworkModel::datacenter())
-                        .devices(
-                            (0..parts)
-                                .map(|n| {
-                                    vec![
-                                        presets::gpu_v100(format!("n{n}g")),
-                                        presets::cpu_xeon_20c(format!("n{n}c")),
-                                    ]
-                                })
-                                .collect(),
-                        )
-                        .config(MiddlewareConfig::default().with_execution(mode))
-                        .dataset("rmat")
-                        .max_iterations(100)
-                        .build()
-                        .unwrap()
+                    let outcome = mixed_device_session(&graph, &partitioning, parts, mode)
                         .run(&algorithm)
                         .unwrap();
                     black_box(outcome.report.num_iterations())
@@ -212,7 +379,135 @@ criterion_group!(
     bench_threaded_pipeline,
     bench_shuffle_protocol,
     bench_block_size_selection,
+    bench_msg_gen_hot_path,
     bench_execution_modes,
     bench_session_reuse
 );
-criterion_main!(benches);
+
+/// One record of the machine-readable benchmark output.
+struct BenchRecord {
+    mode: String,
+    graph: String,
+    wall_ms: f64,
+    blocks: u64,
+    triplets: u64,
+    bytes_moved: u64,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            r#"    {{"mode": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}}}"#,
+            self.mode, self.graph, self.wall_ms, self.blocks, self.triplets, self.bytes_moved
+        )
+    }
+}
+
+/// Measures the tracked perf numbers and writes `BENCH_pipeline.json` to the
+/// workspace root:
+///
+/// * the `msg_gen_hot_path` arms (owned-copy vs borrowed-block, one
+///   all-active iteration each);
+/// * the end-to-end execution modes (serial vs threaded session runs on the
+///   bench graph).
+///
+/// `bytes_moved` is the triplet payload through the agent→daemon boundary:
+/// `triplets × size_of::<Triplet<V, E>>()` (inline struct bytes; heap
+/// payloads of attribute vectors are not counted).  In `--test` mode (the CI
+/// bench smoke) everything runs once so the file is produced cheaply.
+fn emit_bench_json() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let samples = if test_mode { 1 } else { 5 };
+    let triplet_bytes = std::mem::size_of::<Triplet<Vec<f64>, f64>>() as u64;
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // --- hot path: owned vs borrowed, one node, all vertices active -------
+    {
+        let mut fixture = HotPathFixture::new();
+        let block_size = 1_024usize;
+        let start = Instant::now();
+        let mut blocks = 0usize;
+        for _ in 0..samples {
+            blocks = fixture.iteration_owned(block_size).1;
+        }
+        let owned_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+        let triplets = fixture.edge_ids.len() as u64;
+        records.push(BenchRecord {
+            mode: "hot_path/owned_copy".into(),
+            graph: "rmat12-1node".into(),
+            wall_ms: owned_ms,
+            blocks: blocks as u64,
+            triplets,
+            bytes_moved: triplets * triplet_bytes,
+        });
+        let mut buffer = TripletBuffer::new();
+        let mut msg_bufs = vec![Vec::new(), Vec::new()];
+        let start = Instant::now();
+        for _ in 0..samples {
+            blocks = fixture
+                .iteration_borrowed(block_size, &mut buffer, &mut msg_bufs)
+                .1;
+        }
+        let borrowed_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+        records.push(BenchRecord {
+            mode: "hot_path/borrowed_block".into(),
+            graph: "rmat12-1node".into(),
+            wall_ms: borrowed_ms,
+            blocks: blocks as u64,
+            triplets,
+            bytes_moved: triplets * triplet_bytes,
+        });
+    }
+
+    // --- end to end: serial vs threaded session runs ----------------------
+    let (graph, partitioning, parts) = end_to_end_workload();
+    let algorithm = MultiSourceSssp::paper_default();
+    for (name, mode) in [
+        ("serial", ExecutionMode::Serial),
+        ("threaded", ExecutionMode::Threaded),
+    ] {
+        let mut session = mixed_device_session(&graph, &partitioning, parts, mode);
+        // Warm-up run: pays the deployment and grows the pooled arenas.
+        session.run(&algorithm).unwrap();
+        let start = Instant::now();
+        let mut outcome = None;
+        for _ in 0..samples {
+            outcome = Some(session.run(&algorithm).unwrap());
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+        let outcome = outcome.expect("at least one sample");
+        let blocks: u64 = outcome
+            .agent_stats
+            .iter()
+            .map(|stats| stats.kernel_launches)
+            .sum();
+        let triplets = outcome.report.total_triplets() as u64;
+        records.push(BenchRecord {
+            mode: format!("execution_modes/{name}"),
+            graph: "rmat12-4nodes".into(),
+            wall_ms,
+            blocks,
+            triplets,
+            bytes_moved: triplets * triplet_bytes,
+        });
+    }
+
+    let body: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+    let json = format!(
+        "{{\n  \"suite\": \"pipeline\",\n  \"samples_per_record\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+        samples,
+        body.join(",\n")
+    );
+    // Anchor the file at the workspace root regardless of the invocation's
+    // working directory (cargo runs bench binaries from the package dir).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_pipeline.json ({} records)", records.len()),
+        Err(error) => eprintln!("could not write {path}: {error}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_bench_json();
+}

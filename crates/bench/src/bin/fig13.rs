@@ -48,7 +48,9 @@ fn main() {
     let mut daemon_compute = SimDuration::ZERO;
     for iteration in 0..iterations {
         for block in &blocks {
-            let (_messages, timing) = daemon.execute_gen(&algorithm, block, iteration).unwrap();
+            let (_messages, timing) = daemon
+                .execute_gen(&algorithm, block.as_ref(), iteration)
+                .unwrap();
             daemon_init += timing.init;
             daemon_compute += timing.call + timing.copy + timing.compute;
         }
@@ -61,7 +63,9 @@ fn main() {
     for iteration in 0..iterations {
         raw_init += raw.start();
         for block in &blocks {
-            let (_messages, timing) = raw.execute_gen(&algorithm, block, iteration).unwrap();
+            let (_messages, timing) = raw
+                .execute_gen(&algorithm, block.as_ref(), iteration)
+                .unwrap();
             raw_init += timing.init;
             raw_compute += timing.call + timing.copy + timing.compute;
         }

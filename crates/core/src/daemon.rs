@@ -11,11 +11,12 @@
 //! resulting messages, and `MSGApply` over vertex blocks.
 
 use crate::pipeline::block_size::PipelineCoefficients;
+use crate::runtime::RuntimeError;
 use gxplug_accel::{AccelError, CostModel, Device, DeviceKind, KernelTiming, SimDuration};
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::types::{Triplet, VertexId};
-use gxplug_ipc::blocks::TripletBlock;
+use gxplug_ipc::blocks::{triplet_block_views, TripletBlockRef};
 use gxplug_ipc::channel::ControlLink;
 use gxplug_ipc::key::IpcKey;
 use std::collections::HashMap;
@@ -101,12 +102,13 @@ pub type GenOutput<M> = (Vec<AddressedMessage<M>>, KernelTiming);
 /// vertex, preserving first-seen target order for determinism.  The merge is
 /// memory-bound host work, so it does not need a device; both the serial
 /// [`Agent`](crate::Agent) and the threaded runtime call this directly.
-pub fn merge_addressed<V, E, A>(
-    algorithm: &A,
-    messages: Vec<AddressedMessage<A::Msg>>,
-) -> Vec<AddressedMessage<A::Msg>>
+///
+/// Takes any message iterator so callers can drain their pooled per-daemon
+/// buffers straight into the merge without concatenating them first.
+pub fn merge_addressed<V, E, A, I>(algorithm: &A, messages: I) -> Vec<AddressedMessage<A::Msg>>
 where
     A: GraphAlgorithm<V, E>,
+    I: IntoIterator<Item = AddressedMessage<A::Msg>>,
 {
     let mut order: Vec<VertexId> = Vec::new();
     let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
@@ -131,41 +133,41 @@ where
         .collect()
 }
 
-/// Runs `MSGGen` over one capacity share of triplets, chunked into blocks of
-/// `block_size`.  Returns the generated messages (in block order) and the
-/// number of blocks launched.  This is the unit of work an agent hands to a
-/// daemon — on the calling thread in serial mode, on the daemon's worker
-/// thread in threaded mode.
+/// Runs `MSGGen` over one *borrowed* capacity share of triplets, chunked
+/// into [`TripletBlockRef`] views of `block_size`, appending the generated
+/// messages (in block order) to the caller's reusable `out` buffer.  Returns
+/// the number of blocks launched.  This is the unit of work an agent hands to
+/// a daemon — on the calling thread in serial mode, on the daemon's worker
+/// thread in threaded mode — and it copies no triplet and allocates nothing
+/// beyond `out`'s amortised growth.
 ///
-/// # Panics
-/// Panics if a block exceeds the device memory (callers bound `block_size` by
-/// the device capacity, so this indicates a planning bug).
+/// # Errors
+/// A block the device rejects (e.g. [`AccelError::OutOfMemory`] for a
+/// mis-sized block) is returned as [`RuntimeError::Kernel`] instead of
+/// aborting the process; the agent propagates it up through
+/// `process_iteration` so the run fails with a typed error.
 pub fn execute_share<V, E, A>(
     daemon: &mut Daemon,
     algorithm: &A,
     share: &[Triplet<V, E>],
     block_size: usize,
     iteration: usize,
-) -> (Vec<AddressedMessage<A::Msg>>, usize)
+    out: &mut Vec<AddressedMessage<A::Msg>>,
+) -> Result<usize, RuntimeError>
 where
-    V: Clone,
-    E: Clone,
     A: GraphAlgorithm<V, E>,
 {
-    let mut messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
     let mut blocks = 0usize;
-    for (index, chunk) in share.chunks(block_size.max(1)).enumerate() {
-        let block = TripletBlock {
-            index,
-            triplets: chunk.to_vec(),
-        };
-        let (generated, _timing) = daemon
-            .execute_gen(algorithm, &block, iteration)
-            .expect("block size is bounded by device memory");
-        messages.extend(generated);
+    for block in triplet_block_views(share, block_size) {
+        daemon
+            .execute_gen_into(algorithm, block, iteration, out)
+            .map_err(|error| RuntimeError::Kernel {
+                daemon: daemon.name().to_string(),
+                error,
+            })?;
         blocks += 1;
     }
-    (messages, blocks)
+    Ok(blocks)
 }
 
 /// Cumulative per-daemon counters.
@@ -281,25 +283,45 @@ impl Daemon {
         coefficients_for(self.device.cost_model(), profile)
     }
 
-    /// `MSGGen` over one triplet block: runs the kernel on the device and
-    /// returns the generated messages together with the device timing.
+    /// `MSGGen` over one borrowed triplet block: runs the kernel on the
+    /// device and returns the generated messages together with the device
+    /// timing.
     pub fn execute_gen<V, E, A>(
         &mut self,
         algorithm: &A,
-        block: &TripletBlock<V, E>,
+        block: TripletBlockRef<'_, V, E>,
         iteration: usize,
     ) -> Result<GenOutput<A::Msg>, AccelError>
     where
         A: GraphAlgorithm<V, E>,
     {
-        let run = self.device.execute_batch(&block.triplets, |triplet| {
-            algorithm.msg_gen(triplet, iteration)
+        let mut messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
+        let timing = self.execute_gen_into(algorithm, block, iteration, &mut messages)?;
+        Ok((messages, timing))
+    }
+
+    /// `MSGGen` over one borrowed triplet block, appending the generated
+    /// messages to the caller's reusable `out` buffer — the zero-copy variant
+    /// of [`Daemon::execute_gen`]: the triplets are read in place from the
+    /// block view and the daemon allocates nothing per launch.
+    pub fn execute_gen_into<V, E, A>(
+        &mut self,
+        algorithm: &A,
+        block: TripletBlockRef<'_, V, E>,
+        iteration: usize,
+        out: &mut Vec<AddressedMessage<A::Msg>>,
+    ) -> Result<KernelTiming, AccelError>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
+        let before = out.len();
+        let timing = self.device.execute_batch_with(block.triplets, |triplet| {
+            out.extend(algorithm.msg_gen(triplet, iteration))
         })?;
         self.stats.kernel_launches += 1;
-        self.stats.triplets_processed += block.triplets.len() as u64;
-        let messages: Vec<AddressedMessage<A::Msg>> = run.outputs.into_iter().flatten().collect();
-        self.stats.messages_generated += messages.len() as u64;
-        Ok((messages, run.timing))
+        self.stats.triplets_processed += block.len() as u64;
+        self.stats.messages_generated += (out.len() - before) as u64;
+        Ok(timing)
     }
 
     /// `MSGMerge`: combines messages addressed to the same vertex.  The merge
@@ -383,16 +405,13 @@ mod tests {
         Daemon::new("d0", presets::cpu_xeon_20c("c0"), key)
     }
 
-    fn block() -> TripletBlock<f64, f64> {
-        TripletBlock {
-            index: 0,
-            triplets: vec![
-                Triplet::new(0, 1, 0.0, f64::INFINITY, 2.0),
-                Triplet::new(0, 2, 0.0, f64::INFINITY, 5.0),
-                Triplet::new(3, 1, f64::INFINITY, f64::INFINITY, 1.0),
-                Triplet::new(2, 1, 7.0, f64::INFINITY, 1.0),
-            ],
-        }
+    fn triplets() -> Vec<Triplet<f64, f64>> {
+        vec![
+            Triplet::new(0, 1, 0.0, f64::INFINITY, 2.0),
+            Triplet::new(0, 2, 0.0, f64::INFINITY, 5.0),
+            Triplet::new(3, 1, f64::INFINITY, f64::INFINITY, 1.0),
+            Triplet::new(2, 1, 7.0, f64::INFINITY, 1.0),
+        ]
     }
 
     #[test]
@@ -413,7 +432,12 @@ mod tests {
     fn execute_gen_produces_real_messages() {
         let mut d = daemon();
         d.start();
-        let (messages, timing) = d.execute_gen(&Relax, &block(), 0).unwrap();
+        let triplets = triplets();
+        let block = TripletBlockRef {
+            index: 0,
+            triplets: &triplets,
+        };
+        let (messages, timing) = d.execute_gen(&Relax, block, 0).unwrap();
         // The triplet with an infinite source produces nothing.
         assert_eq!(messages.len(), 3);
         assert!(timing.total() > SimDuration::ZERO);
@@ -470,12 +494,13 @@ mod tests {
         let key = KeyGenerator::new(0).key_for(0, 2);
         let mut d = Daemon::new("g1", presets::gpu_v100("g1"), key);
         d.start();
-        let oversized = TripletBlock {
+        let oversized = vec![Triplet::new(0, 1, 0.0, 0.0, 1.0); presets::GPU_MEMORY_ITEMS + 1];
+        let block = TripletBlockRef {
             index: 0,
-            triplets: vec![Triplet::new(0, 1, 0.0, 0.0, 1.0); presets::GPU_MEMORY_ITEMS + 1],
+            triplets: &oversized,
         };
         assert!(matches!(
-            d.execute_gen(&Relax, &oversized, 0),
+            d.execute_gen(&Relax, block, 0),
             Err(AccelError::OutOfMemory { .. })
         ));
     }

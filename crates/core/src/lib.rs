@@ -66,7 +66,7 @@ pub mod runtime;
 pub mod session;
 pub mod sync_cache;
 
-pub use agent::Agent;
+pub use agent::{split_by_capacity, split_by_capacity_into, Agent};
 pub use balance::{
     assign_devices_to_nodes, balance_capacities, balance_partitioning, estimate_makespan,
     BalanceError, CapacityPlan, PartitionPlan,

@@ -21,4 +21,6 @@ pub mod block_size;
 pub mod shuffle;
 
 pub use block_size::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
-pub use shuffle::{run_pipeline, run_shuffle_protocol, PipelineRunStats};
+pub use shuffle::{
+    run_pipeline, run_shuffle_protocol, run_shuffle_protocol_sharded, PipelineRunStats,
+};

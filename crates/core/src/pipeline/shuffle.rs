@@ -21,9 +21,8 @@
 //! IPC substrate end to end.
 
 use gxplug_ipc::channel::{control_link_pair, ControlLink};
-use gxplug_ipc::key::IpcKey;
 use gxplug_ipc::messages::ControlMessage;
-use gxplug_ipc::segment::SharedSegment;
+use gxplug_ipc::segment::{SegmentPool, SharedSegment};
 use std::sync::mpsc::sync_channel;
 use std::thread;
 
@@ -119,7 +118,34 @@ impl ZonePointers {
 ///
 /// The daemon side runs on its own thread; the agent side runs on the calling
 /// thread.  Returns the computed blocks in download order plus run statistics.
+///
+/// The three zones are attached through a private [`SegmentPool`] for daemon
+/// 0 of node 0; use [`run_shuffle_protocol_sharded`] to place several
+/// concurrent protocol runs on their own per-`(node, daemon)` shards of one
+/// pool.
 pub fn run_shuffle_protocol<T, C>(
+    blocks: Vec<Vec<T>>,
+    compute: C,
+) -> (Vec<Vec<T>>, PipelineRunStats)
+where
+    T: Clone + Send + Sync + 'static,
+    C: Fn(&T) -> T + Send + Sync,
+{
+    let pool = SegmentPool::new(0);
+    run_shuffle_protocol_sharded(&pool, 0, 0, blocks, compute)
+}
+
+/// [`run_shuffle_protocol`] with the three memory zones attached from
+/// `pool`, sharded under the `(node_id, daemon_index)` key.
+///
+/// Every daemon's protocol run gets its *own* three zones (derived as
+/// sub-keys of its System-V key), each with its own lock — concurrent
+/// daemons of one node rotate their pipelines without ever contending on a
+/// shared segment mutex.
+pub fn run_shuffle_protocol_sharded<T, C>(
+    pool: &SegmentPool<T>,
+    node_id: usize,
+    daemon_index: usize,
     blocks: Vec<Vec<T>>,
     compute: C,
 ) -> (Vec<Vec<T>>, PipelineRunStats)
@@ -138,10 +164,14 @@ where
     if blocks.is_empty() {
         return (Vec::new(), stats);
     }
-    // Three shared zones addressed by both sides, as in Fig. 4/5.
-    let zones: Vec<SharedSegment<T>> = (0..3)
-        .map(|i| SharedSegment::create(IpcKey::from_raw(i as u64)))
-        .collect();
+    // Three shared zones addressed by both sides, as in Fig. 4/5, derived as
+    // sub-keys of this daemon's shard so they never collide with (or lock
+    // against) another daemon's zones.
+    let base = pool.key_for(node_id, daemon_index);
+    let zones: Vec<SharedSegment<T>> = (0..3u64).map(|i| pool.attach(base.subkey(i))).collect();
+    for zone in &zones {
+        zone.take();
+    }
     let (agent_link, daemon_link) = control_link_pair();
     let daemon_zones: Vec<SharedSegment<T>> = zones.clone();
 
@@ -310,5 +340,39 @@ mod tests {
         let (output, _stats) = run_shuffle_protocol(input, |&x| x);
         let total: usize = output.iter().map(Vec::len).sum();
         assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn concurrent_daemons_shuffle_on_their_own_shards() {
+        // Several daemons of one node run the full protocol at the same time
+        // on one pool: every run must land on its own zones (no cross-daemon
+        // interference, no shared lock on one segment set).
+        let pool: SegmentPool<u64> = SegmentPool::new(4);
+        let outputs = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4usize)
+                .map(|daemon| {
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        let input = blocks(6, 32);
+                        let offset = daemon as u64 * 1_000_000;
+                        run_shuffle_protocol_sharded(pool, 0, daemon, input, move |&x| x + offset).0
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (daemon, output) in outputs.into_iter().enumerate() {
+            let mut all: Vec<u64> = output.into_iter().flatten().collect();
+            all.sort_unstable();
+            let expected: Vec<u64> = (0..(6 * 32) as u64)
+                .map(|x| x + daemon as u64 * 1_000_000)
+                .collect();
+            assert_eq!(all, expected, "daemon {daemon}");
+        }
+        // Exactly three zones per daemon were created in the pool.
+        assert_eq!(pool.num_shards(), 4 * 3);
     }
 }

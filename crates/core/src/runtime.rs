@@ -20,6 +20,15 @@
 //!   thread per distributed node per superstep, joined in node order at the
 //!   BSP barrier.
 //!
+//! Zero-copy dispatch: a share job does not move an owned `Vec<Triplet>` to
+//! the worker.  The iteration's triplets live in one reusable
+//! [`TripletBuffer`](gxplug_graph::view::TripletBuffer) behind an `Arc`; the
+//! job carries a cheap `Arc` handle plus an index range and reads its share
+//! *in place*.  Generated messages travel back in the daemon's pooled reply
+//! buffer, which the agent re-issues (cleared, never reallocated) on the next
+//! iteration.  By collection time the `Arc` is uniquely held again, so the
+//! next refill needs no new allocation either.
+//!
 //! Determinism: shares are split, dispatched and collected in daemon-index
 //! order, and node outputs are joined in node order, so a threaded run
 //! produces bit-identical results to a serial run (covered by the
@@ -30,20 +39,21 @@
 //! bounds or reference counting; the scope guarantees every worker is joined
 //! before the borrowed data goes away.
 
-use crate::agent::{split_by_capacity, AgentCore, ShareRun};
+use crate::agent::{split_by_capacity_into, AgentCore, AgentScratch, ShareRun};
 use crate::config::MiddlewareConfig;
 use crate::daemon::{execute_share, Daemon, DaemonInfo, DaemonStats};
 use crate::metrics::AgentStats;
-use gxplug_accel::SimDuration;
+use gxplug_accel::{AccelError, SimDuration};
 use gxplug_engine::cluster::{ComputePhase, NodeComputeOutput};
 use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::types::PartitionId;
+use gxplug_graph::view::TripletBuffer;
 use gxplug_ipc::queue::{sync_queue, QueueSender};
 use std::fmt;
 use std::panic::resume_unwind;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread::{Scope, ScopedJoinHandle};
 
 /// Errors surfaced by the threaded runtime.
@@ -55,6 +65,15 @@ pub enum RuntimeError {
         /// Name of the unavailable daemon.
         name: String,
     },
+    /// A device kernel rejected its block (e.g. the block exceeded device
+    /// memory).  The error aborts the run with a typed failure instead of
+    /// panicking the process.
+    Kernel {
+        /// Name of the daemon whose device rejected the block.
+        daemon: String,
+        /// The device-level error.
+        error: AccelError,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -62,6 +81,9 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::DaemonStopped { name } => {
                 write!(f, "daemon '{name}' has stopped and no longer accepts work")
+            }
+            RuntimeError::Kernel { daemon, error } => {
+                write!(f, "daemon '{daemon}' kernel failed: {error}")
             }
         }
     }
@@ -158,18 +180,77 @@ impl<'scope, 'env> DaemonHandle<'scope, 'env> {
     }
 }
 
+/// What a share job sends back: the daemon's pooled message buffer (always
+/// returned, so its capacity survives failed iterations) plus the number of
+/// blocks launched or the error that aborted the share.
+type ShareReply<M> = (Vec<AddressedMessage<M>>, Result<usize, RuntimeError>);
+
+/// The reusable per-daemon reply channel pair of a [`ThreadedAgent`].
+type ReplyChannel<M> = (mpsc::Sender<ShareReply<M>>, mpsc::Receiver<ShareReply<M>>);
+
+/// Guarantees a share job *always* replies, even if it unwinds: the reply
+/// channels are long-lived (the agent keeps a sender for the next
+/// iteration), so a dead worker would otherwise leave the agent blocked on
+/// `recv` forever.  A panicking job drops the guard, which reports
+/// [`RuntimeError::DaemonStopped`]; the agent turns that into the documented
+/// "daemon died while computing its share" panic, and the worker's own panic
+/// payload resurfaces at join.
+struct ReplyGuard<M> {
+    tx: Option<mpsc::Sender<ShareReply<M>>>,
+    daemon: String,
+}
+
+impl<M> ReplyGuard<M> {
+    fn new(tx: mpsc::Sender<ShareReply<M>>, daemon: String) -> Self {
+        Self {
+            tx: Some(tx),
+            daemon,
+        }
+    }
+
+    fn reply(mut self, reply: ShareReply<M>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+impl<M> Drop for ReplyGuard<M> {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send((
+                Vec::new(),
+                Err(RuntimeError::DaemonStopped {
+                    name: std::mem::take(&mut self.daemon),
+                }),
+            ));
+        }
+    }
+}
+
 /// The threaded front-end of an agent: same planning and bookkeeping as the
 /// serial [`Agent`](crate::Agent), with every daemon behind a
 /// [`DaemonHandle`] so capacity shares execute concurrently.
+///
+/// Like the serial agent it is generic over the message type `M` of the
+/// algorithm it serves, which lets it pool the per-daemon reply buffers and
+/// reply channels across iterations.
 #[derive(Debug)]
-pub struct ThreadedAgent<'scope, 'env, V> {
+pub struct ThreadedAgent<'scope, 'env, V, E, M> {
     core: AgentCore<V>,
     handles: Vec<DaemonHandle<'scope, 'env>>,
+    /// Capacity factors of the daemons, captured once (they are static).
+    capacities: Vec<f64>,
+    scratch: AgentScratch<V, E, M>,
+    /// One long-lived reply channel per daemon, reused every iteration.
+    replies: Vec<ReplyChannel<M>>,
 }
 
-impl<'scope, 'env, V> ThreadedAgent<'scope, 'env, V>
+impl<'scope, 'env, V, E, M> ThreadedAgent<'scope, 'env, V, E, M>
 where
     V: Clone + PartialEq + Send + Sync + 'env,
+    E: Clone + Send + Sync + 'env,
+    M: Clone + Send + Sync + 'env,
 {
     /// Creates the agent for distributed node `node_id` and spawns one worker
     /// thread per daemon on `scope`.
@@ -182,13 +263,22 @@ where
         local_vertices: usize,
     ) -> Self {
         assert!(!daemons.is_empty(), "an agent needs at least one daemon");
-        let handles = daemons
+        let handles: Vec<DaemonHandle<'scope, 'env>> = daemons
             .into_iter()
             .map(|daemon| DaemonHandle::spawn(scope, daemon))
             .collect();
+        let capacities: Vec<f64> = handles
+            .iter()
+            .map(|handle| handle.info().capacity_factor())
+            .collect();
+        let scratch = AgentScratch::new(handles.len());
+        let replies = (0..handles.len()).map(|_| mpsc::channel()).collect();
         Self {
             core: AgentCore::new(node_id, profile, config, local_vertices),
             handles,
+            capacities,
+            scratch,
+            replies,
         }
     }
 
@@ -209,10 +299,7 @@ where
 
     /// Total computation capacity factor of the attached daemons.
     pub fn capacity_factor(&self) -> f64 {
-        self.handles
-            .iter()
-            .map(|h| h.info().capacity_factor())
-            .sum()
+        self.capacities.iter().sum()
     }
 
     /// The middleware configuration in force.
@@ -223,6 +310,19 @@ where
     /// Accumulated statistics.
     pub fn stats(&self) -> AgentStats {
         self.core.stats()
+    }
+
+    /// Installs a pooled triplet arena (e.g. the session's, so a reused
+    /// session keeps one warm buffer per node across runs).
+    pub fn install_triplet_buffer(&mut self, buffer: Arc<TripletBuffer<V, E>>) {
+        self.scratch.install_triplets(buffer);
+    }
+
+    /// Takes the triplet arena back (returning a fresh empty one to the
+    /// agent), so the session can pool it for the next run.
+    pub fn take_triplet_buffer(&mut self) -> Arc<TripletBuffer<V, E>> {
+        self.scratch
+            .install_triplets(Arc::new(TripletBuffer::new()))
     }
 
     /// `connect()`: initialises every daemon's device context, concurrently
@@ -261,89 +361,143 @@ where
     }
 
     /// Executes one middleware iteration for this agent's node: plans the
-    /// download and the capacity shares, dispatches every share to its
-    /// daemon's worker thread, then collects the results in daemon order and
-    /// finishes the merge/upload/timing phases.
+    /// download and the capacity shares, dispatches every share — a borrowed
+    /// view into the iteration's triplet buffer — to its daemon's worker
+    /// thread, then collects the results in daemon order and finishes the
+    /// merge/upload/timing phases.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Kernel`] if a device rejects a block, or
+    /// [`RuntimeError::DaemonStopped`] if a worker is gone at dispatch time.
+    /// Every dispatched share is still collected before the error is
+    /// returned, so the pooled buffers stay consistent.
     ///
     /// # Panics
-    /// Panics if a daemon worker dies while computing its share (the panic
-    /// then propagates to the run through the cluster driver's join).
-    pub fn process_iteration<E, A>(
+    /// Panics if a daemon worker dies (panics) while computing its share (the
+    /// panic then propagates to the run through the cluster driver's join).
+    pub fn process_iteration<A>(
         &mut self,
         node: &mut NodeState<V, E>,
         algorithm: &'env A,
         iteration: usize,
-    ) -> NodeComputeOutput<V, A::Msg>
+    ) -> Result<NodeComputeOutput<V, M>, RuntimeError>
     where
-        E: Clone + Send + Sync + 'env,
-        A: GraphAlgorithm<V, E>,
-        A::Msg: 'env,
+        A: GraphAlgorithm<V, E, Msg = M>,
     {
         let plan = match self.core.begin_iteration(node, iteration) {
             Some(plan) => plan,
-            None => return NodeComputeOutput::idle(),
+            None => return Ok(NodeComputeOutput::idle()),
         };
 
         // ---- compute phase: dispatch every share, then collect -----------
-        let triplets = node.triplets_for(&plan.active_edge_ids);
-        let capacities: Vec<f64> = self
-            .handles
-            .iter()
-            .map(|h| h.info().capacity_factor())
-            .collect();
-        let shares = split_by_capacity(&triplets, &capacities);
-        type ShareReply<M> = (Vec<AddressedMessage<M>>, usize);
-        type PendingShare<M> = (usize, ShareRun, mpsc::Receiver<ShareReply<M>>);
-        let mut pending: Vec<PendingShare<A::Msg>> = Vec::new();
-        for (daemon_index, share) in shares.into_iter().enumerate() {
-            if share.is_empty() {
+        let buffer = Arc::get_mut(&mut self.scratch.triplets)
+            .expect("no triplet share views outstanding between iterations");
+        node.fill_triplets(&plan.active_edge_ids, buffer);
+        let d = self.scratch.triplets.len();
+        split_by_capacity_into(d, &self.capacities, &mut self.scratch.shares);
+        self.scratch.share_runs.clear();
+        self.scratch.dispatched.clear();
+        let mut dispatch_failure: Option<RuntimeError> = None;
+        for (daemon_index, range) in self.scratch.shares.iter().enumerate() {
+            if range.is_empty() {
                 continue;
             }
             let handle = &self.handles[daemon_index];
             let coefficients = handle.info().coefficients(self.core.profile());
+            let share_len = range.len();
             let block_size = self.core.block_size_for(
                 &coefficients,
-                share.len(),
+                share_len,
                 handle.info().memory_capacity_items(),
             );
-            let (reply_tx, reply_rx) = mpsc::channel::<ShareReply<A::Msg>>();
-            let share_len = share.len();
-            handle
-                .submit(move |daemon| {
-                    let result = execute_share(daemon, algorithm, &share, block_size, iteration);
-                    let _ = reply_tx.send(result);
-                })
-                .unwrap_or_else(|error| panic!("{error}"));
-            pending.push((
-                daemon_index,
-                ShareRun {
-                    coefficients,
-                    share_len,
+            let view = Arc::clone(&self.scratch.triplets);
+            let range = range.clone();
+            let mut out = std::mem::take(&mut self.scratch.msg_bufs[daemon_index]);
+            let reply_tx = self.replies[daemon_index].0.clone();
+            let submitted = handle.submit(move |daemon| {
+                let guard = ReplyGuard::new(reply_tx, daemon.name().to_string());
+                out.clear();
+                let result = execute_share(
+                    daemon,
+                    algorithm,
+                    view.share(range),
                     block_size,
-                    blocks: 0,
-                },
-                reply_rx,
-            ));
+                    iteration,
+                    &mut out,
+                );
+                // Release the share view BEFORE replying: the agent treats
+                // the reply as "this share is done" and may refill the
+                // triplet arena for the next iteration immediately, which
+                // requires the arena to be uniquely held again.
+                drop(view);
+                guard.reply((out, result));
+            });
+            match submitted {
+                Ok(()) => {
+                    self.scratch.dispatched.push(daemon_index);
+                    self.scratch.share_runs.push(ShareRun {
+                        coefficients,
+                        share_len,
+                        block_size,
+                        blocks: 0,
+                    });
+                }
+                Err(error) => {
+                    // The worker is gone; stop dispatching, but still collect
+                    // what is already in flight below.
+                    dispatch_failure = Some(error);
+                    break;
+                }
+            }
         }
         // Collect in daemon-index order (the dispatch order), which keeps the
         // raw message order — and therefore the merge — identical to the
-        // serial agent's.
-        let mut raw_messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
-        let mut share_runs: Vec<ShareRun> = Vec::new();
-        for (daemon_index, mut run, reply_rx) in pending {
-            let (messages, blocks) = reply_rx.recv().unwrap_or_else(|_| {
+        // serial agent's.  Every dispatched share is collected even when one
+        // of them fails, so the buffer pool and the triplet arena come back.
+        let mut first_error: Option<RuntimeError> = dispatch_failure;
+        for slot in 0..self.scratch.dispatched.len() {
+            let daemon_index = self.scratch.dispatched[slot];
+            let died = || {
                 panic!(
                     "daemon '{}' died while computing its share",
                     self.handles[daemon_index].info().name()
                 )
-            });
-            run.blocks = blocks;
-            raw_messages.extend(messages);
-            share_runs.push(run);
+            };
+            match self.replies[daemon_index].1.recv() {
+                Ok((out, result)) => {
+                    // The pooled buffer always comes back, so its capacity
+                    // survives even a failed iteration.
+                    self.scratch.msg_bufs[daemon_index] = out;
+                    match result {
+                        Ok(blocks) => self.scratch.share_runs[slot].blocks = blocks,
+                        // A DaemonStopped reply from inside a job is the
+                        // ReplyGuard reporting that the job unwound.
+                        Err(RuntimeError::DaemonStopped { .. }) => died(),
+                        Err(error) => {
+                            if first_error.is_none() {
+                                first_error = Some(error);
+                            }
+                        }
+                    }
+                }
+                Err(_) => died(),
+            }
+        }
+        if let Some(error) = first_error {
+            for buf in &mut self.scratch.msg_bufs {
+                buf.clear();
+            }
+            return Err(error);
         }
 
-        self.core
-            .finish_iteration(node, algorithm, &plan, raw_messages, &share_runs)
+        let raw = self
+            .scratch
+            .msg_bufs
+            .iter_mut()
+            .flat_map(|buf| buf.drain(..));
+        Ok(self
+            .core
+            .finish_iteration(node, algorithm, &plan, raw, &self.scratch.share_runs))
     }
 
     /// Joins every daemon worker, returning the daemons.  Re-raises the panic
@@ -363,27 +517,34 @@ where
 /// node, each driving that node's [`ThreadedAgent`].
 ///
 /// Outputs are joined in node order, so the global synchronisation sees the
-/// same message order as with the serial driver.
-pub struct ThreadedNodes<'agents, 'scope, 'env, V, A> {
+/// same message order as with the serial driver.  A per-node error (e.g. a
+/// rejected kernel block) aborts the superstep: every node is still joined,
+/// then the first error in node order is reported.
+pub struct ThreadedNodes<'agents, 'scope, 'env, V, E, A>
+where
+    A: GraphAlgorithm<V, E>,
+{
     /// One threaded agent per node, in node order.
-    pub agents: &'agents mut [ThreadedAgent<'scope, 'env, V>],
+    pub agents: &'agents mut [ThreadedAgent<'scope, 'env, V, E, A::Msg>],
     /// The algorithm being executed.
     pub algorithm: &'env A,
 }
 
 impl<'agents, 'scope, 'env, V, E, A> ComputePhase<V, E, A::Msg>
-    for ThreadedNodes<'agents, 'scope, 'env, V, A>
+    for ThreadedNodes<'agents, 'scope, 'env, V, E, A>
 where
     V: Clone + PartialEq + Send + Sync + 'env,
     E: Clone + Send + Sync + 'env,
     A: GraphAlgorithm<V, E>,
     A::Msg: 'env,
 {
+    type Error = RuntimeError;
+
     fn compute(
         &mut self,
         nodes: &mut [NodeState<V, E>],
         iteration: usize,
-    ) -> Vec<NodeComputeOutput<V, A::Msg>> {
+    ) -> Result<Vec<NodeComputeOutput<V, A::Msg>>, RuntimeError> {
         assert_eq!(
             nodes.len(),
             self.agents.len(),
@@ -398,13 +559,16 @@ where
                     scope.spawn(move || agent.process_iteration(node, algorithm, iteration))
                 })
                 .collect();
-            handles
+            // Join every node before reporting, so an error does not leave
+            // stragglers computing into the next superstep.
+            let results: Vec<Result<NodeComputeOutput<V, A::Msg>, RuntimeError>> = handles
                 .into_iter()
                 .map(|handle| match handle.join() {
-                    Ok(output) => output,
+                    Ok(result) => result,
                     Err(payload) => resume_unwind(payload),
                 })
-                .collect()
+                .collect();
+            results.into_iter().collect()
         })
     }
 }
@@ -482,6 +646,7 @@ mod tests {
                         saw_stop = true;
                         break;
                     }
+                    Err(other) => panic!("unexpected error: {other}"),
                     Ok(_) => thread::sleep(Duration::from_millis(5)),
                 }
             }
@@ -496,10 +661,133 @@ mod tests {
     }
 
     #[test]
+    fn kernel_errors_propagate_across_the_worker_boundary() {
+        use gxplug_engine::template::AddressedMessage;
+        use gxplug_graph::types::{Triplet, VertexId};
+
+        struct Echo;
+        impl GraphAlgorithm<f64, f64> for Echo {
+            type Msg = f64;
+            fn init_vertex(&self, _v: VertexId, _d: usize) -> f64 {
+                0.0
+            }
+            fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+                vec![AddressedMessage::new(t.dst, t.src_attr)]
+            }
+            fn msg_merge(&self, a: f64, _b: f64) -> f64 {
+                a
+            }
+            fn msg_apply(&self, _v: VertexId, _c: &f64, m: &f64, _i: usize) -> Option<f64> {
+                Some(*m)
+            }
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+        }
+
+        let key = KeyGenerator::new(9).key_for(1, 0);
+        let gpu = Daemon::new("g0", presets::gpu_v100("g0"), key);
+        thread::scope(|scope| {
+            let handle = DaemonHandle::spawn(scope, gpu);
+            let result = handle
+                .call(|daemon| {
+                    daemon.start();
+                    let triplets = vec![
+                        Triplet::new(0u32, 1u32, 0.0f64, 0.0f64, 1.0f64);
+                        presets::GPU_MEMORY_ITEMS + 1
+                    ];
+                    let mut out = Vec::new();
+                    execute_share(daemon, &Echo, &triplets, triplets.len(), 0, &mut out)
+                })
+                .expect("worker alive");
+            // The device error crossed the thread boundary as a typed value,
+            // not a panic: the worker is still serving jobs afterwards.
+            match result {
+                Err(RuntimeError::Kernel { daemon, error }) => {
+                    assert_eq!(daemon, "g0");
+                    assert!(matches!(error, AccelError::OutOfMemory { .. }));
+                }
+                other => panic!("expected a kernel error, got {other:?}"),
+            }
+            assert!(handle.stats().is_ok());
+            handle.join().expect("worker survived the kernel error");
+        });
+    }
+
+    #[test]
+    fn panicking_kernel_job_panics_the_agent_instead_of_hanging() {
+        use gxplug_engine::template::AddressedMessage;
+        use gxplug_graph::edge_list::EdgeList;
+        use gxplug_graph::graph::PropertyGraph;
+        use gxplug_graph::partition::{HashEdgePartitioner, Partitioner};
+        use gxplug_graph::types::{Triplet, VertexId};
+        use std::panic::AssertUnwindSafe;
+
+        struct Bomb;
+        impl GraphAlgorithm<f64, f64> for Bomb {
+            type Msg = f64;
+            fn init_vertex(&self, _v: VertexId, _d: usize) -> f64 {
+                0.0
+            }
+            fn msg_gen(&self, _t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+                panic!("user kernel exploded")
+            }
+            fn msg_merge(&self, a: f64, _b: f64) -> f64 {
+                a
+            }
+            fn msg_apply(&self, _v: VertexId, _c: &f64, m: &f64, _i: usize) -> Option<f64> {
+                Some(*m)
+            }
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+        }
+        static BOMB: Bomb = Bomb;
+
+        let list: EdgeList<f64> = [(0u32, 1u32, 1.0f64), (1, 2, 1.0)].into_iter().collect();
+        let graph = PropertyGraph::from_edge_list(list, 0.0).unwrap();
+        let partitioning = HashEdgePartitioner::new(0).partition(&graph, 1).unwrap();
+        // The reply channels are long-lived, so without the ReplyGuard a
+        // worker that unwinds mid-share would leave the agent blocked on
+        // recv forever; this must surface as a panic instead.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            thread::scope(|scope| {
+                let mut agent: ThreadedAgent<'_, '_, f64, f64, f64> = ThreadedAgent::spawn(
+                    scope,
+                    0,
+                    vec![daemon(0)],
+                    RuntimeProfile::powergraph(),
+                    MiddlewareConfig::default(),
+                    8,
+                );
+                agent.connect();
+                let mut node = NodeState::build(0, &graph, &partitioning, &BOMB);
+                let _ = agent.process_iteration(&mut node, &BOMB, 0);
+            });
+        }));
+        assert!(result.is_err(), "the dead worker must panic the run");
+    }
+
+    #[test]
+    fn kernel_errors_render_their_daemon_and_cause() {
+        let error = RuntimeError::Kernel {
+            daemon: "node0-daemon1".to_string(),
+            error: AccelError::OutOfMemory {
+                requested: 10,
+                capacity: 5,
+                device: "g".to_string(),
+            },
+        };
+        let rendered = error.to_string();
+        assert!(rendered.contains("node0-daemon1"));
+        assert!(rendered.contains("out of device memory"));
+    }
+
+    #[test]
     fn threaded_agent_requires_a_daemon() {
         let result = std::panic::catch_unwind(|| {
             thread::scope(|scope| {
-                let agent: ThreadedAgent<'_, '_, f64> = ThreadedAgent::spawn(
+                let agent: ThreadedAgent<'_, '_, f64, f64, f64> = ThreadedAgent::spawn(
                     scope,
                     0,
                     Vec::new(),

@@ -37,17 +37,20 @@ use crate::agent::Agent;
 use crate::config::{ExecutionMode, MiddlewareConfig};
 use crate::daemon::Daemon;
 use crate::metrics::AgentStats;
-use crate::runtime::{ThreadedAgent, ThreadedNodes};
+use crate::runtime::{RuntimeError, ThreadedAgent, ThreadedNodes};
 use gxplug_accel::{Device, DeviceKind, SimDuration};
-use gxplug_engine::cluster::{Cluster, SyncPolicy};
+use gxplug_engine::cluster::{Cluster, ComputePhase, NodeComputeOutput, SyncPolicy};
 use gxplug_engine::metrics::RunReport;
 use gxplug_engine::network::NetworkModel;
+use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::GraphAlgorithm;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
+use gxplug_graph::view::{TripletBuffer, ViewStats};
 use gxplug_ipc::key::KeyGenerator;
 use std::fmt;
+use std::sync::Arc;
 use std::thread;
 
 /// Iteration cap used when [`SessionBuilder::max_iterations`] is not called.
@@ -92,6 +95,10 @@ pub enum SessionError {
     /// (use [`Session::run_native`], or rebuild with
     /// [`SessionBuilder::devices`]).
     NoDevices,
+    /// The run aborted with a middleware runtime error (e.g. a device kernel
+    /// rejected a block).  The session itself stays usable: the daemons were
+    /// recovered, so a corrected configuration can be submitted next.
+    Runtime(RuntimeError),
 }
 
 impl fmt::Display for SessionError {
@@ -121,11 +128,25 @@ impl fmt::Display for SessionError {
                 "the session was deployed without devices; plug devices in with \
                  SessionBuilder::devices or use Session::run_native"
             ),
+            SessionError::Runtime(error) => write!(f, "the run aborted: {error}"),
         }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Runtime(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for SessionError {
+    fn from(error: RuntimeError) -> Self {
+        SessionError::Runtime(error)
+    }
+}
 
 /// Builds a human-readable system label such as `"PowerGraph+GPU"` from the
 /// devices plugged into each node.
@@ -311,6 +332,7 @@ where
             system,
             daemons,
             cluster: None,
+            triplet_pool: Vec::new(),
         })
     }
 }
@@ -346,6 +368,10 @@ pub struct Session<'g, V, E> {
     daemons: Vec<Vec<Daemon>>,
     /// Built on the first run, reset (not rebuilt) on every further run.
     cluster: Option<Cluster<V, E>>,
+    /// One pooled triplet arena per node, installed into the run's agents
+    /// and recovered afterwards: a reused session refills the same warm
+    /// buffers run after run instead of re-growing fresh ones.
+    triplet_pool: Vec<Arc<TripletBuffer<V, E>>>,
 }
 
 impl<V, E> fmt::Debug for Session<'_, V, E> {
@@ -429,6 +455,30 @@ where
         }
     }
 
+    /// Takes the per-node triplet arenas out of the pool for a run,
+    /// initialising them on the first accelerated run.
+    fn take_triplet_pool(&mut self) -> Vec<Arc<TripletBuffer<V, E>>> {
+        let pool = std::mem::take(&mut self.triplet_pool);
+        if pool.len() == self.partitioning.num_parts() {
+            pool
+        } else {
+            (0..self.partitioning.num_parts())
+                .map(|_| Arc::new(TripletBuffer::new()))
+                .collect()
+        }
+    }
+
+    /// Usage statistics of the pooled per-node triplet arenas (empty before
+    /// the first accelerated run).  At steady state — a reused session
+    /// re-running workloads it has seen — `reallocations` stops growing: the
+    /// hot path refills the warm buffers without touching the allocator.
+    pub fn triplet_buffer_stats(&self) -> Vec<ViewStats> {
+        self.triplet_pool
+            .iter()
+            .map(|buffer| buffer.stats())
+            .collect()
+    }
+
     /// Runs `algorithm` through the GX-Plug middleware on the deployed
     /// cluster: one agent per distributed node, bridging the node's plugged
     /// daemons.
@@ -438,7 +488,10 @@ where
     ///
     /// # Errors
     /// [`SessionError::NoDevices`] if the session was deployed without
-    /// devices.
+    /// devices; [`SessionError::Runtime`] if the run aborted on a middleware
+    /// runtime error (e.g. a device kernel rejecting a mis-sized block).  On
+    /// a runtime error the daemons and pooled buffers are recovered, so the
+    /// session stays usable for further runs.
     ///
     /// # Panics
     /// Panics if a daemon worker panics while computing (the worker's panic
@@ -453,6 +506,8 @@ where
             return Err(SessionError::NoDevices);
         }
         self.prepare_cluster(algorithm);
+        let daemons = std::mem::take(&mut self.daemons);
+        let pool = self.take_triplet_pool();
         let context = RunContext {
             profile: self.profile,
             config: self.config,
@@ -466,12 +521,17 @@ where
             },
         };
         let cluster = self.cluster.as_mut().expect("cluster deployed above");
-        let daemons = std::mem::take(&mut self.daemons);
-        let (report, agent_stats, daemons) = match context.config.execution {
-            ExecutionMode::Serial => run_agents_serial(cluster, algorithm, &context, daemons),
-            ExecutionMode::Threaded => run_agents_threaded(cluster, algorithm, &context, daemons),
+        let (report, agent_stats, daemons, pool) = match context.config.execution {
+            ExecutionMode::Serial => run_agents_serial(cluster, algorithm, &context, daemons, pool),
+            ExecutionMode::Threaded => {
+                run_agents_threaded(cluster, algorithm, &context, daemons, pool)
+            }
         };
+        // Recover the deployment (daemons, warm buffers) before surfacing
+        // any error, so a failed run does not poison the session.
         self.daemons = daemons;
+        self.triplet_pool = pool;
+        let report = report?;
         let values = cluster.collect_values();
         Ok(RunOutcome {
             report,
@@ -519,31 +579,75 @@ impl<V, E> Drop for Session<'_, V, E> {
     }
 }
 
+/// The serial per-node compute phase: one [`Agent`] per node, driven on the
+/// calling thread, with kernel errors aborting the superstep.
+struct SerialAgents<'a, V, E, M, A> {
+    agents: &'a mut [Agent<V, E, M>],
+    algorithm: &'a A,
+}
+
+impl<V, E, M, A> ComputePhase<V, E, M> for SerialAgents<'_, V, E, M, A>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    M: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E, Msg = M>,
+{
+    type Error = RuntimeError;
+
+    fn compute(
+        &mut self,
+        nodes: &mut [NodeState<V, E>],
+        iteration: usize,
+    ) -> Result<Vec<NodeComputeOutput<V, M>>, RuntimeError> {
+        nodes
+            .iter_mut()
+            .zip(self.agents.iter_mut())
+            .map(|(node, agent)| agent.process_iteration(node, self.algorithm, iteration))
+            .collect()
+    }
+}
+
+/// What either middleware path returns: the run result plus everything the
+/// session recovers for its next run (daemons with live device contexts,
+/// warm triplet arenas).
+type AgentsRunResult<V, E> = (
+    Result<RunReport, RuntimeError>,
+    Vec<AgentStats>,
+    Vec<Vec<Daemon>>,
+    Vec<Arc<TripletBuffer<V, E>>>,
+);
+
 /// The serial middleware path: agents own their daemons for the duration of
-/// the run and drive them on the calling thread.  Returns the daemons so the
-/// session can keep their contexts alive for the next run.
+/// the run and drive them on the calling thread.  Returns the daemons and
+/// the pooled triplet arenas so the session can keep both alive for the next
+/// run.
 fn run_agents_serial<V, E, A>(
     cluster: &mut Cluster<V, E>,
     algorithm: &A,
     context: &RunContext<'_>,
     daemons: Vec<Vec<Daemon>>,
-) -> (RunReport, Vec<AgentStats>, Vec<Vec<Daemon>>)
+    pool: Vec<Arc<TripletBuffer<V, E>>>,
+) -> AgentsRunResult<V, E>
 where
     V: Clone + PartialEq + Send + Sync,
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
-    let mut agents: Vec<Agent<V>> = daemons
+    let mut agents: Vec<Agent<V, E, A::Msg>> = daemons
         .into_iter()
+        .zip(pool)
         .enumerate()
-        .map(|(node_id, node_daemons)| {
-            Agent::new(
+        .map(|(node_id, (node_daemons, buffer))| {
+            let mut agent = Agent::new(
                 node_id,
                 node_daemons,
                 context.profile,
                 context.config,
                 cluster.node(node_id).num_vertices(),
-            )
+            );
+            agent.install_triplet_buffer(buffer);
+            agent
         })
         .collect();
 
@@ -555,19 +659,29 @@ where
         .map(Agent::connect)
         .fold(SimDuration::ZERO, SimDuration::max);
 
-    let report = cluster.run_custom(
+    let mut phase = SerialAgents {
+        agents: &mut agents,
+        algorithm,
+    };
+    let report = cluster.run_phased(
         algorithm,
         context.dataset,
         context.system,
         context.max_iterations,
         context.sync_policy,
         setup,
-        |node, iteration| agents[node.id()].process_iteration(node, algorithm, iteration),
+        &mut phase,
     );
     let agent_stats = agents.iter().map(Agent::stats).collect();
     // No disconnect: the daemons stay connected across session runs.
-    let daemons = agents.into_iter().map(Agent::into_daemons).collect();
-    (report, agent_stats, daemons)
+    let (daemons, pool) = agents
+        .into_iter()
+        .map(|mut agent| {
+            let buffer = agent.take_triplet_buffer();
+            (agent.into_daemons(), buffer)
+        })
+        .unzip();
+    (report, agent_stats, daemons, pool)
 }
 
 /// The threaded middleware path: a scoped thread per daemon for the whole
@@ -577,25 +691,29 @@ fn run_agents_threaded<V, E, A>(
     algorithm: &A,
     context: &RunContext<'_>,
     daemons: Vec<Vec<Daemon>>,
-) -> (RunReport, Vec<AgentStats>, Vec<Vec<Daemon>>)
+    pool: Vec<Arc<TripletBuffer<V, E>>>,
+) -> AgentsRunResult<V, E>
 where
     V: Clone + PartialEq + Send + Sync,
     E: Clone + Send + Sync,
     A: GraphAlgorithm<V, E>,
 {
     thread::scope(|scope| {
-        let mut agents: Vec<ThreadedAgent<'_, '_, V>> = daemons
+        let mut agents: Vec<ThreadedAgent<'_, '_, V, E, A::Msg>> = daemons
             .into_iter()
+            .zip(pool)
             .enumerate()
-            .map(|(node_id, node_daemons)| {
-                ThreadedAgent::spawn(
+            .map(|(node_id, (node_daemons, buffer))| {
+                let mut agent = ThreadedAgent::spawn(
                     scope,
                     node_id,
                     node_daemons,
                     context.profile,
                     context.config,
                     cluster.node(node_id).num_vertices(),
-                )
+                );
+                agent.install_triplet_buffer(buffer);
+                agent
             })
             .collect();
 
@@ -620,12 +738,17 @@ where
         let agent_stats = agents.iter().map(ThreadedAgent::stats).collect();
         // Join every daemon worker (a worker that panicked re-raises here)
         // WITHOUT disconnecting: the recovered daemons keep their device
-        // contexts alive for the session's next run.
-        let daemons = agents
+        // contexts alive for the session's next run.  The triplet arenas are
+        // taken back first; by the end of the joins every outstanding share
+        // view has been dropped, so the arenas are uniquely held again.
+        let (daemons, pool) = agents
             .into_iter()
-            .map(ThreadedAgent::join)
-            .collect::<Vec<Vec<Daemon>>>();
-        (report, agent_stats, daemons)
+            .map(|mut agent| {
+                let buffer = agent.take_triplet_buffer();
+                (agent.join(), buffer)
+            })
+            .unzip();
+        (report, agent_stats, daemons, pool)
     })
 }
 

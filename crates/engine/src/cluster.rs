@@ -20,8 +20,17 @@ use gxplug_graph::partition::Partitioning;
 use gxplug_graph::types::{PartitionId, VertexId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::convert::Infallible;
 use std::sync::Arc;
 use std::thread;
+
+/// Unwraps the result of an infallible compute phase.
+fn into_ok<T>(result: Result<T, Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
 
 /// How the per-node compute phase of a superstep is executed.
 ///
@@ -46,14 +55,25 @@ pub enum ExecutionMode {
 /// (serially, across scoped threads, through middleware agents, ...).  The
 /// returned outputs must be in node order — the synchronisation phase relies
 /// on that for deterministic message merging.
+///
+/// A compute phase that can fail (e.g. the middleware's agents, whose device
+/// kernels may reject a block) reports its error type through
+/// [`ComputePhase::Error`]; [`Cluster::run_phased`] then aborts the run and
+/// propagates the first error in node order.  Infallible phases (native
+/// execution) use [`std::convert::Infallible`] and pay nothing for the
+/// plumbing.
 pub trait ComputePhase<V, E, M> {
+    /// The error a superstep can abort with ([`std::convert::Infallible`]
+    /// for native phases).
+    type Error;
+
     /// Runs the compute phase of iteration `iteration` on every node,
     /// returning one output per node, in node order.
     fn compute(
         &mut self,
         nodes: &mut [NodeState<V, E>],
         iteration: usize,
-    ) -> Vec<NodeComputeOutput<V, M>>;
+    ) -> Result<Vec<NodeComputeOutput<V, M>>, Self::Error>;
 }
 
 /// [`ComputePhase`] adapter running a per-node closure sequentially.
@@ -63,15 +83,17 @@ impl<V, E, M, F> ComputePhase<V, E, M> for SerialNodes<F>
 where
     F: FnMut(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, M>,
 {
+    type Error = Infallible;
+
     fn compute(
         &mut self,
         nodes: &mut [NodeState<V, E>],
         iteration: usize,
-    ) -> Vec<NodeComputeOutput<V, M>> {
-        nodes
+    ) -> Result<Vec<NodeComputeOutput<V, M>>, Infallible> {
+        Ok(nodes
             .iter_mut()
             .map(|node| (self.0)(node, iteration))
-            .collect()
+            .collect())
     }
 }
 
@@ -91,13 +113,15 @@ where
     M: Send,
     F: Fn(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, M> + Sync,
 {
+    type Error = Infallible;
+
     fn compute(
         &mut self,
         nodes: &mut [NodeState<V, E>],
         iteration: usize,
-    ) -> Vec<NodeComputeOutput<V, M>> {
+    ) -> Result<Vec<NodeComputeOutput<V, M>>, Infallible> {
         let f = &self.0;
-        thread::scope(|scope| {
+        Ok(thread::scope(|scope| {
             let handles: Vec<_> = nodes
                 .iter_mut()
                 .map(|node| scope.spawn(move || f(node, iteration)))
@@ -109,7 +133,7 @@ where
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
-        })
+        }))
     }
 }
 
@@ -359,7 +383,7 @@ where
         let compute = |node: &mut NodeState<V, E>, iteration: usize| {
             native_node_compute(node, algorithm, &profile, iteration)
         };
-        match mode {
+        into_ok(match mode {
             ExecutionMode::Serial => self.run_phased(
                 algorithm,
                 dataset,
@@ -378,7 +402,7 @@ where
                 SimDuration::ZERO,
                 &mut ParallelNodes(compute),
             ),
-        }
+        })
     }
 
     /// Runs the iteration driver with a custom per-node compute phase.
@@ -403,7 +427,7 @@ where
         A: GraphAlgorithm<V, E>,
         F: FnMut(&mut NodeState<V, E>, usize) -> NodeComputeOutput<V, A::Msg>,
     {
-        self.run_phased(
+        into_ok(self.run_phased(
             algorithm,
             dataset,
             system,
@@ -411,7 +435,7 @@ where
             sync_policy,
             setup,
             &mut SerialNodes(node_compute),
-        )
+        ))
     }
 
     /// Runs the iteration driver with a pluggable superstep compute phase.
@@ -423,6 +447,10 @@ where
     /// activity tracking and metric collection.  Because outputs are
     /// consumed in node order, results are independent of how the compute
     /// phase schedules the per-node work.
+    ///
+    /// # Errors
+    /// Aborts the run with the compute phase's error if any superstep fails
+    /// (infallible phases make this a no-op — see [`ComputePhase::Error`]).
     #[allow(clippy::too_many_arguments)]
     pub fn run_phased<A, P>(
         &mut self,
@@ -433,7 +461,7 @@ where
         sync_policy: SyncPolicy,
         setup: SimDuration,
         compute_phase: &mut P,
-    ) -> RunReport
+    ) -> Result<RunReport, P::Error>
     where
         A: GraphAlgorithm<V, E>,
         P: ComputePhase<V, E, A::Msg>,
@@ -462,7 +490,7 @@ where
                 break;
             }
             // ---- compute phase (per node, barrier at the end) ----
-            let outputs = compute_phase.compute(&mut self.nodes, iteration);
+            let outputs = compute_phase.compute(&mut self.nodes, iteration)?;
             debug_assert_eq!(outputs.len(), self.nodes.len());
             let mut max_compute = SimDuration::ZERO;
             let mut max_middleware = SimDuration::ZERO;
@@ -502,7 +530,7 @@ where
         if !report.converged && self.total_active() == 0 {
             report.converged = true;
         }
-        report
+        Ok(report)
     }
 
     /// Routes messages to master vertices, applies them, refreshes replicas

@@ -11,6 +11,7 @@ use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
 use gxplug_graph::tables::{EdgeTable, VertexEdgeMap, VertexTable};
 use gxplug_graph::types::{Edge, EdgeId, PartitionId, Triplet, VertexId};
+use gxplug_graph::view::TripletBuffer;
 use std::collections::{HashMap, HashSet};
 
 /// The state of one distributed node.
@@ -229,6 +230,19 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
         edge_ids.iter().filter_map(|&id| self.triplet(id)).collect()
     }
 
+    /// Materialises triplets for the given local edge ids into a reusable
+    /// [`TripletBuffer`], returning the filled view.  This is the zero-copy
+    /// entry to the middleware hot path: attributes are cloned exactly once
+    /// (the table join), the buffer's allocation is reused across iterations,
+    /// and everything downstream borrows slices of it.
+    pub fn fill_triplets<'b>(
+        &self,
+        edge_ids: &[EdgeId],
+        buffer: &'b mut TripletBuffer<V, E>,
+    ) -> &'b [Triplet<V, E>] {
+        buffer.refill(edge_ids.iter().filter_map(|&id| self.triplet(id)))
+    }
+
     /// Materialises the triplets of all currently active edges.
     pub fn active_triplets(&self) -> Vec<Triplet<V, E>> {
         self.triplets_for(&self.active_edge_ids())
@@ -363,6 +377,22 @@ mod tests {
         for (got, want) in node.vertex_table().rows().zip(fresh.vertex_table().rows()) {
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn fill_triplets_matches_triplets_for_and_reuses_allocation() {
+        let (graph, partitioning) = setup();
+        let node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        let ids = node.active_edge_ids();
+        let owned = node.triplets_for(&ids);
+        let mut buffer = TripletBuffer::new();
+        let view = node.fill_triplets(&ids, &mut buffer);
+        assert_eq!(view, owned.as_slice());
+        // Refilling with the same workload reuses the warm allocation.
+        node.fill_triplets(&ids, &mut buffer);
+        let stats = buffer.stats();
+        assert_eq!(stats.fills, 2);
+        assert!(stats.reallocations <= 1);
     }
 
     #[test]

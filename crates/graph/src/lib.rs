@@ -15,7 +15,9 @@
 //! * [`partition`] — hash, range, greedy vertex-cut and capacity-weighted
 //!   partitioners;
 //! * [`datasets`] — the Table I catalogue with scaled synthetic analogues;
-//! * [`io`] — plain-text edge list reading and writing.
+//! * [`io`] — plain-text edge list reading and writing;
+//! * [`view`] — reusable [`TripletBuffer`] arenas whose borrowed slices are
+//!   the zero-copy currency of the middleware's agent–daemon hot path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,8 +31,10 @@ pub mod io;
 pub mod partition;
 pub mod tables;
 pub mod types;
+pub mod view;
 
 pub use csr::Csr;
 pub use edge_list::EdgeList;
 pub use graph::PropertyGraph;
 pub use types::{Edge, EdgeId, GraphError, PartitionId, Result, Triplet, VertexId};
+pub use view::{TripletBuffer, ViewStats};

@@ -68,6 +68,68 @@ impl<V, E> TripletBlock<V, E> {
     pub fn is_empty(&self) -> bool {
         self.triplets.is_empty()
     }
+
+    /// A borrowed view of this block.
+    pub fn as_ref(&self) -> TripletBlockRef<'_, V, E> {
+        TripletBlockRef {
+            index: self.index,
+            triplets: &self.triplets,
+        }
+    }
+}
+
+/// A *borrowed* block of edge triplets: the zero-copy unit of the pipelined
+/// hot path.
+///
+/// Where [`TripletBlock`] owns its triplets (and therefore costs a copy per
+/// pipeline stage), a `TripletBlockRef` is just an index plus a slice into
+/// the iteration's [`TripletBuffer`](gxplug_graph::view::TripletBuffer): the
+/// agent splits the buffer into capacity shares, the shares chunk into block
+/// views, and the daemon's kernel reads the triplets in place.  Nothing on
+/// that path clones a triplet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripletBlockRef<'a, V, E> {
+    /// Index of this block within the iteration (0-based).
+    pub index: usize,
+    /// Borrowed view of the triplets.
+    pub triplets: &'a [Triplet<V, E>],
+}
+
+impl<V, E> TripletBlockRef<'_, V, E> {
+    /// Number of triplets in the block.
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Returns `true` if the block holds no triplets.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Copies the view into an owned [`TripletBlock`] (only needed off the
+    /// hot path, e.g. to stage a block into a shared segment).
+    pub fn to_owned(&self) -> TripletBlock<V, E>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        TripletBlock {
+            index: self.index,
+            triplets: self.triplets.to_vec(),
+        }
+    }
+}
+
+/// Splits a capacity share into borrowed triplet blocks of `block_size`,
+/// without copying a single triplet.
+pub fn triplet_block_views<V, E>(
+    share: &[Triplet<V, E>],
+    block_size: usize,
+) -> impl Iterator<Item = TripletBlockRef<'_, V, E>> {
+    share
+        .chunks(block_size.max(1))
+        .enumerate()
+        .map(|(index, triplets)| TripletBlockRef { index, triplets })
 }
 
 /// Groups a node's edges into paired vertex/edge blocks of size `block_size`.
@@ -198,5 +260,26 @@ mod tests {
     #[should_panic]
     fn zero_block_size_is_rejected() {
         let _ = pack_triplet_blocks(&edges(), |v| v as f64, 0);
+    }
+
+    #[test]
+    fn block_views_chunk_without_copying() {
+        let triplets: Vec<Triplet<f64, f64>> = (0..7u32)
+            .map(|v| Triplet::new(v, v + 1, v as f64, (v + 1) as f64, 1.0))
+            .collect();
+        let views: Vec<_> = triplet_block_views(&triplets, 3).collect();
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0].len(), 3);
+        assert_eq!(views[2].len(), 1);
+        assert_eq!(views[1].index, 1);
+        // The views alias the original storage — no copies were made.
+        assert!(std::ptr::eq(views[0].triplets.as_ptr(), triplets.as_ptr()));
+        assert!(std::ptr::eq(
+            views[1].triplets.as_ptr(),
+            triplets[3..].as_ptr()
+        ));
+        // Round-trip with the owned representation.
+        let owned = views[2].to_owned();
+        assert_eq!(owned.as_ref(), views[2]);
     }
 }

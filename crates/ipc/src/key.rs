@@ -23,6 +23,13 @@ impl IpcKey {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Derives a related key — e.g. the `index`-th pipeline zone inside a
+    /// daemon's shared memory space.  Deterministic, and scrambled so that
+    /// the sub-keys of different daemons stay well separated.
+    pub fn subkey(self, index: u64) -> IpcKey {
+        IpcKey(splitmix64(self.0.wrapping_add(index)))
+    }
 }
 
 impl fmt::Display for IpcKey {
@@ -95,6 +102,22 @@ mod tests {
         let g2 = KeyGenerator::new(7);
         assert_eq!(g1.key_for(3, 2), g2.key_for(3, 2));
         assert_ne!(KeyGenerator::new(8).key_for(3, 2), g1.key_for(3, 2));
+    }
+
+    #[test]
+    fn subkeys_are_deterministic_and_distinct() {
+        let generator = KeyGenerator::new(3);
+        let mut seen = HashSet::new();
+        for node in 0..8 {
+            for daemon in 0..4 {
+                let base = generator.key_for(node, daemon);
+                for zone in 0..3u64 {
+                    assert!(seen.insert(base.subkey(zone)));
+                    assert_eq!(base.subkey(zone), base.subkey(zone));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8 * 4 * 3);
     }
 
     #[test]

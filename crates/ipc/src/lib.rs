@@ -8,8 +8,11 @@
 //! * [`queue`] — the `Send + Sync` Mutex/Condvar-backed MPMC queue every
 //!   control channel (and the threaded daemon runtime) is built on;
 //! * [`segment`] — shared memory segments with mutual visibility and traffic
-//!   statistics;
-//! * [`blocks`] — vertex blocks, edge blocks, block pairs and triplet blocks;
+//!   statistics, sharded per `(node, daemon)` through [`SegmentPool`] so
+//!   concurrent daemons never contend on one lock;
+//! * [`blocks`] — vertex blocks, edge blocks, block pairs, owned triplet
+//!   blocks and the borrowed [`TripletBlockRef`] views of the zero-copy
+//!   pipeline;
 //! * [`messages`] — the control-message vocabulary of Algorithms 1 and 2;
 //! * [`channel`] — bidirectional agent ↔ daemon control links.
 //!
@@ -30,10 +33,11 @@ pub mod queue;
 pub mod segment;
 
 pub use blocks::{
-    pack_block_pairs, pack_triplet_blocks, BlockPair, EdgeBlock, TripletBlock, VertexBlock,
+    pack_block_pairs, pack_triplet_blocks, triplet_block_views, BlockPair, EdgeBlock, TripletBlock,
+    TripletBlockRef, VertexBlock,
 };
 pub use channel::{control_link_pair, ChannelError, ControlLink, Side};
 pub use key::{IpcKey, KeyGenerator};
 pub use messages::{ApiCall, ControlMessage};
 pub use queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSendError, QueueSender};
-pub use segment::{SegmentStats, SharedSegment};
+pub use segment::{SegmentPool, SegmentStats, SharedSegment};

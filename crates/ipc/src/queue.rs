@@ -117,6 +117,11 @@ impl<T> QueueSender<T> {
         }
         state.items.push_back(value);
         drop(state);
+        // One message wakes exactly one waiting receiver: notify_all here
+        // would stampede every blocked consumer for a single item and let all
+        // but one reacquire the lock just to go back to sleep.  Disconnects
+        // (see the sender's Drop) still notify_all so every receiver observes
+        // the hang-up.
         self.shared.readable.notify_one();
         Ok(())
     }
@@ -368,6 +373,68 @@ mod tests {
         // The sender still observes the disconnect on its next send.
         let (other_tx, _) = std::sync::mpsc::channel::<u8>();
         assert!(tx.send(other_tx).is_err());
+    }
+
+    #[test]
+    fn send_wakes_exactly_one_blocked_consumer_and_none_starve() {
+        // `send` uses `notify_one`, so each message wakes exactly one of the
+        // blocked receivers.  With as many messages as blocked consumers,
+        // every consumer must come back with exactly one message — a lost or
+        // double wake-up would leave one of them blocked forever (the join
+        // would hang) or return a disconnect error.
+        let (tx, rx) = sync_queue::<u32>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.recv())
+            })
+            .collect();
+        // Let every consumer block on the condvar before sending.
+        thread::sleep(Duration::from_millis(30));
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .map(|c| c.join().unwrap().expect("every consumer receives one"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn multi_consumer_burst_drains_completely_under_single_wakeups() {
+        // Stress the notify_one path: looping consumers racing a fast
+        // producer must drain every message between them, and the stream must
+        // end with a clean disconnect on every consumer (no starvation).
+        let (tx, rx) = sync_queue::<u32>();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    loop {
+                        match rx.recv() {
+                            Ok(v) => seen.push(v),
+                            Err(QueueRecvError::Disconnected) => return seen,
+                            Err(other) => panic!("unexpected recv error: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..3_000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..3_000).collect::<Vec<_>>());
     }
 
     #[test]

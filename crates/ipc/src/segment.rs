@@ -11,10 +11,16 @@
 //!
 //! Access statistics (reads/writes/bytes) are tracked so the evaluation can
 //! report how much data movement the optimisations save.
+//!
+//! Segments are *sharded*: a [`SegmentPool`] hands every `(node, daemon)`
+//! pair its own keyed segment with its own lock, so concurrent daemons of one
+//! node never contend on a single mutex (the paper gives every daemon "a
+//! unique System V key pointing to its specific shared memory space", §II-B).
 
-use crate::key::IpcKey;
+use crate::key::{IpcKey, KeyGenerator};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Counters describing the traffic through a segment.
 #[derive(Debug, Default)]
@@ -43,11 +49,23 @@ pub struct SegmentStats {
 ///
 /// Cloning a `SharedSegment` clones the *handle*, not the data, exactly like
 /// attaching the same System V segment from a second process.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SharedSegment<T> {
     key: IpcKey,
     data: Arc<RwLock<Vec<T>>>,
     counters: Arc<SegmentCounters>,
+}
+
+// A handle clone is an attach, not a data copy, so it never needs `T: Clone`
+// (the derive would demand it).
+impl<T> Clone for SharedSegment<T> {
+    fn clone(&self) -> Self {
+        Self {
+            key: self.key,
+            data: Arc::clone(&self.data),
+            counters: Arc::clone(&self.counters),
+        }
+    }
 }
 
 impl<T> SharedSegment<T> {
@@ -148,6 +166,91 @@ impl<T: Clone> SharedSegment<T> {
     }
 }
 
+/// A registry of shared memory segments sharded per `(node, daemon)` key.
+///
+/// One big segment guarded by one lock serialises every daemon of a node the
+/// moment more than one block is in flight; the pool instead gives every
+/// `(node, daemon)` pair its **own** [`SharedSegment`] — its own `RwLock`,
+/// its own counters — so concurrent daemons never contend on a shared mutex.
+/// The pool's internal map lock is touched only on [`SegmentPool::attach`]
+/// (the simulated `shmget`), never on the data path: once attached, a handle
+/// goes straight to its shard.
+///
+/// Keys are derived with the same [`KeyGenerator`] scheme daemons use, so
+/// agent and daemon sides attaching with the same `(node, daemon)` pair land
+/// on the same shard — the System-V "attach by key" semantics
+/// [`SharedSegment::create`] alone does not provide.
+#[derive(Debug)]
+pub struct SegmentPool<T> {
+    keys: KeyGenerator,
+    shards: Mutex<HashMap<IpcKey, SharedSegment<T>>>,
+}
+
+impl<T> SegmentPool<T> {
+    /// Creates an empty pool in the given key namespace.
+    pub fn new(namespace: u32) -> Self {
+        Self {
+            keys: KeyGenerator::new(namespace),
+            shards: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attaches to the segment with `key`, creating it on first attach.
+    /// Subsequent attaches with the same key return handles to the *same*
+    /// underlying buffer.
+    pub fn attach(&self, key: IpcKey) -> SharedSegment<T> {
+        let mut shards = self.shards.lock().unwrap_or_else(PoisonError::into_inner);
+        shards
+            .entry(key)
+            .or_insert_with(|| SharedSegment::create(key))
+            .clone()
+    }
+
+    /// Attaches to the shard of daemon `daemon_index` of node `node_id`.
+    pub fn shard(&self, node_id: usize, daemon_index: usize) -> SharedSegment<T> {
+        self.attach(self.key_for(node_id, daemon_index))
+    }
+
+    /// The key the `(node, daemon)` shard lives under, without attaching it
+    /// (e.g. to derive sub-keys for a daemon's pipeline zones).
+    pub fn key_for(&self, node_id: usize, daemon_index: usize) -> IpcKey {
+        self.keys.key_for(node_id, daemon_index)
+    }
+
+    /// Removes a segment from the pool (existing handles stay valid — like
+    /// `shmctl(IPC_RMID)`, the segment lives until the last detach).  Returns
+    /// `true` if the key was present.
+    pub fn remove(&self, key: IpcKey) -> bool {
+        self.shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&key)
+            .is_some()
+    }
+
+    /// Number of distinct shards created so far.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Aggregated access statistics across every shard.
+    pub fn stats(&self) -> SegmentStats {
+        let shards = self.shards.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut total = SegmentStats::default();
+        for shard in shards.values() {
+            let stats = shard.stats();
+            total.reads += stats.reads;
+            total.writes += stats.writes;
+            total.items_read += stats.items_read;
+            total.items_written += stats.items_written;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +296,83 @@ mod tests {
         let key = IpcKey::from_raw(99);
         let seg: SharedSegment<u8> = SharedSegment::create(key);
         assert_eq!(seg.key(), key);
+    }
+
+    #[test]
+    fn handles_clone_without_t_clone() {
+        // A handle clone is an attach: it must not require `T: Clone`.
+        struct NotClone(#[allow(dead_code)] u8);
+        let seg: SharedSegment<NotClone> = SharedSegment::create(IpcKey::from_raw(4));
+        let other = seg.clone();
+        seg.write(|buf| buf.push(NotClone(1)));
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn pool_attach_by_key_shares_one_buffer() {
+        let pool: SegmentPool<u32> = SegmentPool::new(7);
+        let agent_side = pool.shard(0, 0);
+        let daemon_side = pool.shard(0, 0);
+        agent_side.write(|buf| buf.extend([1, 2, 3]));
+        assert_eq!(daemon_side.snapshot(), vec![1, 2, 3]);
+        assert_eq!(pool.num_shards(), 1);
+    }
+
+    #[test]
+    fn pool_shards_are_independent_per_node_daemon_pair() {
+        let pool: SegmentPool<u32> = SegmentPool::new(7);
+        for node in 0..3 {
+            for daemon in 0..2 {
+                pool.shard(node, daemon)
+                    .write(|buf| buf.push((node * 10 + daemon) as u32));
+            }
+        }
+        assert_eq!(pool.num_shards(), 6);
+        // Every pair sees exactly its own data — no cross-shard bleed.
+        for node in 0..3 {
+            for daemon in 0..2 {
+                assert_eq!(
+                    pool.shard(node, daemon).snapshot(),
+                    vec![(node * 10 + daemon) as u32]
+                );
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.writes, 6);
+        assert_eq!(stats.items_written, 6);
+    }
+
+    #[test]
+    fn concurrent_daemons_write_their_own_shards_without_interference() {
+        let pool: SegmentPool<u64> = SegmentPool::new(9);
+        let node = 0;
+        std::thread::scope(|scope| {
+            for daemon in 0..8usize {
+                let shard = pool.shard(node, daemon);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        shard.write(|buf| buf.push(daemon as u64 * 1_000_000 + i));
+                    }
+                });
+            }
+        });
+        for daemon in 0..8usize {
+            let got = pool.shard(node, daemon).snapshot();
+            let expected: Vec<u64> = (0..1_000).map(|i| daemon as u64 * 1_000_000 + i).collect();
+            assert_eq!(got, expected, "shard of daemon {daemon}");
+        }
+        assert_eq!(pool.stats().writes, 8_000);
+    }
+
+    #[test]
+    fn removed_segments_stay_alive_for_existing_handles() {
+        let pool: SegmentPool<u8> = SegmentPool::new(1);
+        let handle = pool.shard(0, 0);
+        handle.write(|buf| buf.push(9));
+        assert!(pool.remove(handle.key()));
+        assert!(!pool.remove(handle.key()));
+        // The old handle still reads its buffer; a fresh attach gets a new one.
+        assert_eq!(handle.snapshot(), vec![9]);
+        assert!(pool.shard(0, 0).is_empty());
     }
 }

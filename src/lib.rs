@@ -78,8 +78,9 @@ pub mod prelude {
     };
     pub use gxplug_baselines::{GunrockLike, LuxLike};
     pub use gxplug_core::{
-        balance_capacities, balance_partitioning, Agent, Daemon, ExecutionMode, MiddlewareConfig,
-        PipelineCoefficients, PipelineMode, RunOutcome, Session, SessionBuilder, SessionError,
+        balance_capacities, balance_partitioning, split_by_capacity, Agent, Daemon, ExecutionMode,
+        MiddlewareConfig, PipelineCoefficients, PipelineMode, RunOutcome, RuntimeError, Session,
+        SessionBuilder, SessionError,
     };
     #[allow(deprecated)]
     pub use gxplug_core::{run_accelerated, run_native};
@@ -93,5 +94,8 @@ pub mod prelude {
         GreedyVertexCutPartitioner, HashEdgePartitioner, Partitioner, Partitioning,
         RangePartitioner, WeightedEdgePartitioner,
     };
-    pub use gxplug_graph::{Edge, EdgeList, PropertyGraph, Triplet, VertexId};
+    pub use gxplug_graph::{
+        Edge, EdgeList, PropertyGraph, Triplet, TripletBuffer, VertexId, ViewStats,
+    };
+    pub use gxplug_ipc::{SegmentPool, SharedSegment, TripletBlockRef};
 }

@@ -10,6 +10,11 @@
 //! Session reuse must be a pure *deployment* change as well: running twice
 //! on one deployed [`Session`] has to be bit-identical to two fresh one-shot
 //! runs — only the amortised setup cost may differ.
+//!
+//! Both guarantees now run on the zero-copy triplet path (borrowed blocks,
+//! range shares, pooled buffers); `tests/zero_copy.rs` additionally proves
+//! that path performs exactly one attribute clone per processed triplet in
+//! each execution mode.
 
 use gx_plug::prelude::*;
 
