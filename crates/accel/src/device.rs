@@ -1,12 +1,11 @@
-//! Accelerator device abstraction.
+//! Shared device vocabulary: kinds, errors, kernel timing.
 //!
-//! A [`Device`] is what a GX-Plug *daemon* wraps: "a daemon is a multi-core
-//! processor, an abstract representation of an accelerator" (§I).  Devices
-//! execute kernels over batches of data entities; timing is attributed through
-//! the device's [`CostModel`] so results are host-independent, while the
-//! kernel's outputs are computed for real.
+//! The *execution* side of a device lives behind the
+//! [`AcceleratorBackend`](crate::backend::AcceleratorBackend) trait in
+//! [`backend`](crate::backend); this module holds the types every backend
+//! (and every consumer of one) speaks: the hardware flavour, the error
+//! vocabulary and the timing attribution of a kernel launch.
 
-use crate::cost::CostModel;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -21,6 +20,19 @@ pub enum DeviceKind {
     /// An FPGA-style streaming accelerator (provided for completeness; the
     /// paper's Figure 1 lists FPGAs as pluggable daemons).
     Fpga,
+}
+
+impl DeviceKind {
+    /// Allocation preference rank used by the registry's deterministic
+    /// `take_any` ordering: GPUs first (the paper's primary accelerators),
+    /// then FPGAs, then CPUs.  Lower rank is preferred.
+    pub fn preference_rank(self) -> u8 {
+        match self {
+            DeviceKind::Gpu => 0,
+            DeviceKind::Fpga => 1,
+            DeviceKind::Cpu => 2,
+        }
+    }
 }
 
 impl fmt::Display for DeviceKind {
@@ -96,7 +108,8 @@ impl KernelTiming {
     }
 }
 
-/// The result of executing a kernel over a batch.
+/// The result of executing a kernel over a batch with collected outputs
+/// (see [`SimBackend::execute_batch`](crate::backend::SimBackend::execute_batch)).
 #[derive(Debug, Clone)]
 pub struct KernelRun<R> {
     /// Per-item kernel outputs, in input order.
@@ -105,253 +118,38 @@ pub struct KernelRun<R> {
     pub timing: KernelTiming,
 }
 
-/// A simulated accelerator device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Device {
-    name: String,
-    kind: DeviceKind,
-    cost: CostModel,
-    initialized: bool,
-    /// Cumulative number of items processed (for utilisation metrics).
-    items_processed: u64,
-    /// Cumulative number of kernel launches.
-    kernel_launches: u64,
-}
-
-impl Device {
-    /// Creates a new, uninitialised device.
-    pub fn new(name: impl Into<String>, kind: DeviceKind, cost: CostModel) -> Self {
-        Self {
-            name: name.into(),
-            kind,
-            cost,
-            initialized: false,
-            items_processed: 0,
-            kernel_launches: 0,
-        }
-    }
-
-    /// Device name (e.g. `"V100-0"`).
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Device kind.
-    pub fn kind(&self) -> DeviceKind {
-        self.kind
-    }
-
-    /// The device's cost model.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost
-    }
-
-    /// Whether the device context has been initialised.
-    pub fn is_initialized(&self) -> bool {
-        self.initialized
-    }
-
-    /// Total items processed so far.
-    pub fn items_processed(&self) -> u64 {
-        self.items_processed
-    }
-
-    /// Total kernel launches so far.
-    pub fn kernel_launches(&self) -> u64 {
-        self.kernel_launches
-    }
-
-    /// Initialises the device context if necessary and returns the time it
-    /// took (zero when already initialised).
-    ///
-    /// A daemon calls this once when it starts and keeps the context alive
-    /// across iterations (runtime isolation, §IV-C); a naive integration pays
-    /// it on every call.
-    pub fn initialize(&mut self) -> SimDuration {
-        if self.initialized {
-            SimDuration::ZERO
-        } else {
-            self.initialized = true;
-            self.cost.init
-        }
-    }
-
-    /// Tears down the device context (so the next call pays `init` again).
-    pub fn shutdown(&mut self) {
-        self.initialized = false;
-    }
-
-    /// Estimated time to run a kernel over `n` items, excluding any pending
-    /// initialisation.  Used by the pipeline block-size analysis and the
-    /// workload balancer.
-    pub fn estimate_invocation(&self, n: usize) -> SimDuration {
-        self.cost.invocation_time(n)
-    }
-
-    /// The computation capacity factor `1/c_j` (§III-C) of this device.
-    pub fn capacity_factor(&self) -> f64 {
-        self.cost.capacity_factor()
-    }
-
-    /// Executes `kernel` over every item in `batch`.
-    ///
-    /// The outputs are computed for real on the host; the reported
-    /// [`KernelTiming`] comes from the cost model (initialisation if needed +
-    /// `Tcall + Tcopy + Tcomp`).  Fails with [`AccelError::OutOfMemory`] if
-    /// the batch exceeds the device memory capacity.
-    pub fn execute_batch<T, R>(
-        &mut self,
-        batch: &[T],
-        mut kernel: impl FnMut(&T) -> R,
-    ) -> Result<KernelRun<R>> {
-        // Reject oversized batches BEFORE sizing the output buffer: an
-        // over-capacity batch must cost an error, not a giant host
-        // allocation.
-        self.check_memory(batch.len())?;
-        let mut outputs: Vec<R> = Vec::with_capacity(batch.len());
-        let timing = self.execute_batch_with(batch, |item| outputs.push(kernel(item)))?;
-        Ok(KernelRun { outputs, timing })
-    }
-
-    /// Fails with [`AccelError::OutOfMemory`] if a batch of `n` items would
-    /// exceed the device memory.
-    fn check_memory(&self, n: usize) -> Result<()> {
-        if self.cost.exceeds_memory(n) {
-            return Err(AccelError::OutOfMemory {
-                requested: n,
-                capacity: self.cost.memory_capacity_items.unwrap_or(0),
-                device: self.name.clone(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Executes `per_item` over every item in `batch` without collecting
-    /// outputs — the sink-style variant of [`Device::execute_batch`] the
-    /// zero-copy pipeline uses: the caller's closure writes results straight
-    /// into its own reusable buffer, so the device allocates nothing per
-    /// launch.
-    pub fn execute_batch_with<T>(
-        &mut self,
-        batch: &[T],
-        mut per_item: impl FnMut(&T),
-    ) -> Result<KernelTiming> {
-        self.check_memory(batch.len())?;
-        let init = self.initialize();
-        for item in batch {
-            per_item(item);
-        }
-        self.items_processed += batch.len() as u64;
-        self.kernel_launches += 1;
-        Ok(KernelTiming {
-            init,
-            call: self.cost.call,
-            copy: self.cost.copy_time(batch.len()),
-            compute: self.cost.compute_time(batch.len()),
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::presets;
 
-    fn tiny_gpu() -> Device {
-        Device::new(
-            "test-gpu",
-            DeviceKind::Gpu,
-            CostModel {
-                init: SimDuration::from_millis(50.0),
-                call: SimDuration::from_millis(1.0),
-                copy_per_item: SimDuration::from_micros(1.0),
-                compute_per_item: SimDuration::from_micros(10.0),
-                lanes: 100,
-                parallel_efficiency: 1.0,
-                memory_capacity_items: Some(10_000),
-            },
-        )
+    #[test]
+    fn kind_preference_prefers_gpus() {
+        assert!(DeviceKind::Gpu.preference_rank() < DeviceKind::Fpga.preference_rank());
+        assert!(DeviceKind::Fpga.preference_rank() < DeviceKind::Cpu.preference_rank());
     }
 
     #[test]
-    fn first_call_pays_init_later_calls_do_not() {
-        let mut dev = tiny_gpu();
-        assert!(!dev.is_initialized());
-        let items = vec![1u32; 100];
-        let first = dev.execute_batch(&items, |x| x * 2).unwrap();
-        assert_eq!(first.timing.init.as_millis(), 50.0);
-        assert!(dev.is_initialized());
-        let second = dev.execute_batch(&items, |x| x * 2).unwrap();
-        assert!(second.timing.init.is_zero());
-        assert!(second.timing.total() < first.timing.total());
-        dev.shutdown();
-        let third = dev.execute_batch(&items, |x| x * 2).unwrap();
-        assert_eq!(third.timing.init.as_millis(), 50.0);
+    fn errors_render_their_context() {
+        let oom = AccelError::OutOfMemory {
+            requested: 11,
+            capacity: 10,
+            device: "g0".to_string(),
+        };
+        assert!(oom.to_string().contains("out of device memory on g0"));
+        let missing = AccelError::NoDeviceAvailable {
+            kind: DeviceKind::Fpga,
+        };
+        assert!(missing.to_string().contains("FPGA"));
     }
 
     #[test]
-    fn kernel_outputs_are_computed_for_real() {
-        let mut dev = tiny_gpu();
-        let items: Vec<u64> = (0..1000).collect();
-        let run = dev.execute_batch(&items, |&x| x * x).unwrap();
-        assert_eq!(run.outputs.len(), 1000);
-        assert_eq!(run.outputs[31], 31 * 31);
-        assert_eq!(dev.items_processed(), 1000);
-        assert_eq!(dev.kernel_launches(), 1);
-    }
-
-    #[test]
-    fn sink_variant_feeds_a_caller_owned_buffer() {
-        let mut dev = tiny_gpu();
-        let items: Vec<u64> = (0..100).collect();
-        let mut out: Vec<u64> = Vec::with_capacity(items.len());
-        let timing = dev
-            .execute_batch_with(&items, |&x| out.push(x + 1))
-            .unwrap();
-        assert_eq!(out.len(), 100);
-        assert_eq!(out[10], 11);
-        assert_eq!(timing.call, dev.cost_model().call);
-        assert_eq!(dev.items_processed(), 100);
-        // The sink variant respects device memory like the collecting one.
-        let oversized = vec![0u8; 10_001];
-        assert!(matches!(
-            dev.execute_batch_with(&oversized, |_| {}),
-            Err(AccelError::OutOfMemory { .. })
-        ));
-    }
-
-    #[test]
-    fn oom_when_batch_exceeds_capacity() {
-        let mut dev = tiny_gpu();
-        let items = vec![0u8; 10_001];
-        let err = dev.execute_batch(&items, |_| ()).unwrap_err();
-        assert!(matches!(
-            err,
-            AccelError::OutOfMemory {
-                requested: 10_001,
-                capacity: 10_000,
-                ..
-            }
-        ));
-        assert!(err.to_string().contains("out of device memory"));
-    }
-
-    #[test]
-    fn timing_scales_with_batch_size() {
-        let mut dev = tiny_gpu();
-        dev.initialize();
-        let small = dev.execute_batch(&[0u8; 100], |_| ()).unwrap();
-        let large = dev.execute_batch(&[0u8; 10_000], |_| ()).unwrap();
-        assert!(large.timing.total() > small.timing.total());
-        assert_eq!(small.timing.call, large.timing.call);
-    }
-
-    #[test]
-    fn gpu_preset_is_faster_per_item_but_slower_to_init_than_cpu() {
-        let gpu = presets::gpu_v100("g0");
-        let cpu = presets::cpu_xeon_20c("c0");
-        assert!(gpu.capacity_factor() > cpu.capacity_factor());
-        assert!(gpu.cost_model().init > cpu.cost_model().init);
-        assert!(gpu.cost_model().copy_per_item > cpu.cost_model().copy_per_item);
+    fn timing_totals_sum_all_phases() {
+        let timing = KernelTiming {
+            init: SimDuration::from_millis(1.0),
+            call: SimDuration::from_millis(2.0),
+            copy: SimDuration::from_millis(3.0),
+            compute: SimDuration::from_millis(4.0),
+        };
+        assert_eq!(timing.total().as_millis(), 10.0);
     }
 }

@@ -3,15 +3,19 @@
 //! Accelerator substrate for the GX-Plug reproduction.
 //!
 //! The paper plugs real GPUs and multi-core CPUs into distributed graph
-//! systems.  This crate provides the stand-in: [`Device`]s that execute
-//! kernels for real on the host while attributing time through an analytic
-//! [`CostModel`] (`Tcall + Tcomp + Tcopy`, device initialisation, parallel
-//! width, memory capacity), so every experiment's *shape* is reproducible on
-//! any machine.
+//! systems.  This crate provides the pluggable stand-in: the
+//! [`AcceleratorBackend`] trait is the kernel ABI a daemon drives, and
+//! interchangeable backends implement it — the cost-model [`SimBackend`]
+//! (kernels run for real on the host, time is attributed analytically so
+//! every experiment's *shape* is reproducible on any machine) and the
+//! [`HostParallelBackend`] (kernels execute across OS threads, improving
+//! real wall-clock time behind the same ABI).
 //!
 //! * [`time`] — simulated durations and clocks shared by all substrates;
 //! * [`cost`] — the per-device cost model;
-//! * [`device`] — devices, kernel execution and timing attribution;
+//! * [`device`] — shared device vocabulary (kinds, errors, kernel timing);
+//! * [`backend`] — the [`AcceleratorBackend`] trait, [`DeviceSpec`]
+//!   descriptors and the shipped backends;
 //! * [`presets`] — calibrated V100-class GPU / Xeon-class CPU / FPGA presets;
 //! * [`registry`] — the shared device pool used for daemon allocation and
 //!   mix-and-match configurations.
@@ -19,13 +23,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cost;
 pub mod device;
 pub mod presets;
 pub mod registry;
 pub mod time;
 
+pub use backend::{
+    AcceleratorBackend, BackendKind, ChunkKernel, ChunkSpec, DeviceSpec, HostParallelBackend,
+    SimBackend,
+};
 pub use cost::CostModel;
-pub use device::{AccelError, Device, DeviceKind, KernelRun, KernelTiming, Result};
+pub use device::{AccelError, DeviceKind, KernelRun, KernelTiming, Result};
 pub use registry::DeviceRegistry;
 pub use time::{SimClock, SimDuration};

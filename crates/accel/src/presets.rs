@@ -5,9 +5,15 @@
 //! of magnitude faster per item than CPU daemons, GPUs expensive to
 //! initialise, PCIe transfers visible, device memory bounded).  They do not
 //! claim to be absolute V100/Xeon measurements.
+//!
+//! Presets return [`DeviceSpec`] descriptors with the default
+//! [`BackendKind::Sim`](crate::backend::BackendKind::Sim) backend; select a
+//! different backend per spec with [`DeviceSpec::with_backend`] or for a
+//! whole deployment with the session builder's `backend(...)`.
 
+use crate::backend::DeviceSpec;
 use crate::cost::CostModel;
-use crate::device::{Device, DeviceKind};
+use crate::device::DeviceKind;
 use crate::time::SimDuration;
 
 /// Default device-memory capacity of a GPU preset, in data entities
@@ -59,24 +65,24 @@ pub fn fpga_cost() -> CostModel {
     }
 }
 
-/// A V100-class GPU device.
-pub fn gpu_v100(name: impl Into<String>) -> Device {
-    Device::new(name, DeviceKind::Gpu, gpu_v100_cost())
+/// A V100-class GPU device spec.
+pub fn gpu_v100(name: impl Into<String>) -> DeviceSpec {
+    DeviceSpec::new(name, DeviceKind::Gpu, gpu_v100_cost())
 }
 
-/// A 20-core Xeon-class CPU device.
-pub fn cpu_xeon_20c(name: impl Into<String>) -> Device {
-    Device::new(name, DeviceKind::Cpu, cpu_xeon_20c_cost())
+/// A 20-core Xeon-class CPU device spec.
+pub fn cpu_xeon_20c(name: impl Into<String>) -> DeviceSpec {
+    DeviceSpec::new(name, DeviceKind::Cpu, cpu_xeon_20c_cost())
 }
 
-/// An FPGA-style device.
-pub fn fpga(name: impl Into<String>) -> Device {
-    Device::new(name, DeviceKind::Fpga, fpga_cost())
+/// An FPGA-style device spec.
+pub fn fpga(name: impl Into<String>) -> DeviceSpec {
+    DeviceSpec::new(name, DeviceKind::Fpga, fpga_cost())
 }
 
-/// Builds `gpus` GPU devices and `cpus` CPU devices with sequential names,
+/// Builds `gpus` GPU specs and `cpus` CPU specs with sequential names,
 /// mirroring one physical node of the paper's testbed (e.g. 2 GPUs + 1 CPU).
-pub fn node_devices(node: usize, gpus: usize, cpus: usize) -> Vec<Device> {
+pub fn node_devices(node: usize, gpus: usize, cpus: usize) -> Vec<DeviceSpec> {
     let mut devices = Vec::with_capacity(gpus + cpus);
     for g in 0..gpus {
         devices.push(gpu_v100(format!("node{node}-gpu{g}")));
@@ -106,17 +112,23 @@ mod tests {
     }
 
     #[test]
+    fn gpu_preset_is_faster_per_item_but_slower_to_init_than_cpu() {
+        let gpu = gpu_v100("g0");
+        let cpu = cpu_xeon_20c("c0");
+        assert!(gpu.capacity_factor() > cpu.capacity_factor());
+        assert!(gpu.cost_model().init > cpu.cost_model().init);
+        assert!(gpu.cost_model().copy_per_item > cpu.cost_model().copy_per_item);
+    }
+
+    #[test]
     fn node_devices_builds_requested_mix() {
         let devices = node_devices(3, 2, 1);
         assert_eq!(devices.len(), 3);
         assert_eq!(
-            devices
-                .iter()
-                .filter(|d| d.kind() == DeviceKind::Gpu)
-                .count(),
+            devices.iter().filter(|d| d.kind == DeviceKind::Gpu).count(),
             2
         );
-        assert!(devices[0].name().contains("node3"));
+        assert!(devices[0].name.contains("node3"));
     }
 
     #[test]

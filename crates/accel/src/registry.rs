@@ -6,8 +6,13 @@
 //! pool those allocations draw from: an upper system (or the Fig. 9d
 //! mix-and-match harness) seeds it with the devices of a node or cluster, and
 //! agents take / return devices as daemons are created and destroyed.
+//!
+//! The pool holds *live* boxed [`AcceleratorBackend`]s, so a device context
+//! initialised by one daemon survives a take/release round trip and the next
+//! daemon skips the initialisation cost.
 
-use crate::device::{AccelError, Device, DeviceKind, Result};
+use crate::backend::{AcceleratorBackend, DeviceSpec};
+use crate::device::{AccelError, DeviceKind, Result};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A pool of accelerator devices available for daemon creation.
@@ -16,7 +21,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// distributed node can share one cluster-wide pool.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceRegistry {
-    inner: Arc<Mutex<Vec<Device>>>,
+    inner: Arc<Mutex<Vec<Box<dyn AcceleratorBackend>>>>,
 }
 
 impl DeviceRegistry {
@@ -27,20 +32,21 @@ impl DeviceRegistry {
 
     /// Locks the pool, recovering from poisoning (the pool's invariants hold
     /// between operations, so a panicking holder cannot corrupt it).
-    fn pool(&self) -> MutexGuard<'_, Vec<Device>> {
+    fn pool(&self) -> MutexGuard<'_, Vec<Box<dyn AcceleratorBackend>>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Creates a registry pre-populated with `devices`.
-    pub fn with_devices(devices: Vec<Device>) -> Self {
+    /// Creates a registry pre-populated by building each of `specs`.
+    pub fn with_devices(specs: Vec<DeviceSpec>) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(devices)),
+            inner: Arc::new(Mutex::new(specs.iter().map(DeviceSpec::build).collect())),
         }
     }
 
-    /// Adds a device to the pool.
-    pub fn add(&self, device: Device) {
-        self.pool().push(device);
+    /// Adds a device to the pool.  Accepts a [`DeviceSpec`] (built on
+    /// insertion) or an already-live boxed backend.
+    pub fn add(&self, device: impl Into<Box<dyn AcceleratorBackend>>) {
+        self.pool().push(device.into());
     }
 
     /// Number of idle devices currently in the pool.
@@ -53,9 +59,19 @@ impl DeviceRegistry {
         self.pool().iter().filter(|d| d.kind() == kind).count()
     }
 
-    /// Takes any idle device out of the pool, preferring GPUs (highest
-    /// capacity factor first).
-    pub fn take_any(&self) -> Option<Device> {
+    /// Takes any idle device out of the pool.
+    ///
+    /// The preference order is fully deterministic, so mix-and-match
+    /// deployments that draw from a shared pool are reproducible:
+    ///
+    /// 1. device **kind** — GPU before FPGA before CPU
+    ///    ([`DeviceKind::preference_rank`]);
+    /// 2. **capacity factor**, descending (faster devices first);
+    /// 3. **insertion index**, ascending (earliest-added wins ties).
+    ///
+    /// Released devices re-enter at the back of the pool, i.e. with a new
+    /// insertion index.
+    pub fn take_any(&self) -> Option<Box<dyn AcceleratorBackend>> {
         let mut devices = self.pool();
         if devices.is_empty() {
             return None;
@@ -63,27 +79,48 @@ impl DeviceRegistry {
         let best = devices
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.capacity_factor()
-                    .partial_cmp(&b.capacity_factor())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+            .min_by(|(ia, a), (ib, b)| {
+                a.kind()
+                    .preference_rank()
+                    .cmp(&b.kind().preference_rank())
+                    .then_with(|| {
+                        b.capacity_factor()
+                            .partial_cmp(&a.capacity_factor())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .then_with(|| ia.cmp(ib))
             })
             .map(|(i, _)| i)?;
-        Some(devices.swap_remove(best))
+        // `remove`, not `swap_remove`: the pool must keep insertion order so
+        // the tie-breaking stays deterministic across takes.
+        Some(devices.remove(best))
     }
 
-    /// Takes an idle device of the requested kind.
-    pub fn take(&self, kind: DeviceKind) -> Result<Device> {
+    /// Takes the most-preferred idle device of the requested kind (same
+    /// deterministic ordering as [`DeviceRegistry::take_any`] within the
+    /// kind).
+    pub fn take(&self, kind: DeviceKind) -> Result<Box<dyn AcceleratorBackend>> {
         let mut devices = self.pool();
-        let pos = devices.iter().position(|d| d.kind() == kind);
+        let pos = devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind() == kind)
+            .min_by(|(ia, a), (ib, b)| {
+                b.capacity_factor()
+                    .partial_cmp(&a.capacity_factor())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| ia.cmp(ib))
+            })
+            .map(|(i, _)| i);
         match pos {
-            Some(i) => Ok(devices.swap_remove(i)),
+            Some(i) => Ok(devices.remove(i)),
             None => Err(AccelError::NoDeviceAvailable { kind }),
         }
     }
 
-    /// Returns a device to the pool (e.g. when a daemon shuts down).
-    pub fn release(&self, device: Device) {
+    /// Returns a device to the pool (e.g. when a daemon shuts down).  The
+    /// device re-enters at the back: it gets a fresh insertion index.
+    pub fn release(&self, device: Box<dyn AcceleratorBackend>) {
         self.pool().push(device);
     }
 
@@ -91,6 +128,11 @@ impl DeviceRegistry {
     /// computation capacity the balancer can still hand out.
     pub fn idle_capacity(&self) -> f64 {
         self.pool().iter().map(|d| d.capacity_factor()).sum()
+    }
+
+    /// Specs of the idle devices, in pool (insertion) order.
+    pub fn specs(&self) -> Vec<DeviceSpec> {
+        self.pool().iter().map(|d| d.spec()).collect()
     }
 }
 
@@ -101,9 +143,9 @@ mod tests {
 
     fn pool() -> DeviceRegistry {
         DeviceRegistry::with_devices(vec![
+            presets::cpu_xeon_20c("c0"),
             presets::gpu_v100("g0"),
             presets::gpu_v100("g1"),
-            presets::cpu_xeon_20c("c0"),
         ])
     }
 
@@ -130,14 +172,47 @@ mod tests {
     }
 
     #[test]
-    fn take_any_prefers_fastest_device() {
+    fn take_any_follows_the_documented_preference_order() {
+        // Kind beats capacity: a GPU is taken before the (hypothetically
+        // faster) CPU; within the GPUs, insertion order breaks the capacity
+        // tie.
         let registry = pool();
         let first = registry.take_any().unwrap();
-        assert_eq!(first.kind(), DeviceKind::Gpu);
-        let _second = registry.take_any().unwrap();
+        assert_eq!((first.kind(), first.name()), (DeviceKind::Gpu, "g0"));
+        let second = registry.take_any().unwrap();
+        assert_eq!(second.name(), "g1");
         let third = registry.take_any().unwrap();
         assert_eq!(third.kind(), DeviceKind::Cpu);
         assert!(registry.take_any().is_none());
+    }
+
+    #[test]
+    fn take_any_order_is_reproducible_across_registries() {
+        let names = || -> Vec<String> {
+            let registry = pool();
+            std::iter::from_fn(|| registry.take_any())
+                .map(|d| d.name().to_string())
+                .collect()
+        };
+        assert_eq!(names(), names());
+        assert_eq!(names(), vec!["g0", "g1", "c0"]);
+    }
+
+    #[test]
+    fn released_devices_keep_their_context_and_requeue_at_the_back() {
+        let registry =
+            DeviceRegistry::with_devices(vec![presets::gpu_v100("g0"), presets::gpu_v100("g1")]);
+        let mut g0 = registry.take_any().unwrap();
+        assert_eq!(g0.name(), "g0");
+        g0.initialize();
+        registry.release(g0);
+        // g1 was inserted before the released g0's new back-of-pool slot.
+        let next = registry.take_any().unwrap();
+        assert_eq!(next.name(), "g1");
+        let warm = registry.take_any().unwrap();
+        assert_eq!(warm.name(), "g0");
+        // The device context survived the round trip.
+        assert!(warm.is_initialized());
     }
 
     #[test]
@@ -157,5 +232,13 @@ mod tests {
         let clone = registry.clone();
         let _ = clone.take(DeviceKind::Cpu).unwrap();
         assert_eq!(registry.available_of(DeviceKind::Cpu), 0);
+    }
+
+    #[test]
+    fn specs_reflect_the_pool() {
+        let registry = pool();
+        let specs = registry.specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].name, "c0");
     }
 }

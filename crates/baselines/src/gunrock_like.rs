@@ -7,7 +7,7 @@
 //! than device memory fail with out-of-memory, which is exactly how it
 //! behaves in Fig. 9 of the paper.
 
-use gxplug_accel::{AccelError, Device, SimDuration};
+use gxplug_accel::{AccelError, DeviceSpec, SimBackend, SimDuration};
 use gxplug_engine::metrics::{IterationMetrics, RunReport};
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::graph::PropertyGraph;
@@ -20,19 +20,25 @@ use std::collections::{HashMap, HashSet};
 const FRONTIER_OVERHEAD: SimDuration = SimDuration::ZERO;
 
 /// A Gunrock-like single-GPU engine.
+///
+/// Baselines are comparators for the *shape* of the results, so they always
+/// execute on the cost-model [`SimBackend`], whatever backend the spec
+/// selects for the middleware.
 #[derive(Debug)]
 pub struct GunrockLike {
-    device: Device,
+    device: SimBackend,
 }
 
 impl GunrockLike {
-    /// Creates the engine around one GPU (or other) device.
-    pub fn new(device: Device) -> Self {
-        Self { device }
+    /// Creates the engine around one GPU (or other) device spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self {
+            device: SimBackend::from_spec(&spec),
+        }
     }
 
     /// The wrapped device.
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &SimBackend {
         &self.device
     }
 

@@ -16,7 +16,7 @@
 //!   updated vertex is broadcast to every other node, with no caching, lazy
 //!   uploading or skipping.
 
-use gxplug_accel::{AccelError, Device, SimDuration};
+use gxplug_accel::{AccelError, DeviceSpec, SimBackend, SimDuration};
 use gxplug_engine::cluster::{Cluster, NodeComputeOutput, SyncPolicy};
 use gxplug_engine::metrics::RunReport;
 use gxplug_engine::network::NetworkModel;
@@ -46,20 +46,24 @@ fn lux_profile() -> RuntimeProfile {
 /// A Lux-like distributed multi-GPU engine.
 #[derive(Debug)]
 pub struct LuxLike {
-    devices_per_node: Vec<Vec<Device>>,
+    devices_per_node: Vec<Vec<SimBackend>>,
     network: NetworkModel,
 }
 
 impl LuxLike {
-    /// Creates the engine with the given device assignment (one device list
-    /// per distributed node) and interconnect.
-    pub fn new(devices_per_node: Vec<Vec<Device>>, network: NetworkModel) -> Self {
+    /// Creates the engine with the given device assignment (one spec list
+    /// per distributed node) and interconnect.  Like the Gunrock baseline,
+    /// Lux always executes on the cost-model [`SimBackend`].
+    pub fn new(devices_per_node: Vec<Vec<DeviceSpec>>, network: NetworkModel) -> Self {
         assert!(
             devices_per_node.iter().all(|d| !d.is_empty()),
             "every Lux node needs at least one device"
         );
         Self {
-            devices_per_node,
+            devices_per_node: devices_per_node
+                .iter()
+                .map(|node| node.iter().map(SimBackend::from_spec).collect())
+                .collect(),
             network,
         }
     }
@@ -147,7 +151,7 @@ impl LuxLike {
 fn lux_node_compute<V, E, A>(
     node: &mut gxplug_engine::node::NodeState<V, E>,
     algorithm: &A,
-    devices: &mut [Device],
+    devices: &mut [SimBackend],
     iteration: usize,
 ) -> NodeComputeOutput<V, A::Msg>
 where
@@ -215,7 +219,7 @@ mod tests {
         PropertyGraph::from_edge_list(list, Vec::new()).unwrap()
     }
 
-    fn gpus(nodes: usize, per_node: usize) -> Vec<Vec<Device>> {
+    fn gpus(nodes: usize, per_node: usize) -> Vec<Vec<DeviceSpec>> {
         (0..nodes)
             .map(|n| {
                 (0..per_node)

@@ -10,7 +10,7 @@
 //! commit.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
-use gxplug_accel::presets;
+use gxplug_accel::{presets, BackendKind};
 use gxplug_algos::MultiSourceSssp;
 use gxplug_core::daemon::{execute_share, merge_addressed};
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
@@ -267,6 +267,7 @@ fn mixed_device_session<'g>(
     partitioning: &Partitioning,
     parts: usize,
     mode: ExecutionMode,
+    backend: BackendKind,
 ) -> Session<'g, Vec<f64>, f64> {
     SessionBuilder::new(graph)
         .partitioned_by(partitioning.clone())
@@ -282,6 +283,7 @@ fn mixed_device_session<'g>(
                 })
                 .collect(),
         )
+        .backend(backend)
         .config(MiddlewareConfig::default().with_execution(mode))
         .dataset("rmat12")
         .max_iterations(100)
@@ -307,9 +309,10 @@ fn bench_execution_modes(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let outcome = mixed_device_session(&graph, &partitioning, parts, mode)
-                        .run(&algorithm)
-                        .unwrap();
+                    let outcome =
+                        mixed_device_session(&graph, &partitioning, parts, mode, BackendKind::Sim)
+                            .run(&algorithm)
+                            .unwrap();
                     black_box(outcome.report.num_iterations())
                 })
             },
@@ -374,6 +377,50 @@ fn bench_session_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// The accelerator backends compared by the `backend_matrix` group and the
+/// JSON emitter: the cost-model sim backend against the host-parallel
+/// backend executing `MSGGen` across OS threads.  Results are bit-identical
+/// (the `determinism` integration test proves it); the comparison is pure
+/// wall clock.
+fn backend_arms() -> [(&'static str, BackendKind); 2] {
+    [
+        ("sim", BackendKind::Sim),
+        ("host_parallel", BackendKind::host_parallel()),
+    ]
+}
+
+/// End-to-end wall-clock comparison of the accelerator backends on the
+/// shared rmat-12 deployment: the same SSSP job executed by the sim backend
+/// and by the host-parallel backend behind the identical kernel ABI.  On a
+/// multi-core host the host-parallel backend's chunked launches are where
+/// real time is won; on a 1-core container the two arms converge.
+fn bench_backend_matrix(c: &mut Criterion) {
+    let (graph, partitioning, parts) = end_to_end_workload();
+    let algorithm = MultiSourceSssp::paper_default();
+    let mut group = c.benchmark_group("backend_matrix");
+    for (name, backend) in backend_arms() {
+        group.bench_with_input(
+            BenchmarkId::new("sssp_rmat12_4nodes", name),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let outcome = mixed_device_session(
+                        &graph,
+                        &partitioning,
+                        parts,
+                        ExecutionMode::Threaded,
+                        backend,
+                    )
+                    .run(&algorithm)
+                    .unwrap();
+                    black_box(outcome.report.num_iterations())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
@@ -381,12 +428,14 @@ criterion_group!(
     bench_block_size_selection,
     bench_msg_gen_hot_path,
     bench_execution_modes,
+    bench_backend_matrix,
     bench_session_reuse
 );
 
 /// One record of the machine-readable benchmark output.
 struct BenchRecord {
     mode: String,
+    backend: String,
     graph: String,
     wall_ms: f64,
     blocks: u64,
@@ -397,8 +446,14 @@ struct BenchRecord {
 impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
-            r#"    {{"mode": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}}}"#,
-            self.mode, self.graph, self.wall_ms, self.blocks, self.triplets, self.bytes_moved
+            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}}}"#,
+            self.mode,
+            self.backend,
+            self.graph,
+            self.wall_ms,
+            self.blocks,
+            self.triplets,
+            self.bytes_moved
         )
     }
 }
@@ -434,6 +489,7 @@ fn emit_bench_json() {
         let triplets = fixture.edge_ids.len() as u64;
         records.push(BenchRecord {
             mode: "hot_path/owned_copy".into(),
+            backend: BackendKind::Sim.label().into(),
             graph: "rmat12-1node".into(),
             wall_ms: owned_ms,
             blocks: blocks as u64,
@@ -451,6 +507,7 @@ fn emit_bench_json() {
         let borrowed_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
         records.push(BenchRecord {
             mode: "hot_path/borrowed_block".into(),
+            backend: BackendKind::Sim.label().into(),
             graph: "rmat12-1node".into(),
             wall_ms: borrowed_ms,
             blocks: blocks as u64,
@@ -466,7 +523,8 @@ fn emit_bench_json() {
         ("serial", ExecutionMode::Serial),
         ("threaded", ExecutionMode::Threaded),
     ] {
-        let mut session = mixed_device_session(&graph, &partitioning, parts, mode);
+        let mut session =
+            mixed_device_session(&graph, &partitioning, parts, mode, BackendKind::Sim);
         // Warm-up run: pays the deployment and grows the pooled arenas.
         session.run(&algorithm).unwrap();
         let start = Instant::now();
@@ -484,6 +542,41 @@ fn emit_bench_json() {
         let triplets = outcome.report.total_triplets() as u64;
         records.push(BenchRecord {
             mode: format!("execution_modes/{name}"),
+            backend: BackendKind::Sim.label().into(),
+            graph: "rmat12-4nodes".into(),
+            wall_ms,
+            blocks,
+            triplets,
+            bytes_moved: triplets * triplet_bytes,
+        });
+    }
+
+    // --- backend matrix: sim vs host-parallel on one deployment -----------
+    for (_name, backend) in backend_arms() {
+        let mut session = mixed_device_session(
+            &graph,
+            &partitioning,
+            parts,
+            ExecutionMode::Threaded,
+            backend,
+        );
+        session.run(&algorithm).unwrap();
+        let start = Instant::now();
+        let mut outcome = None;
+        for _ in 0..samples {
+            outcome = Some(session.run(&algorithm).unwrap());
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+        let outcome = outcome.expect("at least one sample");
+        let blocks: u64 = outcome
+            .agent_stats
+            .iter()
+            .map(|stats| stats.kernel_launches)
+            .sum();
+        let triplets = outcome.report.total_triplets() as u64;
+        records.push(BenchRecord {
+            mode: "backend_matrix/threaded".into(),
+            backend: backend.label().into(),
             graph: "rmat12-4nodes".into(),
             wall_ms,
             blocks,

@@ -8,7 +8,7 @@
 //!   split 25% / 75%; "Not Balanced" gives each node one GPU, "Balanced"
 //!   allocates GPUs proportionally to the load.
 
-use gxplug_accel::{presets, Device, SimDuration};
+use gxplug_accel::{presets, DeviceSpec, SimDuration};
 use gxplug_bench::{format_duration, print_table, scale_from_env, DEFAULT_SEED};
 use gxplug_core::{balance_partitioning, SessionBuilder};
 use gxplug_engine::metrics::RunReport;
@@ -19,8 +19,8 @@ use gxplug_graph::partition::{Partitioner, WeightedEdgePartitioner};
 use gxplug_graph::PropertyGraph;
 
 /// Sum of capacity factors of a node's devices.
-fn node_capacity(devices: &[Device]) -> f64 {
-    devices.iter().map(Device::capacity_factor).sum()
+fn node_capacity(devices: &[DeviceSpec]) -> f64 {
+    devices.iter().map(DeviceSpec::capacity_factor).sum()
 }
 
 /// Analytical optimum: replace the measured compute time by the ideal
@@ -40,7 +40,7 @@ fn run_with_devices(
     algo: &Algo,
     scale: Scale,
     weights: &[f64],
-    devices: Vec<Vec<Device>>,
+    devices: Vec<Vec<DeviceSpec>>,
 ) -> RunReport {
     let dataset = datasets::find("Orkut").unwrap();
     let nodes = devices.len();

@@ -7,7 +7,7 @@
 //! * (c) scalability of GX-Plug + PowerGraph per algorithm;
 //! * (d) mixing and matching CPU and GPU daemons.
 
-use gxplug_accel::{presets, Device};
+use gxplug_accel::{presets, DeviceSpec};
 use gxplug_bench::DEFAULT_SEED;
 use gxplug_bench::{
     format_duration, print_table, run_combo, scale_from_env, suite, Accel, Algo, ComboSpec, Upper,
@@ -161,7 +161,7 @@ fn part_c(scale: Scale) {
 fn part_d(scale: Scale) {
     let dataset = datasets::find("Orkut").unwrap();
     // Four daemons spread over four nodes, in the paper's three combinations.
-    let combos: [(&str, Vec<Vec<Device>>); 3] = [
+    let combos: [(&str, Vec<Vec<DeviceSpec>>); 3] = [
         (
             "G:G:C:C",
             vec![
@@ -213,13 +213,13 @@ fn run_mix_match(
     dataset: &'static gxplug_graph::datasets::DatasetSpec,
     scale: Scale,
     algo: Algo,
-    devices: Vec<Vec<Device>>,
+    devices: Vec<Vec<DeviceSpec>>,
 ) -> String {
     let nodes = devices.len();
     // Workload balancing (Lemma 2): data proportional to node capacity.
     let capacities: Vec<f64> = devices
         .iter()
-        .map(|d| d.iter().map(Device::capacity_factor).sum())
+        .map(|d| d.iter().map(DeviceSpec::capacity_factor).sum())
         .collect();
     let report = match algo {
         Algo::Sssp => {

@@ -1,7 +1,7 @@
 //! Experiment dispatch: one call per (algorithm, upper system, accelerator,
 //! dataset) combination, returning the engine's [`RunReport`].
 
-use gxplug_accel::{presets, AccelError, Device};
+use gxplug_accel::{presets, AccelError, DeviceSpec};
 use gxplug_algos::{LabelPropagation, MultiSourceSssp, PageRank};
 use gxplug_baselines::{GunrockLike, LuxLike};
 use gxplug_core::{MiddlewareConfig, RunOutcome, SessionBuilder};
@@ -145,7 +145,7 @@ impl ComboSpec {
 }
 
 /// Builds the per-node device lists for an [`Accel`] configuration.
-pub fn devices_for(accel: Accel, num_nodes: usize) -> Vec<Vec<Device>> {
+pub fn devices_for(accel: Accel, num_nodes: usize) -> Vec<Vec<DeviceSpec>> {
     (0..num_nodes)
         .map(|node| match accel {
             Accel::None => Vec::new(),
@@ -260,7 +260,7 @@ pub fn run_lux_pagerank(
         )
         .expect("dataset analogue generation cannot fail");
     let partitioning = default_partitioning(&graph, num_nodes);
-    let devices: Vec<Vec<Device>> = (0..num_nodes)
+    let devices: Vec<Vec<DeviceSpec>> = (0..num_nodes)
         .map(|n| {
             (0..gpus_per_node)
                 .map(|g| presets::gpu_v100(format!("lux-n{n}g{g}")))

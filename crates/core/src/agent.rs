@@ -52,15 +52,29 @@ use std::sync::Arc;
 pub(crate) const UNPIPELINED_MAX_BATCH: usize = 65_536;
 
 /// The download plan of one iteration: what the agent found active and what
-/// it had to move across the upper-system boundary.
-#[derive(Debug, Clone)]
+/// it had to move across the upper-system boundary.  The active edge ids
+/// themselves live in the core's pooled [`PlanScratch`] (see
+/// [`AgentCore::active_edge_ids`]), so the plan is a cheap copy.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct IterationPlan {
-    /// Local ids of the active edges.
-    pub active_edge_ids: Vec<usize>,
     /// Number of active edge triplets (`d`, the iteration's data volume).
     pub d: usize,
     /// Entities (vertices + first-time edges) downloaded this iteration.
     pub download_entities: usize,
+}
+
+/// The pooled planning-path buffers of one agent: the per-iteration active
+/// edge list and the download set.  Cleared — never reallocated — between
+/// iterations, so the planning phase stops allocating at steady state just
+/// like the triplet path.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    /// Local ids of the iteration's active edges (sorted).
+    active_edge_ids: Vec<usize>,
+    /// Dedup set for the download working set.
+    needed_set: HashSet<VertexId>,
+    /// The iteration's download working set, in deterministic probe order.
+    needed_vertices: Vec<VertexId>,
 }
 
 /// What executing one daemon's share produced, together with the planning
@@ -133,6 +147,7 @@ pub(crate) struct AgentCore<V> {
     cache: Option<VertexCache<V>>,
     edges_registered: bool,
     stats: AgentStats,
+    plan: PlanScratch,
 }
 
 impl<V> AgentCore<V>
@@ -157,7 +172,14 @@ where
             cache,
             edges_registered: false,
             stats: AgentStats::default(),
+            plan: PlanScratch::default(),
         }
+    }
+
+    /// The active edge ids of the current iteration, as planned by the last
+    /// [`AgentCore::begin_iteration`] call (pooled across iterations).
+    pub(crate) fn active_edge_ids(&self) -> &[usize] {
+        &self.plan.active_edge_ids
     }
 
     pub(crate) fn node_id(&self) -> PartitionId {
@@ -188,20 +210,26 @@ where
     /// needed vertex data (and, once, the edge topology) into the shared
     /// memory space, consulting the cache when enabled.  Returns `None` when
     /// the node is idle.
+    ///
+    /// The planning vectors (active edge ids, the download working set) are
+    /// pooled in [`PlanScratch`]: steady-state iterations refill them in
+    /// place, allocating nothing.  The active edge ids stay readable through
+    /// [`AgentCore::active_edge_ids`] until the next `begin_iteration`.
     pub(crate) fn begin_iteration<E>(
         &mut self,
         node: &NodeState<V, E>,
         iteration: usize,
     ) -> Option<IterationPlan> {
-        let active_edge_ids = node.active_edge_ids();
-        let d = active_edge_ids.len();
+        node.active_edge_ids_into(&mut self.plan.active_edge_ids);
+        let d = self.plan.active_edge_ids.len();
         if d == 0 {
             return None;
         }
         self.stats.iterations += 1;
 
-        let mut needed_set: HashSet<VertexId> = HashSet::new();
-        for &edge_id in &active_edge_ids {
+        let needed_set = &mut self.plan.needed_set;
+        needed_set.clear();
+        for &edge_id in &self.plan.active_edge_ids {
             if let Some(edge) = node.edge(edge_id) {
                 needed_set.insert(edge.src);
                 needed_set.insert(edge.dst);
@@ -213,13 +241,15 @@ where
         // order is scrambled by a fixed mix (not ascending) because a strict
         // sequential scan is the LRU worst case — it would evict every entry
         // just before re-probing it.
-        let mut needed_vertices: Vec<VertexId> = needed_set.into_iter().collect();
+        let needed_vertices = &mut self.plan.needed_vertices;
+        needed_vertices.clear();
+        needed_vertices.extend(needed_set.iter().copied());
         needed_vertices.sort_unstable_by_key(|&v| (gxplug_ipc::key::splitmix64(v as u64), v));
         let needed_count = needed_vertices.len();
         let vertex_downloads = match &mut self.cache {
             Some(cache) => {
                 let mut misses = 0usize;
-                for &v in &needed_vertices {
+                for &v in needed_vertices.iter() {
                     let current = match node.vertex_value(v) {
                         Some(value) => value,
                         None => continue,
@@ -252,7 +282,6 @@ where
         let download_entities = vertex_downloads + edge_downloads;
         self.stats.downloaded_entities += download_entities as u64;
         Some(IterationPlan {
-            active_edge_ids,
             d,
             download_entities,
         })
@@ -503,7 +532,7 @@ where
         // ---- compute phase (MSGGen over borrowed capacity shares) -----------
         let buffer = Arc::get_mut(&mut self.scratch.triplets)
             .expect("no triplet share views outstanding between iterations");
-        node.fill_triplets(&plan.active_edge_ids, buffer);
+        node.fill_triplets(self.core.active_edge_ids(), buffer);
         let triplets = self.scratch.triplets.as_slice();
         split_by_capacity_into(triplets.len(), &self.capacities, &mut self.scratch.shares);
         self.scratch.share_runs.clear();
@@ -520,7 +549,7 @@ where
             let block_size = self.core.block_size_for(
                 &coefficients,
                 share.len(),
-                daemon.device().cost_model().memory_capacity_items,
+                daemon.backend().memory_capacity_items(),
             );
             let out = &mut self.scratch.msg_bufs[daemon_index];
             let blocks = execute_share(daemon, algorithm, share, block_size, iteration, out)?;

@@ -13,7 +13,7 @@
 //!   the minimal sufficient capacities are `1/c_j = f · d_j / d*` where `f` is
 //!   the largest available capacity factor and `d* = max_j d_j`.
 
-use gxplug_accel::{Device, SimDuration};
+use gxplug_accel::{DeviceSpec, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Errors from the balancing computations.
@@ -141,7 +141,7 @@ pub fn balance_capacities(data_sizes: &[usize], max_capacity_factor: f64) -> Res
 /// Returns, per node, the indices into `devices` assigned to it.  Every device
 /// is assigned to some node (idle accelerators are never left unused), which
 /// can only exceed the minimal prescription, never fall short of fairness.
-pub fn assign_devices_to_nodes(devices: &[Device], targets: &[f64]) -> Result<Vec<Vec<usize>>> {
+pub fn assign_devices_to_nodes(devices: &[DeviceSpec], targets: &[f64]) -> Result<Vec<Vec<usize>>> {
     if targets.is_empty() {
         return Err(BalanceError::NoNodes);
     }

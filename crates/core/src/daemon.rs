@@ -1,18 +1,29 @@
 //! The computation daemon (§II-A1).
 //!
 //! "A daemon represents an accelerator, where graph algorithms are executed."
-//! A [`Daemon`] wraps one [`Device`], holds an instance of the algorithm
-//! template for the duration of a run, and keeps the device context alive
-//! across iterations (runtime isolation, §IV-C) so that initialisation is paid
-//! once per daemon lifetime rather than once per call.
+//! A [`Daemon`] wraps one pluggable [`AcceleratorBackend`], holds an instance
+//! of the algorithm template for the duration of a run, and keeps the device
+//! context alive across iterations (runtime isolation, §IV-C) so that
+//! initialisation is paid once per daemon lifetime rather than once per call.
 //!
 //! The daemon executes the template's three APIs over blocks of data:
-//! `MSGGen` over triplet blocks on the device, `MSGMerge` combining the
+//! `MSGGen` over triplet blocks on the backend, `MSGMerge` combining the
 //! resulting messages, and `MSGApply` over vertex blocks.
+//!
+//! # Backend-independent determinism
+//!
+//! A backend may execute a launch in parallel chunks
+//! ([`HostParallelBackend`](gxplug_accel::HostParallelBackend)); the daemon
+//! stages each chunk's output in its own slot and concatenates the slots in
+//! chunk-index order.  Chunks are contiguous and in order (the trait
+//! contract), so the concatenated stream equals the serial item order and
+//! every backend produces bit-identical message streams.
 
 use crate::pipeline::block_size::PipelineCoefficients;
 use crate::runtime::RuntimeError;
-use gxplug_accel::{AccelError, CostModel, Device, DeviceKind, KernelTiming, SimDuration};
+use gxplug_accel::{
+    AccelError, AcceleratorBackend, ChunkSpec, CostModel, DeviceKind, KernelTiming, SimDuration,
+};
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::types::{Triplet, VertexId};
@@ -20,6 +31,7 @@ use gxplug_ipc::blocks::{triplet_block_views, TripletBlockRef};
 use gxplug_ipc::channel::ControlLink;
 use gxplug_ipc::key::IpcKey;
 use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
 
 /// Immutable description of a daemon: everything an agent needs to plan work
 /// for it — splitting shares by capacity, choosing block sizes, attributing
@@ -46,7 +58,7 @@ impl DaemonInfo {
             kind: daemon.kind(),
             key: daemon.key(),
             capacity_factor: daemon.capacity_factor(),
-            cost: *daemon.device().cost_model(),
+            cost: *daemon.backend().cost_model(),
         }
     }
 
@@ -55,7 +67,7 @@ impl DaemonInfo {
         &self.name
     }
 
-    /// The wrapped device's kind.
+    /// The wrapped backend's device kind.
     pub fn kind(&self) -> DeviceKind {
         self.kind
     }
@@ -139,10 +151,11 @@ where
 /// the number of blocks launched.  This is the unit of work an agent hands to
 /// a daemon — on the calling thread in serial mode, on the daemon's worker
 /// thread in threaded mode — and it copies no triplet and allocates nothing
-/// beyond `out`'s amortised growth.
+/// beyond `out`'s amortised growth (plus per-chunk staging on multi-lane
+/// backends).
 ///
 /// # Errors
-/// A block the device rejects (e.g. [`AccelError::OutOfMemory`] for a
+/// A block the backend rejects (e.g. [`AccelError::OutOfMemory`] for a
 /// mis-sized block) is returned as [`RuntimeError::Kernel`] instead of
 /// aborting the process; the agent propagates it up through
 /// `process_iteration` so the run fails with a typed error.
@@ -155,12 +168,18 @@ pub fn execute_share<V, E, A>(
     out: &mut Vec<AddressedMessage<A::Msg>>,
 ) -> Result<usize, RuntimeError>
 where
+    V: Sync,
+    E: Sync,
     A: GraphAlgorithm<V, E>,
 {
+    // One staging pool for the whole share: the per-chunk slots are drained
+    // (capacity retained) after every block launch, so multi-lane backends
+    // pay at most one slot allocation per share, not one per block.
+    let mut staging = ChunkStaging::for_daemon(daemon);
     let mut blocks = 0usize;
     for block in triplet_block_views(share, block_size) {
         daemon
-            .execute_gen_into(algorithm, block, iteration, out)
+            .execute_gen_staged(algorithm, block, iteration, &mut staging, out)
             .map_err(|error| RuntimeError::Kernel {
                 daemon: daemon.name().to_string(),
                 error,
@@ -168,6 +187,36 @@ where
         blocks += 1;
     }
     Ok(blocks)
+}
+
+/// Pooled per-chunk output staging for `MSGGen` launches on multi-lane
+/// backends: one message slot per possible chunk.  Slots are *drained* into
+/// the output buffer after each launch — their capacity survives — so a
+/// staging reused across block launches stops allocating once warm.
+/// Single-lane backends need no staging at all (the kernel sinks straight
+/// into the output buffer); [`ChunkStaging::for_daemon`] returns an empty
+/// pool for them.
+#[derive(Debug)]
+pub struct ChunkStaging<M> {
+    slots: Vec<Mutex<Vec<AddressedMessage<M>>>>,
+}
+
+impl<M> ChunkStaging<M> {
+    /// Staging sized for `daemon`'s backend.
+    pub fn for_daemon(daemon: &Daemon) -> Self {
+        let mut staging = Self { slots: Vec::new() };
+        staging.ensure(daemon.backend().max_concurrency());
+        staging
+    }
+
+    /// Grows the pool to at least `lanes` slots (no-op for `lanes <= 1`).
+    fn ensure(&mut self, lanes: usize) {
+        if lanes > 1 {
+            while self.slots.len() < lanes {
+                self.slots.push(Mutex::new(Vec::new()));
+            }
+        }
+    }
 }
 
 /// Cumulative per-daemon counters.
@@ -183,23 +232,36 @@ pub struct DaemonStats {
     pub vertices_applied: u64,
 }
 
-/// A computation daemon bound to one accelerator device.
+/// A computation daemon bound to one accelerator backend.
 #[derive(Debug)]
 pub struct Daemon {
     name: String,
-    device: Device,
+    backend: Box<dyn AcceleratorBackend>,
     key: IpcKey,
     link: Option<ControlLink>,
     started: bool,
     stats: DaemonStats,
 }
 
+/// Locks a mutex, recovering from poisoning (a panicking kernel unwinds the
+/// whole launch anyway; the slot content is never observed after a poison).
+fn lock_slot<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Daemon {
-    /// Creates a daemon for `device`, addressed by the System-V-style `key`.
-    pub fn new(name: impl Into<String>, device: Device, key: IpcKey) -> Self {
+    /// Creates a daemon for an accelerator, addressed by the System-V-style
+    /// `key`.  Accepts anything that converts into a boxed backend: a
+    /// [`DeviceSpec`](gxplug_accel::DeviceSpec) (built here), a concrete
+    /// backend, or an already-boxed one.
+    pub fn new(
+        name: impl Into<String>,
+        device: impl Into<Box<dyn AcceleratorBackend>>,
+        key: IpcKey,
+    ) -> Self {
         Self {
             name: name.into(),
-            device,
+            backend: device.into(),
             key,
             link: None,
             started: false,
@@ -224,19 +286,19 @@ impl Daemon {
         self.key
     }
 
-    /// The wrapped device.
-    pub fn device(&self) -> &Device {
-        &self.device
+    /// The wrapped accelerator backend.
+    pub fn backend(&self) -> &dyn AcceleratorBackend {
+        self.backend.as_ref()
     }
 
     /// The device kind (GPU / CPU / FPGA).
     pub fn kind(&self) -> DeviceKind {
-        self.device.kind()
+        self.backend.kind()
     }
 
     /// The device's computation capacity factor `1/c_j`.
     pub fn capacity_factor(&self) -> f64 {
-        self.device.capacity_factor()
+        self.backend.capacity_factor()
     }
 
     /// Whether [`Daemon::start`] has been called.
@@ -262,13 +324,13 @@ impl Daemon {
     /// integration of Fig. 13 instead pays it on every iteration.
     pub fn start(&mut self) -> SimDuration {
         self.started = true;
-        self.device.initialize()
+        self.backend.initialize()
     }
 
     /// Stops the daemon and tears down the device context.
     pub fn shutdown(&mut self) {
         self.started = false;
-        self.device.shutdown();
+        self.backend.shutdown();
     }
 
     /// Snapshots the planning metadata of this daemon (see [`DaemonInfo`]).
@@ -280,11 +342,11 @@ impl Daemon {
     /// (no snapshot is built: this sits in the serial agent's per-iteration
     /// loop).
     pub fn coefficients(&self, profile: &RuntimeProfile) -> PipelineCoefficients {
-        coefficients_for(self.device.cost_model(), profile)
+        coefficients_for(self.backend.cost_model(), profile)
     }
 
     /// `MSGGen` over one borrowed triplet block: runs the kernel on the
-    /// device and returns the generated messages together with the device
+    /// backend and returns the generated messages together with the device
     /// timing.
     pub fn execute_gen<V, E, A>(
         &mut self,
@@ -293,6 +355,8 @@ impl Daemon {
         iteration: usize,
     ) -> Result<GenOutput<A::Msg>, AccelError>
     where
+        V: Sync,
+        E: Sync,
         A: GraphAlgorithm<V, E>,
     {
         let mut messages: Vec<AddressedMessage<A::Msg>> = Vec::new();
@@ -303,7 +367,14 @@ impl Daemon {
     /// `MSGGen` over one borrowed triplet block, appending the generated
     /// messages to the caller's reusable `out` buffer — the zero-copy variant
     /// of [`Daemon::execute_gen`]: the triplets are read in place from the
-    /// block view and the daemon allocates nothing per launch.
+    /// block view.
+    ///
+    /// On a single-lane backend (e.g.
+    /// [`SimBackend`](gxplug_accel::SimBackend)) the kernel appends straight
+    /// into `out`, allocating nothing per launch.  On a multi-lane backend
+    /// each chunk writes its own staging slot and the slots drain into `out`
+    /// in chunk order, so the message stream — and everything merged from it —
+    /// is bit-identical whichever backend executes the launch.
     pub fn execute_gen_into<V, E, A>(
         &mut self,
         algorithm: &A,
@@ -312,12 +383,63 @@ impl Daemon {
         out: &mut Vec<AddressedMessage<A::Msg>>,
     ) -> Result<KernelTiming, AccelError>
     where
+        V: Sync,
+        E: Sync,
         A: GraphAlgorithm<V, E>,
     {
+        let mut staging = ChunkStaging::for_daemon(self);
+        self.execute_gen_staged(algorithm, block, iteration, &mut staging, out)
+    }
+
+    /// [`Daemon::execute_gen_into`] with caller-pooled chunk staging: the
+    /// variant [`execute_share`] drives, reusing one [`ChunkStaging`] across
+    /// every block launch of a share.
+    pub fn execute_gen_staged<V, E, A>(
+        &mut self,
+        algorithm: &A,
+        block: TripletBlockRef<'_, V, E>,
+        iteration: usize,
+        staging: &mut ChunkStaging<A::Msg>,
+        out: &mut Vec<AddressedMessage<A::Msg>>,
+    ) -> Result<KernelTiming, AccelError>
+    where
+        V: Sync,
+        E: Sync,
+        A: GraphAlgorithm<V, E>,
+    {
+        let triplets = block.triplets;
         let before = out.len();
-        let timing = self.device.execute_batch_with(block.triplets, |triplet| {
-            out.extend(algorithm.msg_gen(triplet, iteration))
-        })?;
+        let lanes = self.backend.max_concurrency();
+        let timing = if lanes <= 1 {
+            // Single chunk on the calling thread: sink directly into `out`,
+            // no staging.  The mutex is uncontended (locked once per launch).
+            let sink = Mutex::new(&mut *out);
+            self.backend.launch(triplets.len(), &|chunk: ChunkSpec| {
+                let mut sink = lock_slot(&sink);
+                for triplet in &triplets[chunk.range] {
+                    sink.extend(algorithm.msg_gen(triplet, iteration));
+                }
+            })?
+        } else {
+            // One staging slot per possible chunk; each chunk locks only its
+            // own slot, so the locks never contend and the content per slot
+            // is deterministic.
+            staging.ensure(lanes);
+            let slots = &staging.slots;
+            let timing = self.backend.launch(triplets.len(), &|chunk: ChunkSpec| {
+                let mut slot = lock_slot(&slots[chunk.index]);
+                for triplet in &triplets[chunk.range] {
+                    slot.extend(algorithm.msg_gen(triplet, iteration));
+                }
+            })?;
+            // Drain in chunk order — serial item order by the chunk
+            // contract.  `append` leaves each slot empty with its capacity
+            // intact for the next launch.
+            for slot in slots {
+                out.append(&mut lock_slot(slot));
+            }
+            timing
+        };
         self.stats.kernel_launches += 1;
         self.stats.triplets_processed += block.len() as u64;
         self.stats.messages_generated += (out.len() - before) as u64;
@@ -340,8 +462,8 @@ impl Daemon {
     }
 
     /// `MSGApply` over a batch of `(vertex, current value, merged message)`
-    /// entries: runs the apply kernel on the device and returns the vertices
-    /// whose value changed, with the device timing.
+    /// entries: runs the apply kernel on the backend and returns the vertices
+    /// whose value changed (in input order), with the device timing.
     pub fn execute_apply<V, E, A>(
         &mut self,
         algorithm: &A,
@@ -349,27 +471,34 @@ impl Daemon {
         iteration: usize,
     ) -> Result<(Vec<(VertexId, V)>, KernelTiming), AccelError>
     where
-        V: Clone,
+        V: Clone + Send + Sync,
         A: GraphAlgorithm<V, E>,
     {
-        let run = self
-            .device
-            .execute_batch(batch, |(vertex, current, message)| {
-                algorithm
-                    .msg_apply(*vertex, current, message, iteration)
-                    .map(|new_value| (*vertex, new_value))
-            })?;
+        let lanes = self.backend.max_concurrency().max(1);
+        let slots: Vec<Mutex<Vec<(VertexId, V)>>> =
+            (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
+        let timing = self.backend.launch(batch.len(), &|chunk: ChunkSpec| {
+            let mut slot = lock_slot(&slots[chunk.index]);
+            for (vertex, current, message) in &batch[chunk.range] {
+                if let Some(new_value) = algorithm.msg_apply(*vertex, current, message, iteration) {
+                    slot.push((*vertex, new_value));
+                }
+            }
+        })?;
         self.stats.kernel_launches += 1;
-        let updated: Vec<(VertexId, V)> = run.outputs.into_iter().flatten().collect();
+        let mut updated: Vec<(VertexId, V)> = Vec::new();
+        for slot in slots {
+            updated.append(&mut slot.into_inner().unwrap_or_else(PoisonError::into_inner));
+        }
         self.stats.vertices_applied += updated.len() as u64;
-        Ok((updated, run.timing))
+        Ok((updated, timing))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gxplug_accel::presets;
+    use gxplug_accel::{presets, BackendKind, DeviceSpec};
     use gxplug_engine::template::AddressedMessage;
     use gxplug_graph::types::Triplet;
     use gxplug_ipc::key::KeyGenerator;
@@ -447,6 +576,34 @@ mod tests {
     }
 
     #[test]
+    fn gen_output_is_identical_across_backends() {
+        // A batch large enough that the host-parallel backend really splits
+        // it into several chunks; message order (and content) must match the
+        // sim backend's exactly.
+        let triplets: Vec<Triplet<f64, f64>> = (0..4_096u32)
+            .map(|i| Triplet::new(i, (i * 7) % 4_096, (i % 13) as f64, f64::INFINITY, 1.0))
+            .collect();
+        let keys = KeyGenerator::new(3);
+        let run = |backend: BackendKind| {
+            let spec = presets::cpu_xeon_20c("c").with_backend(backend);
+            let mut d = Daemon::new("d", spec, keys.key_for(0, 0));
+            d.start();
+            let block = TripletBlockRef {
+                index: 0,
+                triplets: &triplets,
+            };
+            d.execute_gen(&Relax, block, 0).unwrap().0
+        };
+        let sim = run(BackendKind::Sim);
+        let parallel = run(BackendKind::HostParallel { threads: Some(4) });
+        assert_eq!(sim.len(), parallel.len());
+        for (a, b) in sim.iter().zip(&parallel) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.payload.to_bits(), b.payload.to_bits());
+        }
+    }
+
+    #[test]
     fn merge_keeps_the_minimum_per_target() {
         let mut d = daemon();
         let merged = d.merge_messages::<f64, f64, Relax>(
@@ -487,6 +644,20 @@ mod tests {
         let gpu_coefficients = gpu.coefficients(&RuntimeProfile::powergraph());
         assert!(gpu_coefficients.a > coefficients.a);
         assert!(gpu_coefficients.k2 < coefficients.k2);
+    }
+
+    #[test]
+    fn daemons_accept_specs_and_live_backends() {
+        let keys = KeyGenerator::new(4);
+        let spec: DeviceSpec = presets::gpu_v100("g");
+        let from_spec = Daemon::new("a", spec.clone(), keys.key_for(0, 0));
+        let from_backend = Daemon::new(
+            "b",
+            gxplug_accel::SimBackend::from_spec(&spec),
+            keys.key_for(0, 1),
+        );
+        assert_eq!(from_spec.kind(), from_backend.kind());
+        assert_eq!(from_spec.capacity_factor(), from_backend.capacity_factor());
     }
 
     #[test]

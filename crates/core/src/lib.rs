@@ -5,9 +5,12 @@
 //! GX-Plug plugs accelerators (GPUs, multi-core CPUs) into heterogeneous
 //! distributed graph systems through a *daemon–agent framework*:
 //!
-//! * a [`Daemon`](daemon::Daemon) wraps one accelerator device, holds an
-//!   instance of the `MSGGen`/`MSGMerge`/`MSGApply` algorithm template and
-//!   keeps the device context alive across iterations (runtime isolation);
+//! * a [`Daemon`](daemon::Daemon) wraps one pluggable accelerator backend
+//!   (any [`AcceleratorBackend`](gxplug_accel::AcceleratorBackend)
+//!   implementation — cost-model sim or real host-parallel execution),
+//!   holds an instance of the `MSGGen`/`MSGMerge`/`MSGApply` algorithm
+//!   template and keeps the device context alive across iterations (runtime
+//!   isolation);
 //! * an [`Agent`](agent::Agent) lives in a distributed node, bridges the upper
 //!   system and its daemons, and owns the data-exchange optimisations.
 //!
@@ -72,7 +75,7 @@ pub use balance::{
     BalanceError, CapacityPlan, PartitionPlan,
 };
 pub use config::{ExecutionMode, MiddlewareConfig, PipelineMode};
-pub use daemon::{merge_addressed, Daemon, DaemonInfo, DaemonStats};
+pub use daemon::{merge_addressed, ChunkStaging, Daemon, DaemonInfo, DaemonStats};
 pub use metrics::AgentStats;
 pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
 #[allow(deprecated)]

@@ -14,7 +14,7 @@
 
 use crate::config::{ExecutionMode, MiddlewareConfig};
 use crate::session::{RunOutcome, SessionBuilder};
-use gxplug_accel::Device;
+use gxplug_accel::DeviceSpec;
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::GraphAlgorithm;
@@ -139,7 +139,7 @@ pub fn run_accelerated<V, E, A>(
     algorithm: &A,
     profile: RuntimeProfile,
     network: NetworkModel,
-    devices_per_node: Vec<Vec<Device>>,
+    devices_per_node: Vec<Vec<DeviceSpec>>,
     config: MiddlewareConfig,
     dataset: &str,
     max_iterations: usize,

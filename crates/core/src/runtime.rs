@@ -392,7 +392,7 @@ where
         // ---- compute phase: dispatch every share, then collect -----------
         let buffer = Arc::get_mut(&mut self.scratch.triplets)
             .expect("no triplet share views outstanding between iterations");
-        node.fill_triplets(&plan.active_edge_ids, buffer);
+        node.fill_triplets(self.core.active_edge_ids(), buffer);
         let d = self.scratch.triplets.len();
         split_by_capacity_into(d, &self.capacities, &mut self.scratch.shares);
         self.scratch.share_runs.clear();

@@ -38,7 +38,7 @@ use crate::config::{ExecutionMode, MiddlewareConfig};
 use crate::daemon::Daemon;
 use crate::metrics::AgentStats;
 use crate::runtime::{RuntimeError, ThreadedAgent, ThreadedNodes};
-use gxplug_accel::{Device, DeviceKind, SimDuration};
+use gxplug_accel::{BackendKind, DeviceKind, DeviceSpec, SimDuration};
 use gxplug_engine::cluster::{Cluster, ComputePhase, NodeComputeOutput, SyncPolicy};
 use gxplug_engine::metrics::RunReport;
 use gxplug_engine::network::NetworkModel;
@@ -149,13 +149,13 @@ impl From<RuntimeError> for SessionError {
 }
 
 /// Builds a human-readable system label such as `"PowerGraph+GPU"` from the
-/// devices plugged into each node.
-pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<Device>]) -> String {
+/// device specs plugged into each node.
+pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<DeviceSpec>]) -> String {
     let mut has_gpu = false;
     let mut has_cpu = false;
     let mut has_fpga = false;
     for device in devices_per_node.iter().flatten() {
-        match device.kind() {
+        match device.kind {
             DeviceKind::Gpu => has_gpu = true,
             DeviceKind::Cpu => has_cpu = true,
             DeviceKind::Fpga => has_fpga = true,
@@ -171,19 +171,36 @@ pub fn system_label(profile: &RuntimeProfile, devices_per_node: &[Vec<Device>]) 
     format!("{}+{}", profile.name, accel)
 }
 
-/// Builds the named daemons of one node from its device list.
+/// Builds the named daemons of one node from its device specs.
 fn daemons_for_node(
     key_generator: &KeyGenerator,
     node_id: usize,
-    devices: Vec<Device>,
+    specs: &[DeviceSpec],
 ) -> Vec<Daemon> {
-    devices
-        .into_iter()
+    specs
+        .iter()
         .enumerate()
-        .map(|(daemon_index, device)| {
+        .map(|(daemon_index, spec)| {
             let key = key_generator.key_for(node_id, daemon_index);
-            Daemon::new(format!("node{node_id}-daemon{daemon_index}"), device, key)
+            Daemon::new(
+                format!("node{node_id}-daemon{daemon_index}"),
+                spec.build(),
+                key,
+            )
         })
+        .collect()
+}
+
+/// The deterministic key-space seed of a session's daemons.
+const SESSION_KEY_SEED: u32 = 0xC1;
+
+/// Builds the per-node daemon lists of a deployment from its specs.
+fn daemons_for_deployment(specs: &[Vec<DeviceSpec>]) -> Vec<Vec<Daemon>> {
+    let key_generator = KeyGenerator::new(SESSION_KEY_SEED);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(node_id, node_specs)| daemons_for_node(&key_generator, node_id, node_specs))
         .collect()
 }
 
@@ -223,7 +240,8 @@ pub struct SessionBuilder<'g, V, E> {
     partitioning: Option<Partitioning>,
     profile: RuntimeProfile,
     network: NetworkModel,
-    devices: Vec<Vec<Device>>,
+    devices: Vec<Vec<DeviceSpec>>,
+    backend: Option<BackendKind>,
     config: MiddlewareConfig,
     dataset: String,
     max_iterations: usize,
@@ -242,6 +260,7 @@ where
             profile: RuntimeProfile::powergraph(),
             network: NetworkModel::datacenter(),
             devices: Vec::new(),
+            backend: None,
             config: MiddlewareConfig::default(),
             dataset: "unnamed".to_string(),
             max_iterations: DEFAULT_MAX_ITERATIONS,
@@ -266,10 +285,22 @@ where
         self
     }
 
-    /// The devices plugged into each node, one list per partition.  Leave
-    /// unset for a native-only session.
-    pub fn devices(mut self, devices_per_node: Vec<Vec<Device>>) -> Self {
+    /// The devices plugged into each node, one spec list per partition.
+    /// Leave unset for a native-only session.
+    pub fn devices(mut self, devices_per_node: Vec<Vec<DeviceSpec>>) -> Self {
         self.devices = devices_per_node;
+        self
+    }
+
+    /// Selects the [`BackendKind`] every plugged device is built with,
+    /// overriding the per-spec selection.  Leave unset to honour each spec's
+    /// own backend (the presets default to [`BackendKind::Sim`]).
+    ///
+    /// Backends are interchangeable behind the kernel ABI: whichever backend
+    /// executes the kernels, vertex results are bit-identical — only real
+    /// wall-clock time changes.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -313,14 +344,14 @@ where
                 return Err(SessionError::EmptyDeviceList { node });
             }
         }
-        let system = system_label(&self.profile, &self.devices);
-        let key_generator = KeyGenerator::new(0xC1);
-        let daemons = self
-            .devices
-            .into_iter()
-            .enumerate()
-            .map(|(node_id, devices)| daemons_for_node(&key_generator, node_id, devices))
-            .collect();
+        let mut specs = self.devices;
+        if let Some(backend) = self.backend {
+            for spec in specs.iter_mut().flatten() {
+                spec.backend = backend;
+            }
+        }
+        let system = system_label(&self.profile, &specs);
+        let daemons = daemons_for_deployment(&specs);
         Ok(Session {
             graph: self.graph,
             partitioning,
@@ -330,6 +361,7 @@ where
             dataset: self.dataset,
             max_iterations: self.max_iterations,
             system,
+            specs,
             daemons,
             cluster: None,
             triplet_pool: Vec::new(),
@@ -364,6 +396,9 @@ pub struct Session<'g, V, E> {
     dataset: String,
     max_iterations: usize,
     system: String,
+    /// The device specs the deployment was built from (backend overrides
+    /// applied), kept so the backend can be swapped between runs.
+    specs: Vec<Vec<DeviceSpec>>,
     /// One daemon list per node; daemons stay connected between runs.
     daemons: Vec<Vec<Daemon>>,
     /// Built on the first run, reset (not rebuilt) on every further run.
@@ -434,6 +469,32 @@ where
     /// Replaces the per-run iteration cap for subsequent runs.
     pub fn set_max_iterations(&mut self, max_iterations: usize) {
         self.max_iterations = max_iterations;
+    }
+
+    /// The device specs of the deployment (one list per node, backend
+    /// overrides applied).
+    pub fn device_specs(&self) -> &[Vec<DeviceSpec>] {
+        &self.specs
+    }
+
+    /// Swaps the accelerator backend of every plugged device for subsequent
+    /// runs on this deployment.
+    ///
+    /// Backends are interchangeable behind the kernel ABI, so the swap
+    /// changes *only* real wall-clock behaviour: vertex results (and every
+    /// simulated metric) stay bit-identical run to run.  The daemons are
+    /// rebuilt from the stored specs, which tears down the old device
+    /// contexts — the next accelerated run pays setup again, exactly like a
+    /// fresh deployment.  A no-op on sessions without devices.
+    pub fn set_backend(&mut self, backend: BackendKind) {
+        if self.specs.is_empty() {
+            return;
+        }
+        self.close();
+        for spec in self.specs.iter_mut().flatten() {
+            spec.backend = backend;
+        }
+        self.daemons = daemons_for_deployment(&self.specs);
     }
 
     /// Builds the cluster on the first run, resets it on every further run.
@@ -801,7 +862,7 @@ mod tests {
         PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap()
     }
 
-    fn gpus_per_node(nodes: usize, per_node: usize) -> Vec<Vec<Device>> {
+    fn gpus_per_node(nodes: usize, per_node: usize) -> Vec<Vec<DeviceSpec>> {
         (0..nodes)
             .map(|n| {
                 (0..per_node)

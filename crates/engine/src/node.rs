@@ -187,11 +187,20 @@ impl<V, E> NodeState<V, E> {
     /// of the next computation iteration on this node.
     pub fn active_edge_ids(&self) -> Vec<EdgeId> {
         let mut ids = Vec::new();
+        self.active_edge_ids_into(&mut ids);
+        ids
+    }
+
+    /// [`NodeState::active_edge_ids`] into a reusable output vector (cleared
+    /// first) — the pooled variant the middleware's planning path uses, so
+    /// steady-state supersteps refill one warm buffer instead of allocating
+    /// a fresh id vector per iteration.
+    pub fn active_edge_ids_into(&self, ids: &mut Vec<EdgeId>) {
+        ids.clear();
         for &v in &self.active {
             ids.extend_from_slice(self.vertex_edge_map.out_edges(v));
         }
         ids.sort_unstable();
-        ids
     }
 
     /// Number of edges whose source is active (without materialising ids).

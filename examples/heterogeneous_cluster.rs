@@ -10,7 +10,7 @@
 
 use gx_plug::prelude::*;
 
-fn devices() -> Vec<Vec<Device>> {
+fn devices() -> Vec<Vec<DeviceSpec>> {
     vec![
         vec![gpu_v100("weak-gpu0"), cpu_xeon_20c("weak-cpu0")],
         vec![
@@ -64,7 +64,7 @@ fn main() {
     // Per-node capacity factors 1/c_j, straight from the devices.
     let capacities: Vec<f64> = devices()
         .iter()
-        .map(|node| node.iter().map(Device::capacity_factor).sum())
+        .map(|node| node.iter().map(DeviceSpec::capacity_factor).sum())
         .collect();
     println!(
         "node capacity factors: weak {:.0} items/ms, strong {:.0} items/ms",

@@ -52,7 +52,7 @@ fn main() {
         graph.num_edges()
     );
 
-    let devices: Vec<Vec<Device>> = (0..partitioning.num_parts())
+    let devices: Vec<Vec<DeviceSpec>> = (0..partitioning.num_parts())
         .map(|n| vec![gpu_v100(format!("node{n}-gpu0"))])
         .collect();
     let mut session = SessionBuilder::new(&graph)

@@ -20,7 +20,7 @@ fn deploy<'g>(
     profile: RuntimeProfile,
     gpus_per_node: usize,
 ) -> Session<'g, RankValue, f64> {
-    let devices: Vec<Vec<Device>> = (0..partitioning.num_parts())
+    let devices: Vec<Vec<DeviceSpec>> = (0..partitioning.num_parts())
         .map(|n| {
             (0..gpus_per_node)
                 .map(|g| gpu_v100(format!("node{n}-gpu{g}")))

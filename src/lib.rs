@@ -7,7 +7,9 @@
 //! depend on a single crate:
 //!
 //! * [`graph`] — graph storage, generators, partitioners, dataset catalogue;
-//! * [`accel`] — the accelerator substrate (simulated CPU/GPU devices);
+//! * [`accel`] — the pluggable accelerator substrate: the
+//!   `AcceleratorBackend` kernel ABI with interchangeable sim /
+//!   host-parallel backends behind `DeviceSpec` descriptors;
 //! * [`ipc`] — shared-memory segments, blocks and the agent/daemon protocol;
 //! * [`engine`] — the simulated distributed upper systems (GraphX-like BSP,
 //!   PowerGraph-like GAS) and the cluster iteration driver;
@@ -72,7 +74,10 @@ pub use gxplug_ipc as ipc;
 /// Convenience re-exports covering the most common entry points.
 pub mod prelude {
     pub use gxplug_accel::presets::{cpu_xeon_20c, fpga, gpu_v100, node_devices};
-    pub use gxplug_accel::{Device, DeviceKind, DeviceRegistry, SimClock, SimDuration};
+    pub use gxplug_accel::{
+        AcceleratorBackend, BackendKind, DeviceKind, DeviceRegistry, DeviceSpec,
+        HostParallelBackend, SimBackend, SimClock, SimDuration,
+    };
     pub use gxplug_algos::{
         ConnectedComponents, KCore, LabelPropagation, MultiSourceSssp, PageRank, RankValue,
     };

@@ -9,13 +9,13 @@ fn orkut_like(seed: u64) -> EdgeList<f64> {
     Rmat::new(10, 7.0).generate(seed)
 }
 
-fn gpus(nodes: usize) -> Vec<Vec<Device>> {
+fn gpus(nodes: usize) -> Vec<Vec<DeviceSpec>> {
     (0..nodes)
         .map(|n| vec![gpu_v100(format!("n{n}-g0"))])
         .collect()
 }
 
-fn cpus(nodes: usize) -> Vec<Vec<Device>> {
+fn cpus(nodes: usize) -> Vec<Vec<DeviceSpec>> {
     (0..nodes)
         .map(|n| vec![cpu_xeon_20c(format!("n{n}-c0"))])
         .collect()
