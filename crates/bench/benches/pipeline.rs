@@ -15,8 +15,8 @@ use gxplug_algos::MultiSourceSssp;
 use gxplug_core::daemon::{execute_share, merge_addressed};
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
 use gxplug_core::{
-    split_by_capacity, Daemon, ExecutionMode, MiddlewareConfig, PipelineCoefficients, Session,
-    SessionBuilder,
+    split_by_capacity, Daemon, ExecutionMode, GraphService, MiddlewareConfig, PipelineCoefficients,
+    Session, SessionBuilder,
 };
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::node::NodeState;
@@ -30,6 +30,7 @@ use gxplug_graph::view::TripletBuffer;
 use gxplug_ipc::blocks::TripletBlock;
 use gxplug_ipc::key::KeyGenerator;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn make_blocks(blocks: usize, block_size: usize) -> Vec<Vec<u64>> {
@@ -421,6 +422,88 @@ fn bench_backend_matrix(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deploys a [`GraphService`] over the shared end-to-end workload: the same
+/// mixed-device deployment as [`mixed_device_session`], pooled across
+/// `workers` worker sessions.
+fn mixed_device_service(
+    graph: &Arc<PropertyGraph<Vec<f64>, f64>>,
+    partitioning: &Partitioning,
+    parts: usize,
+    workers: usize,
+) -> GraphService<Vec<f64>, f64> {
+    GraphService::builder(Arc::clone(graph))
+        .partitioned_by(partitioning.clone())
+        .profile(RuntimeProfile::powergraph())
+        .network(NetworkModel::datacenter())
+        .devices(
+            (0..parts)
+                .map(|n| {
+                    vec![
+                        presets::gpu_v100(format!("n{n}g")),
+                        presets::cpu_xeon_20c(format!("n{n}c")),
+                    ]
+                })
+                .collect(),
+        )
+        .config(MiddlewareConfig::default())
+        .dataset("rmat12")
+        .max_iterations(100)
+        .worker_sessions(workers)
+        .build()
+        .unwrap()
+}
+
+/// The job mix both service-throughput consumers submit: an SSSP source
+/// sweep, four tenants deep.
+fn service_job_mix() -> Vec<MultiSourceSssp> {
+    (0..4u32)
+        .map(|i| MultiSourceSssp::new(vec![i, i + 8]))
+        .collect()
+}
+
+/// Jobs/second through the service at 1 vs 2 pooled worker sessions: each
+/// sample submits the whole mix and waits for every ticket.  With one
+/// worker the batch serialises; with two, jobs overlap across deployments —
+/// on a multi-core host that is where throughput is won (on a 1-core
+/// container the arms converge).  Results stay bit-identical either way
+/// (the `determinism` integration test proves it).
+fn bench_service_throughput(c: &mut Criterion) {
+    let (graph, partitioning, parts) = end_to_end_workload();
+    let graph = Arc::new(graph);
+    let jobs = service_job_mix();
+    let mut group = c.benchmark_group("service_throughput");
+    for workers in [1usize, 2] {
+        let service = mixed_device_service(&graph, &partitioning, parts, workers);
+        // Warm-up: every worker session pays its deployment outside the
+        // measured region.
+        let warm: Vec<_> = (0..workers)
+            .map(|_| service.submit(jobs[0].clone()).unwrap())
+            .collect();
+        for ticket in warm {
+            ticket.wait().unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sssp_mix_rmat12", format!("workers={workers}")),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let tickets: Vec<_> = jobs
+                        .iter()
+                        .map(|job| service.submit(job.clone()).unwrap())
+                        .collect();
+                    let iterations: usize = tickets
+                        .into_iter()
+                        .map(|ticket| ticket.wait().unwrap().report.num_iterations())
+                        .sum();
+                    black_box(iterations)
+                })
+            },
+        );
+        service.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
@@ -429,7 +512,8 @@ criterion_group!(
     bench_msg_gen_hot_path,
     bench_execution_modes,
     bench_backend_matrix,
-    bench_session_reuse
+    bench_session_reuse,
+    bench_service_throughput
 );
 
 /// One record of the machine-readable benchmark output.
@@ -441,21 +525,31 @@ struct BenchRecord {
     blocks: u64,
     triplets: u64,
     bytes_moved: u64,
+    /// Job-service context of the record: `"-"` for single-session runs,
+    /// otherwise the pool size plus throughput and queue-latency
+    /// percentiles (`workers=… jobs_per_s=… queue_p50_ms=… queue_p95_ms=…`).
+    service: String,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
-            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}}}"#,
+            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}"}}"#,
             self.mode,
             self.backend,
             self.graph,
             self.wall_ms,
             self.blocks,
             self.triplets,
-            self.bytes_moved
+            self.bytes_moved,
+            self.service
         )
     }
+}
+
+/// The `service` label of a record that did not go through the job service.
+fn no_service() -> String {
+    "-".to_string()
 }
 
 /// Measures the tracked perf numbers and writes `BENCH_pipeline.json` to the
@@ -495,6 +589,7 @@ fn emit_bench_json() {
             blocks: blocks as u64,
             triplets,
             bytes_moved: triplets * triplet_bytes,
+            service: no_service(),
         });
         let mut buffer = TripletBuffer::new();
         let mut msg_bufs = vec![Vec::new(), Vec::new()];
@@ -513,6 +608,7 @@ fn emit_bench_json() {
             blocks: blocks as u64,
             triplets,
             bytes_moved: triplets * triplet_bytes,
+            service: no_service(),
         });
     }
 
@@ -548,6 +644,7 @@ fn emit_bench_json() {
             blocks,
             triplets,
             bytes_moved: triplets * triplet_bytes,
+            service: no_service(),
         });
     }
 
@@ -582,7 +679,68 @@ fn emit_bench_json() {
             blocks,
             triplets,
             bytes_moved: triplets * triplet_bytes,
+            service: no_service(),
         });
+    }
+
+    // --- service throughput: 1 vs 2 pooled worker sessions ----------------
+    {
+        let graph = Arc::new(graph);
+        let jobs = service_job_mix();
+        for workers in [1usize, 2] {
+            let service = mixed_device_service(&graph, &partitioning, parts, workers);
+            // Warm-up: every worker pays its deployment before measuring.
+            let warm: Vec<_> = (0..workers)
+                .map(|_| service.submit(jobs[0].clone()).unwrap())
+                .collect();
+            for ticket in warm {
+                ticket.wait().unwrap();
+            }
+            let total_jobs = samples * jobs.len();
+            let start = Instant::now();
+            let mut blocks = 0u64;
+            let mut triplets = 0u64;
+            for _ in 0..samples {
+                let tickets: Vec<_> = jobs
+                    .iter()
+                    .map(|job| service.submit(job.clone()).unwrap())
+                    .collect();
+                for ticket in tickets {
+                    let outcome = ticket.wait().unwrap();
+                    blocks += outcome
+                        .agent_stats
+                        .iter()
+                        .map(|stats| stats.kernel_launches)
+                        .sum::<u64>();
+                    triplets += outcome.report.total_triplets() as u64;
+                }
+            }
+            let elapsed = start.elapsed();
+            let jobs_per_s = total_jobs as f64 / elapsed.as_secs_f64();
+            let stats = service.stats();
+            let percentile_ms = |q: f64| {
+                stats
+                    .queue_wait_percentile(q)
+                    .map_or(0.0, |wait| wait.as_secs_f64() * 1e3)
+            };
+            let service_label = format!(
+                "workers={workers} jobs={total_jobs} jobs_per_s={jobs_per_s:.2} \
+                 queue_p50_ms={:.3} queue_p95_ms={:.3}",
+                percentile_ms(0.5),
+                percentile_ms(0.95)
+            );
+            service.shutdown();
+            records.push(BenchRecord {
+                mode: format!("service_throughput/workers={workers}"),
+                backend: BackendKind::Sim.label().into(),
+                graph: "rmat12-4nodes".into(),
+                wall_ms: elapsed.as_secs_f64() * 1e3 / samples as f64,
+                blocks,
+                triplets,
+                bytes_moved: triplets * triplet_bytes,
+                service: service_label,
+            });
+        }
     }
 
     let body: Vec<String> = records.iter().map(BenchRecord::to_json).collect();

@@ -327,10 +327,16 @@ impl Daemon {
         self.backend.initialize()
     }
 
-    /// Stops the daemon and tears down the device context.
+    /// Stops the daemon and tears down the device context.  Idempotent: a
+    /// daemon that was never started (or is already shut down) is left
+    /// untouched, so a session can be closed any number of times — and the
+    /// automatic shutdown in [`Daemon`]'s `Drop` never double-tears a
+    /// context that an explicit `shutdown` already released.
     pub fn shutdown(&mut self) {
-        self.started = false;
-        self.backend.shutdown();
+        if self.started {
+            self.started = false;
+            self.backend.shutdown();
+        }
     }
 
     /// Snapshots the planning metadata of this daemon (see [`DaemonInfo`]).
@@ -492,6 +498,16 @@ impl Daemon {
         }
         self.stats.vertices_applied += updated.len() as u64;
         Ok((updated, timing))
+    }
+}
+
+impl Drop for Daemon {
+    /// A dropped daemon tears its device context down.  This is what lets a
+    /// pooled worker session be dropped (or lost to a panicking job) without
+    /// leaking live device contexts: the daemons go down with it, whether or
+    /// not [`Daemon::shutdown`] was called explicitly first.
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 

@@ -52,8 +52,14 @@
 //! deploys the cluster once (typed [`SessionError`]s instead of panics), and
 //! the resulting [`Session`] serves many algorithm runs on the same deployed
 //! graph, partitioning and daemon device contexts — parameter sweeps and
-//! multi-algorithm serving pay the setup cost once.  The legacy one-shot
-//! [`runner`] functions survive as deprecated wrappers over a session.
+//! multi-algorithm serving pay the setup cost once.
+//!
+//! [`service`] turns that single-tenant session into a concurrent job
+//! service: a [`GraphService`] owns a pool of worker sessions, each driven
+//! by its own scheduler thread off shared priority lanes, and any number of
+//! caller threads submit jobs ([`GraphService::submit`] →
+//! [`JobTicket::wait`]) with typed backpressure, per-job overrides,
+//! cancellation and deterministic shutdown.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -64,8 +70,8 @@ pub mod config;
 pub mod daemon;
 pub mod metrics;
 pub mod pipeline;
-pub mod runner;
 pub mod runtime;
+pub mod service;
 pub mod session;
 pub mod sync_cache;
 
@@ -78,8 +84,12 @@ pub use config::{ExecutionMode, MiddlewareConfig, PipelineMode};
 pub use daemon::{merge_addressed, ChunkStaging, Daemon, DaemonInfo, DaemonStats};
 pub use metrics::AgentStats;
 pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
-#[allow(deprecated)]
-pub use runner::{run_accelerated, run_native, run_native_mode};
 pub use runtime::{DaemonHandle, DaemonJob, RuntimeError, ThreadedAgent, ThreadedNodes};
-pub use session::{system_label, RunOutcome, Session, SessionBuilder, SessionError};
+pub use service::{
+    AdmissionPolicy, GraphService, JobOptions, JobPriority, JobStatus, JobTicket, ServiceBuilder,
+    ServiceError, ServiceStats,
+};
+pub use session::{
+    system_label, RunOutcome, RunOverrides, Session, SessionBuilder, SessionError, SessionSpec,
+};
 pub use sync_cache::{CacheStats, GlobalSyncQueues, VertexCache};

@@ -1,0 +1,1790 @@
+//! The concurrent job service: many tenants, one deployed substrate.
+//!
+//! A [`Session`] is a *single-tenant* object: one caller holds `&mut
+//! Session` and blocks on every run.  GX-Plug's premise is the opposite — a
+//! deployed accelerator cluster is a shared resource that many upper-system
+//! jobs plug into (the way GraphX multiplexes many logical queries over one
+//! resilient graph).  [`GraphService`] is that surface:
+//!
+//! * **Pooled deployments** — the service owns `worker_sessions` deployed
+//!   [`Session`]s, each driven by its own scheduler thread.  Every worker is
+//!   stamped from the same [`SessionSpec`], so any job can run on any
+//!   worker; deployments amortise across the whole job stream, not just one
+//!   caller's runs.
+//! * **Decoupled submission** — [`GraphService::submit`] enqueues a job and
+//!   returns a [`JobTicket`] immediately; the caller collects the result
+//!   with [`JobTicket::wait`] / [`JobTicket::try_result`], or abandons it
+//!   with [`JobTicket::cancel`].  The handle is cheap to clone and `Send +
+//!   Sync`, so any number of threads submit concurrently.
+//! * **Typed backpressure** — the queue is bounded (`queue_depth`).
+//!   [`GraphService::try_submit`] never blocks and reports
+//!   [`ServiceError::QueueFull`]; `submit` follows the configured
+//!   [`AdmissionPolicy`] (block for space, or behave like `try_submit`).
+//! * **Priority lanes** — [`GraphService::submit_with`] takes
+//!   [`JobOptions`]: a [`JobPriority`] lane plus per-job
+//!   [`RunOverrides`]-style knobs (`max_iterations`, `config_override`)
+//!   routed through [`Session::run_with`] so no job mutates the session for
+//!   the jobs after it.
+//! * **Heterogeneous jobs** — algorithms are erased behind
+//!   [`DynAlgorithm`], so PageRank-style and SSSP-style jobs with the same
+//!   message type share one queue ([`GraphService::submit_dyn`]).
+//! * **Deterministic teardown** — [`GraphService::shutdown`] *drains*:
+//!   every accepted job runs and every ticket resolves.
+//!   [`GraphService::abort`] cancels the backlog: queued tickets resolve
+//!   with [`ServiceError::Cancelled`], the jobs already running complete.
+//!   Dropping the last handle drains implicitly.
+//!
+//! Scheduling changes *when* a job runs, never *what* it computes: each job
+//! has a worker session to itself for the duration of its run, and a reused
+//! session is bit-identical to a fresh one (PR 2), so results are
+//! bit-identical to running the same jobs serially — the `determinism`
+//! integration test submits from many threads and compares exactly.
+//!
+//! A panicking job costs its worker's deployment, not the service: the
+//! scheduler catches the unwind, resolves the ticket with
+//! [`ServiceError::JobPanicked`], drops the poisoned session (daemons shut
+//! their device contexts down on drop) and redeploys a fresh one.
+
+use crate::config::MiddlewareConfig;
+use crate::session::{RunOutcome, RunOverrides, Session, SessionError, SessionSpec};
+use gxplug_engine::template::{DynAlgorithm, GraphAlgorithm, SharedAlgorithm};
+use gxplug_graph::graph::PropertyGraph;
+use gxplug_ipc::oneshot::{oneshot, OneshotReceiver, OneshotSender};
+use gxplug_ipc::queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSender};
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle, ThreadId};
+use std::time::{Duration, Instant};
+
+/// Number of priority lanes ([`JobPriority`] variants).
+const LANES: usize = 3;
+
+/// How many per-job `(queue wait, run wall)` samples [`ServiceStats`] keeps
+/// for percentile queries (oldest evicted first).
+const RECENT_SAMPLES: usize = 1024;
+
+/// Locks a mutex, recovering from poisoning: every lock in this module only
+/// guards plain bookkeeping that cannot be left inconsistent by an unwind.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Scheduling priority of a submitted job.
+///
+/// The scheduler always drains higher lanes first; within a lane, jobs run
+/// in submission order.  Priorities reorder *queued* jobs only — a running
+/// job is never preempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobPriority {
+    /// Latency-sensitive traffic, drained before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Batch traffic, drained when the other lanes are empty.
+    Low,
+}
+
+impl JobPriority {
+    /// The lane index of this priority (highest first).
+    fn lane(self) -> usize {
+        match self {
+            JobPriority::High => 0,
+            JobPriority::Normal => 1,
+            JobPriority::Low => 2,
+        }
+    }
+}
+
+/// Per-job options of [`GraphService::submit_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobOptions {
+    /// The priority lane the job queues in.
+    pub priority: JobPriority,
+    /// Per-job iteration cap, overriding the deployment's
+    /// (see [`RunOverrides`]).
+    pub max_iterations: Option<usize>,
+    /// Per-job middleware configuration, overriding the deployment's
+    /// (see [`RunOverrides`]).
+    pub config_override: Option<MiddlewareConfig>,
+}
+
+impl JobOptions {
+    /// Options with every field at its default (normal priority, the
+    /// deployment's configuration and cap).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the priority lane.
+    pub fn with_priority(mut self, priority: JobPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Overrides the iteration cap for this job.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = Some(max_iterations);
+        self
+    }
+
+    /// Overrides the middleware configuration for this job.
+    pub fn with_config(mut self, config: MiddlewareConfig) -> Self {
+        self.config_override = Some(config);
+        self
+    }
+
+    /// The [`RunOverrides`] these options route through
+    /// [`Session::run_with`].
+    fn overrides(&self) -> RunOverrides {
+        RunOverrides {
+            config: self.config_override,
+            max_iterations: self.max_iterations,
+        }
+    }
+}
+
+/// What [`GraphService::submit`] does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a slot frees up (or the service
+    /// shuts down).  [`GraphService::try_submit`] still never blocks.
+    #[default]
+    Block,
+    /// Reject immediately with [`ServiceError::QueueFull`] — `submit`
+    /// behaves exactly like `try_submit`.
+    Reject,
+}
+
+/// Errors of the job-service API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded queue is at `queue_depth` and the call does not block
+    /// (either [`GraphService::try_submit`] or [`AdmissionPolicy::Reject`]).
+    QueueFull,
+    /// The service has been shut down; no further jobs are accepted.
+    ShutDown,
+    /// The job was cancelled (via [`JobTicket::cancel`] or
+    /// [`GraphService::abort`]) before it started running.
+    Cancelled,
+    /// The job panicked while running.  The worker's deployment was lost and
+    /// has been replaced; the service keeps serving.
+    JobPanicked,
+    /// The job failed with a session-level error (e.g. a device kernel
+    /// rejecting a block).  The worker session was recovered.
+    Session(SessionError),
+    /// The job's result can no longer be delivered — its worker died without
+    /// resolving the ticket, or the result was already taken.
+    Lost,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => {
+                write!(
+                    f,
+                    "the service queue is full (backpressure): retry or block"
+                )
+            }
+            ServiceError::ShutDown => write!(f, "the service has been shut down"),
+            ServiceError::Cancelled => write!(f, "the job was cancelled before it started"),
+            ServiceError::JobPanicked => {
+                write!(f, "the job panicked; its worker deployment was replaced")
+            }
+            ServiceError::Session(error) => write!(f, "the job failed: {error}"),
+            ServiceError::Lost => write!(f, "the job's result is no longer available"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Session(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServiceError {
+    fn from(error: SessionError) -> Self {
+        ServiceError::Session(error)
+    }
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in a priority lane.
+    Queued,
+    /// Running on a worker session.
+    Running,
+    /// The ticket has (or had) a result: completed, failed or panicked.
+    Finished,
+    /// Cancelled before it started.
+    Cancelled,
+}
+
+const STATE_QUEUED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_FINISHED: u8 = 2;
+const STATE_CANCELLED: u8 = 3;
+
+/// The state machine one job and its ticket share.
+#[derive(Debug)]
+struct JobCell {
+    state: AtomicU8,
+}
+
+impl JobCell {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(STATE_QUEUED),
+        }
+    }
+
+    /// Scheduler-side: claim the job for execution.  Fails iff the job was
+    /// cancelled first.
+    fn begin_running(&self) -> bool {
+        self.state
+            .compare_exchange(
+                STATE_QUEUED,
+                STATE_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Ticket-side: cancel the job if it has not started.  Returns whether
+    /// this call won the race against the scheduler.
+    fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(
+                STATE_QUEUED,
+                STATE_CANCELLED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    fn finish(&self) {
+        self.state.store(STATE_FINISHED, Ordering::Release);
+    }
+
+    fn status(&self) -> JobStatus {
+        match self.state.load(Ordering::Acquire) {
+            STATE_QUEUED => JobStatus::Queued,
+            STATE_RUNNING => JobStatus::Running,
+            STATE_CANCELLED => JobStatus::Cancelled,
+            _ => JobStatus::Finished,
+        }
+    }
+}
+
+/// What a ticket resolves to.
+type JobResult<V> = Result<RunOutcome<V>, ServiceError>;
+
+/// A job with its algorithm type erased, so heterogeneous jobs share the
+/// scheduler queue.  [`DynAlgorithm`] erases the *message* type behind a
+/// shared handle; this second layer erases the vertex-level run entirely, so
+/// the queue does not even need a common message type.
+trait ErasedJob<V, E>: Send {
+    /// Runs the job on a worker session.  Accelerated when the deployment
+    /// has devices, native otherwise.
+    fn run(
+        self: Box<Self>,
+        session: &mut Session<'_, V, E>,
+        overrides: RunOverrides,
+    ) -> Result<RunOutcome<V>, SessionError>;
+}
+
+struct AlgorithmJob<A>(A);
+
+impl<V, E, A> ErasedJob<V, E> for AlgorithmJob<A>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    fn run(
+        self: Box<Self>,
+        session: &mut Session<'_, V, E>,
+        overrides: RunOverrides,
+    ) -> Result<RunOutcome<V>, SessionError> {
+        if session.has_devices() {
+            session.run_with(&self.0, overrides)
+        } else {
+            Ok(session.run_native_with(&self.0, overrides))
+        }
+    }
+}
+
+/// One queued job: the erased algorithm, its per-job knobs, and the wiring
+/// back to the ticket.
+struct JobEnvelope<V, E> {
+    cell: Arc<JobCell>,
+    reply: OneshotSender<JobResult<V>>,
+    submitted: Instant,
+    overrides: RunOverrides,
+    job: Box<dyn ErasedJob<V, E>>,
+}
+
+/// The caller's handle to one submitted job.
+///
+/// Obtained from [`GraphService::submit`] and friends.  The ticket delivers
+/// its result exactly once — through [`JobTicket::wait`] or a successful
+/// [`JobTicket::try_result`].
+#[derive(Debug)]
+pub struct JobTicket<V> {
+    id: u64,
+    cell: Arc<JobCell>,
+    reply: OneshotReceiver<JobResult<V>>,
+}
+
+impl<V> JobTicket<V> {
+    /// The service-wide id of this job (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Where the job currently is in its lifecycle.
+    pub fn status(&self) -> JobStatus {
+        self.cell.status()
+    }
+
+    /// Cancels the job if it has not started running.  Returns `true` if
+    /// the cancellation won (the job will never run; the ticket resolves
+    /// with [`ServiceError::Cancelled`] when the scheduler skips it) and
+    /// `false` if the job is already running or finished — running jobs are
+    /// never preempted.
+    pub fn cancel(&self) -> bool {
+        self.cell.cancel()
+    }
+
+    /// Blocks until the job resolves and returns its result.
+    ///
+    /// # Errors
+    /// Whatever the job resolved to: [`ServiceError::Session`] for a failed
+    /// run, [`ServiceError::Cancelled`] for a cancelled one,
+    /// [`ServiceError::JobPanicked`] for a panicking one, or
+    /// [`ServiceError::Lost`] if the worker died without resolving the
+    /// ticket.
+    pub fn wait(self) -> JobResult<V> {
+        match self.reply.recv() {
+            Ok(result) => result,
+            Err(_) => match self.cell.status() {
+                JobStatus::Cancelled => Err(ServiceError::Cancelled),
+                _ => Err(ServiceError::Lost),
+            },
+        }
+    }
+
+    /// [`JobTicket::wait`] with a deadline.  `None` means the job has not
+    /// resolved yet; the ticket stays valid.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult<V>> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(QueueRecvError::Timeout) | Err(QueueRecvError::Empty) => None,
+            Err(QueueRecvError::Disconnected) => Some(match self.cell.status() {
+                JobStatus::Cancelled => Err(ServiceError::Cancelled),
+                _ => Err(ServiceError::Lost),
+            }),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is queued or running,
+    /// `Some(result)` once it resolved.  The result is delivered once;
+    /// polling again afterwards yields `Some(Err(ServiceError::Lost))`.
+    pub fn try_result(&self) -> Option<JobResult<V>> {
+        match self.reply.try_recv() {
+            Ok(result) => Some(result),
+            Err(QueueRecvError::Empty) => None,
+            Err(_) => Some(match self.cell.status() {
+                JobStatus::Cancelled => Err(ServiceError::Cancelled),
+                _ => Err(ServiceError::Lost),
+            }),
+        }
+    }
+}
+
+/// Admission bookkeeping: how many jobs are queued (not yet claimed by a
+/// worker) and whether submissions are still accepted.
+struct Gate {
+    queued: usize,
+    open: bool,
+}
+
+/// Internal counters behind [`ServiceStats`].
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    panicked: u64,
+    queue_wait_total: Duration,
+    queue_wait_max: Duration,
+    run_wall_total: Duration,
+    run_wall_max: Duration,
+    recent: VecDeque<(Duration, Duration)>,
+}
+
+impl StatsInner {
+    fn new() -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+            panicked: 0,
+            queue_wait_total: Duration::ZERO,
+            queue_wait_max: Duration::ZERO,
+            run_wall_total: Duration::ZERO,
+            run_wall_max: Duration::ZERO,
+            recent: VecDeque::new(),
+        }
+    }
+
+    fn record_run(&mut self, queue_wait: Duration, run_wall: Duration) {
+        self.queue_wait_total += queue_wait;
+        self.queue_wait_max = self.queue_wait_max.max(queue_wait);
+        self.run_wall_total += run_wall;
+        self.run_wall_max = self.run_wall_max.max(run_wall);
+        if self.recent.len() == RECENT_SAMPLES {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((queue_wait, run_wall));
+    }
+}
+
+/// A point-in-time snapshot of a service's counters and latency samples
+/// ([`GraphService::stats`]).
+///
+/// *Queue wait* is submission → claimed by a worker; *run wall* is the
+/// job's wall-clock execution time on its worker session.  The two together
+/// separate "the service is saturated" (wait grows, wall steady) from "the
+/// jobs got heavier" (wall grows).
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue since the service started.
+    pub submitted: u64,
+    /// Jobs that ran to a successful outcome.
+    pub completed: u64,
+    /// Jobs that ran and failed with a session error.
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Jobs that panicked while running.
+    pub panicked: u64,
+    /// Jobs currently waiting in the priority lanes.
+    pub queued: usize,
+    /// Jobs currently executing on worker sessions.
+    pub running: usize,
+    /// Worker sessions the service was built with.
+    pub worker_sessions: usize,
+    /// Total queue wait across all executed jobs.
+    pub queue_wait_total: Duration,
+    /// Largest single queue wait.
+    pub queue_wait_max: Duration,
+    /// Total run wall time across all executed jobs.
+    pub run_wall_total: Duration,
+    /// Largest single run wall time.
+    pub run_wall_max: Duration,
+    /// The retained `(queue wait, run wall)` samples, oldest first (bounded;
+    /// the basis of the percentile queries).
+    recent: Vec<(Duration, Duration)>,
+}
+
+impl ServiceStats {
+    /// Jobs that reached a worker and resolved (completed, failed or
+    /// panicked).
+    pub fn executed(&self) -> u64 {
+        self.completed + self.failed + self.panicked
+    }
+
+    /// Mean queue wait over all executed jobs.
+    pub fn queue_wait_mean(&self) -> Option<Duration> {
+        let executed = self.executed();
+        (executed > 0).then(|| self.queue_wait_total / executed as u32)
+    }
+
+    /// The retained per-job `(queue wait, run wall)` samples, oldest first.
+    pub fn recent_samples(&self) -> &[(Duration, Duration)] {
+        &self.recent
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the retained queue-wait samples.
+    pub fn queue_wait_percentile(&self, q: f64) -> Option<Duration> {
+        percentile(self.recent.iter().map(|(wait, _)| *wait), q)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the retained run-wall samples.
+    pub fn run_wall_percentile(&self, q: f64) -> Option<Duration> {
+        percentile(self.recent.iter().map(|(_, wall)| *wall), q)
+    }
+}
+
+/// Nearest-rank percentile over a sample iterator.
+fn percentile(samples: impl Iterator<Item = Duration>, q: f64) -> Option<Duration> {
+    let mut sorted: Vec<Duration> = samples.collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_unstable();
+    let index = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[index])
+}
+
+/// State shared between the handles and the scheduler workers.
+struct ServiceShared<V, E> {
+    /// The receiving side of the priority lanes (highest first).  Workers
+    /// poll these with `try_recv`; blocking happens on the doorbell.
+    lanes: [QueueReceiver<JobEnvelope<V, E>>; LANES],
+    gate: Mutex<Gate>,
+    /// Signalled whenever a queue slot frees up (and on shutdown), waking
+    /// blocked submitters.
+    space: Condvar,
+    queue_depth: usize,
+    policy: AdmissionPolicy,
+    worker_sessions: usize,
+    /// Set by [`GraphService::abort`]: workers cancel queued jobs instead of
+    /// running them.
+    abort: AtomicBool,
+    running: AtomicUsize,
+    next_id: AtomicU64,
+    stats: Mutex<StatsInner>,
+}
+
+impl<V, E> ServiceShared<V, E> {
+    /// Frees one admission slot and wakes a blocked submitter.
+    fn release_slot(&self) {
+        lock(&self.gate).queued -= 1;
+        self.space.notify_one();
+    }
+}
+
+/// The sending side of the lanes plus the doorbell.  Dropping it (on
+/// shutdown) is what ends the worker loops once the backlog drains.
+struct SubmitSide<V, E> {
+    lanes: [QueueSender<JobEnvelope<V, E>>; LANES],
+    doorbell: QueueSender<()>,
+}
+
+/// The shared owner every [`GraphService`] clone points at.
+struct ServiceInner<V, E> {
+    shared: Arc<ServiceShared<V, E>>,
+    /// `None` once the service is shut down.
+    submit: Mutex<Option<SubmitSide<V, E>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Thread ids of the scheduler workers, fixed at build time: `stop`
+    /// consults it to recognise re-entrant teardown from inside a job.
+    worker_ids: Vec<ThreadId>,
+    /// Set once the backlog has drained and the workers were joined; late
+    /// `stop` callers wait on it so the drain guarantee holds for every
+    /// caller, not just the first.
+    stopped: Mutex<bool>,
+    stopped_signal: Condvar,
+}
+
+impl<V, E> ServiceInner<V, E> {
+    /// Stops the service: closes admission, ends the workers (after the
+    /// backlog drains — or is cancelled, when `abort`), joins them.
+    /// Idempotent; callable from any handle and any thread — including,
+    /// degenerately, a scheduler worker's own thread (a job holding a
+    /// service clone): the worker's own handle is detached instead of
+    /// joined, which forfeits the stronger "all workers torn down before
+    /// return" guarantee only for that re-entrant caller.
+    fn stop(&self, abort: bool) {
+        if abort {
+            self.shared.abort.store(true, Ordering::SeqCst);
+        }
+        lock(&self.shared.gate).open = false;
+        // Blocked submitters must observe the closed gate.
+        self.shared.space.notify_all();
+        // Dropping the doorbell sender lets every worker drain the remaining
+        // tokens (one per accepted job) and then observe the disconnect.
+        let side = lock(&self.submit).take();
+        drop(side);
+        let current = thread::current().id();
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        if workers.is_empty() {
+            // Another caller claimed the joiner role.  Wait for it to finish
+            // so this caller gets the documented drain guarantee too — except
+            // on a worker thread, where waiting would deadlock the joiner
+            // that is waiting for *this* thread.
+            if !self.worker_ids.contains(&current) {
+                let mut stopped = lock(&self.stopped);
+                while !*stopped {
+                    stopped = self
+                        .stopped_signal
+                        .wait(stopped)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            return;
+        }
+        for worker in workers {
+            if worker.thread().id() == current {
+                // Re-entrant stop from inside a job on this very worker:
+                // joining our own thread would deadlock.  Detach it — the
+                // loop is already doomed (doorbell dropped) and exits after
+                // the drain.
+                drop(worker);
+            } else {
+                let _ = worker.join();
+            }
+        }
+        *lock(&self.stopped) = true;
+        self.stopped_signal.notify_all();
+    }
+}
+
+impl<V, E> Drop for ServiceInner<V, E> {
+    /// Dropping the last handle drains and joins, so no scheduler thread
+    /// (or its deployed session) outlives the service.
+    fn drop(&mut self) {
+        self.stop(false);
+    }
+}
+
+/// A concurrent graph-analytics job service over pooled deployments.
+///
+/// Built by [`ServiceBuilder`] (see [`GraphService::builder`]).  The handle
+/// is cheap to clone and `Send + Sync`; all clones share the same pool,
+/// queue and statistics.  See the [module docs](self) for the full model.
+pub struct GraphService<V: 'static, E: 'static> {
+    inner: Arc<ServiceInner<V, E>>,
+}
+
+impl<V, E> Clone for GraphService<V, E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V, E> fmt::Debug for GraphService<V, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = &self.inner.shared;
+        f.debug_struct("GraphService")
+            .field("worker_sessions", &shared.worker_sessions)
+            .field("queue_depth", &shared.queue_depth)
+            .field("queued", &lock(&shared.gate).queued)
+            .field("running", &shared.running.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<V, E> GraphService<V, E>
+where
+    V: Clone + PartialEq + Send + Sync + 'static,
+    E: Clone + Send + Sync + 'static,
+{
+    /// Starts describing a service over `graph` (same as
+    /// [`ServiceBuilder::new`]).
+    pub fn builder(graph: Arc<PropertyGraph<V, E>>) -> ServiceBuilder<V, E> {
+        ServiceBuilder::new(graph)
+    }
+
+    /// Submits a job at normal priority, honouring the configured
+    /// [`AdmissionPolicy`] when the queue is full.
+    ///
+    /// # Errors
+    /// [`ServiceError::QueueFull`] (under [`AdmissionPolicy::Reject`]) or
+    /// [`ServiceError::ShutDown`].
+    pub fn submit<A>(&self, algorithm: A) -> Result<JobTicket<V>, ServiceError>
+    where
+        A: GraphAlgorithm<V, E> + 'static,
+    {
+        self.submit_with(algorithm, JobOptions::default())
+    }
+
+    /// [`GraphService::submit`] with explicit [`JobOptions`] (priority lane,
+    /// per-job iteration cap and configuration override).
+    ///
+    /// # Errors
+    /// See [`GraphService::submit`].
+    pub fn submit_with<A>(
+        &self,
+        algorithm: A,
+        options: JobOptions,
+    ) -> Result<JobTicket<V>, ServiceError>
+    where
+        A: GraphAlgorithm<V, E> + 'static,
+    {
+        let blocking = self.inner.shared.policy == AdmissionPolicy::Block;
+        self.enqueue(Box::new(AlgorithmJob(algorithm)), options, blocking)
+    }
+
+    /// Non-blocking submission: returns [`ServiceError::QueueFull`] instead
+    /// of ever waiting for a slot, regardless of the admission policy.
+    ///
+    /// # Errors
+    /// [`ServiceError::QueueFull`] or [`ServiceError::ShutDown`].
+    pub fn try_submit<A>(&self, algorithm: A) -> Result<JobTicket<V>, ServiceError>
+    where
+        A: GraphAlgorithm<V, E> + 'static,
+    {
+        self.try_submit_with(algorithm, JobOptions::default())
+    }
+
+    /// [`GraphService::try_submit`] with explicit [`JobOptions`].
+    ///
+    /// # Errors
+    /// See [`GraphService::try_submit`].
+    pub fn try_submit_with<A>(
+        &self,
+        algorithm: A,
+        options: JobOptions,
+    ) -> Result<JobTicket<V>, ServiceError>
+    where
+        A: GraphAlgorithm<V, E> + 'static,
+    {
+        self.enqueue(Box::new(AlgorithmJob(algorithm)), options, false)
+    }
+
+    /// Submits an algorithm already erased behind [`DynAlgorithm`] — the
+    /// route for heterogeneous job mixes sharing a message type `M`
+    /// (mixed PageRank/SSSP traffic in one queue).
+    ///
+    /// # Errors
+    /// See [`GraphService::submit`].
+    pub fn submit_dyn<M>(
+        &self,
+        algorithm: Arc<dyn DynAlgorithm<V, E, M>>,
+        options: JobOptions,
+    ) -> Result<JobTicket<V>, ServiceError>
+    where
+        M: Clone + Send + Sync + 'static,
+    {
+        self.submit_with(SharedAlgorithm::from_arc(algorithm), options)
+    }
+
+    fn enqueue(
+        &self,
+        job: Box<dyn ErasedJob<V, E>>,
+        options: JobOptions,
+        blocking: bool,
+    ) -> Result<JobTicket<V>, ServiceError> {
+        let shared = &self.inner.shared;
+        // Admission: claim a queue slot (or fail with typed backpressure).
+        {
+            let mut gate = lock(&shared.gate);
+            loop {
+                if !gate.open {
+                    return Err(ServiceError::ShutDown);
+                }
+                if gate.queued < shared.queue_depth {
+                    gate.queued += 1;
+                    break;
+                }
+                if !blocking {
+                    return Err(ServiceError::QueueFull);
+                }
+                gate = shared
+                    .space
+                    .wait(gate)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(JobCell::new());
+        let (reply_tx, reply_rx) = oneshot();
+        let envelope = JobEnvelope {
+            cell: Arc::clone(&cell),
+            reply: reply_tx,
+            submitted: Instant::now(),
+            overrides: options.overrides(),
+            job,
+        };
+        // Enqueue under the submit lock so a concurrent shutdown either sees
+        // this envelope (and drains it) or this call sees the shutdown.
+        {
+            let submit = lock(&self.inner.submit);
+            let Some(side) = submit.as_ref() else {
+                drop(submit);
+                shared.release_slot();
+                return Err(ServiceError::ShutDown);
+            };
+            // Count the submission *before* the doorbell rings: a worker can
+            // claim and finish the job the moment it is enqueued, and a
+            // stats snapshot must never show more executed jobs than
+            // submitted ones.
+            lock(&shared.stats).submitted += 1;
+            // The lane receivers live in `shared`, which outlives the
+            // workers, so these sends cannot fail while the side exists.
+            if side.lanes[options.priority.lane()].send(envelope).is_err() {
+                lock(&shared.stats).submitted -= 1;
+                drop(submit);
+                shared.release_slot();
+                return Err(ServiceError::ShutDown);
+            }
+            let _ = side.doorbell.send(());
+        }
+        Ok(JobTicket {
+            id,
+            cell,
+            reply: reply_rx,
+        })
+    }
+
+    /// A point-in-time snapshot of the service's counters and latency
+    /// samples.
+    pub fn stats(&self) -> ServiceStats {
+        let shared = &self.inner.shared;
+        let stats = lock(&shared.stats);
+        ServiceStats {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            failed: stats.failed,
+            cancelled: stats.cancelled,
+            panicked: stats.panicked,
+            queued: lock(&shared.gate).queued,
+            running: shared.running.load(Ordering::Relaxed),
+            worker_sessions: shared.worker_sessions,
+            queue_wait_total: stats.queue_wait_total,
+            queue_wait_max: stats.queue_wait_max,
+            run_wall_total: stats.run_wall_total,
+            run_wall_max: stats.run_wall_max,
+            recent: stats.recent.iter().copied().collect(),
+        }
+    }
+
+    /// Number of pooled worker sessions.
+    pub fn worker_sessions(&self) -> usize {
+        self.inner.shared.worker_sessions
+    }
+
+    /// Capacity of the bounded job queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.shared.queue_depth
+    }
+
+    /// Whether the service still accepts submissions.
+    pub fn is_open(&self) -> bool {
+        lock(&self.inner.shared.gate).open
+    }
+
+    /// Shuts the service down, **draining** the queue: submissions are
+    /// rejected from this point on, every already-accepted job still runs,
+    /// every ticket resolves, and all worker sessions are torn down before
+    /// this returns.  Idempotent, callable from any clone of the handle.
+    pub fn shutdown(&self) {
+        self.inner.stop(false);
+    }
+
+    /// Shuts the service down, **aborting** the queue: jobs already running
+    /// complete, queued jobs are cancelled (their tickets resolve with
+    /// [`ServiceError::Cancelled`]), and all worker sessions are torn down
+    /// before this returns.  Idempotent, callable from any clone.
+    pub fn abort(&self) {
+        self.inner.stop(true);
+    }
+}
+
+/// The scheduler loop of one worker session.
+fn worker_loop<V, E>(
+    graph: Arc<PropertyGraph<V, E>>,
+    spec: SessionSpec,
+    shared: Arc<ServiceShared<V, E>>,
+    doorbell: QueueReceiver<()>,
+) where
+    V: Clone + PartialEq + Send + Sync + 'static,
+    E: Clone + Send + Sync + 'static,
+{
+    let deploy = || {
+        spec.build_session(&graph)
+            .expect("the spec was validated when the service was built")
+    };
+    let mut session = deploy();
+    // One doorbell token per accepted job: when the doorbell reports
+    // disconnected, the backlog is fully drained and the service is shutting
+    // down.  Tokens are not bound to specific jobs — each wake-up claims the
+    // highest-priority envelope available.
+    while doorbell.recv().is_ok() {
+        let Some(envelope) = pop_highest_priority(&shared.lanes) else {
+            continue;
+        };
+        shared.release_slot();
+        let JobEnvelope {
+            cell,
+            reply,
+            submitted,
+            overrides,
+            job,
+        } = envelope;
+        let queue_wait = submitted.elapsed();
+        if shared.abort.load(Ordering::SeqCst) || !cell.begin_running() {
+            // Aborted services cancel their backlog; tickets cancelled by
+            // their callers are skipped here.
+            cell.cancel();
+            lock(&shared.stats).cancelled += 1;
+            let _ = reply.send(Err(ServiceError::Cancelled));
+            continue;
+        }
+        shared.running.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&mut session, overrides)));
+        let run_wall = started.elapsed();
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+        cell.finish();
+        {
+            let mut stats = lock(&shared.stats);
+            stats.record_run(queue_wait, run_wall);
+            match &outcome {
+                Ok(Ok(_)) => stats.completed += 1,
+                Ok(Err(_)) => stats.failed += 1,
+                Err(_) => stats.panicked += 1,
+            }
+        }
+        match outcome {
+            Ok(Ok(result)) => {
+                let _ = reply.send(Ok(result));
+            }
+            Ok(Err(error)) => {
+                let _ = reply.send(Err(ServiceError::Session(error)));
+            }
+            Err(_panic) => {
+                let _ = reply.send(Err(ServiceError::JobPanicked));
+                // The unwound run consumed the deployment's daemons (their
+                // device contexts shut down as they dropped).  Replace the
+                // poisoned session so the service keeps serving.
+                session = deploy();
+            }
+        }
+    }
+    // `session` drops here: the worker's daemons disconnect with it.
+}
+
+/// Claims the highest-priority queued envelope, if any.
+fn pop_highest_priority<V, E>(
+    lanes: &[QueueReceiver<JobEnvelope<V, E>>; LANES],
+) -> Option<JobEnvelope<V, E>> {
+    for lane in lanes {
+        match lane.try_recv() {
+            Ok(envelope) => return Some(envelope),
+            Err(_) => continue,
+        }
+    }
+    None
+}
+
+/// Fluent description of a [`GraphService`]: a deployment spec (the same
+/// knobs as [`SessionBuilder`](crate::SessionBuilder)) plus the service's
+/// own knobs — pool size, queue depth, admission policy.
+///
+/// The graph is shared (`Arc`) rather than borrowed because the worker
+/// sessions live on scheduler threads that outlive the builder's scope.  An
+/// existing [`SessionBuilder`] converts via
+/// [`SessionBuilder::into_spec`](crate::SessionBuilder::into_spec) +
+/// [`ServiceBuilder::from_spec`].
+#[derive(Debug)]
+pub struct ServiceBuilder<V, E> {
+    graph: Arc<PropertyGraph<V, E>>,
+    spec: SessionSpec,
+    worker_sessions: usize,
+    queue_depth: usize,
+    admission: AdmissionPolicy,
+}
+
+/// Default queue depth of a [`ServiceBuilder`].
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+impl<V, E> ServiceBuilder<V, E>
+where
+    V: Clone + PartialEq + Send + Sync + 'static,
+    E: Clone + Send + Sync + 'static,
+{
+    /// Starts describing a service over `graph` with one worker session, a
+    /// queue depth of [`DEFAULT_QUEUE_DEPTH`] and [`AdmissionPolicy::Block`].
+    pub fn new(graph: Arc<PropertyGraph<V, E>>) -> Self {
+        Self::from_spec(graph, SessionSpec::default())
+    }
+
+    /// Starts from an existing deployment description (e.g.
+    /// [`SessionBuilder::into_spec`](crate::SessionBuilder::into_spec)).
+    pub fn from_spec(graph: Arc<PropertyGraph<V, E>>, spec: SessionSpec) -> Self {
+        Self {
+            graph,
+            spec,
+            worker_sessions: 1,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// The partitioning of the graph over distributed nodes (required).
+    pub fn partitioned_by(mut self, partitioning: gxplug_graph::partition::Partitioning) -> Self {
+        self.spec.partitioning = Some(partitioning);
+        self
+    }
+
+    /// The upper system's runtime profile (default: PowerGraph-like).
+    pub fn profile(mut self, profile: gxplug_engine::profile::RuntimeProfile) -> Self {
+        self.spec.profile = profile;
+        self
+    }
+
+    /// The interconnect model (default: datacenter).
+    pub fn network(mut self, network: gxplug_engine::network::NetworkModel) -> Self {
+        self.spec.network = network;
+        self
+    }
+
+    /// The devices plugged into each node of every worker deployment, one
+    /// spec list per partition.  Leave unset for a native-only service.
+    pub fn devices(mut self, devices_per_node: Vec<Vec<gxplug_accel::DeviceSpec>>) -> Self {
+        self.spec.devices = devices_per_node;
+        self
+    }
+
+    /// Overrides the backend every plugged device is built with.
+    pub fn backend(mut self, backend: gxplug_accel::BackendKind) -> Self {
+        self.spec.backend = Some(backend);
+        self
+    }
+
+    /// The middleware configuration jobs run with unless they override it.
+    pub fn config(mut self, config: MiddlewareConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// The dataset label carried into run reports.
+    pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.spec.dataset = dataset.into();
+        self
+    }
+
+    /// The iteration cap jobs run with unless they override it.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.spec.max_iterations = max_iterations;
+        self
+    }
+
+    /// Number of pooled worker sessions (≥ 1; default 1).  Each worker is a
+    /// full deployment of the spec driving jobs concurrently with the
+    /// others.
+    pub fn worker_sessions(mut self, worker_sessions: usize) -> Self {
+        self.worker_sessions = worker_sessions.max(1);
+        self
+    }
+
+    /// Capacity of the bounded job queue (≥ 1; default
+    /// [`DEFAULT_QUEUE_DEPTH`]).  Submissions beyond it hit the
+    /// [`AdmissionPolicy`].
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// What [`GraphService::submit`] does when the queue is full (default:
+    /// [`AdmissionPolicy::Block`]).
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Validates the deployment description, deploys the worker sessions and
+    /// starts the scheduler threads.
+    ///
+    /// # Errors
+    /// The same typed [`SessionError`]s as
+    /// [`SessionBuilder::build`](crate::SessionBuilder::build) — a service
+    /// cannot be built from a deployment a session could not be built from.
+    pub fn build(self) -> Result<GraphService<V, E>, SessionError> {
+        self.spec.validate()?;
+        let (lane_txs, lane_rxs): (Vec<_>, Vec<_>) = (0..LANES).map(|_| sync_queue()).unzip();
+        let lane_rxs: [QueueReceiver<JobEnvelope<V, E>>; LANES] = lane_rxs
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly {LANES} lanes are created"));
+        let lane_txs: [QueueSender<JobEnvelope<V, E>>; LANES] = lane_txs
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly {LANES} lanes are created"));
+        let (doorbell_tx, doorbell_rx) = sync_queue::<()>();
+        let shared = Arc::new(ServiceShared {
+            lanes: lane_rxs,
+            gate: Mutex::new(Gate {
+                queued: 0,
+                open: true,
+            }),
+            space: Condvar::new(),
+            queue_depth: self.queue_depth,
+            policy: self.admission,
+            worker_sessions: self.worker_sessions,
+            abort: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            stats: Mutex::new(StatsInner::new()),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..self.worker_sessions)
+            .map(|index| {
+                let graph = Arc::clone(&self.graph);
+                let spec = self.spec.clone();
+                let shared = Arc::clone(&shared);
+                let doorbell = doorbell_rx.clone();
+                thread::Builder::new()
+                    .name(format!("gxplug-service-{index}"))
+                    .spawn(move || worker_loop(graph, spec, shared, doorbell))
+                    .expect("spawning a scheduler worker thread")
+            })
+            .collect();
+        drop(doorbell_rx);
+        let worker_ids = workers.iter().map(|worker| worker.thread().id()).collect();
+        Ok(GraphService {
+            inner: Arc::new(ServiceInner {
+                shared,
+                submit: Mutex::new(Some(SubmitSide {
+                    lanes: lane_txs,
+                    doorbell: doorbell_tx,
+                })),
+                workers: Mutex::new(workers),
+                worker_ids,
+                stopped: Mutex::new(false),
+                stopped_signal: Condvar::new(),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+    use gxplug_accel::{presets, DeviceSpec};
+    use gxplug_engine::template::AddressedMessage;
+    use gxplug_graph::generators::{Generator, Rmat};
+    use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner};
+    use gxplug_graph::types::{Triplet, VertexId};
+    use std::sync::Once;
+    use std::thread;
+
+    /// Single-source SSSP over f64 vertices (the module's workhorse job).
+    #[derive(Clone)]
+    struct Sssp {
+        sources: Vec<VertexId>,
+    }
+
+    impl GraphAlgorithm<f64, f64> for Sssp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, _d: usize) -> f64 {
+            if self.sources.contains(&v) {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            if t.src_attr.is_finite() {
+                vec![AddressedMessage::new(t.dst, t.src_attr + t.edge_attr)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.min(b)
+        }
+        fn msg_apply(&self, _v: VertexId, cur: &f64, msg: &f64, _i: usize) -> Option<f64> {
+            (msg + 1e-12 < *cur).then_some(*msg)
+        }
+        fn initial_active(&self, _n: usize) -> Option<Vec<VertexId>> {
+            Some(self.sources.clone())
+        }
+        fn name(&self) -> &'static str {
+            "sssp-bf"
+        }
+    }
+
+    /// A gate the test holds closed while it stuffs the queue: the worker
+    /// blocks in the job's first `msg_gen` until released.
+    #[derive(Clone, Default)]
+    struct GateControl(Arc<(Mutex<bool>, Condvar)>);
+
+    impl GateControl {
+        fn release(&self) {
+            let (flag, condvar) = &*self.0;
+            *lock(flag) = true;
+            condvar.notify_all();
+        }
+
+        fn wait_open(&self) {
+            let (flag, condvar) = &*self.0;
+            let mut open = lock(flag);
+            while !*open {
+                open = condvar.wait(open).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// SSSP that blocks on a gate before generating its first message.
+    struct GatedSssp {
+        inner: Sssp,
+        gate: GateControl,
+    }
+
+    impl GraphAlgorithm<f64, f64> for GatedSssp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, d: usize) -> f64 {
+            GraphAlgorithm::init_vertex(&self.inner, v, d)
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, i: usize) -> Vec<AddressedMessage<f64>> {
+            self.gate.wait_open();
+            GraphAlgorithm::msg_gen(&self.inner, t, i)
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            GraphAlgorithm::msg_merge(&self.inner, a, b)
+        }
+        fn msg_apply(&self, v: VertexId, cur: &f64, msg: &f64, i: usize) -> Option<f64> {
+            GraphAlgorithm::msg_apply(&self.inner, v, cur, msg, i)
+        }
+        fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+            GraphAlgorithm::initial_active(&self.inner, n)
+        }
+        fn name(&self) -> &'static str {
+            "gated-sssp"
+        }
+    }
+
+    /// SSSP that appends its tag to a shared log when it starts executing
+    /// (exactly once), so tests can observe scheduling order.
+    struct LoggedSssp {
+        inner: Sssp,
+        tag: u32,
+        log: Arc<Mutex<Vec<u32>>>,
+        once: Once,
+    }
+
+    impl LoggedSssp {
+        fn new(tag: u32, log: Arc<Mutex<Vec<u32>>>) -> Self {
+            Self {
+                inner: Sssp { sources: vec![0] },
+                tag,
+                log,
+                once: Once::new(),
+            }
+        }
+    }
+
+    impl GraphAlgorithm<f64, f64> for LoggedSssp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, d: usize) -> f64 {
+            self.once.call_once(|| lock(&self.log).push(self.tag));
+            GraphAlgorithm::init_vertex(&self.inner, v, d)
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, i: usize) -> Vec<AddressedMessage<f64>> {
+            GraphAlgorithm::msg_gen(&self.inner, t, i)
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            GraphAlgorithm::msg_merge(&self.inner, a, b)
+        }
+        fn msg_apply(&self, v: VertexId, cur: &f64, msg: &f64, i: usize) -> Option<f64> {
+            GraphAlgorithm::msg_apply(&self.inner, v, cur, msg, i)
+        }
+        fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+            GraphAlgorithm::initial_active(&self.inner, n)
+        }
+        fn name(&self) -> &'static str {
+            "logged-sssp"
+        }
+    }
+
+    /// An algorithm that panics in its first kernel call.
+    struct PanickingJob;
+
+    impl GraphAlgorithm<f64, f64> for PanickingJob {
+        type Msg = f64;
+        fn init_vertex(&self, _v: VertexId, _d: usize) -> f64 {
+            0.0
+        }
+        fn msg_gen(&self, _t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            panic!("injected job failure");
+        }
+        fn msg_merge(&self, a: f64, _b: f64) -> f64 {
+            a
+        }
+        fn msg_apply(&self, _v: VertexId, _c: &f64, _m: &f64, _i: usize) -> Option<f64> {
+            None
+        }
+        fn name(&self) -> &'static str {
+            "panicking-job"
+        }
+    }
+
+    fn test_graph() -> Arc<PropertyGraph<f64, f64>> {
+        let list = Rmat::new(8, 8.0).generate(11);
+        Arc::new(PropertyGraph::from_edge_list(list, f64::INFINITY).unwrap())
+    }
+
+    fn gpus_per_node(nodes: usize) -> Vec<Vec<DeviceSpec>> {
+        (0..nodes)
+            .map(|n| vec![presets::gpu_v100(format!("n{n}g0"))])
+            .collect()
+    }
+
+    fn small_service(
+        graph: &Arc<PropertyGraph<f64, f64>>,
+        workers: usize,
+        queue_depth: usize,
+        admission: AdmissionPolicy,
+    ) -> GraphService<f64, f64> {
+        let parts = 2;
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(graph, parts)
+            .unwrap();
+        GraphService::builder(Arc::clone(graph))
+            .partitioned_by(partitioning)
+            .devices(gpus_per_node(parts))
+            .dataset("rmat8")
+            .max_iterations(200)
+            .worker_sessions(workers)
+            .queue_depth(queue_depth)
+            .admission(admission)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn service_handle_is_send_sync_clone() {
+        fn assert_service<T: Send + Sync + Clone>() {}
+        assert_service::<GraphService<f64, f64>>();
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrip() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 16, AdmissionPolicy::Block);
+        let ticket = service.submit(Sssp { sources: vec![0] }).unwrap();
+        let outcome = ticket.wait().unwrap();
+        assert!(outcome.report.converged);
+        assert_eq!(outcome.values.len(), graph.num_vertices());
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.executed(), 1);
+        assert!(stats.queue_wait_percentile(0.5).is_some());
+        service.shutdown();
+        assert!(!service.is_open());
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let graph = test_graph();
+        let service = small_service(&graph, 2, 64, AdmissionPolicy::Block);
+        let submitters: Vec<_> = (0..4u32)
+            .map(|t| {
+                let service = service.clone();
+                thread::spawn(move || {
+                    (0..3u32)
+                        .map(|j| {
+                            let sources = vec![VertexId::from(t * 3 + j)];
+                            let ticket = service.submit(Sssp { sources }).unwrap();
+                            ticket.wait().unwrap().report.converged
+                        })
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for submitter in submitters {
+            assert!(submitter.join().unwrap().into_iter().all(|c| c));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.running, 0);
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 1, AdmissionPolicy::Reject);
+        let gate = GateControl::default();
+        // Occupy the only worker...
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        // ...wait until the worker has claimed it (the queue slot frees when
+        // the job is claimed, not when it finishes)...
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        // ...fill the single queue slot...
+        let queued = service.submit(Sssp { sources: vec![1] }).unwrap();
+        // ...and observe typed backpressure on both submission flavours.
+        assert_eq!(
+            service.try_submit(Sssp { sources: vec![2] }).unwrap_err(),
+            ServiceError::QueueFull
+        );
+        assert_eq!(
+            service.submit(Sssp { sources: vec![2] }).unwrap_err(),
+            ServiceError::QueueFull
+        );
+        gate.release();
+        assert!(busy.wait().unwrap().report.converged);
+        assert!(queued.wait().unwrap().report.converged);
+    }
+
+    #[test]
+    fn cancel_skips_a_queued_job() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        let doomed = service.submit(Sssp { sources: vec![1] }).unwrap();
+        assert_eq!(doomed.status(), JobStatus::Queued);
+        assert!(doomed.cancel());
+        assert_eq!(doomed.status(), JobStatus::Cancelled);
+        // Cancelling twice (or cancelling a running job) reports failure.
+        assert!(!doomed.cancel());
+        assert!(!busy.cancel());
+        gate.release();
+        assert!(matches!(doomed.wait(), Err(ServiceError::Cancelled)));
+        assert!(busy.wait().is_ok());
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn high_priority_jobs_jump_the_queue() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        // Queue a low-priority job first, then a high-priority one.
+        let low = service
+            .submit_with(
+                LoggedSssp::new(1, Arc::clone(&log)),
+                JobOptions::new().with_priority(JobPriority::Low),
+            )
+            .unwrap();
+        let high = service
+            .submit_with(
+                LoggedSssp::new(2, Arc::clone(&log)),
+                JobOptions::new().with_priority(JobPriority::High),
+            )
+            .unwrap();
+        gate.release();
+        busy.wait().unwrap();
+        high.wait().unwrap();
+        low.wait().unwrap();
+        // The single worker must have started the high-priority job first.
+        assert_eq!(*lock(&log), vec![2, 1]);
+    }
+
+    #[test]
+    fn per_job_overrides_do_not_leak_between_jobs() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        // A one-iteration budget cannot converge this SSSP...
+        let capped = service
+            .submit_with(
+                Sssp {
+                    sources: vec![VertexId::from(0u32)],
+                },
+                JobOptions::new().with_max_iterations(1),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!capped.report.converged);
+        // ...and the override is gone for the next job on the same worker.
+        let free = service
+            .submit(Sssp {
+                sources: vec![VertexId::from(0u32)],
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(free.report.converged);
+        // Config overrides hold per job too: a serial-execution job and a
+        // threaded job produce bit-identical values.
+        let serial = service
+            .submit_with(
+                Sssp { sources: vec![3] },
+                JobOptions::new()
+                    .with_config(MiddlewareConfig::default().with_execution(ExecutionMode::Serial)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let threaded = service
+            .submit(Sssp { sources: vec![3] })
+            .unwrap()
+            .wait()
+            .unwrap();
+        for (a, b) in serial.values.iter().zip(&threaded.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_the_backlog() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 32, AdmissionPolicy::Block);
+        let tickets: Vec<_> = (0..6u32)
+            .map(|i| service.submit(Sssp { sources: vec![i] }).unwrap())
+            .collect();
+        service.shutdown();
+        // Every accepted job ran to completion before shutdown returned.
+        for ticket in tickets {
+            assert!(ticket.wait().unwrap().report.converged);
+        }
+        assert_eq!(
+            service.submit(Sssp { sources: vec![0] }).unwrap_err(),
+            ServiceError::ShutDown
+        );
+        let stats = service.stats();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn abort_cancels_the_backlog() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 32, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        let doomed: Vec<_> = (1..4u32)
+            .map(|i| service.submit(Sssp { sources: vec![i] }).unwrap())
+            .collect();
+        // Abort from another thread (it blocks joining the workers, which
+        // are blocked on the gate); wait for admission to close, then let
+        // the running job finish.
+        let aborter = {
+            let service = service.clone();
+            thread::spawn(move || service.abort())
+        };
+        while service.is_open() {
+            thread::yield_now();
+        }
+        gate.release();
+        aborter.join().unwrap();
+        // The running job completed; the backlog was cancelled.
+        assert!(busy.wait().unwrap().report.converged);
+        for ticket in doomed {
+            assert!(matches!(ticket.wait(), Err(ServiceError::Cancelled)));
+        }
+        assert_eq!(service.stats().cancelled, 3);
+    }
+
+    #[test]
+    fn panicking_job_resolves_its_ticket_and_the_service_recovers() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let panicked = service.submit(PanickingJob).unwrap().wait();
+        assert!(matches!(panicked, Err(ServiceError::JobPanicked)));
+        // The worker redeployed: the next job runs normally.
+        let outcome = service
+            .submit(Sssp { sources: vec![0] })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.report.converged);
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn heterogeneous_dyn_jobs_share_one_queue() {
+        // Two different algorithm types with the same message type in one
+        // queue: Sssp and GatedSssp behind `dyn DynAlgorithm<f64, f64, f64>`.
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let jobs: Vec<Arc<dyn DynAlgorithm<f64, f64, f64>>> = vec![
+            Arc::new(Sssp { sources: vec![0] }),
+            Arc::new(LoggedSssp::new(9, Arc::new(Mutex::new(Vec::new())))),
+        ];
+        let tickets: Vec<_> = jobs
+            .into_iter()
+            .map(|job| service.submit_dyn(job, JobOptions::new()).unwrap())
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().unwrap().report.converged);
+        }
+    }
+
+    #[test]
+    fn native_only_service_runs_jobs_natively() {
+        let graph = test_graph();
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 2)
+            .unwrap();
+        let service = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning)
+            .max_iterations(200)
+            .build()
+            .unwrap();
+        let outcome = service
+            .submit(Sssp { sources: vec![0] })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.report.converged);
+        assert!(outcome.agent_stats.is_empty());
+    }
+
+    #[test]
+    fn builder_validation_matches_the_session_builder() {
+        let graph = test_graph();
+        let err = GraphService::builder(Arc::clone(&graph))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SessionError::MissingPartitioning);
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 3)
+            .unwrap();
+        let err = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning)
+            .devices(gpus_per_node(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::DeviceCountMismatch {
+                partitions: 3,
+                device_lists: 2
+            }
+        );
+    }
+
+    /// SSSP that *owns* a service handle: when the job is consumed on the
+    /// scheduler thread, the handle drops with it — possibly as the last
+    /// one alive.
+    struct HandleOwner {
+        inner: Sssp,
+        _service: GraphService<f64, f64>,
+    }
+
+    impl GraphAlgorithm<f64, f64> for HandleOwner {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, d: usize) -> f64 {
+            GraphAlgorithm::init_vertex(&self.inner, v, d)
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, i: usize) -> Vec<AddressedMessage<f64>> {
+            GraphAlgorithm::msg_gen(&self.inner, t, i)
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            GraphAlgorithm::msg_merge(&self.inner, a, b)
+        }
+        fn msg_apply(&self, v: VertexId, cur: &f64, msg: &f64, i: usize) -> Option<f64> {
+            GraphAlgorithm::msg_apply(&self.inner, v, cur, msg, i)
+        }
+        fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+            GraphAlgorithm::initial_active(&self.inner, n)
+        }
+        fn name(&self) -> &'static str {
+            "handle-owner"
+        }
+    }
+
+    #[test]
+    fn job_owning_the_last_service_handle_does_not_deadlock() {
+        // The job captures a clone of the service; the caller then drops its
+        // own handle, so the job's clone is the LAST one and is dropped on
+        // the scheduler worker's own thread when the job is consumed.  The
+        // re-entrant teardown must detach that worker instead of joining it
+        // (joining your own thread deadlocks forever) — and the ticket must
+        // still resolve.
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let ticket = service
+            .submit(HandleOwner {
+                inner: Sssp { sources: vec![0] },
+                _service: service.clone(),
+            })
+            .unwrap();
+        drop(service);
+        assert!(ticket.wait().unwrap().report.converged);
+    }
+
+    #[test]
+    fn concurrent_shutdowns_both_honor_the_drain_guarantee() {
+        // Two racing shutdown() calls: only one joins the workers, but BOTH
+        // must return only once the backlog has drained — the loser waits
+        // for the joiner instead of returning early.
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 32, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        let backlog: Vec<_> = (1..4u32)
+            .map(|i| service.submit(Sssp { sources: vec![i] }).unwrap())
+            .collect();
+        let stoppers: Vec<_> = (0..2)
+            .map(|_| {
+                let service = service.clone();
+                thread::spawn(move || service.shutdown())
+            })
+            .collect();
+        while service.is_open() {
+            thread::yield_now();
+        }
+        gate.release();
+        for stopper in stoppers {
+            stopper.join().unwrap();
+        }
+        // Whichever shutdown call a caller raced, by the time it returned
+        // every accepted ticket had resolved.
+        assert!(busy.try_result().expect("drained").is_ok());
+        for ticket in backlog {
+            assert!(ticket.try_result().expect("drained").is_ok());
+        }
+    }
+
+    #[test]
+    fn dropping_the_last_handle_drains_and_joins() {
+        let graph = test_graph();
+        let tickets: Vec<_> = {
+            let service = small_service(&graph, 2, 16, AdmissionPolicy::Block);
+            (0..4u32)
+                .map(|i| service.submit(Sssp { sources: vec![i] }).unwrap())
+                .collect()
+            // `service` drops here; its Drop drains the queue and joins the
+            // workers, so every ticket below must already be resolved.
+        };
+        for ticket in tickets {
+            assert!(ticket.try_result().expect("resolved by drop").is_ok());
+        }
+    }
+}

@@ -204,6 +204,162 @@ fn daemons_for_deployment(specs: &[Vec<DeviceSpec>]) -> Vec<Vec<Daemon>> {
         .collect()
 }
 
+/// An owned, graph-independent description of a deployment: everything a
+/// [`SessionBuilder`] collects except the graph reference itself.
+///
+/// The builder is the fluent front-end for deploying *one* session against a
+/// borrowed graph.  The spec is the piece a [`GraphService`](crate::service)
+/// keeps: it is `Clone`, it owns its partitioning and device lists, and
+/// [`SessionSpec::build_session`] stamps out an identical deployment against
+/// any reference to the graph — which is how every scheduler worker of a
+/// service gets its own pooled session of the same shape.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    pub(crate) partitioning: Option<Partitioning>,
+    pub(crate) profile: RuntimeProfile,
+    pub(crate) network: NetworkModel,
+    pub(crate) devices: Vec<Vec<DeviceSpec>>,
+    pub(crate) backend: Option<BackendKind>,
+    pub(crate) config: MiddlewareConfig,
+    pub(crate) dataset: String,
+    pub(crate) max_iterations: usize,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        Self {
+            partitioning: None,
+            profile: RuntimeProfile::powergraph(),
+            network: NetworkModel::datacenter(),
+            devices: Vec::new(),
+            backend: None,
+            config: MiddlewareConfig::default(),
+            dataset: "unnamed".to_string(),
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+}
+
+impl SessionSpec {
+    /// Validates the deployment description without building anything.
+    ///
+    /// # Errors
+    /// The same typed errors as [`SessionBuilder::build`]:
+    /// [`SessionError::MissingPartitioning`],
+    /// [`SessionError::DeviceCountMismatch`] and
+    /// [`SessionError::EmptyDeviceList`].
+    pub fn validate(&self) -> Result<(), SessionError> {
+        let partitioning = self
+            .partitioning
+            .as_ref()
+            .ok_or(SessionError::MissingPartitioning)?;
+        if !self.devices.is_empty() {
+            if self.devices.len() != partitioning.num_parts() {
+                return Err(SessionError::DeviceCountMismatch {
+                    partitions: partitioning.num_parts(),
+                    device_lists: self.devices.len(),
+                });
+            }
+            if let Some(node) = self.devices.iter().position(Vec::is_empty) {
+                return Err(SessionError::EmptyDeviceList { node });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deploys a fresh [`Session`] of this shape against `graph`.
+    ///
+    /// Every call produces an independent deployment (its own daemons,
+    /// cluster and pooled buffers); a job service calls this once per worker.
+    ///
+    /// # Errors
+    /// See [`SessionSpec::validate`].
+    pub fn build_session<'g, V, E>(
+        &self,
+        graph: &'g PropertyGraph<V, E>,
+    ) -> Result<Session<'g, V, E>, SessionError>
+    where
+        V: Clone + PartialEq + Send + Sync,
+        E: Clone + Send + Sync,
+    {
+        self.clone().into_session(graph)
+    }
+
+    /// Consuming flavour of [`SessionSpec::build_session`].
+    pub fn into_session<'g, V, E>(
+        self,
+        graph: &'g PropertyGraph<V, E>,
+    ) -> Result<Session<'g, V, E>, SessionError>
+    where
+        V: Clone + PartialEq + Send + Sync,
+        E: Clone + Send + Sync,
+    {
+        self.validate()?;
+        let partitioning = self.partitioning.expect("validated above");
+        let mut specs = self.devices;
+        if let Some(backend) = self.backend {
+            for spec in specs.iter_mut().flatten() {
+                spec.backend = backend;
+            }
+        }
+        let system = system_label(&self.profile, &specs);
+        let daemons = daemons_for_deployment(&specs);
+        Ok(Session {
+            graph,
+            partitioning,
+            profile: self.profile,
+            network: self.network,
+            config: self.config,
+            dataset: self.dataset,
+            max_iterations: self.max_iterations,
+            system,
+            specs,
+            daemons,
+            cluster: None,
+            triplet_pool: Vec::new(),
+        })
+    }
+}
+
+/// Per-job overrides of a session's middleware configuration and iteration
+/// cap.
+///
+/// A deployed session (or a pooled service worker) serves many jobs; some of
+/// them want their own knobs — a different pipeline mode, a tighter
+/// iteration budget — without mutating the session for every job after them.
+/// `RunOverrides` routes those knobs through a single run:
+/// [`Session::run_with`] applies them for that job only, the cluster is
+/// re-seeded per job through [`Cluster::reset_for`] as always, and the
+/// session's own configuration is untouched.  `None` fields fall back to the
+/// session's values, so [`RunOverrides::default`] reproduces
+/// [`Session::run`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunOverrides {
+    /// Replaces the session's [`MiddlewareConfig`] for this run.
+    pub config: Option<MiddlewareConfig>,
+    /// Replaces the session's iteration cap for this run.
+    pub max_iterations: Option<usize>,
+}
+
+impl RunOverrides {
+    /// No overrides: the session's own configuration and cap apply.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the middleware configuration for this run.
+    pub fn with_config(mut self, config: MiddlewareConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Overrides the iteration cap for this run.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = Some(max_iterations);
+        self
+    }
+}
+
 /// Fluent description of a GX-Plug deployment.
 ///
 /// Required: the graph (constructor) and a partitioning
@@ -237,14 +393,7 @@ fn daemons_for_deployment(specs: &[Vec<DeviceSpec>]) -> Vec<Vec<Daemon>> {
 #[derive(Debug)]
 pub struct SessionBuilder<'g, V, E> {
     graph: &'g PropertyGraph<V, E>,
-    partitioning: Option<Partitioning>,
-    profile: RuntimeProfile,
-    network: NetworkModel,
-    devices: Vec<Vec<DeviceSpec>>,
-    backend: Option<BackendKind>,
-    config: MiddlewareConfig,
-    dataset: String,
-    max_iterations: usize,
+    spec: SessionSpec,
 }
 
 impl<'g, V, E> SessionBuilder<'g, V, E>
@@ -256,39 +405,32 @@ where
     pub fn new(graph: &'g PropertyGraph<V, E>) -> Self {
         Self {
             graph,
-            partitioning: None,
-            profile: RuntimeProfile::powergraph(),
-            network: NetworkModel::datacenter(),
-            devices: Vec::new(),
-            backend: None,
-            config: MiddlewareConfig::default(),
-            dataset: "unnamed".to_string(),
-            max_iterations: DEFAULT_MAX_ITERATIONS,
+            spec: SessionSpec::default(),
         }
     }
 
     /// The partitioning of the graph over distributed nodes (required).
     pub fn partitioned_by(mut self, partitioning: Partitioning) -> Self {
-        self.partitioning = Some(partitioning);
+        self.spec.partitioning = Some(partitioning);
         self
     }
 
     /// The upper system's runtime profile (default: PowerGraph-like).
     pub fn profile(mut self, profile: RuntimeProfile) -> Self {
-        self.profile = profile;
+        self.spec.profile = profile;
         self
     }
 
     /// The interconnect model (default: datacenter).
     pub fn network(mut self, network: NetworkModel) -> Self {
-        self.network = network;
+        self.spec.network = network;
         self
     }
 
     /// The devices plugged into each node, one spec list per partition.
     /// Leave unset for a native-only session.
     pub fn devices(mut self, devices_per_node: Vec<Vec<DeviceSpec>>) -> Self {
-        self.devices = devices_per_node;
+        self.spec.devices = devices_per_node;
         self
     }
 
@@ -300,28 +442,35 @@ where
     /// executes the kernels, vertex results are bit-identical — only real
     /// wall-clock time changes.
     pub fn backend(mut self, backend: BackendKind) -> Self {
-        self.backend = Some(backend);
+        self.spec.backend = Some(backend);
         self
     }
 
     /// The middleware configuration (default: all optimisations on,
     /// threaded execution).
     pub fn config(mut self, config: MiddlewareConfig) -> Self {
-        self.config = config;
+        self.spec.config = config;
         self
     }
 
     /// The dataset label carried into run reports (default: `"unnamed"`).
     pub fn dataset(mut self, dataset: impl Into<String>) -> Self {
-        self.dataset = dataset.into();
+        self.spec.dataset = dataset.into();
         self
     }
 
     /// The per-run iteration cap (default: [`DEFAULT_MAX_ITERATIONS`];
     /// algorithms with their own caps converge earlier).
     pub fn max_iterations(mut self, max_iterations: usize) -> Self {
-        self.max_iterations = max_iterations;
+        self.spec.max_iterations = max_iterations;
         self
+    }
+
+    /// Detaches the owned deployment description from the graph borrow —
+    /// the form a [`GraphService`](crate::service) stores and stamps out
+    /// once per worker session.
+    pub fn into_spec(self) -> SessionSpec {
+        self.spec
     }
 
     /// Validates the deployment and builds the [`Session`].
@@ -332,40 +481,7 @@ where
     /// does not match the partition count; [`SessionError::EmptyDeviceList`]
     /// if some node of an accelerated deployment has no device.
     pub fn build(self) -> Result<Session<'g, V, E>, SessionError> {
-        let partitioning = self.partitioning.ok_or(SessionError::MissingPartitioning)?;
-        if !self.devices.is_empty() {
-            if self.devices.len() != partitioning.num_parts() {
-                return Err(SessionError::DeviceCountMismatch {
-                    partitions: partitioning.num_parts(),
-                    device_lists: self.devices.len(),
-                });
-            }
-            if let Some(node) = self.devices.iter().position(Vec::is_empty) {
-                return Err(SessionError::EmptyDeviceList { node });
-            }
-        }
-        let mut specs = self.devices;
-        if let Some(backend) = self.backend {
-            for spec in specs.iter_mut().flatten() {
-                spec.backend = backend;
-            }
-        }
-        let system = system_label(&self.profile, &specs);
-        let daemons = daemons_for_deployment(&specs);
-        Ok(Session {
-            graph: self.graph,
-            partitioning,
-            profile: self.profile,
-            network: self.network,
-            config: self.config,
-            dataset: self.dataset,
-            max_iterations: self.max_iterations,
-            system,
-            specs,
-            daemons,
-            cluster: None,
-            triplet_pool: Vec::new(),
-        })
+        self.spec.into_session(self.graph)
     }
 }
 
@@ -563,19 +679,41 @@ where
     where
         A: GraphAlgorithm<V, E>,
     {
+        self.run_with(algorithm, RunOverrides::none())
+    }
+
+    /// [`Session::run`] with per-job [`RunOverrides`].
+    ///
+    /// The overrides apply to *this run only*: the session's own
+    /// configuration and iteration cap are untouched, so concurrent callers
+    /// of a pooled deployment (the scheduler workers of a
+    /// [`GraphService`](crate::service)) can give every job its own knobs
+    /// without session-wide mutation ordering mattering.
+    ///
+    /// # Errors
+    /// See [`Session::run`].
+    pub fn run_with<A>(
+        &mut self,
+        algorithm: &A,
+        overrides: RunOverrides,
+    ) -> Result<RunOutcome<V>, SessionError>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
         if self.daemons.is_empty() {
             return Err(SessionError::NoDevices);
         }
         self.prepare_cluster(algorithm);
         let daemons = std::mem::take(&mut self.daemons);
         let pool = self.take_triplet_pool();
+        let config = overrides.config.unwrap_or(self.config);
         let context = RunContext {
             profile: self.profile,
-            config: self.config,
+            config,
             dataset: &self.dataset,
             system: &self.system,
-            max_iterations: self.max_iterations,
-            sync_policy: if self.config.skipping {
+            max_iterations: overrides.max_iterations.unwrap_or(self.max_iterations),
+            sync_policy: if config.skipping {
                 SyncPolicy::SkipWhenLocal
             } else {
                 SyncPolicy::AlwaysSync
@@ -607,13 +745,23 @@ where
     where
         A: GraphAlgorithm<V, E>,
     {
+        self.run_native_with(algorithm, RunOverrides::none())
+    }
+
+    /// [`Session::run_native`] with per-job [`RunOverrides`] (only the
+    /// execution mode and iteration cap matter natively — the middleware
+    /// knobs have nothing to configure).
+    pub fn run_native_with<A>(&mut self, algorithm: &A, overrides: RunOverrides) -> RunOutcome<V>
+    where
+        A: GraphAlgorithm<V, E>,
+    {
         self.prepare_cluster(algorithm);
         let cluster = self.cluster.as_mut().expect("cluster deployed above");
         let report = cluster.run_native_mode(
             algorithm,
             &self.dataset,
-            self.max_iterations,
-            self.config.execution,
+            overrides.max_iterations.unwrap_or(self.max_iterations),
+            overrides.config.unwrap_or(self.config).execution,
         );
         let values = cluster.collect_values();
         RunOutcome {
@@ -626,7 +774,12 @@ where
 
 impl<V, E> Session<'_, V, E> {
     /// Tears the deployment down: shuts every daemon's device context down.
-    /// Called automatically when the session is dropped.
+    ///
+    /// Idempotent — closing twice (or dropping an explicitly closed session)
+    /// is a no-op, because [`Daemon::shutdown`] only tears down contexts
+    /// that are actually live.  A closed session is *not* poisoned: the next
+    /// accelerated run reconnects the daemons and pays the device
+    /// initialisation again, exactly like a fresh deployment.
     pub fn close(&mut self) {
         for daemon in self.daemons.iter_mut().flatten() {
             daemon.shutdown();
@@ -635,6 +788,10 @@ impl<V, E> Session<'_, V, E> {
 }
 
 impl<V, E> Drop for Session<'_, V, E> {
+    /// Dropping a session closes it.  Daemons additionally shut their own
+    /// contexts down when dropped, so even a session torn apart mid-run by a
+    /// panicking job (whose daemons never make it back into `self.daemons`)
+    /// cannot leak live device contexts.
     fn drop(&mut self) {
         self.close();
     }

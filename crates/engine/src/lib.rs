@@ -32,4 +32,6 @@ pub use metrics::{IterationMetrics, RunReport};
 pub use network::NetworkModel;
 pub use node::NodeState;
 pub use profile::RuntimeProfile;
-pub use template::{AddressedMessage, ComputationModel, GraphAlgorithm};
+pub use template::{
+    AddressedMessage, ComputationModel, DynAlgorithm, GraphAlgorithm, SharedAlgorithm,
+};

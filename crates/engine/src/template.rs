@@ -14,6 +14,8 @@
 
 use gxplug_graph::types::{Triplet, VertexId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 
 /// The computation model of an upper system (§IV-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -132,6 +134,195 @@ pub trait GraphAlgorithm<V, E>: Send + Sync {
     }
 }
 
+/// Object-safe view of a [`GraphAlgorithm`] with the message type lifted
+/// into a type parameter.
+///
+/// [`GraphAlgorithm::Msg`] is an associated type, so two different algorithm
+/// implementations are two different types even when they exchange the same
+/// messages — fine for a single monomorphised run, but a *job service* wants
+/// one queue of heterogeneous jobs over one deployed graph.  `DynAlgorithm`
+/// erases the implementation: every `A: GraphAlgorithm<V, E>` automatically
+/// implements `DynAlgorithm<V, E, A::Msg>` (blanket impl), so a
+/// `dyn DynAlgorithm<V, E, M>` can stand for any algorithm whose messages
+/// are `M` — PageRank-style contributions and SSSP-style relaxations share a
+/// queue as long as they agree on `M`.
+///
+/// [`SharedAlgorithm`] closes the loop: it wraps an
+/// `Arc<dyn DynAlgorithm<V, E, M>>` back into a concrete type implementing
+/// [`GraphAlgorithm`], so erased jobs run through the exact same engine and
+/// middleware code paths as statically-typed ones — bit-identically, since
+/// every call is a plain delegation.
+pub trait DynAlgorithm<V, E, M>: Send + Sync {
+    /// See [`GraphAlgorithm::init_vertex`].
+    fn init_vertex(&self, v: VertexId, out_degree: usize) -> V;
+    /// See [`GraphAlgorithm::msg_gen`].
+    fn msg_gen(&self, triplet: &Triplet<V, E>, iteration: usize) -> Vec<AddressedMessage<M>>;
+    /// See [`GraphAlgorithm::msg_merge`].
+    fn msg_merge(&self, a: M, b: M) -> M;
+    /// See [`GraphAlgorithm::msg_apply`].
+    fn msg_apply(&self, vertex: VertexId, current: &V, message: &M, iteration: usize) -> Option<V>;
+    /// See [`GraphAlgorithm::initial_active`].
+    fn initial_active(&self, num_vertices: usize) -> Option<Vec<VertexId>>;
+    /// See [`GraphAlgorithm::max_iterations`].
+    fn max_iterations(&self) -> usize;
+    /// See [`GraphAlgorithm::always_active`].
+    fn always_active(&self) -> bool;
+    /// See [`GraphAlgorithm::reads_destination_attribute`].
+    fn reads_destination_attribute(&self) -> bool;
+    /// See [`GraphAlgorithm::name`].
+    fn name(&self) -> &'static str;
+    /// See [`GraphAlgorithm::operational_intensity`].
+    fn operational_intensity(&self) -> f64;
+}
+
+impl<V, E, A> DynAlgorithm<V, E, A::Msg> for A
+where
+    A: GraphAlgorithm<V, E>,
+{
+    fn init_vertex(&self, v: VertexId, out_degree: usize) -> V {
+        GraphAlgorithm::init_vertex(self, v, out_degree)
+    }
+
+    fn msg_gen(&self, triplet: &Triplet<V, E>, iteration: usize) -> Vec<AddressedMessage<A::Msg>> {
+        GraphAlgorithm::msg_gen(self, triplet, iteration)
+    }
+
+    fn msg_merge(&self, a: A::Msg, b: A::Msg) -> A::Msg {
+        GraphAlgorithm::msg_merge(self, a, b)
+    }
+
+    fn msg_apply(
+        &self,
+        vertex: VertexId,
+        current: &V,
+        message: &A::Msg,
+        iteration: usize,
+    ) -> Option<V> {
+        GraphAlgorithm::msg_apply(self, vertex, current, message, iteration)
+    }
+
+    fn initial_active(&self, num_vertices: usize) -> Option<Vec<VertexId>> {
+        GraphAlgorithm::initial_active(self, num_vertices)
+    }
+
+    fn max_iterations(&self) -> usize {
+        GraphAlgorithm::max_iterations(self)
+    }
+
+    fn always_active(&self) -> bool {
+        GraphAlgorithm::always_active(self)
+    }
+
+    fn reads_destination_attribute(&self) -> bool {
+        GraphAlgorithm::reads_destination_attribute(self)
+    }
+
+    fn name(&self) -> &'static str {
+        GraphAlgorithm::name(self)
+    }
+
+    fn operational_intensity(&self) -> f64 {
+        GraphAlgorithm::operational_intensity(self)
+    }
+}
+
+/// A cheaply-cloneable, type-erased [`GraphAlgorithm`] handle.
+///
+/// Wraps an `Arc<dyn DynAlgorithm<V, E, M>>` and implements
+/// [`GraphAlgorithm`] by delegation, so heterogeneous algorithms sharing a
+/// message type can travel through APIs written against the static trait —
+/// in particular, through a job queue.  Because every method forwards
+/// unchanged, an algorithm run through its `SharedAlgorithm` wrapper is
+/// bit-identical to the same algorithm run directly.
+pub struct SharedAlgorithm<V, E, M> {
+    inner: Arc<dyn DynAlgorithm<V, E, M>>,
+}
+
+impl<V, E, M> SharedAlgorithm<V, E, M> {
+    /// Erases `algorithm` behind the shared handle.
+    pub fn new<A>(algorithm: A) -> Self
+    where
+        A: GraphAlgorithm<V, E, Msg = M> + 'static,
+        V: 'static,
+        E: 'static,
+        M: 'static,
+    {
+        Self {
+            inner: Arc::new(algorithm),
+        }
+    }
+
+    /// Wraps an already-erased algorithm.
+    pub fn from_arc(inner: Arc<dyn DynAlgorithm<V, E, M>>) -> Self {
+        Self { inner }
+    }
+}
+
+impl<V, E, M> Clone for SharedAlgorithm<V, E, M> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V, E, M> fmt::Debug for SharedAlgorithm<V, E, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedAlgorithm")
+            .field("algorithm", &self.inner.name())
+            .finish()
+    }
+}
+
+impl<V, E, M> GraphAlgorithm<V, E> for SharedAlgorithm<V, E, M>
+where
+    V: Send + Sync,
+    E: Send + Sync,
+    M: Clone + Send + Sync,
+{
+    type Msg = M;
+
+    fn init_vertex(&self, v: VertexId, out_degree: usize) -> V {
+        self.inner.init_vertex(v, out_degree)
+    }
+
+    fn msg_gen(&self, triplet: &Triplet<V, E>, iteration: usize) -> Vec<AddressedMessage<M>> {
+        self.inner.msg_gen(triplet, iteration)
+    }
+
+    fn msg_merge(&self, a: M, b: M) -> M {
+        self.inner.msg_merge(a, b)
+    }
+
+    fn msg_apply(&self, vertex: VertexId, current: &V, message: &M, iteration: usize) -> Option<V> {
+        self.inner.msg_apply(vertex, current, message, iteration)
+    }
+
+    fn initial_active(&self, num_vertices: usize) -> Option<Vec<VertexId>> {
+        self.inner.initial_active(num_vertices)
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.inner.max_iterations()
+    }
+
+    fn always_active(&self) -> bool {
+        self.inner.always_active()
+    }
+
+    fn reads_destination_attribute(&self) -> bool {
+        self.inner.reads_destination_attribute()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn operational_intensity(&self) -> f64 {
+        self.inner.operational_intensity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +344,94 @@ mod tests {
         let m = AddressedMessage::new(7, 1.5f64);
         assert_eq!(m.target, 7);
         assert_eq!(m.payload, 1.5);
+    }
+
+    /// Min-propagation over f64 vertices, f64 messages.
+    struct MinProp;
+
+    impl GraphAlgorithm<f64, f64> for MinProp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, _d: usize) -> f64 {
+            if v == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            vec![AddressedMessage::new(t.dst, t.src_attr + t.edge_attr)]
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.min(b)
+        }
+        fn msg_apply(&self, _v: VertexId, cur: &f64, msg: &f64, _i: usize) -> Option<f64> {
+            (msg < cur).then_some(*msg)
+        }
+        fn name(&self) -> &'static str {
+            "min-prop"
+        }
+    }
+
+    /// Max-propagation: a *different* implementation with the same message
+    /// type, so both fit behind one `dyn DynAlgorithm<f64, f64, f64>`.
+    struct MaxProp;
+
+    impl GraphAlgorithm<f64, f64> for MaxProp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, _d: usize) -> f64 {
+            v as f64
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, _i: usize) -> Vec<AddressedMessage<f64>> {
+            vec![AddressedMessage::new(t.dst, t.src_attr)]
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            a.max(b)
+        }
+        fn msg_apply(&self, _v: VertexId, cur: &f64, msg: &f64, _i: usize) -> Option<f64> {
+            (msg > cur).then_some(*msg)
+        }
+        fn always_active(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "max-prop"
+        }
+    }
+
+    #[test]
+    fn heterogeneous_algorithms_share_a_dyn_slot() {
+        // The whole point of the erasure: one collection holds different
+        // implementations that agree on the message type.
+        let jobs: Vec<Arc<dyn DynAlgorithm<f64, f64, f64>>> =
+            vec![Arc::new(MinProp), Arc::new(MaxProp)];
+        assert_eq!(jobs[0].name(), "min-prop");
+        assert_eq!(jobs[1].name(), "max-prop");
+        assert!(!jobs[0].always_active());
+        assert!(jobs[1].always_active());
+    }
+
+    #[test]
+    fn shared_algorithm_delegates_every_method() {
+        let shared = SharedAlgorithm::new(MinProp);
+        let cloned = shared.clone();
+        let triplet = Triplet::new(0, 1, 2.0, f64::INFINITY, 3.0);
+        assert_eq!(
+            GraphAlgorithm::msg_gen(&cloned, &triplet, 0),
+            GraphAlgorithm::msg_gen(&MinProp, &triplet, 0)
+        );
+        assert_eq!(
+            GraphAlgorithm::init_vertex(&shared, 5, 2).to_bits(),
+            GraphAlgorithm::init_vertex(&MinProp, 5, 2).to_bits()
+        );
+        assert_eq!(GraphAlgorithm::msg_merge(&shared, 4.0, 2.0), 2.0);
+        assert_eq!(
+            GraphAlgorithm::msg_apply(&shared, 1, &5.0, &2.0, 0),
+            Some(2.0)
+        );
+        assert_eq!(GraphAlgorithm::name(&shared), "min-prop");
+        assert_eq!(
+            GraphAlgorithm::max_iterations(&shared),
+            GraphAlgorithm::max_iterations(&MinProp)
+        );
     }
 }

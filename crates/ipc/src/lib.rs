@@ -6,7 +6,9 @@
 //!
 //! * [`key`] — IPC keys and the `ftok`-style key generator;
 //! * [`queue`] — the `Send + Sync` Mutex/Condvar-backed MPMC queue every
-//!   control channel (and the threaded daemon runtime) is built on;
+//!   control channel (and the threaded daemon runtime) is built on, with
+//!   blocking, deadline and non-blocking receive flavours;
+//! * [`oneshot`] — the exactly-once result slot job tickets park on;
 //! * [`segment`] — shared memory segments with mutual visibility and traffic
 //!   statistics, sharded per `(node, daemon)` through [`SegmentPool`] so
 //!   concurrent daemons never contend on one lock;
@@ -29,6 +31,7 @@ pub mod blocks;
 pub mod channel;
 pub mod key;
 pub mod messages;
+pub mod oneshot;
 pub mod queue;
 pub mod segment;
 
@@ -39,5 +42,6 @@ pub use blocks::{
 pub use channel::{control_link_pair, ChannelError, ControlLink, Side};
 pub use key::{IpcKey, KeyGenerator};
 pub use messages::{ApiCall, ControlMessage};
+pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSendError, QueueSender};
 pub use segment::{SegmentPool, SegmentStats, SharedSegment};

@@ -1,0 +1,301 @@
+//! A one-shot result slot on the same Mutex/Condvar substrate as [`crate::queue`].
+//!
+//! The job-service runtime needs a wake-up primitive with exactly-once
+//! delivery semantics: a scheduler worker finishes a job and hands the result
+//! to whichever thread is parked on the job's ticket.  An MPMC queue is the
+//! wrong shape for that (two endpoints per job, no "value already taken"
+//! state), so [`oneshot`] provides the minimal slot:
+//!
+//! * [`OneshotSender::send`] consumes the sender — a slot delivers at most
+//!   one value, enforced by the type system rather than a runtime check;
+//! * [`OneshotReceiver::recv`] blocks on a condition variable until the value
+//!   arrives (or the sender is dropped unfired), with
+//!   [`OneshotReceiver::recv_timeout`] and the non-blocking
+//!   [`OneshotReceiver::try_recv`] mirroring the queue's API — including its
+//!   [`QueueRecvError`] vocabulary, so callers polling a ticket and callers
+//!   polling a queue handle errors identically;
+//! * dropping either endpoint is observed by the other: an unfired dropped
+//!   sender turns every receive into [`QueueRecvError::Disconnected`], and a
+//!   dropped receiver makes [`OneshotSender::send`] hand the value back.
+//!
+//! Like the queue, values need not be `'static` and the primitive never
+//! spins.
+
+use crate::queue::{QueueRecvError, QueueSendError};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Interior state of a oneshot slot.
+struct SlotState<T> {
+    value: Option<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<SlotState<T>>,
+    /// Signalled when the value arrives or the sender departs unfired.
+    ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from poisoning (the lock only ever guards
+    /// slot bookkeeping, which cannot be left inconsistent).
+    fn lock(&self) -> MutexGuard<'_, SlotState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The firing half of a [`oneshot`] slot.  [`OneshotSender::send`] consumes
+/// it; dropping it unfired disconnects the receiver.
+pub struct OneshotSender<T> {
+    /// `Some` until the sender fires; `Drop` only reports a disconnect when
+    /// the slot was never fired.
+    shared: Option<Arc<Shared<T>>>,
+}
+
+/// The receiving half of a [`oneshot`] slot.
+pub struct OneshotReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a one-shot slot: a single value travels from the
+/// [`OneshotSender`] to the [`OneshotReceiver`], with disconnection observed
+/// on both ends.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SlotState {
+            value: None,
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        OneshotSender {
+            shared: Some(Arc::clone(&shared)),
+        },
+        OneshotReceiver { shared },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Fires the slot, waking the receiver.  Fails (returning the value) if
+    /// the receiver is gone.
+    pub fn send(mut self, value: T) -> Result<(), QueueSendError<T>> {
+        let shared = self.shared.take().expect("sender fires at most once");
+        let mut state = shared.lock();
+        if !state.receiver_alive {
+            return Err(QueueSendError(value));
+        }
+        state.value = Some(value);
+        state.sender_alive = false;
+        drop(state);
+        // At most one thread ever waits on a ticket's slot, but notify_all
+        // keeps the primitive safe if a receiver is cloned-by-move between
+        // threads in the future.
+        shared.ready.notify_all();
+        Ok(())
+    }
+
+    /// Returns `true` if the receiving end has been dropped (a send would
+    /// fail).
+    pub fn is_disconnected(&self) -> bool {
+        match &self.shared {
+            Some(shared) => !shared.lock().receiver_alive,
+            None => true,
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            shared.lock().sender_alive = false;
+            shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for OneshotSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OneshotSender")
+            .field("fired", &self.shared.is_none())
+            .finish()
+    }
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Blocks until the value arrives, consuming the receiver.
+    ///
+    /// # Errors
+    /// [`QueueRecvError::Disconnected`] if the sender was dropped unfired.
+    pub fn recv(self) -> Result<T, QueueRecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if !state.sender_alive {
+                return Err(QueueRecvError::Disconnected);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until the value arrives, the sender departs unfired, or
+    /// `timeout` elapses.  The receiver survives a timeout, so callers can
+    /// keep polling.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, QueueRecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if !state.sender_alive {
+                return Err(QueueRecvError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(QueueRecvError::Timeout);
+            }
+            let (guard, _result) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Takes the value without blocking.
+    ///
+    /// # Errors
+    /// [`QueueRecvError::Empty`] while the sender is alive and has not fired;
+    /// [`QueueRecvError::Disconnected`] once it was dropped unfired (or the
+    /// value was already taken).
+    pub fn try_recv(&self) -> Result<T, QueueRecvError> {
+        let mut state = self.shared.lock();
+        match state.value.take() {
+            Some(value) => Ok(value),
+            None if state.sender_alive => Err(QueueRecvError::Empty),
+            None => Err(QueueRecvError::Disconnected),
+        }
+    }
+
+    /// Returns `true` once a receive cannot block: the value is ready or the
+    /// sender is gone.
+    pub fn is_ready(&self) -> bool {
+        let state = self.shared.lock();
+        state.value.is_some() || !state.sender_alive
+    }
+}
+
+impl<T> Drop for OneshotReceiver<T> {
+    fn drop(&mut self) {
+        // Take any undelivered value out under the lock but drop it after
+        // releasing it: its destructor may take other locks (the queue's
+        // receiver drop does the same).
+        let orphaned = {
+            let mut state = self.shared.lock();
+            state.receiver_alive = false;
+            state.value.take()
+        };
+        drop(orphaned);
+    }
+}
+
+impl<T> fmt::Debug for OneshotReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("OneshotReceiver")
+            .field("ready", &state.value.is_some())
+            .field("sender_alive", &state.sender_alive)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn value_travels_once() {
+        let (tx, rx) = oneshot();
+        tx.send(42u32).unwrap();
+        assert!(rx.is_ready());
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let (tx, rx) = oneshot();
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Empty));
+        assert!(!rx.is_ready());
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        // The slot delivers exactly once; afterwards it reads as
+        // disconnected, not empty.
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_receiver_is_woken_by_send() {
+        let (tx, rx) = oneshot();
+        let waiter = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        tx.send("done").unwrap();
+        assert_eq!(waiter.join().unwrap(), Ok("done"));
+    }
+
+    #[test]
+    fn dropped_sender_disconnects_a_blocked_receiver() {
+        let (tx, rx) = oneshot::<u8>();
+        let waiter = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(QueueRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_the_send_and_returns_the_value() {
+        let (tx, rx) = oneshot();
+        drop(rx);
+        assert!(tx.is_disconnected());
+        assert_eq!(tx.send(5u64), Err(QueueSendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_recovers() {
+        let (tx, rx) = oneshot();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(QueueRecvError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        tx.send(3u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(3));
+    }
+
+    #[test]
+    fn undelivered_value_is_dropped_with_the_receiver() {
+        // A value carrying a reply handle: dropping the receiver must drop
+        // the undelivered value so the nested channel observes the hang-up.
+        let (tx, rx) = oneshot();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<u8>();
+        tx.send(reply_tx).unwrap();
+        drop(rx);
+        assert_eq!(
+            reply_rx.recv_timeout(Duration::from_secs(5)),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -11,6 +11,9 @@
 //! * receivers block on a condition variable and are woken per message;
 //! * [`QueueReceiver::recv_timeout`] provides real deadline semantics
 //!   (re-arming the wait after spurious wake-ups);
+//! * [`QueueReceiver::try_recv`] and the `len`/`is_empty` accessors on both
+//!   endpoints support non-blocking polling — the job-service scheduler
+//!   drains its priority lanes this way;
 //! * disconnection is tracked by endpoint counts: sends fail once every
 //!   receiver is gone, receives fail once every sender is gone *and* the
 //!   queue has drained.
@@ -435,6 +438,98 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..3_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        // The scheduler workers of the job service poll lanes in priority
+        // order; `try_recv` must distinguish "nothing pending right now"
+        // from "this lane will never produce again".
+        let (tx, rx) = sync_queue();
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Empty));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_drains_the_backlog_before_reporting_disconnect() {
+        let (tx, rx) = sync_queue();
+        tx.send(7).unwrap();
+        drop(tx);
+        // A queued message outlives its senders...
+        assert_eq!(rx.try_recv(), Ok(7));
+        // ...and only then is the hang-up observed.
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Disconnected));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_both_endpoints() {
+        let (tx, rx) = sync_queue();
+        assert!(tx.is_empty());
+        assert!(rx.is_empty());
+        assert_eq!((tx.len(), rx.len()), (0, 0));
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((tx.len(), rx.len()), (3, 3));
+        assert!(!tx.is_empty());
+        assert!(!rx.is_empty());
+        rx.recv().unwrap();
+        assert_eq!((tx.len(), rx.len()), (2, 2));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(tx.is_empty());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_recv_competes_safely_with_blocking_consumers() {
+        // A non-blocking poller racing blocking consumers must never lose or
+        // duplicate a message.
+        let (tx, rx) = sync_queue::<u32>();
+        let blocking: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        seen.push(v);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let poller = {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match rx.try_recv() {
+                        Ok(v) => seen.push(v),
+                        Err(QueueRecvError::Empty) => thread::yield_now(),
+                        Err(QueueRecvError::Disconnected) => return seen,
+                        Err(other) => panic!("unexpected: {other:?}"),
+                    }
+                }
+            })
+        };
+        drop(rx);
+        for i in 0..2_000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = blocking
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.extend(poller.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..2_000).collect::<Vec<_>>());
     }
 
     #[test]

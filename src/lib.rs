@@ -14,7 +14,9 @@
 //! * [`engine`] — the simulated distributed upper systems (GraphX-like BSP,
 //!   PowerGraph-like GAS) and the cluster iteration driver;
 //! * [`core`] — the GX-Plug middleware itself (daemon–agent framework,
-//!   pipeline shuffle, synchronization caching/skipping, workload balancing);
+//!   pipeline shuffle, synchronization caching/skipping, workload
+//!   balancing), the `Session` API and the `GraphService` concurrent job
+//!   service;
 //! * [`algos`] — SSSP-BF, PageRank, LP, CC and k-core on the algorithm
 //!   template;
 //! * [`baselines`] — the Gunrock-like and Lux-like comparator engines.
@@ -83,15 +85,15 @@ pub mod prelude {
     };
     pub use gxplug_baselines::{GunrockLike, LuxLike};
     pub use gxplug_core::{
-        balance_capacities, balance_partitioning, split_by_capacity, Agent, Daemon, ExecutionMode,
-        MiddlewareConfig, PipelineCoefficients, PipelineMode, RunOutcome, RuntimeError, Session,
-        SessionBuilder, SessionError,
+        balance_capacities, balance_partitioning, split_by_capacity, AdmissionPolicy, Agent,
+        Daemon, ExecutionMode, GraphService, JobOptions, JobPriority, JobStatus, JobTicket,
+        MiddlewareConfig, PipelineCoefficients, PipelineMode, RunOutcome, RunOverrides,
+        RuntimeError, ServiceBuilder, ServiceError, ServiceStats, Session, SessionBuilder,
+        SessionError, SessionSpec,
     };
-    #[allow(deprecated)]
-    pub use gxplug_core::{run_accelerated, run_native};
     pub use gxplug_engine::{
-        AddressedMessage, Cluster, ComputationModel, GraphAlgorithm, NetworkModel, RunReport,
-        RuntimeProfile, SyncPolicy,
+        AddressedMessage, Cluster, ComputationModel, DynAlgorithm, GraphAlgorithm, NetworkModel,
+        RunReport, RuntimeProfile, SharedAlgorithm, SyncPolicy,
     };
     pub use gxplug_graph::datasets::{DatasetSpec, Scale, CATALOGUE};
     pub use gxplug_graph::generators::{ErdosRenyi, Generator, GridRoad, Rmat};

@@ -378,3 +378,145 @@ fn reused_session_is_bit_identical_to_one_shot_runs() {
     assert!(second.report.setup.is_zero());
     assert!(fresh_b.report.setup > SimDuration::ZERO);
 }
+
+/// Submits `jobs` through a [`GraphService`] (2 pooled worker sessions, 4
+/// concurrent submitter threads) and compares every outcome bit-for-bit
+/// against the same job run serially on its own fresh single-tenant session.
+///
+/// Scheduling must be a pure *placement* change: whichever worker a job
+/// lands on, and whatever ran on that worker before it, the job's vertex
+/// values, per-iteration metrics and middleware data movement have to match
+/// the fresh-session reference exactly.  Only the amortised deployment cost
+/// (`report.setup`, `AgentStats::init_time`) may differ — a pooled worker
+/// pays it once for its whole job stream.
+fn assert_service_matches_serial<V, A, B>(
+    jobs: Vec<A>,
+    default_value: V,
+    mode: ExecutionMode,
+    seed: u64,
+    canonical_bits: B,
+) where
+    V: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static,
+    A: GraphAlgorithm<V, f64> + Clone + 'static,
+    B: Fn(&V) -> Vec<u64>,
+{
+    use std::sync::Arc;
+
+    let parts = 3;
+    let list = Rmat::new(10, 8.0).generate(seed);
+    let graph = Arc::new(PropertyGraph::from_edge_list(list, default_value).unwrap());
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    let config = MiddlewareConfig::default().with_execution(mode);
+
+    // The reference: every job on its own fresh session, serially.
+    let serial: Vec<RunOutcome<V>> = jobs
+        .iter()
+        .map(|job| {
+            SessionBuilder::new(&graph)
+                .partitioned_by(partitioning.clone())
+                .devices(mixed_devices(parts))
+                .config(config)
+                .dataset("rmat")
+                .max_iterations(100)
+                .build()
+                .unwrap()
+                .run(job)
+                .unwrap()
+        })
+        .collect();
+
+    // The same jobs through the service: 2 pooled deployments, submissions
+    // racing in from 4 threads.
+    let service = GraphService::builder(Arc::clone(&graph))
+        .partitioned_by(partitioning.clone())
+        .devices(mixed_devices(parts))
+        .config(config)
+        .dataset("rmat")
+        .max_iterations(100)
+        .worker_sessions(2)
+        .build()
+        .unwrap();
+    let outcomes: Vec<(usize, RunOutcome<V>)> = std::thread::scope(|scope| {
+        let submitters: Vec<_> = (0..4usize)
+            .map(|t| {
+                let service = service.clone();
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    jobs.iter()
+                        .enumerate()
+                        .filter(|(index, _)| index % 4 == t)
+                        .map(|(index, job)| {
+                            let ticket = service.submit(job.clone()).unwrap();
+                            (index, ticket.wait().unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        submitters
+            .into_iter()
+            .flat_map(|s| s.join().unwrap())
+            .collect()
+    });
+    service.shutdown();
+
+    assert_eq!(outcomes.len(), serial.len());
+    for (index, outcome) in outcomes {
+        let reference = &serial[index];
+        assert_eq!(
+            outcome.report.num_iterations(),
+            reference.report.num_iterations(),
+            "iteration counts diverged for job {index} in {mode:?}"
+        );
+        assert_eq!(outcome.report.converged, reference.report.converged);
+        assert_eq!(outcome.values.len(), reference.values.len());
+        for (v, (a, b)) in outcome.values.iter().zip(&reference.values).enumerate() {
+            assert_eq!(
+                canonical_bits(a),
+                canonical_bits(b),
+                "vertex {v} diverged for job {index} in {mode:?}: service {a:?} vs serial {b:?}"
+            );
+        }
+        // Per-iteration metrics and data movement are exact; only the
+        // amortised deployment cost may differ between a pooled worker and a
+        // fresh session.
+        assert_eq!(outcome.report.iterations, reference.report.iterations);
+        assert_eq!(
+            without_init_time(&outcome.agent_stats),
+            without_init_time(&reference.agent_stats)
+        );
+    }
+}
+
+#[test]
+fn concurrent_service_pagerank_is_bit_identical_to_serial_sessions() {
+    // PageRank's float-sum merging makes any scheduling-induced reordering
+    // visible in the last mantissa bits.  An 8-job damping/length sweep.
+    let jobs: Vec<PageRank> = (0..8)
+        .map(|i| PageRank::new(10 + i % 3).with_damping(0.80 + 0.02 * i as f64))
+        .collect();
+    let default = RankValue {
+        rank: 1.0,
+        out_degree: 0,
+    };
+    for mode in [ExecutionMode::Serial, ExecutionMode::Threaded] {
+        assert_service_matches_serial(jobs.clone(), default, mode, 11, |value: &RankValue| {
+            vec![value.rank.to_bits(), value.out_degree as u64]
+        });
+    }
+}
+
+#[test]
+fn concurrent_service_sssp_is_bit_identical_to_serial_sessions() {
+    // A multi-tenant source sweep: 8 SSSP jobs with distinct frontiers.
+    let jobs: Vec<MultiSourceSssp> = (0..8u32)
+        .map(|i| MultiSourceSssp::new(vec![i, i + 16]))
+        .collect();
+    for mode in [ExecutionMode::Serial, ExecutionMode::Threaded] {
+        assert_service_matches_serial(jobs.clone(), Vec::new(), mode, 23, |d: &Vec<f64>| {
+            d.iter().map(|x| x.to_bits()).collect()
+        });
+    }
+}

@@ -277,3 +277,162 @@ fn inter_iteration_optimisations_reduce_data_movement_and_time() {
     );
     assert_eq!(optimised.values, naive.values);
 }
+
+#[test]
+fn job_service_serves_mixed_tenants_against_the_reference() {
+    use std::sync::Arc;
+
+    // Multi-tenant serving through the full stack: SSSP jobs with distinct
+    // source sets race in from several submitter threads at different
+    // priorities, and every result must match the sequential reference.
+    let graph: Arc<PropertyGraph<Vec<f64>, f64>> =
+        Arc::new(PropertyGraph::from_edge_list(orkut_like(5), Vec::new()).unwrap());
+    let nodes = 3;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, nodes)
+        .unwrap();
+    let service = GraphService::builder(Arc::clone(&graph))
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .devices(gpus(nodes))
+        .dataset("orkut-like")
+        .max_iterations(500)
+        .worker_sessions(2)
+        .build()
+        .unwrap();
+
+    let tenants: Vec<(MultiSourceSssp, JobPriority)> = (0..6u32)
+        .map(|i| {
+            let priority = match i % 3 {
+                0 => JobPriority::High,
+                1 => JobPriority::Normal,
+                _ => JobPriority::Low,
+            };
+            (MultiSourceSssp::new(vec![i, i + 7]), priority)
+        })
+        .collect();
+    let outcomes: Vec<(MultiSourceSssp, RunOutcome<Vec<f64>>)> = std::thread::scope(|scope| {
+        let submitters: Vec<_> = tenants
+            .into_iter()
+            .map(|(algorithm, priority)| {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let ticket = service
+                        .submit_with(algorithm.clone(), JobOptions::new().with_priority(priority))
+                        .unwrap();
+                    (algorithm, ticket.wait().unwrap())
+                })
+            })
+            .collect();
+        submitters.into_iter().map(|s| s.join().unwrap()).collect()
+    });
+    service.shutdown();
+
+    for (algorithm, outcome) in outcomes {
+        assert!(outcome.report.converged, "{:?}", algorithm.sources());
+        let reference =
+            gx_plug::algos::reference::multi_source_sssp_reference(&graph, algorithm.sources());
+        for (v, (got, want)) in outcome.values.iter().zip(&reference).enumerate() {
+            for (g, w) in got.iter().zip(want) {
+                let same = (g.is_infinite() && w.is_infinite()) || (g - w).abs() < 1e-9;
+                assert!(
+                    same,
+                    "sources {:?}: vertex {v} differs",
+                    algorithm.sources()
+                );
+            }
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.running, 0);
+}
+
+#[test]
+fn session_close_is_idempotent_and_the_deployment_recovers() {
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(orkut_like(9), Vec::new()).unwrap();
+    let algorithm = MultiSourceSssp::paper_default();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let mut session = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .devices(gpus(2))
+        .max_iterations(500)
+        .build()
+        .unwrap();
+    let first = session.run(&algorithm).unwrap();
+    assert!(first.report.setup > SimDuration::ZERO);
+    // Closing is idempotent; a closed session is not poisoned, it just pays
+    // device initialisation again on its next run — like a fresh deployment.
+    session.close();
+    session.close();
+    let reopened = session.run(&algorithm).unwrap();
+    assert_eq!(reopened.report.setup, first.report.setup);
+    assert_eq!(reopened.values, first.values);
+    // And an explicitly closed session drops cleanly (Drop closes again).
+    session.close();
+    drop(session);
+}
+
+#[test]
+fn panicking_job_poisons_only_its_own_session() {
+    /// An algorithm whose kernel panics on its first triplet.
+    struct PoisonPill;
+
+    impl GraphAlgorithm<Vec<f64>, f64> for PoisonPill {
+        type Msg = Vec<f64>;
+        fn init_vertex(&self, _v: VertexId, _d: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn msg_gen(
+            &self,
+            _t: &Triplet<Vec<f64>, f64>,
+            _i: usize,
+        ) -> Vec<AddressedMessage<Vec<f64>>> {
+            panic!("poison pill");
+        }
+        fn msg_merge(&self, a: Vec<f64>, _b: Vec<f64>) -> Vec<f64> {
+            a
+        }
+        fn msg_apply(
+            &self,
+            _v: VertexId,
+            _c: &Vec<f64>,
+            _m: &Vec<f64>,
+            _i: usize,
+        ) -> Option<Vec<f64>> {
+            None
+        }
+        fn name(&self) -> &'static str {
+            "poison-pill"
+        }
+    }
+
+    let graph: PropertyGraph<Vec<f64>, f64> =
+        PropertyGraph::from_edge_list(orkut_like(13), Vec::new()).unwrap();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let mut session = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .devices(gpus(2))
+        .max_iterations(500)
+        .build()
+        .unwrap();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = session.run(&PoisonPill);
+    }));
+    assert!(panicked.is_err(), "the poison pill must propagate");
+    // The panicking run consumed the session's daemons (each shut its device
+    // context down as it dropped), so the session reports the typed error
+    // instead of hanging or leaking — and dropping it stays safe.
+    assert!(matches!(
+        session.run(&MultiSourceSssp::paper_default()),
+        Err(SessionError::NoDevices)
+    ));
+    session.close();
+    drop(session);
+}

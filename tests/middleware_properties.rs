@@ -263,3 +263,77 @@ proptest! {
         }
     }
 }
+
+// ---------------- The job service: accounting invariants ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever mix of job counts, priorities, worker-pool sizes and
+    /// mid-stream cancellations the service sees, its books balance: every
+    /// ticket resolves after a draining shutdown, and the counters add up —
+    /// `submitted == completed + cancelled` (no job is lost, duplicated or
+    /// left queued).
+    #[test]
+    fn service_accounting_balances(
+        num_jobs in 1usize..10,
+        workers in 1usize..4,
+        seed in 0u64..1_000,
+        cancel_mask in 0u32..256,
+    ) {
+        use std::sync::Arc;
+
+        let list = Rmat::new(6, 4.0).generate(seed);
+        let graph: Arc<PropertyGraph<Vec<f64>, f64>> =
+            Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 2)
+            .unwrap();
+        // Native-only service: the scheduler machinery is identical, without
+        // paying device deployments 12 times over.
+        let service = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning)
+            .max_iterations(50)
+            .worker_sessions(workers)
+            .build()
+            .unwrap();
+        let priorities = [JobPriority::High, JobPriority::Normal, JobPriority::Low];
+        let tickets: Vec<(bool, JobTicket<Vec<f64>>)> = (0..num_jobs)
+            .map(|i| {
+                let options = JobOptions::new().with_priority(priorities[i % 3]);
+                let ticket = service
+                    .submit_with(MultiSourceSssp::new(vec![i as u32]), options)
+                    .unwrap();
+                let try_cancel = cancel_mask & (1 << (i % 8)) != 0;
+                (try_cancel && ticket.cancel(), ticket)
+            })
+            .collect();
+        service.shutdown();
+
+        let mut completed = 0u64;
+        let mut cancelled = 0u64;
+        for (cancel_won, ticket) in tickets {
+            match ticket.wait() {
+                Ok(outcome) => {
+                    prop_assert!(!cancel_won);
+                    prop_assert!(outcome.report.converged);
+                    completed += 1;
+                }
+                Err(ServiceError::Cancelled) => {
+                    prop_assert!(cancel_won);
+                    cancelled += 1;
+                }
+                Err(other) => prop_assert!(false, "unexpected ticket outcome: {}", other),
+            }
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.submitted, (completed + cancelled));
+        prop_assert_eq!(stats.completed, completed);
+        prop_assert_eq!(stats.cancelled, cancelled);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.panicked, 0);
+        prop_assert_eq!(stats.queued, 0);
+        prop_assert_eq!(stats.running, 0);
+        prop_assert_eq!(stats.executed(), completed);
+    }
+}
