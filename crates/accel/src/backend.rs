@@ -31,8 +31,13 @@ use crate::cost::CostModel;
 use crate::device::{AccelError, DeviceKind, KernelRun, KernelTiming, Result};
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
 /// One chunk of a kernel launch: which slice of the batch to process.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -434,9 +439,186 @@ const MIN_ITEMS_PER_CHUNK: usize = 256;
 /// Hard cap on worker threads per launch, whatever the host reports.
 const MAX_HOST_THREADS: usize = 64;
 
+/// Locks a pool mutex, recovering from poisoning (pool bookkeeping holds its
+/// invariants between operations; kernel panics are caught before they can
+/// poison anything mid-update).
+fn lock_pool<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Completion tracking of one launch dispatched to the worker pool.
+struct LaunchState {
+    progress: Mutex<LaunchProgress>,
+    finished: Condvar,
+}
+
+struct LaunchProgress {
+    remaining: usize,
+    /// The first ferried kernel panic payload, re-raised on the launching
+    /// thread (matching the panic propagation of a scoped spawn).
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl LaunchState {
+    fn new(chunks: usize) -> Self {
+        Self {
+            progress: Mutex::new(LaunchProgress {
+                remaining: chunks,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// Marks one chunk done (with its panic payload, if it unwound).
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut progress = lock_pool(&self.progress);
+        progress.remaining -= 1;
+        if progress.panic.is_none() {
+            progress.panic = panic;
+        }
+        if progress.remaining == 0 {
+            self.finished.notify_all();
+        }
+    }
+
+    /// Blocks until every chunk completed; returns the first ferried panic.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut progress = lock_pool(&self.progress);
+        while progress.remaining > 0 {
+            progress = self
+                .finished
+                .wait(progress)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        progress.panic.take()
+    }
+}
+
+/// One chunk dispatched to the pool.  The kernel reference is
+/// lifetime-erased: [`HostParallelBackend::launch`] blocks on the launch's
+/// [`LaunchState`] until every chunk completed, so the borrow it erased
+/// outlives every dereference.
+struct PoolJob {
+    kernel: &'static ChunkKernel<'static>,
+    chunk: ChunkSpec,
+    launch: Arc<LaunchState>,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when jobs arrive or the pool shuts down.
+    available: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<PoolJob>,
+    open: bool,
+}
+
+/// The persistent worker threads of a [`HostParallelBackend`]: spawned once
+/// (lazily, at the first multi-chunk launch) and fed launches through a
+/// shared job queue, so a workload of many small launches — a fused
+/// multi-job run, a deep pipeline — pays thread-spawn cost once instead of
+/// per launch.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(threads: usize, name: &str) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{name}-pool{index}"))
+                    .spawn(move || pool_worker(&shared))
+                    .expect("spawning a backend pool worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues one launch's chunks and wakes the workers.
+    fn dispatch(&self, jobs: impl Iterator<Item = PoolJob>) {
+        lock_pool(&self.shared.queue).jobs.extend(jobs);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock_pool(&self.shared.queue).open = false;
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The loop of one pool worker: pop a chunk, run it (panics caught and
+/// ferried to the launching thread), mark it done.
+fn pool_worker(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = lock_pool(&shared.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if !queue.open {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| (job.kernel)(job.chunk)));
+        job.launch.complete(outcome.err());
+    }
+}
+
+/// The lazily-created pool slot of a [`HostParallelBackend`].  Deliberately
+/// inert for the derived impls: clones start without a pool (each backend
+/// owns its own threads), equality ignores it, `Debug` shows only whether it
+/// is live.
+#[derive(Default)]
+struct PoolSlot(Option<WorkerPool>);
+
+impl Clone for PoolSlot {
+    fn clone(&self) -> Self {
+        PoolSlot(None)
+    }
+}
+
+impl PartialEq for PoolSlot {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for PoolSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PoolSlot").field(&self.0.is_some()).finish()
+    }
+}
+
 /// The host-parallel backend: every kernel launch is split into contiguous
-/// chunks executed across OS threads (`std::thread::scope`, so the kernel may
-/// borrow the iteration's data without `'static` bounds).
+/// chunks executed across a pool of long-lived OS threads (spawned at the
+/// first multi-chunk launch and reused until the backend drops, so a stream
+/// of small launches does not pay spawn cost per launch).  Kernels may
+/// borrow the iteration's data without `'static` bounds: a launch blocks
+/// until its last chunk completes, pinning the borrow.
 ///
 /// Chunks are contiguous, disjoint and index-dense, so a caller that
 /// concatenates per-chunk output in chunk order reproduces the serial item
@@ -454,6 +636,7 @@ pub struct HostParallelBackend {
     initialized: bool,
     items_processed: u64,
     kernel_launches: u64,
+    pool: PoolSlot,
 }
 
 impl HostParallelBackend {
@@ -483,6 +666,7 @@ impl HostParallelBackend {
             initialized: false,
             items_processed: 0,
             kernel_launches: 0,
+            pool: PoolSlot(None),
         }
     }
 
@@ -555,25 +739,42 @@ impl AcceleratorBackend for HostParallelBackend {
                 range: 0..items,
             });
         } else {
+            let pool = self
+                .pool
+                .0
+                .get_or_insert_with(|| WorkerPool::new(self.threads, &self.name));
+            // SAFETY: the pool workers only dereference this between the
+            // dispatch below and the `launch_state.wait()` that follows it,
+            // and `wait` does not return until every chunk completed — the
+            // erased borrow strictly outlives every use.
+            let kernel = unsafe {
+                std::mem::transmute::<&ChunkKernel<'_>, &'static ChunkKernel<'static>>(kernel)
+            };
+            let launch_state = Arc::new(LaunchState::new(chunks));
             // Contiguous even split: the first `rem` chunks take one extra
             // item, so concatenating ranges in index order covers 0..items.
             let base = items / chunks;
             let rem = items % chunks;
-            std::thread::scope(|scope| {
-                let mut start = 0usize;
-                for index in 0..chunks {
-                    let len = base + usize::from(index < rem);
-                    let range = start..start + len;
-                    start += len;
-                    scope.spawn(move || {
-                        kernel(ChunkSpec {
-                            index,
-                            chunks,
-                            range,
-                        })
-                    });
+            let mut start = 0usize;
+            pool.dispatch((0..chunks).map(|index| {
+                let len = base + usize::from(index < rem);
+                let range = start..start + len;
+                start += len;
+                PoolJob {
+                    kernel,
+                    chunk: ChunkSpec {
+                        index,
+                        chunks,
+                        range,
+                    },
+                    launch: Arc::clone(&launch_state),
                 }
-            });
+            }));
+            if let Some(payload) = launch_state.wait() {
+                // A panicking kernel unwinds the launching thread, exactly
+                // as it did under the scoped-spawn implementation.
+                resume_unwind(payload);
+            }
         }
         self.items_processed += items as u64;
         self.kernel_launches += 1;
@@ -703,19 +904,66 @@ mod tests {
     fn host_parallel_uses_multiple_threads_for_large_launches() {
         let mut backend = HostParallelBackend::new("p", DeviceKind::Cpu, cost(), Some(4));
         assert_eq!(backend.threads(), 4);
+        // Each chunk blocks on the barrier until all four are in flight, so
+        // the launch cannot complete unless four distinct workers run it.
+        let rendezvous = std::sync::Barrier::new(4);
         let thread_ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         backend
             .launch(4 * MIN_ITEMS_PER_CHUNK, &|_| {
+                rendezvous.wait();
                 thread_ids
                     .lock()
                     .unwrap()
                     .insert(std::thread::current().id());
             })
             .unwrap();
-        assert!(thread_ids.lock().unwrap().len() > 1);
+        assert_eq!(thread_ids.lock().unwrap().len(), 4);
         // Tiny launches stay inline: one chunk, the calling thread.
         let chunks = observed_chunks(&mut backend, MIN_ITEMS_PER_CHUNK / 2);
         assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_launches() {
+        let mut backend = HostParallelBackend::new("p", DeviceKind::Cpu, cost(), Some(4));
+        let ids = |backend: &mut HostParallelBackend| {
+            // Rendezvous forces every worker to take exactly one chunk, so
+            // each launch observes the full, stable set of pool threads.
+            let rendezvous = std::sync::Barrier::new(4);
+            let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+            backend
+                .launch(4 * MIN_ITEMS_PER_CHUNK, &|_| {
+                    rendezvous.wait();
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                })
+                .unwrap();
+            seen.into_inner().unwrap()
+        };
+        let first = ids(&mut backend);
+        let second = ids(&mut backend);
+        assert_eq!(first.len(), 4);
+        // Long-lived pool: later launches run on the same worker threads
+        // instead of freshly spawned ones, and never on the caller's.
+        assert_eq!(second, first);
+        assert!(!first.contains(&std::thread::current().id()));
+        // Clones own their threads: the pool itself is not duplicated.
+        let mut cloned = backend.clone();
+        assert_eq!(cloned, backend);
+        let third = ids(&mut cloned);
+        assert!(third.is_disjoint(&first));
+    }
+
+    #[test]
+    fn kernel_panics_propagate_from_the_pool() {
+        let mut backend = HostParallelBackend::new("p", DeviceKind::Cpu, cost(), Some(4));
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let _ = backend.launch(4 * MIN_ITEMS_PER_CHUNK, &|chunk| {
+                assert!(chunk.index != 1, "kernel died");
+            });
+        }));
+        assert!(unwound.is_err());
+        // The pool survives a panicking kernel: the next launch completes.
+        backend.launch(4 * MIN_ITEMS_PER_CHUNK, &|_| {}).unwrap();
     }
 
     #[test]

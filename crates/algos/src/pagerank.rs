@@ -109,6 +109,17 @@ impl GraphAlgorithm<RankValue, f64> for PageRank {
     fn operational_intensity(&self) -> f64 {
         1.0
     }
+
+    fn cache_key(&self) -> Option<String> {
+        // Floats are encoded by bit pattern so the key distinguishes every
+        // representable damping/initial-rank value exactly.
+        Some(format!(
+            "d{:016x};i{};r{:016x}",
+            self.damping.to_bits(),
+            self.iterations,
+            self.initial_rank.to_bits()
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +223,22 @@ mod tests {
     #[should_panic]
     fn damping_must_be_a_probability() {
         let _ = PageRank::new(5).with_damping(1.5);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_parameter() {
+        let base = PageRank::new(10);
+        assert_eq!(base.cache_key(), PageRank::new(10).cache_key());
+        assert_ne!(base.cache_key(), PageRank::new(11).cache_key());
+        assert_ne!(
+            base.cache_key(),
+            PageRank::new(10).with_damping(0.9).cache_key()
+        );
+        let mut custom_rank = PageRank::new(10);
+        custom_rank.initial_rank = 0.5;
+        assert_ne!(base.cache_key(), custom_rank.cache_key());
+        // PageRank never declares a fusion family: runs with different
+        // parameters cannot share one sweep.
+        assert!(base.fusion_family().is_none());
     }
 }

@@ -116,6 +116,48 @@ impl GraphAlgorithm<Distances, f64> for MultiSourceSssp {
         // Each triplet relaxes one edge per source.
         0.4 * self.sources.len() as f64
     }
+
+    fn cache_key(&self) -> Option<String> {
+        // The source list is the algorithm's entire parameterisation.
+        let mut key = String::from("s");
+        for (i, source) in self.sources.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            key.push_str(&source.to_string());
+        }
+        Some(key)
+    }
+
+    fn fusion_family(&self) -> Option<&'static str> {
+        Some("sssp-bf-multi")
+    }
+
+    /// Fusing SSSP jobs concatenates their source lists: one run relaxes
+    /// every member's sources simultaneously, and each member's distance
+    /// columns come back out of the fused vertex vectors.  Per-source
+    /// relaxation is independent (`min` per column, path sums unchanged), so
+    /// the converged distances are bit-identical to each member running
+    /// alone.
+    fn fuse(members: &[&Self]) -> Option<Self> {
+        if members.is_empty() {
+            return None;
+        }
+        Some(Self::new(
+            members
+                .iter()
+                .flat_map(|member| member.sources.iter().copied())
+                .collect(),
+        ))
+    }
+
+    fn extract_fused(members: &[&Self], index: usize, value: &Distances) -> Distances {
+        let offset: usize = members[..index]
+            .iter()
+            .map(|member| member.num_sources())
+            .sum();
+        value[offset..offset + members[index].num_sources()].to_vec()
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +235,92 @@ mod tests {
     #[should_panic]
     fn requires_at_least_one_source() {
         let _ = MultiSourceSssp::new(Vec::new());
+    }
+
+    #[test]
+    fn cache_key_encodes_the_source_list() {
+        let a = MultiSourceSssp::new(vec![0, 1, 2, 3]);
+        let b = MultiSourceSssp::new(vec![0, 1, 2, 3]);
+        let c = MultiSourceSssp::new(vec![3, 2, 1, 0]);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_eq!(a.cache_key().unwrap(), "s0,1,2,3");
+    }
+
+    #[test]
+    fn fuse_concatenates_sources_in_member_order() {
+        let leader = MultiSourceSssp::new(vec![4, 5]);
+        let peer = MultiSourceSssp::new(vec![9]);
+        let fused = MultiSourceSssp::fuse(&[&leader, &peer]).unwrap();
+        assert_eq!(fused.sources(), &[4, 5, 9]);
+        assert_eq!(fused.fusion_family(), leader.fusion_family());
+        assert!(MultiSourceSssp::fuse(&[]).is_none());
+    }
+
+    #[test]
+    fn extract_fused_slices_each_members_columns() {
+        let a = MultiSourceSssp::new(vec![0, 1]);
+        let b = MultiSourceSssp::new(vec![2]);
+        let c = MultiSourceSssp::new(vec![3, 4, 5]);
+        let members = [&a, &b, &c];
+        let fused_value = vec![10.0, 11.0, 20.0, 30.0, 31.0, 32.0];
+        assert_eq!(
+            MultiSourceSssp::extract_fused(&members, 0, &fused_value),
+            vec![10.0, 11.0]
+        );
+        assert_eq!(
+            MultiSourceSssp::extract_fused(&members, 1, &fused_value),
+            vec![20.0]
+        );
+        assert_eq!(
+            MultiSourceSssp::extract_fused(&members, 2, &fused_value),
+            vec![30.0, 31.0, 32.0]
+        );
+    }
+
+    #[test]
+    fn fused_run_matches_members_run_alone() {
+        let list = GridRoad::new(10, 10, 0.05).generate(7);
+        let graph = PropertyGraph::from_edge_list(list, Vec::new()).unwrap();
+        let members = [
+            MultiSourceSssp::new(vec![0, 13]),
+            MultiSourceSssp::new(vec![42]),
+            MultiSourceSssp::new(vec![7, 88]),
+        ];
+        let member_refs: Vec<&MultiSourceSssp> = members.iter().collect();
+        let fused = MultiSourceSssp::fuse(&member_refs).unwrap();
+
+        let run = |algorithm: &MultiSourceSssp| {
+            let partitioning = GreedyVertexCutPartitioner::default()
+                .partition(&graph, 2)
+                .unwrap();
+            let mut cluster = Cluster::build(
+                &graph,
+                partitioning,
+                algorithm,
+                RuntimeProfile::powergraph(),
+                NetworkModel::datacenter(),
+            );
+            let report = cluster.run_native(algorithm, "test", 1_000);
+            assert!(report.converged);
+            cluster.collect_values()
+        };
+
+        let fused_values = run(&fused);
+        for (index, member) in members.iter().enumerate() {
+            let solo_values = run(member);
+            for (v, (fused_value, solo_value)) in fused_values.iter().zip(&solo_values).enumerate()
+            {
+                let extracted = MultiSourceSssp::extract_fused(&member_refs, index, fused_value);
+                let identical = extracted
+                    .iter()
+                    .zip(solo_value)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    identical,
+                    "member {index} vertex {v}: fused {extracted:?} != solo {solo_value:?}"
+                );
+            }
+        }
     }
 }

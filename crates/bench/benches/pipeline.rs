@@ -15,8 +15,8 @@ use gxplug_algos::MultiSourceSssp;
 use gxplug_core::daemon::{execute_share, merge_addressed};
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
 use gxplug_core::{
-    split_by_capacity, Daemon, ExecutionMode, GraphService, MiddlewareConfig, PipelineCoefficients,
-    Session, SessionBuilder,
+    split_by_capacity, CachePolicy, Daemon, ExecutionMode, GraphService, JobOptions,
+    MiddlewareConfig, PipelineCoefficients, Session, SessionBuilder,
 };
 use gxplug_engine::network::NetworkModel;
 use gxplug_engine::node::NodeState;
@@ -466,18 +466,21 @@ fn service_job_mix() -> Vec<MultiSourceSssp> {
 /// worker the batch serialises; with two, jobs overlap across deployments —
 /// on a multi-core host that is where throughput is won (on a 1-core
 /// container the arms converge).  Results stay bit-identical either way
-/// (the `determinism` integration test proves it).
+/// (the `determinism` integration test proves it).  Submissions bypass the
+/// result cache: this group measures raw scheduling, and resubmitting the
+/// same mix every sample would otherwise turn into pure cache hits.
 fn bench_service_throughput(c: &mut Criterion) {
     let (graph, partitioning, parts) = end_to_end_workload();
     let graph = Arc::new(graph);
     let jobs = service_job_mix();
+    let bypass = || JobOptions::new().with_cache(CachePolicy::Bypass);
     let mut group = c.benchmark_group("service_throughput");
     for workers in [1usize, 2] {
         let service = mixed_device_service(&graph, &partitioning, parts, workers);
         // Warm-up: every worker session pays its deployment outside the
         // measured region.
         let warm: Vec<_> = (0..workers)
-            .map(|_| service.submit(jobs[0].clone()).unwrap())
+            .map(|_| service.submit_with(jobs[0].clone(), bypass()).unwrap())
             .collect();
         for ticket in warm {
             ticket.wait().unwrap();
@@ -489,7 +492,7 @@ fn bench_service_throughput(c: &mut Criterion) {
                 b.iter(|| {
                     let tickets: Vec<_> = jobs
                         .iter()
-                        .map(|job| service.submit(job.clone()).unwrap())
+                        .map(|job| service.submit_with(job.clone(), bypass()).unwrap())
                         .collect();
                     let iterations: usize = tickets
                         .into_iter()
@@ -504,6 +507,87 @@ fn bench_service_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The duplicate-ratio arms of the `service_cache` group: out of every
+/// 10-job batch, how many submissions repeat the already-cached hot job.
+const CACHE_BATCH: usize = 10;
+const CACHE_DUPLICATE_ARMS: [(usize, &str); 3] = [(0, "0"), (5, "50"), (9, "90")];
+
+/// A stream of fresh (uncached) SSSP jobs: each call yields a job whose
+/// source pair has not been submitted before, cycling within the bench
+/// graph's vertex range so every job does real work.
+fn fresh_job(counter: &mut u32) -> MultiSourceSssp {
+    let base = 64 + (*counter * 2) % 3_000;
+    *counter += 1;
+    MultiSourceSssp::new(vec![base, base + 1])
+}
+
+/// Throughput under duplicate traffic: batches with 0% / 50% / 90% of
+/// submissions repeating one already-cached job, against a no-cache
+/// baseline (the same 90%-duplicate stream submitted with
+/// [`CachePolicy::Bypass`]).  Duplicate submissions resolve through the
+/// scheduler-level result cache without touching a worker, so the
+/// duplicate-heavy arms win roughly in proportion to their hit share.
+fn bench_service_cache(c: &mut Criterion) {
+    let (graph, partitioning, parts) = end_to_end_workload();
+    let graph = Arc::new(graph);
+    let hot = MultiSourceSssp::paper_default();
+    let mut counter = 0u32;
+    let mut group = c.benchmark_group("service_cache");
+    let run_arm = |group: &mut criterion::BenchmarkGroup<'_>,
+                   label: String,
+                   duplicates: usize,
+                   policy: CachePolicy,
+                   counter: &mut u32| {
+        let service = mixed_device_service(&graph, &partitioning, parts, 1);
+        // Warm up: pay the deployment and (unless bypassing) fill the cache
+        // with the hot job outside the measured region.
+        service
+            .submit_with(hot.clone(), JobOptions::new().with_cache(policy))
+            .unwrap()
+            .wait()
+            .unwrap();
+        group.bench_function(&format!("sssp_rmat12/{label}"), |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..CACHE_BATCH)
+                    .map(|i| {
+                        let job = if i < duplicates {
+                            hot.clone()
+                        } else {
+                            fresh_job(counter)
+                        };
+                        service
+                            .submit_with(job, JobOptions::new().with_cache(policy))
+                            .unwrap()
+                    })
+                    .collect();
+                let iterations: usize = tickets
+                    .into_iter()
+                    .map(|ticket| ticket.wait().unwrap().report.num_iterations())
+                    .sum();
+                black_box(iterations)
+            })
+        });
+        service.shutdown();
+    };
+    for (duplicates, pct) in CACHE_DUPLICATE_ARMS {
+        run_arm(
+            &mut group,
+            format!("dup={pct}%"),
+            duplicates,
+            CachePolicy::UseOrFill,
+            &mut counter,
+        );
+    }
+    run_arm(
+        &mut group,
+        "dup=90%_nocache".to_string(),
+        9,
+        CachePolicy::Bypass,
+        &mut counter,
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
@@ -513,7 +597,8 @@ criterion_group!(
     bench_execution_modes,
     bench_backend_matrix,
     bench_session_reuse,
-    bench_service_throughput
+    bench_service_throughput,
+    bench_service_cache
 );
 
 /// One record of the machine-readable benchmark output.
@@ -529,12 +614,17 @@ struct BenchRecord {
     /// otherwise the pool size plus throughput and queue-latency
     /// percentiles (`workers=… jobs_per_s=… queue_p50_ms=… queue_p95_ms=…`).
     service: String,
+    /// Result-cache context of the record: `"-"` when the cache was not
+    /// exercised, otherwise the duplicate ratio plus hit counters and
+    /// hit-resolution latency percentiles
+    /// (`dup=…% hits=… hit_p50_us=… hit_p95_us=…`).
+    cache: String,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
-            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}"}}"#,
+            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}", "cache": "{}"}}"#,
             self.mode,
             self.backend,
             self.graph,
@@ -542,13 +632,19 @@ impl BenchRecord {
             self.blocks,
             self.triplets,
             self.bytes_moved,
-            self.service
+            self.service,
+            self.cache
         )
     }
 }
 
 /// The `service` label of a record that did not go through the job service.
 fn no_service() -> String {
+    "-".to_string()
+}
+
+/// The `cache` label of a record that did not exercise the result cache.
+fn no_cache() -> String {
     "-".to_string()
 }
 
@@ -590,6 +686,7 @@ fn emit_bench_json() {
             triplets,
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
+            cache: no_cache(),
         });
         let mut buffer = TripletBuffer::new();
         let mut msg_bufs = vec![Vec::new(), Vec::new()];
@@ -609,6 +706,7 @@ fn emit_bench_json() {
             triplets,
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
+            cache: no_cache(),
         });
     }
 
@@ -645,6 +743,7 @@ fn emit_bench_json() {
             triplets,
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
+            cache: no_cache(),
         });
     }
 
@@ -680,18 +779,28 @@ fn emit_bench_json() {
             triplets,
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
+            cache: no_cache(),
         });
     }
 
     // --- service throughput: 1 vs 2 pooled worker sessions ----------------
+    // Submissions bypass the result cache: this section tracks raw
+    // scheduling throughput, and the mix repeats across samples.
+    let graph = Arc::new(graph);
     {
-        let graph = Arc::new(graph);
         let jobs = service_job_mix();
         for workers in [1usize, 2] {
             let service = mixed_device_service(&graph, &partitioning, parts, workers);
             // Warm-up: every worker pays its deployment before measuring.
             let warm: Vec<_> = (0..workers)
-                .map(|_| service.submit(jobs[0].clone()).unwrap())
+                .map(|_| {
+                    service
+                        .submit_with(
+                            jobs[0].clone(),
+                            JobOptions::new().with_cache(CachePolicy::Bypass),
+                        )
+                        .unwrap()
+                })
                 .collect();
             for ticket in warm {
                 ticket.wait().unwrap();
@@ -703,7 +812,14 @@ fn emit_bench_json() {
             for _ in 0..samples {
                 let tickets: Vec<_> = jobs
                     .iter()
-                    .map(|job| service.submit(job.clone()).unwrap())
+                    .map(|job| {
+                        service
+                            .submit_with(
+                                job.clone(),
+                                JobOptions::new().with_cache(CachePolicy::Bypass),
+                            )
+                            .unwrap()
+                    })
                     .collect();
                 for ticket in tickets {
                     let outcome = ticket.wait().unwrap();
@@ -739,6 +855,106 @@ fn emit_bench_json() {
                 triplets,
                 bytes_moved: triplets * triplet_bytes,
                 service: service_label,
+                cache: no_cache(),
+            });
+        }
+    }
+
+    // --- service cache: duplicate traffic vs the no-cache baseline --------
+    {
+        let hot = MultiSourceSssp::paper_default();
+        let mut counter = 0u32;
+        // One arm of the duplicate-ratio matrix: `duplicates` of every
+        // 10-job batch repeat the pre-warmed hot job under `policy`, the
+        // rest are fresh keys.  Returns (jobs/sec, avg batch ms, triplets
+        // served, final stats).
+        let mut run_arm = |duplicates: usize, policy: CachePolicy| {
+            let service = mixed_device_service(&graph, &partitioning, parts, 1);
+            service
+                .submit_with(hot.clone(), JobOptions::new().with_cache(policy))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let total_jobs = samples * CACHE_BATCH;
+            let mut triplets = 0u64;
+            let start = Instant::now();
+            for _ in 0..samples {
+                let tickets: Vec<_> = (0..CACHE_BATCH)
+                    .map(|i| {
+                        let job = if i < duplicates {
+                            hot.clone()
+                        } else {
+                            fresh_job(&mut counter)
+                        };
+                        service
+                            .submit_with(job, JobOptions::new().with_cache(policy))
+                            .unwrap()
+                    })
+                    .collect();
+                for ticket in tickets {
+                    triplets += ticket.wait().unwrap().report.total_triplets() as u64;
+                }
+            }
+            let elapsed = start.elapsed();
+            let stats = service.stats();
+            service.shutdown();
+            (
+                total_jobs as f64 / elapsed.as_secs_f64(),
+                elapsed.as_secs_f64() * 1e3 / samples as f64,
+                triplets,
+                stats,
+            )
+        };
+        // The baseline: the 90%-duplicate stream with the cache bypassed —
+        // every submission runs.
+        let (nocache_jobs_per_s, nocache_ms, nocache_triplets, _) = run_arm(9, CachePolicy::Bypass);
+        records.push(BenchRecord {
+            mode: "service_cache/dup=90_nocache".into(),
+            backend: BackendKind::Sim.label().into(),
+            graph: "rmat12-4nodes".into(),
+            wall_ms: nocache_ms,
+            blocks: 0,
+            triplets: nocache_triplets,
+            bytes_moved: nocache_triplets * triplet_bytes,
+            service: format!(
+                "workers=1 jobs={} jobs_per_s={nocache_jobs_per_s:.2}",
+                samples * CACHE_BATCH
+            ),
+            cache: "dup=90% policy=bypass".into(),
+        });
+        for (duplicates, pct) in CACHE_DUPLICATE_ARMS {
+            let (jobs_per_s, batch_ms, triplets, stats) =
+                run_arm(duplicates, CachePolicy::UseOrFill);
+            let hit_us = |q: f64| {
+                stats
+                    .cache_hit_percentile(q)
+                    .map_or(0.0, |wait| wait.as_secs_f64() * 1e6)
+            };
+            let mut cache_label = format!(
+                "dup={pct}% hits={} hit_p50_us={:.1} hit_p95_us={:.1}",
+                stats.cache_hits,
+                hit_us(0.5),
+                hit_us(0.95)
+            );
+            if duplicates == 9 {
+                cache_label.push_str(&format!(
+                    " speedup_vs_nocache={:.1}x",
+                    jobs_per_s / nocache_jobs_per_s
+                ));
+            }
+            records.push(BenchRecord {
+                mode: format!("service_cache/dup={pct}"),
+                backend: BackendKind::Sim.label().into(),
+                graph: "rmat12-4nodes".into(),
+                wall_ms: batch_ms,
+                blocks: 0,
+                triplets,
+                bytes_moved: triplets * triplet_bytes,
+                service: format!(
+                    "workers=1 jobs={} jobs_per_s={jobs_per_s:.2}",
+                    samples * CACHE_BATCH
+                ),
+                cache: cache_label,
             });
         }
     }

@@ -22,7 +22,8 @@
 use crate::pipeline::block_size::PipelineCoefficients;
 use crate::runtime::RuntimeError;
 use gxplug_accel::{
-    AccelError, AcceleratorBackend, ChunkSpec, CostModel, DeviceKind, KernelTiming, SimDuration,
+    AccelError, AcceleratorBackend, ChunkSpec, CostModel, DeviceKind, KernelTiming, SimBackend,
+    SimDuration,
 };
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
@@ -337,6 +338,22 @@ impl Daemon {
             self.started = false;
             self.backend.shutdown();
         }
+    }
+
+    /// Unwraps the daemon back into its backend *without* tearing the device
+    /// context down — the check-in path of a shared device pool, where a
+    /// context initialised by one job must stay warm for the next.  The
+    /// inverse of wrapping a pooled backend via [`Daemon::new`].
+    pub fn into_backend(mut self) -> Box<dyn AcceleratorBackend> {
+        // Disarm the automatic teardown: `Drop` shuts down started daemons,
+        // and this context must survive the round trip through the pool.
+        self.started = false;
+        let placeholder: Box<dyn AcceleratorBackend> = Box::new(SimBackend::new(
+            String::new(),
+            self.backend.kind(),
+            *self.backend.cost_model(),
+        ));
+        std::mem::replace(&mut self.backend, placeholder)
     }
 
     /// Snapshots the planning metadata of this daemon (see [`DaemonInfo`]).

@@ -59,7 +59,12 @@
 //! by its own scheduler thread off shared priority lanes, and any number of
 //! caller threads submit jobs ([`GraphService::submit`] →
 //! [`JobTicket::wait`]) with typed backpressure, per-job overrides,
-//! cancellation and deterministic shutdown.
+//! cancellation and deterministic shutdown.  In front of the lanes sits a
+//! keyed result cache (duplicate submissions resolve in microseconds without
+//! touching a worker) and behind them a coalescing pass: a worker claiming a
+//! job absorbs queued duplicates into its run and can fuse compatible jobs
+//! of one algorithm family into a single sweep — answers stay bit-identical
+//! to fresh runs either way.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -86,8 +91,8 @@ pub use metrics::AgentStats;
 pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
 pub use runtime::{DaemonHandle, DaemonJob, RuntimeError, ThreadedAgent, ThreadedNodes};
 pub use service::{
-    AdmissionPolicy, GraphService, JobOptions, JobPriority, JobStatus, JobTicket, ServiceBuilder,
-    ServiceError, ServiceStats,
+    AdmissionPolicy, CachePolicy, GraphService, JobOptions, JobPriority, JobStatus, JobTicket,
+    ServiceBuilder, ServiceError, ServiceStats,
 };
 pub use session::{
     system_label, RunOutcome, RunOverrides, Session, SessionBuilder, SessionError, SessionSpec,

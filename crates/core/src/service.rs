@@ -44,13 +44,46 @@
 //! scheduler catches the unwind, resolves the ticket with
 //! [`ServiceError::JobPanicked`], drops the poisoned session (daemons shut
 //! their device contexts down on drop) and redeploys a fresh one.
+//!
+//! # Result cache, single-flight and fusion
+//!
+//! Duplicate traffic — the common shape of a many-tenant service — is served
+//! without re-running anything:
+//!
+//! * **Result cache** — algorithms that implement
+//!   [`GraphAlgorithm::cache_key`] get a *job key* (algorithm identity +
+//!   parameter encoding + the effective [`MiddlewareConfig`] and iteration
+//!   cap).  At submit time the key is checked against an LRU,
+//!   byte-budgeted cache ([`ServiceBuilder::cache_capacity`],
+//!   [`ServiceBuilder::cache_bytes`]); a hit resolves the [`JobTicket`]
+//!   through an already-fired oneshot slot in microseconds, without touching
+//!   a worker.  Entries are versioned: [`GraphService::invalidate_cache`]
+//!   bumps the service's graph version so stale results are never served,
+//!   and [`GraphService::clear_cache`] drops them outright.  Per job,
+//!   [`CachePolicy`] opts out (`Bypass`) or forces a re-fill (`Refresh`).
+//! * **Single-flight coalescing** — when a worker dequeues a job, it also
+//!   drains same-key duplicates still queued behind it; all their tickets
+//!   resolve from the one run.
+//! * **Cross-job fusion** — algorithm families that implement
+//!   [`GraphAlgorithm::fusion_family`]/[`GraphAlgorithm::fuse`] can have up
+//!   to [`ServiceBuilder::fusion_limit`] queued jobs merged into one fused
+//!   run whose per-superstep work is shared, with per-member results carved
+//!   back out by [`GraphAlgorithm::extract_fused`].  Off by default.
+//!
+//! All three serve answers bit-identical to a fresh run — the `determinism`
+//! integration test proves it for both execution modes.
 
-use crate::config::MiddlewareConfig;
-use crate::session::{RunOutcome, RunOverrides, Session, SessionError, SessionSpec};
+use crate::config::{MiddlewareConfig, PipelineMode};
+use crate::daemon::Daemon;
+use crate::session::{
+    daemons_from_backends, RunOutcome, RunOverrides, Session, SessionError, SessionSpec,
+};
+use gxplug_accel::{AcceleratorBackend, DeviceRegistry, DeviceSpec};
 use gxplug_engine::template::{DynAlgorithm, GraphAlgorithm, SharedAlgorithm};
 use gxplug_graph::graph::PropertyGraph;
-use gxplug_ipc::oneshot::{oneshot, OneshotReceiver, OneshotSender};
+use gxplug_ipc::oneshot::{oneshot, resolved, OneshotReceiver, OneshotSender};
 use gxplug_ipc::queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSender};
+use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -99,6 +132,25 @@ impl JobPriority {
     }
 }
 
+/// How one submission interacts with the service's result cache.
+///
+/// Only meaningful for algorithms that implement
+/// [`GraphAlgorithm::cache_key`]; jobs without a key always run fresh and
+/// never fill the cache, whatever the policy says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Serve a stored result when one exists; otherwise run and store the
+    /// fresh one.  Also allows the scheduler to coalesce this job with
+    /// queued same-key duplicates (single-flight).
+    #[default]
+    UseOrFill,
+    /// Ignore the cache entirely: no lookup, no fill, no coalescing.
+    Bypass,
+    /// Skip the lookup but store the fresh result, replacing any stored
+    /// entry — a forced re-computation that warms the cache.
+    Refresh,
+}
+
 /// Per-job options of [`GraphService::submit_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JobOptions {
@@ -110,6 +162,9 @@ pub struct JobOptions {
     /// Per-job middleware configuration, overriding the deployment's
     /// (see [`RunOverrides`]).
     pub config_override: Option<MiddlewareConfig>,
+    /// How this job interacts with the result cache (default:
+    /// [`CachePolicy::UseOrFill`]).
+    pub cache: CachePolicy,
 }
 
 impl JobOptions {
@@ -134,6 +189,12 @@ impl JobOptions {
     /// Overrides the middleware configuration for this job.
     pub fn with_config(mut self, config: MiddlewareConfig) -> Self {
         self.config_override = Some(config);
+        self
+    }
+
+    /// Sets how this job interacts with the result cache.
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -290,48 +351,302 @@ impl JobCell {
 /// What a ticket resolves to.
 type JobResult<V> = Result<RunOutcome<V>, ServiceError>;
 
+/// What a group run returns: one result per member — the leader's first,
+/// then the peers' in their given order — plus whether a single fused run
+/// produced them (vs. the members running individually back to back).
+struct GroupOutcome<V> {
+    results: Vec<Result<RunOutcome<V>, SessionError>>,
+    fused: bool,
+}
+
+/// Runs `algorithm` on a worker session: accelerated when the deployment
+/// has devices, native otherwise.
+fn run_algorithm<V, E, A>(
+    session: &mut Session<'_, V, E>,
+    algorithm: &A,
+    overrides: RunOverrides,
+) -> Result<RunOutcome<V>, SessionError>
+where
+    V: Clone + PartialEq + Send + Sync,
+    E: Clone + Send + Sync,
+    A: GraphAlgorithm<V, E>,
+{
+    if session.has_devices() {
+        session.run_with(algorithm, overrides)
+    } else {
+        Ok(session.run_native_with(algorithm, overrides))
+    }
+}
+
 /// A job with its algorithm type erased, so heterogeneous jobs share the
 /// scheduler queue.  [`DynAlgorithm`] erases the *message* type behind a
 /// shared handle; this second layer erases the vertex-level run entirely, so
 /// the queue does not even need a common message type.
 trait ErasedJob<V, E>: Send {
-    /// Runs the job on a worker session.  Accelerated when the deployment
-    /// has devices, native otherwise.
-    fn run(
+    /// The cacheable identity of this job — the algorithm's name combined
+    /// with its [`GraphAlgorithm::cache_key`] parameter encoding — or `None`
+    /// for uncacheable algorithms.
+    fn cache_token(&self) -> Option<String>;
+
+    /// See [`GraphAlgorithm::fusion_family`].
+    fn fusion_family(&self) -> Option<&'static str>;
+
+    /// Whether `other` is the same concrete algorithm type as this job, so
+    /// the two can be reclaimed from erasure and fused by
+    /// [`ErasedJob::run_group`].
+    fn can_fuse_with(&self, other: &dyn ErasedJob<V, E>) -> bool;
+
+    fn as_any(&self) -> &dyn Any;
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Runs this job together with `peers` on a worker session.  With no
+    /// peers this is a plain run.  With peers — all of which passed
+    /// [`ErasedJob::can_fuse_with`] — the group is fused into one run when
+    /// the algorithm's [`GraphAlgorithm::fuse`] accepts it, and falls back
+    /// to individual runs (in order: this job first, then the peers)
+    /// otherwise.
+    fn run_group(
         self: Box<Self>,
+        peers: Vec<Box<dyn ErasedJob<V, E>>>,
         session: &mut Session<'_, V, E>,
         overrides: RunOverrides,
-    ) -> Result<RunOutcome<V>, SessionError>;
+    ) -> GroupOutcome<V>;
 }
 
 struct AlgorithmJob<A>(A);
 
 impl<V, E, A> ErasedJob<V, E> for AlgorithmJob<A>
 where
-    V: Clone + PartialEq + Send + Sync,
-    E: Clone + Send + Sync,
-    A: GraphAlgorithm<V, E>,
+    V: Clone + PartialEq + Send + Sync + 'static,
+    E: Clone + Send + Sync + 'static,
+    A: GraphAlgorithm<V, E> + 'static,
 {
-    fn run(
+    fn cache_token(&self) -> Option<String> {
+        self.0
+            .cache_key()
+            .map(|params| format!("{}\u{1f}{params}", self.0.name()))
+    }
+
+    fn fusion_family(&self) -> Option<&'static str> {
+        self.0.fusion_family()
+    }
+
+    fn can_fuse_with(&self, other: &dyn ErasedJob<V, E>) -> bool {
+        other.as_any().is::<AlgorithmJob<A>>()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn run_group(
         self: Box<Self>,
+        peers: Vec<Box<dyn ErasedJob<V, E>>>,
         session: &mut Session<'_, V, E>,
         overrides: RunOverrides,
-    ) -> Result<RunOutcome<V>, SessionError> {
-        if session.has_devices() {
-            session.run_with(&self.0, overrides)
-        } else {
-            Ok(session.run_native_with(&self.0, overrides))
+    ) -> GroupOutcome<V> {
+        if peers.is_empty() {
+            return GroupOutcome {
+                results: vec![run_algorithm(session, &self.0, overrides)],
+                fused: false,
+            };
+        }
+        // Reclaim the concrete algorithms: the scheduler only groups peers
+        // that passed `can_fuse_with`, so these downcasts cannot fail.
+        let mut members: Vec<A> = Vec::with_capacity(peers.len() + 1);
+        members.push(self.0);
+        for peer in peers {
+            let peer = peer
+                .into_any()
+                .downcast::<AlgorithmJob<A>>()
+                .unwrap_or_else(|_| unreachable!("grouped peers share the leader's type"));
+            members.push(peer.0);
+        }
+        let member_refs: Vec<&A> = members.iter().collect();
+        if let Some(fused) = A::fuse(&member_refs) {
+            if let Ok(outcome) = run_algorithm(session, &fused, overrides) {
+                let results = (0..members.len())
+                    .map(|index| {
+                        let values = outcome
+                            .values
+                            .iter()
+                            .map(|value| A::extract_fused(&member_refs, index, value))
+                            .collect();
+                        Ok(RunOutcome {
+                            report: outcome.report.clone(),
+                            agent_stats: outcome.agent_stats.clone(),
+                            values,
+                        })
+                    })
+                    .collect();
+                return GroupOutcome {
+                    results,
+                    fused: true,
+                };
+            }
+            // A failed fused run falls through to individual runs so one
+            // member's error is not amplified to the whole group.
+        }
+        let results = members
+            .iter()
+            .map(|member| run_algorithm(session, member, overrides))
+            .collect();
+        GroupOutcome {
+            results,
+            fused: false,
         }
     }
 }
 
-/// One queued job: the erased algorithm, its per-job knobs, and the wiring
-/// back to the ticket.
+/// The cache identity of a job: everything that could change its result.
+/// The graph's contents participate via the entry's *version* (see
+/// [`CacheEntry`]), not the key — invalidation bumps the version instead of
+/// rewriting keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JobKey {
+    /// Algorithm name + its [`GraphAlgorithm::cache_key`] encoding.
+    algorithm: String,
+    /// Fingerprint of the effective [`MiddlewareConfig`] the job would run
+    /// with.
+    config: String,
+    /// The effective iteration cap.
+    max_iterations: usize,
+}
+
+/// A stable, collision-free encoding of every [`MiddlewareConfig`] field
+/// that can influence a run's result or report.  Floats are encoded by bit
+/// pattern, mirroring the `cache_key` contract.
+fn config_fingerprint(config: &MiddlewareConfig) -> String {
+    let pipeline = match config.pipeline {
+        PipelineMode::Disabled => "off".to_string(),
+        PipelineMode::FixedBlockSize(size) => format!("size:{size}"),
+        PipelineMode::FixedBlockCount(count) => format!("count:{count}"),
+        PipelineMode::Optimal => "optimal".to_string(),
+    };
+    format!(
+        "{pipeline}|c{}|l{}|s{}|f{:016x}|{:?}",
+        u8::from(config.caching),
+        u8::from(config.lazy_upload),
+        u8::from(config.skipping),
+        config.cache_capacity_fraction.to_bits(),
+        config.execution,
+    )
+}
+
+/// One stored result.
+struct CacheEntry<V> {
+    key: Arc<JobKey>,
+    /// The service graph version the result was computed under; entries
+    /// from older versions are purged on lookup, never served.
+    version: u64,
+    /// Shallow size estimate charged against the byte budget.
+    bytes: usize,
+    outcome: RunOutcome<V>,
+}
+
+/// Shallow size estimate of a stored outcome: the vectors' element payloads
+/// plus the struct itself.  Heap data *inside* `V` (e.g. per-vertex `Vec`s)
+/// is not traversed — the budget bounds the dominant cost for the flat
+/// vertex types the engine trades in, and the entry-count cap bounds the
+/// rest.
+fn outcome_bytes<V>(outcome: &RunOutcome<V>) -> usize {
+    std::mem::size_of::<RunOutcome<V>>()
+        + std::mem::size_of_val(outcome.values.as_slice())
+        + std::mem::size_of_val(outcome.agent_stats.as_slice())
+}
+
+/// The keyed result cache: LRU order in a deque (front = coldest), bounded
+/// by entry count and by estimated bytes.
+struct ResultCache<V> {
+    entries: VecDeque<CacheEntry<V>>,
+    capacity: usize,
+    byte_budget: usize,
+    bytes: usize,
+}
+
+impl<V: Clone> ResultCache<V> {
+    fn new(capacity: usize, byte_budget: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+            byte_budget,
+            bytes: 0,
+        }
+    }
+
+    /// Looks `key` up at `version`.  A hit refreshes the entry's LRU
+    /// position; an entry stored under an older version is purged, not
+    /// served.
+    fn lookup(&mut self, key: &JobKey, version: u64) -> Option<RunOutcome<V>> {
+        let position = self.entries.iter().position(|entry| *entry.key == *key)?;
+        if self.entries[position].version != version {
+            let stale = self.entries.remove(position).expect("position is in range");
+            self.bytes -= stale.bytes;
+            return None;
+        }
+        let entry = self.entries.remove(position).expect("position is in range");
+        let outcome = entry.outcome.clone();
+        self.entries.push_back(entry);
+        Some(outcome)
+    }
+
+    /// Stores `outcome` under `key` at `version`, replacing any existing
+    /// entry for the key and evicting from the cold end until both bounds
+    /// hold.  Outcomes larger than the whole byte budget are not stored.
+    fn store(&mut self, key: Arc<JobKey>, outcome: &RunOutcome<V>, version: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let bytes = outcome_bytes(outcome);
+        if bytes > self.byte_budget {
+            return;
+        }
+        if let Some(position) = self.entries.iter().position(|entry| entry.key == key) {
+            let replaced = self.entries.remove(position).expect("position is in range");
+            self.bytes -= replaced.bytes;
+        }
+        self.bytes += bytes;
+        self.entries.push_back(CacheEntry {
+            key,
+            version,
+            bytes,
+            outcome: outcome.clone(),
+        });
+        while self.entries.len() > self.capacity || self.bytes > self.byte_budget {
+            let evicted = self
+                .entries
+                .pop_front()
+                .expect("over-budget cache is non-empty");
+            self.bytes -= evicted.bytes;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One queued job: the erased algorithm, its per-job knobs, its cache
+/// identity, and the wiring back to the ticket.
 struct JobEnvelope<V, E> {
     cell: Arc<JobCell>,
     reply: OneshotSender<JobResult<V>>,
     submitted: Instant,
     overrides: RunOverrides,
+    /// The job's cache key — `None` for uncacheable algorithms and
+    /// [`CachePolicy::Bypass`] submissions.
+    key: Option<Arc<JobKey>>,
+    policy: CachePolicy,
     job: Box<dyn ErasedJob<V, E>>,
 }
 
@@ -427,11 +742,16 @@ struct StatsInner {
     failed: u64,
     cancelled: u64,
     panicked: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced_jobs: u64,
+    fused_runs: u64,
     queue_wait_total: Duration,
     queue_wait_max: Duration,
     run_wall_total: Duration,
     run_wall_max: Duration,
     recent: VecDeque<(Duration, Duration)>,
+    recent_hits: VecDeque<Duration>,
 }
 
 impl StatsInner {
@@ -442,11 +762,16 @@ impl StatsInner {
             failed: 0,
             cancelled: 0,
             panicked: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            coalesced_jobs: 0,
+            fused_runs: 0,
             queue_wait_total: Duration::ZERO,
             queue_wait_max: Duration::ZERO,
             run_wall_total: Duration::ZERO,
             run_wall_max: Duration::ZERO,
             recent: VecDeque::new(),
+            recent_hits: VecDeque::new(),
         }
     }
 
@@ -459,6 +784,14 @@ impl StatsInner {
             self.recent.pop_front();
         }
         self.recent.push_back((queue_wait, run_wall));
+    }
+
+    fn record_hit(&mut self, latency: Duration) {
+        self.cache_hits += 1;
+        if self.recent_hits.len() == RECENT_SAMPLES {
+            self.recent_hits.pop_front();
+        }
+        self.recent_hits.push_back(latency);
     }
 }
 
@@ -481,6 +814,16 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs that panicked while running.
     pub panicked: u64,
+    /// Submissions served straight from the result cache (their tickets
+    /// resolved at submit time; they never occupied a queue slot and are
+    /// *not* counted in `submitted`).
+    pub cache_hits: u64,
+    /// Cache-eligible submissions that missed the cache and queued normally.
+    pub cache_misses: u64,
+    /// Queued duplicate jobs resolved from another job's single flight.
+    pub coalesced_jobs: u64,
+    /// Worker runs that executed a fused group instead of one job.
+    pub fused_runs: u64,
     /// Jobs currently waiting in the priority lanes.
     pub queued: usize,
     /// Jobs currently executing on worker sessions.
@@ -498,6 +841,8 @@ pub struct ServiceStats {
     /// The retained `(queue wait, run wall)` samples, oldest first (bounded;
     /// the basis of the percentile queries).
     recent: Vec<(Duration, Duration)>,
+    /// The retained cache-hit resolution latencies, oldest first (bounded).
+    recent_hits: Vec<Duration>,
 }
 
 impl ServiceStats {
@@ -527,6 +872,17 @@ impl ServiceStats {
     pub fn run_wall_percentile(&self, q: f64) -> Option<Duration> {
         percentile(self.recent.iter().map(|(_, wall)| *wall), q)
     }
+
+    /// The retained cache-hit resolution latencies, oldest first.
+    pub fn cache_hit_samples(&self) -> &[Duration] {
+        &self.recent_hits
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the retained cache-hit resolution
+    /// latencies — submit-time lookup through ticket wiring.
+    pub fn cache_hit_percentile(&self, q: f64) -> Option<Duration> {
+        percentile(self.recent_hits.iter().copied(), q)
+    }
 }
 
 /// Nearest-rank percentile over a sample iterator.
@@ -538,6 +894,101 @@ fn percentile(samples: impl Iterator<Item = Duration>, q: f64) -> Option<Duratio
     sorted.sort_unstable();
     let index = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
     Some(sorted[index])
+}
+
+/// The shared device pool of a service in shared-registry mode: one
+/// [`DeviceRegistry`] holding a configured number of copies of the
+/// deployment's device complement.  Workers check a full complement out at
+/// job start and back in at job end, so a small device population serves a
+/// larger (bursty) worker pool.
+struct SharedDevices {
+    registry: DeviceRegistry,
+    /// The per-node device layout one checkout must assemble.
+    layout: Vec<Vec<DeviceSpec>>,
+    /// Serialises checkout attempts: one waiter assembles its complement at
+    /// a time, so two workers can never deadlock each holding half of the
+    /// last complement.
+    turn: Mutex<()>,
+    /// Signalled on check-in.
+    freed: Condvar,
+}
+
+impl SharedDevices {
+    /// Builds the pool with `sets` complements of `layout`.
+    fn new(layout: Vec<Vec<DeviceSpec>>, sets: usize) -> Self {
+        let registry = DeviceRegistry::new();
+        for _ in 0..sets {
+            for spec in layout.iter().flatten() {
+                registry.add(spec.build());
+            }
+        }
+        Self {
+            registry,
+            layout,
+            turn: Mutex::new(()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Devices of one full complement.
+    fn complement_size(&self) -> usize {
+        self.layout.iter().map(Vec::len).sum()
+    }
+
+    /// Checks one full per-node complement out, blocking until available.
+    fn checkout(&self) -> Vec<Vec<Box<dyn AcceleratorBackend>>> {
+        let mut turn = lock(&self.turn);
+        loop {
+            match self.try_checkout() {
+                Some(complement) => return complement,
+                None => {
+                    turn = self
+                        .freed
+                        .wait(turn)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// All-or-nothing grab of one complement: a partial grab is rolled back
+    /// before reporting failure, so waiting never starves the pool.
+    fn try_checkout(&self) -> Option<Vec<Vec<Box<dyn AcceleratorBackend>>>> {
+        let mut taken: Vec<Vec<Box<dyn AcceleratorBackend>>> =
+            Vec::with_capacity(self.layout.len());
+        for node in &self.layout {
+            let mut node_taken = Vec::with_capacity(node.len());
+            for spec in node {
+                match self.registry.take(spec.kind) {
+                    Ok(backend) => node_taken.push(backend),
+                    Err(_) => {
+                        for backend in taken.into_iter().flatten().chain(node_taken) {
+                            self.registry.release(backend);
+                        }
+                        return None;
+                    }
+                }
+            }
+            taken.push(node_taken);
+        }
+        Some(taken)
+    }
+
+    /// Returns devices to the pool and wakes waiting workers.  Contexts are
+    /// left live: the next checkout skips their initialisation cost.
+    fn checkin(&self, backends: impl IntoIterator<Item = Box<dyn AcceleratorBackend>>) {
+        for backend in backends {
+            self.registry.release(backend);
+        }
+        self.freed.notify_all();
+    }
+
+    /// Rebuilds one full complement from the specs and checks it in — the
+    /// panic path: the unwound run destroyed the checked-out devices, and
+    /// fresh ones keep the pool's population intact.
+    fn restock(&self) {
+        self.checkin(self.layout.iter().flatten().map(|spec| spec.build()));
+    }
 }
 
 /// State shared between the handles and the scheduler workers.
@@ -558,6 +1009,22 @@ struct ServiceShared<V, E> {
     running: AtomicUsize,
     next_id: AtomicU64,
     stats: Mutex<StatsInner>,
+    /// The keyed result cache (empty-capacity when disabled).
+    cache: Mutex<ResultCache<V>>,
+    /// The service's graph version: entries are stored under the version
+    /// current at fill time and only served while it still is current.
+    /// [`GraphService::invalidate_cache`] bumps it.
+    graph_version: AtomicU64,
+    /// The deployment's defaults — the effective key fields of jobs that do
+    /// not override them.
+    default_config: MiddlewareConfig,
+    default_max_iterations: usize,
+    /// Largest group size a worker may fuse into one run (`< 2` disables
+    /// fusion).
+    fusion_limit: usize,
+    /// `Some` in shared-registry mode: workers check device complements out
+    /// per job instead of owning one each.
+    devices: Option<SharedDevices>,
 }
 
 impl<V, E> ServiceShared<V, E> {
@@ -773,6 +1240,53 @@ where
         blocking: bool,
     ) -> Result<JobTicket<V>, ServiceError> {
         let shared = &self.inner.shared;
+        // The job's cache identity: algorithm identity + parameters, plus
+        // the effective configuration and iteration cap the run would use.
+        // Uncacheable algorithms (and Bypass submissions) skip the cache
+        // machinery entirely.
+        let key = if options.cache == CachePolicy::Bypass {
+            None
+        } else {
+            job.cache_token().map(|algorithm| {
+                Arc::new(JobKey {
+                    algorithm,
+                    config: config_fingerprint(
+                        &options.config_override.unwrap_or(shared.default_config),
+                    ),
+                    max_iterations: options
+                        .max_iterations
+                        .unwrap_or(shared.default_max_iterations),
+                })
+            })
+        };
+        if options.cache == CachePolicy::UseOrFill {
+            if let Some(key) = key.as_deref() {
+                let looked_up = Instant::now();
+                let version = shared.graph_version.load(Ordering::Acquire);
+                let hit = lock(&shared.cache).lookup(key, version);
+                match hit {
+                    Some(outcome) => {
+                        // A hit still honours shutdown: a closed service
+                        // serves nothing, not even cached answers.
+                        if !lock(&shared.gate).open {
+                            return Err(ServiceError::ShutDown);
+                        }
+                        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                        let cell = Arc::new(JobCell::new());
+                        cell.finish();
+                        lock(&shared.stats).record_hit(looked_up.elapsed());
+                        // The ticket resolves through an already-fired slot:
+                        // no queue slot, no doorbell, no worker.
+                        return Ok(JobTicket {
+                            id,
+                            cell,
+                            reply: resolved(Ok(outcome)),
+                        });
+                    }
+                    None => lock(&shared.stats).cache_misses += 1,
+                }
+            }
+        }
         // Admission: claim a queue slot (or fail with typed backpressure).
         {
             let mut gate = lock(&shared.gate);
@@ -801,6 +1315,8 @@ where
             reply: reply_tx,
             submitted: Instant::now(),
             overrides: options.overrides(),
+            key,
+            policy: options.cache,
             job,
         };
         // Enqueue under the submit lock so a concurrent shutdown either sees
@@ -845,6 +1361,10 @@ where
             failed: stats.failed,
             cancelled: stats.cancelled,
             panicked: stats.panicked,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            coalesced_jobs: stats.coalesced_jobs,
+            fused_runs: stats.fused_runs,
             queued: lock(&shared.gate).queued,
             running: shared.running.load(Ordering::Relaxed),
             worker_sessions: shared.worker_sessions,
@@ -853,7 +1373,33 @@ where
             run_wall_total: stats.run_wall_total,
             run_wall_max: stats.run_wall_max,
             recent: stats.recent.iter().copied().collect(),
+            recent_hits: stats.recent_hits.iter().copied().collect(),
         }
+    }
+
+    /// Invalidates every cached result by bumping the service's graph
+    /// version: entries stored under earlier versions are never served again
+    /// (each is purged when a lookup next touches it).  Call this whenever
+    /// the graph data changes out from under the service — the versioned
+    /// mutation path of the roadmap rides on this same counter.
+    pub fn invalidate_cache(&self) {
+        self.inner
+            .shared
+            .graph_version
+            .fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Drops every cached result immediately, freeing the cache's memory.
+    /// Unlike [`GraphService::invalidate_cache`] this does not change what
+    /// is *valid* — fills after the clear serve again.
+    pub fn clear_cache(&self) {
+        lock(&self.inner.shared.cache).clear();
+    }
+
+    /// Number of results currently held by the cache (stale entries not yet
+    /// purged included).
+    pub fn cached_results(&self) -> usize {
+        lock(&self.inner.shared.cache).len()
     }
 
     /// Number of pooled worker sessions.
@@ -888,6 +1434,69 @@ where
     }
 }
 
+/// Drains every queued envelope matching `predicate` from all lanes (one
+/// atomic sweep per lane, highest lane first), releases their admission
+/// slots and claims them for execution.  Envelopes already cancelled by
+/// their callers (or voided by an abort) resolve immediately and are not
+/// returned.  Each claimed envelope is paired with its queue wait, measured
+/// at claim time.
+fn claim_matching<V, E>(
+    shared: &ServiceShared<V, E>,
+    mut predicate: impl FnMut(&JobEnvelope<V, E>) -> bool,
+) -> Vec<(JobEnvelope<V, E>, Duration)> {
+    let mut claimed = Vec::new();
+    for lane in &shared.lanes {
+        claimed.extend(lane.drain_matching(&mut predicate));
+    }
+    let mut kept = Vec::with_capacity(claimed.len());
+    for envelope in claimed {
+        shared.release_slot();
+        let queue_wait = envelope.submitted.elapsed();
+        if shared.abort.load(Ordering::SeqCst) || !envelope.cell.begin_running() {
+            envelope.cell.cancel();
+            lock(&shared.stats).cancelled += 1;
+            let _ = envelope.reply.send(Err(ServiceError::Cancelled));
+        } else {
+            kept.push((envelope, queue_wait));
+        }
+    }
+    kept
+}
+
+/// Resolves one claimed job from its run result: finishes the cell, counts
+/// and samples the run, fills the cache (keyed, non-`Bypass` successes) and
+/// fires the reply.
+#[allow(clippy::too_many_arguments)]
+fn resolve_run<V, E>(
+    shared: &ServiceShared<V, E>,
+    cell: &JobCell,
+    reply: OneshotSender<JobResult<V>>,
+    key: Option<&Arc<JobKey>>,
+    policy: CachePolicy,
+    queue_wait: Duration,
+    run_wall: Duration,
+    version: u64,
+    result: Result<RunOutcome<V>, SessionError>,
+) where
+    V: Clone,
+{
+    cell.finish();
+    {
+        let mut stats = lock(&shared.stats);
+        stats.record_run(queue_wait, run_wall);
+        match &result {
+            Ok(_) => stats.completed += 1,
+            Err(_) => stats.failed += 1,
+        }
+    }
+    if policy != CachePolicy::Bypass {
+        if let (Ok(outcome), Some(key)) = (&result, key) {
+            lock(&shared.cache).store(Arc::clone(key), outcome, version);
+        }
+    }
+    let _ = reply.send(result.map_err(ServiceError::Session));
+}
+
 /// The scheduler loop of one worker session.
 fn worker_loop<V, E>(
     graph: Arc<PropertyGraph<V, E>>,
@@ -902,11 +1511,21 @@ fn worker_loop<V, E>(
         spec.build_session(&graph)
             .expect("the spec was validated when the service was built")
     };
+    // In shared-registry mode the worker surrenders its own (never-started)
+    // device complement: devices are checked out of the shared pool per job.
+    let strip_owned_devices = |session: &mut Session<'_, V, E>| {
+        if shared.devices.is_some() {
+            drop(session.take_daemons());
+        }
+    };
     let mut session = deploy();
+    strip_owned_devices(&mut session);
     // One doorbell token per accepted job: when the doorbell reports
     // disconnected, the backlog is fully drained and the service is shutting
     // down.  Tokens are not bound to specific jobs — each wake-up claims the
-    // highest-priority envelope available.
+    // highest-priority envelope available.  Coalescing and fusion leave
+    // surplus tokens behind; a wake-up that finds no envelope just parks
+    // again.
     while doorbell.recv().is_ok() {
         let Some(envelope) = pop_highest_priority(&shared.lanes) else {
             continue;
@@ -917,6 +1536,8 @@ fn worker_loop<V, E>(
             reply,
             submitted,
             overrides,
+            key,
+            policy,
             job,
         } = envelope;
         let queue_wait = submitted.elapsed();
@@ -928,34 +1549,160 @@ fn worker_loop<V, E>(
             let _ = reply.send(Err(ServiceError::Cancelled));
             continue;
         }
+        // Single-flight: claim same-key duplicates still queued behind this
+        // job; their tickets will resolve from this one run.
+        let duplicates = match (&key, policy) {
+            (Some(key), CachePolicy::UseOrFill) => claim_matching(&shared, |peer| {
+                peer.policy == CachePolicy::UseOrFill && peer.key.as_ref() == Some(key)
+            }),
+            _ => Vec::new(),
+        };
+        // Fusion: claim up to `fusion_limit - 1` queued jobs of the same
+        // declaring family (same concrete type, same effective overrides) to
+        // merge into one run.
+        let peers = match job.fusion_family() {
+            Some(family) if shared.fusion_limit > 1 => {
+                let mut budget = shared.fusion_limit - 1;
+                claim_matching(&shared, |peer| {
+                    if budget == 0 {
+                        return false;
+                    }
+                    let compatible = peer.job.fusion_family() == Some(family)
+                        && peer.overrides == overrides
+                        && job.can_fuse_with(peer.job.as_ref());
+                    if compatible {
+                        budget -= 1;
+                    }
+                    compatible
+                })
+            }
+            _ => Vec::new(),
+        };
+        // Split the fusion peers into their job boxes (consumed by the group
+        // run) and the ticket wiring (resolved afterwards, in order).
+        let mut peer_jobs = Vec::with_capacity(peers.len());
+        let mut peer_tickets = Vec::with_capacity(peers.len());
+        for (peer, peer_wait) in peers {
+            peer_jobs.push(peer.job);
+            peer_tickets.push((peer.cell, peer.reply, peer.key, peer.policy, peer_wait));
+        }
+        // The version the results are stored under is sampled *before* the
+        // run: an invalidation racing with the run makes the fill stale
+        // (never served) rather than wrongly fresh.
+        let version = shared.graph_version.load(Ordering::Acquire);
+        if let Some(pool) = &shared.devices {
+            session.install_daemons(daemons_from_backends(pool.checkout()));
+        }
         shared.running.fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&mut session, overrides)));
+        let group = catch_unwind(AssertUnwindSafe(|| {
+            job.run_group(peer_jobs, &mut session, overrides)
+        }));
         let run_wall = started.elapsed();
         shared.running.fetch_sub(1, Ordering::SeqCst);
-        cell.finish();
-        {
-            let mut stats = lock(&shared.stats);
-            stats.record_run(queue_wait, run_wall);
-            match &outcome {
-                Ok(Ok(_)) => stats.completed += 1,
-                Ok(Err(_)) => stats.failed += 1,
-                Err(_) => stats.panicked += 1,
-            }
-        }
-        match outcome {
-            Ok(Ok(result)) => {
-                let _ = reply.send(Ok(result));
-            }
-            Ok(Err(error)) => {
-                let _ = reply.send(Err(ServiceError::Session(error)));
+        match group {
+            Ok(group) => {
+                if let Some(pool) = &shared.devices {
+                    // Check the complement back in with its contexts live.
+                    pool.checkin(
+                        session
+                            .take_daemons()
+                            .into_iter()
+                            .flatten()
+                            .map(Daemon::into_backend),
+                    );
+                }
+                if group.fused {
+                    lock(&shared.stats).fused_runs += 1;
+                }
+                let mut results = group.results.into_iter();
+                let leader_result = results
+                    .next()
+                    .expect("a group run returns one result per member");
+                // Duplicates resolve from the leader's flight — results and
+                // session errors clone loss-free.
+                if !duplicates.is_empty() {
+                    lock(&shared.stats).coalesced_jobs += duplicates.len() as u64;
+                    for (duplicate, duplicate_wait) in duplicates {
+                        resolve_run(
+                            &shared,
+                            &duplicate.cell,
+                            duplicate.reply,
+                            None,
+                            duplicate.policy,
+                            duplicate_wait,
+                            run_wall,
+                            version,
+                            leader_result.clone(),
+                        );
+                    }
+                }
+                resolve_run(
+                    &shared,
+                    &cell,
+                    reply,
+                    key.as_ref(),
+                    policy,
+                    queue_wait,
+                    run_wall,
+                    version,
+                    leader_result,
+                );
+                for (result, (peer_cell, peer_reply, peer_key, peer_policy, peer_wait)) in
+                    results.zip(peer_tickets)
+                {
+                    resolve_run(
+                        &shared,
+                        &peer_cell,
+                        peer_reply,
+                        peer_key.as_ref(),
+                        peer_policy,
+                        peer_wait,
+                        run_wall,
+                        version,
+                        result,
+                    );
+                }
             }
             Err(_panic) => {
+                // Every member of the flight — leader, fusion peers and
+                // coalesced duplicates — panicked together.
+                let mut victims = 1u64;
+                cell.finish();
                 let _ = reply.send(Err(ServiceError::JobPanicked));
+                for (peer_cell, peer_reply, _, _, _) in peer_tickets {
+                    victims += 1;
+                    peer_cell.finish();
+                    let _ = peer_reply.send(Err(ServiceError::JobPanicked));
+                }
+                for (duplicate, _) in duplicates {
+                    victims += 1;
+                    duplicate.cell.finish();
+                    let _ = duplicate.reply.send(Err(ServiceError::JobPanicked));
+                }
+                {
+                    let mut stats = lock(&shared.stats);
+                    stats.record_run(queue_wait, run_wall);
+                    stats.panicked += victims;
+                }
+                if let Some(pool) = &shared.devices {
+                    // Contexts that survived the unwind go back warm; a
+                    // complement consumed mid-run is replaced with fresh
+                    // builds so the pool population stays intact.
+                    let daemons = session.take_daemons();
+                    let recovered: usize = daemons.iter().map(Vec::len).sum();
+                    if recovered == pool.complement_size() {
+                        pool.checkin(daemons.into_iter().flatten().map(Daemon::into_backend));
+                    } else {
+                        drop(daemons);
+                        pool.restock();
+                    }
+                }
                 // The unwound run consumed the deployment's daemons (their
                 // device contexts shut down as they dropped).  Replace the
                 // poisoned session so the service keeps serving.
                 session = deploy();
+                strip_owned_devices(&mut session);
             }
         }
     }
@@ -991,10 +1738,20 @@ pub struct ServiceBuilder<V, E> {
     worker_sessions: usize,
     queue_depth: usize,
     admission: AdmissionPolicy,
+    cache_capacity: usize,
+    cache_bytes: usize,
+    fusion_limit: usize,
+    shared_device_sets: usize,
 }
 
 /// Default queue depth of a [`ServiceBuilder`].
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default entry capacity of the result cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Default byte budget of the result cache (64 MiB).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
 
 impl<V, E> ServiceBuilder<V, E>
 where
@@ -1016,6 +1773,10 @@ where
             worker_sessions: 1,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             admission: AdmissionPolicy::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            fusion_limit: 0,
+            shared_device_sets: 0,
         }
     }
 
@@ -1091,6 +1852,46 @@ where
         self
     }
 
+    /// Entry capacity of the result cache (default
+    /// [`DEFAULT_CACHE_CAPACITY`]).  `0` disables caching — every keyed
+    /// lookup misses and nothing is stored; single-flight coalescing of
+    /// queued duplicates still applies.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Byte budget of the result cache (default [`DEFAULT_CACHE_BYTES`]).
+    /// Entries are evicted coldest-first until the estimated resident bytes
+    /// fit; a single result larger than the whole budget is never stored.
+    pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Largest number of queued jobs a worker may merge into one fused run
+    /// (algorithms opting in via [`GraphAlgorithm::fuse`]).  Default `0`
+    /// (off); values below 2 disable fusion.
+    ///
+    /// Fusion preserves per-member *values* bit-identically, but the
+    /// members share one run report (the fused run's), so leave this off
+    /// when callers compare reports against solo runs.
+    pub fn fusion_limit(mut self, fusion_limit: usize) -> Self {
+        self.fusion_limit = fusion_limit;
+        self
+    }
+
+    /// Shares `sets` copies of the deployment's device complement across
+    /// all workers through one [`DeviceRegistry`]: each job checks a full
+    /// complement out at start and back in (contexts still live) at end, so
+    /// a small device population serves a larger worker pool.  Default `0`
+    /// (off: every worker owns its own devices).  Ignored for native-only
+    /// deployments.
+    pub fn shared_devices(mut self, sets: usize) -> Self {
+        self.shared_device_sets = sets;
+        self
+    }
+
     /// Validates the deployment description, deploys the worker sessions and
     /// starts the scheduler threads.
     ///
@@ -1100,6 +1901,17 @@ where
     /// cannot be built from a deployment a session could not be built from.
     pub fn build(self) -> Result<GraphService<V, E>, SessionError> {
         self.spec.validate()?;
+        let devices = (self.shared_device_sets > 0 && !self.spec.devices.is_empty()).then(|| {
+            // The pool's layout honours the builder's backend override the
+            // same way the worker sessions do.
+            let mut layout = self.spec.devices.clone();
+            if let Some(backend) = self.spec.backend {
+                for spec in layout.iter_mut().flatten() {
+                    spec.backend = backend;
+                }
+            }
+            SharedDevices::new(layout, self.shared_device_sets)
+        });
         let (lane_txs, lane_rxs): (Vec<_>, Vec<_>) = (0..LANES).map(|_| sync_queue()).unzip();
         let lane_rxs: [QueueReceiver<JobEnvelope<V, E>>; LANES] = lane_rxs
             .try_into()
@@ -1122,6 +1934,12 @@ where
             running: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             stats: Mutex::new(StatsInner::new()),
+            cache: Mutex::new(ResultCache::new(self.cache_capacity, self.cache_bytes)),
+            graph_version: AtomicU64::new(0),
+            default_config: self.spec.config,
+            default_max_iterations: self.spec.max_iterations,
+            fusion_limit: self.fusion_limit,
+            devices,
         });
         let workers: Vec<JoinHandle<()>> = (0..self.worker_sessions)
             .map(|index| {
@@ -1785,6 +2603,446 @@ mod tests {
         };
         for ticket in tickets {
             assert!(ticket.try_result().expect("resolved by drop").is_ok());
+        }
+    }
+
+    /// SSSP that opts into the result cache by declaring a cache key.
+    #[derive(Clone)]
+    struct KeyedSssp {
+        inner: Sssp,
+    }
+
+    impl KeyedSssp {
+        fn new(sources: Vec<VertexId>) -> Self {
+            Self {
+                inner: Sssp { sources },
+            }
+        }
+    }
+
+    impl GraphAlgorithm<f64, f64> for KeyedSssp {
+        type Msg = f64;
+        fn init_vertex(&self, v: VertexId, d: usize) -> f64 {
+            GraphAlgorithm::init_vertex(&self.inner, v, d)
+        }
+        fn msg_gen(&self, t: &Triplet<f64, f64>, i: usize) -> Vec<AddressedMessage<f64>> {
+            GraphAlgorithm::msg_gen(&self.inner, t, i)
+        }
+        fn msg_merge(&self, a: f64, b: f64) -> f64 {
+            GraphAlgorithm::msg_merge(&self.inner, a, b)
+        }
+        fn msg_apply(&self, v: VertexId, cur: &f64, msg: &f64, i: usize) -> Option<f64> {
+            GraphAlgorithm::msg_apply(&self.inner, v, cur, msg, i)
+        }
+        fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+            GraphAlgorithm::initial_active(&self.inner, n)
+        }
+        fn name(&self) -> &'static str {
+            "keyed-sssp"
+        }
+        fn cache_key(&self) -> Option<String> {
+            Some(format!("{:?}", self.inner.sources))
+        }
+    }
+
+    #[test]
+    fn cache_hit_serves_the_identical_outcome_without_rerunning() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let fill = service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let hit = service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(fill.report, hit.report);
+        assert_eq!(fill.values.len(), hit.values.len());
+        for (a, b) in fill.values.iter().zip(&hit.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // Hits never enter the queue: only the fill run was submitted.
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(service.cached_results(), 1);
+        assert_eq!(stats.cache_hit_samples().len(), 1);
+        assert!(stats.cache_hit_percentile(0.5).unwrap() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn bypass_skips_the_cache_and_refresh_overwrites_it() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        // Bypass on an empty cache: no lookup, no store.
+        service
+            .submit_with(
+                KeyedSssp::new(vec![0]),
+                JobOptions::new().with_cache(CachePolicy::Bypass),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(service.cached_results(), 0);
+        // Fill, then Refresh: the job reruns even though the key is cached.
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        service
+            .submit_with(
+                KeyedSssp::new(vec![0]),
+                JobOptions::new().with_cache(CachePolicy::Refresh),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(service.cached_results(), 1);
+        // The refreshed entry still serves hits.
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn invalidation_and_clearing_force_fresh_runs() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        service.invalidate_cache();
+        // The stale entry must not serve; the job reruns and refills.
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().cache_hits, 0);
+        assert_eq!(service.stats().submitted, 2);
+        service.clear_cache();
+        assert_eq!(service.cached_results(), 0);
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().submitted, 3);
+    }
+
+    #[test]
+    fn lru_capacity_and_byte_budget_bound_the_cache() {
+        let graph = test_graph();
+        let parts = 2;
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, parts)
+            .unwrap();
+        let service = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning.clone())
+            .devices(gpus_per_node(parts))
+            .max_iterations(200)
+            .worker_sessions(1)
+            .cache_capacity(1)
+            .build()
+            .unwrap();
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // A second key evicts the first (capacity 1, LRU).
+        service
+            .submit(KeyedSssp::new(vec![1]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.cached_results(), 1);
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().cache_hits, 0);
+        assert_eq!(service.stats().submitted, 3);
+
+        // A byte budget too small for any outcome never stores anything.
+        let tiny = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning)
+            .devices(gpus_per_node(parts))
+            .max_iterations(200)
+            .worker_sessions(1)
+            .cache_bytes(16)
+            .build()
+            .unwrap();
+        tiny.submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(tiny.cached_results(), 0);
+        tiny.submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(tiny.stats().cache_hits, 0);
+        assert_eq!(tiny.stats().submitted, 2);
+    }
+
+    #[test]
+    fn queued_duplicates_coalesce_into_a_single_run() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 16, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let busy = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![7] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        // Four identical keyed jobs pile up behind the busy worker.
+        let duplicates: Vec<_> = (0..4)
+            .map(|_| service.submit(KeyedSssp::new(vec![0])).unwrap())
+            .collect();
+        gate.release();
+        busy.wait().unwrap();
+        let outcomes: Vec<_> = duplicates
+            .into_iter()
+            .map(|ticket| ticket.wait().unwrap())
+            .collect();
+        for outcome in &outcomes[1..] {
+            assert_eq!(outcome.report, outcomes[0].report);
+            for (a, b) in outcome.values.iter().zip(&outcomes[0].values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced_jobs, 3);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.cache_hits, 0);
+        // The coalesced run filled the cache once.
+        assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn shared_device_pool_survives_jobs_and_panics() {
+        let graph = test_graph();
+        let parts = 2;
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, parts)
+            .unwrap();
+        let service = GraphService::builder(Arc::clone(&graph))
+            .partitioned_by(partitioning)
+            .devices(gpus_per_node(parts))
+            .max_iterations(200)
+            .worker_sessions(2)
+            .shared_devices(1)
+            .build()
+            .unwrap();
+        // More jobs than device sets: workers must round-trip devices
+        // through the pool between jobs.
+        let tickets: Vec<_> = (0..4u32)
+            .map(|i| service.submit(Sssp { sources: vec![i] }).unwrap())
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().unwrap().report.converged);
+        }
+        // A panicking job must not leak its checked-out devices.
+        assert!(matches!(
+            service.submit(PanickingJob).unwrap().wait(),
+            Err(ServiceError::JobPanicked)
+        ));
+        let after = service
+            .submit(Sssp { sources: vec![0] })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(after.report.converged);
+    }
+
+    /// Minimal multi-column SSSP (vertex = one distance per source) used to
+    /// exercise cross-job fusion inside the service unit tests.
+    #[derive(Clone)]
+    struct MiniMulti {
+        sources: Vec<VertexId>,
+    }
+
+    impl GraphAlgorithm<Vec<f64>, f64> for MiniMulti {
+        type Msg = Vec<f64>;
+        fn init_vertex(&self, v: VertexId, _d: usize) -> Vec<f64> {
+            self.sources
+                .iter()
+                .map(|&s| if s == v { 0.0 } else { f64::INFINITY })
+                .collect()
+        }
+        fn msg_gen(
+            &self,
+            t: &Triplet<Vec<f64>, f64>,
+            _i: usize,
+        ) -> Vec<AddressedMessage<Vec<f64>>> {
+            if t.src_attr.iter().all(|d| d.is_infinite()) {
+                return Vec::new();
+            }
+            vec![AddressedMessage::new(
+                t.dst,
+                t.src_attr.iter().map(|d| d + t.edge_attr).collect(),
+            )]
+        }
+        fn msg_merge(&self, a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+            a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect()
+        }
+        fn msg_apply(
+            &self,
+            _v: VertexId,
+            cur: &Vec<f64>,
+            msg: &Vec<f64>,
+            _i: usize,
+        ) -> Option<Vec<f64>> {
+            let mut improved = false;
+            let next: Vec<f64> = cur
+                .iter()
+                .zip(msg)
+                .map(|(c, m)| {
+                    if *m < *c {
+                        improved = true;
+                        *m
+                    } else {
+                        *c
+                    }
+                })
+                .collect();
+            improved.then_some(next)
+        }
+        fn initial_active(&self, _n: usize) -> Option<Vec<VertexId>> {
+            Some(self.sources.clone())
+        }
+        fn name(&self) -> &'static str {
+            "mini-multi"
+        }
+        fn fusion_family(&self) -> Option<&'static str> {
+            Some("mini-multi")
+        }
+        fn fuse(members: &[&Self]) -> Option<Self> {
+            Some(Self {
+                sources: members
+                    .iter()
+                    .flat_map(|m| m.sources.iter().copied())
+                    .collect(),
+            })
+        }
+        fn extract_fused(members: &[&Self], index: usize, value: &Vec<f64>) -> Vec<f64> {
+            let offset: usize = members[..index].iter().map(|m| m.sources.len()).sum();
+            value[offset..offset + members[index].sources.len()].to_vec()
+        }
+    }
+
+    /// A gated `MiniMulti` so the fusion test can hold the worker busy.
+    struct GatedMini {
+        inner: MiniMulti,
+        gate: GateControl,
+    }
+
+    impl GraphAlgorithm<Vec<f64>, f64> for GatedMini {
+        type Msg = Vec<f64>;
+        fn init_vertex(&self, v: VertexId, d: usize) -> Vec<f64> {
+            GraphAlgorithm::init_vertex(&self.inner, v, d)
+        }
+        fn msg_gen(&self, t: &Triplet<Vec<f64>, f64>, i: usize) -> Vec<AddressedMessage<Vec<f64>>> {
+            self.gate.wait_open();
+            GraphAlgorithm::msg_gen(&self.inner, t, i)
+        }
+        fn msg_merge(&self, a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+            GraphAlgorithm::msg_merge(&self.inner, a, b)
+        }
+        fn msg_apply(&self, v: VertexId, c: &Vec<f64>, m: &Vec<f64>, i: usize) -> Option<Vec<f64>> {
+            GraphAlgorithm::msg_apply(&self.inner, v, c, m, i)
+        }
+        fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+            GraphAlgorithm::initial_active(&self.inner, n)
+        }
+        fn name(&self) -> &'static str {
+            "gated-mini"
+        }
+    }
+
+    #[test]
+    fn queued_family_members_fuse_into_one_run() {
+        let list = Rmat::new(8, 8.0).generate(11);
+        let graph = Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+        let parts = 2;
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, parts)
+            .unwrap();
+        let build = |fusion: usize| {
+            GraphService::builder(Arc::clone(&graph))
+                .partitioned_by(partitioning.clone())
+                .devices(gpus_per_node(parts))
+                .max_iterations(200)
+                .worker_sessions(1)
+                .fusion_limit(fusion)
+                .build()
+                .unwrap()
+        };
+        let service = build(2);
+        let gate = GateControl::default();
+        let busy = service
+            .submit(GatedMini {
+                inner: MiniMulti { sources: vec![9] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        while busy.status() == JobStatus::Queued {
+            thread::yield_now();
+        }
+        let first = service
+            .submit(MiniMulti {
+                sources: vec![0, 3],
+            })
+            .unwrap();
+        let second = service.submit(MiniMulti { sources: vec![5] }).unwrap();
+        gate.release();
+        busy.wait().unwrap();
+        let fused_first = first.wait().unwrap();
+        let fused_second = second.wait().unwrap();
+        assert_eq!(service.stats().fused_runs, 1);
+        assert_eq!(fused_first.values[0].len(), 2);
+        assert_eq!(fused_second.values[0].len(), 1);
+        // Fused members are bit-identical to the same jobs run alone.
+        let solo = build(0);
+        let solo_first = solo
+            .submit(MiniMulti {
+                sources: vec![0, 3],
+            })
+            .unwrap();
+        let solo_second = solo.submit(MiniMulti { sources: vec![5] }).unwrap();
+        for (fused, alone) in [
+            (&fused_first, &solo_first.wait().unwrap()),
+            (&fused_second, &solo_second.wait().unwrap()),
+        ] {
+            assert_eq!(solo.stats().fused_runs, 0);
+            for (a, b) in fused.values.iter().zip(&alone.values) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
     }
 }

@@ -132,6 +132,65 @@ pub trait GraphAlgorithm<V, E>: Send + Sync {
     fn operational_intensity(&self) -> f64 {
         1.0
     }
+
+    /// A canonical encoding of the algorithm's *parameters* for result
+    /// caching.
+    ///
+    /// Two instances with equal `(name(), cache_key())` must compute
+    /// bit-identical results on the same graph under the same configuration —
+    /// that contract is what lets a scheduler serve one instance's result for
+    /// the other.  Encode every parameter that influences the output;
+    /// floating-point parameters must go through [`f64::to_bits`] so the
+    /// encoding is exact (`0.1 + 0.2` and `0.3` must not collide).
+    ///
+    /// `None` (the default) marks the algorithm as uncacheable: the scheduler
+    /// will never serve a stored result for it, so existing algorithms are
+    /// unaffected until they opt in.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
+
+    /// Family label for cross-job fusion.
+    ///
+    /// Instances sharing a family (and the same effective run parameters) may
+    /// be merged by a fusion-enabled scheduler into one run via
+    /// [`GraphAlgorithm::fuse`], amortising per-superstep work across jobs.
+    /// `None` (the default) means the algorithm never participates in fusion.
+    fn fusion_family(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Fuses `members` (all reporting the same [`fusion_family`]) into one
+    /// algorithm whose single run computes every member's answer, or `None`
+    /// when these particular members cannot be fused.
+    ///
+    /// The contract pairs with [`GraphAlgorithm::extract_fused`]: for every
+    /// member `i` and every vertex, extracting member `i`'s value from the
+    /// fused run's vertex value must be bit-identical to the value a solo run
+    /// of that member would have produced.
+    ///
+    /// [`fusion_family`]: GraphAlgorithm::fusion_family
+    fn fuse(members: &[&Self]) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = members;
+        None
+    }
+
+    /// Extracts member `index`'s per-vertex value from a fused run's vertex
+    /// value.  `members` is the same slice that was passed to
+    /// [`GraphAlgorithm::fuse`].
+    ///
+    /// The default panics; algorithms implementing `fuse` must implement
+    /// this too.
+    fn extract_fused(members: &[&Self], index: usize, value: &V) -> V
+    where
+        Self: Sized,
+    {
+        let _ = (members, index, value);
+        unimplemented!("extract_fused must be implemented alongside fuse")
+    }
 }
 
 /// Object-safe view of a [`GraphAlgorithm`] with the message type lifted
@@ -173,6 +232,10 @@ pub trait DynAlgorithm<V, E, M>: Send + Sync {
     fn name(&self) -> &'static str;
     /// See [`GraphAlgorithm::operational_intensity`].
     fn operational_intensity(&self) -> f64;
+    /// See [`GraphAlgorithm::cache_key`].
+    fn cache_key(&self) -> Option<String>;
+    /// See [`GraphAlgorithm::fusion_family`].
+    fn fusion_family(&self) -> Option<&'static str>;
 }
 
 impl<V, E, A> DynAlgorithm<V, E, A::Msg> for A
@@ -223,6 +286,14 @@ where
 
     fn operational_intensity(&self) -> f64 {
         GraphAlgorithm::operational_intensity(self)
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        GraphAlgorithm::cache_key(self)
+    }
+
+    fn fusion_family(&self) -> Option<&'static str> {
+        GraphAlgorithm::fusion_family(self)
     }
 }
 
@@ -321,6 +392,20 @@ where
     fn operational_intensity(&self) -> f64 {
         self.inner.operational_intensity()
     }
+
+    fn cache_key(&self) -> Option<String> {
+        self.inner.cache_key()
+    }
+
+    /// Erased handles never fuse: [`GraphAlgorithm::fuse`] and
+    /// [`GraphAlgorithm::extract_fused`] are static (`Self: Sized`) hooks
+    /// that cannot cross the erasure boundary, so advertising the inner
+    /// family here would only make a scheduler gather candidates it can
+    /// never merge.  Result caching still works through the delegated
+    /// [`cache_key`](GraphAlgorithm::cache_key).
+    fn fusion_family(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +481,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "max-prop"
         }
+        fn cache_key(&self) -> Option<String> {
+            Some("v=1".into())
+        }
+        fn fusion_family(&self) -> Option<&'static str> {
+            Some("max-prop")
+        }
     }
 
     #[test]
@@ -433,5 +524,24 @@ mod tests {
             GraphAlgorithm::max_iterations(&shared),
             GraphAlgorithm::max_iterations(&MinProp)
         );
+    }
+
+    #[test]
+    fn cache_and_fusion_hooks_default_to_opted_out() {
+        // Algorithms that don't opt in are uncacheable and unfusable.
+        assert_eq!(GraphAlgorithm::cache_key(&MinProp), None);
+        assert_eq!(GraphAlgorithm::fusion_family(&MinProp), None);
+        assert!(<MinProp as GraphAlgorithm<f64, f64>>::fuse(&[&MinProp]).is_none());
+    }
+
+    #[test]
+    fn cache_keys_survive_erasure_but_fusion_does_not() {
+        let shared = SharedAlgorithm::new(MaxProp);
+        // The cache key delegates through the erased handle unchanged...
+        assert_eq!(GraphAlgorithm::cache_key(&shared), Some("v=1".into()));
+        assert_eq!(GraphAlgorithm::fusion_family(&MaxProp), Some("max-prop"));
+        // ...but the fusion family is withheld: the static fuse/extract
+        // hooks cannot cross the erasure boundary.
+        assert_eq!(GraphAlgorithm::fusion_family(&shared), None);
     }
 }

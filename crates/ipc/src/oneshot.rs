@@ -80,6 +80,27 @@ pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
     )
 }
 
+/// Creates a receiver whose value is already delivered: no sender ever
+/// exists, [`OneshotReceiver::recv`] returns immediately and
+/// [`OneshotReceiver::try_recv`] reports `Ok` then `Disconnected`, exactly
+/// as a normal slot reads after its sender fired.
+///
+/// This is the resolve-from-cached-value path of the job service: a
+/// scheduler that already holds the answer at submit time hands the caller a
+/// ticket backed by this slot, skipping the worker round-trip entirely.
+pub fn resolved<T>(value: T) -> OneshotReceiver<T> {
+    OneshotReceiver {
+        shared: Arc::new(Shared {
+            state: Mutex::new(SlotState {
+                value: Some(value),
+                sender_alive: false,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        }),
+    }
+}
+
 impl<T> OneshotSender<T> {
     /// Fires the slot, waking the receiver.  Fails (returning the value) if
     /// the receiver is gone.
@@ -283,6 +304,18 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(30));
         tx.send(3u32).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(3));
+    }
+
+    #[test]
+    fn resolved_slot_reads_like_a_fired_slot() {
+        let rx = resolved(99u32);
+        assert!(rx.is_ready());
+        assert_eq!(rx.try_recv(), Ok(99));
+        // Exactly-once delivery, same as the post-send state of a normal
+        // slot: afterwards the slot reads as disconnected, not empty.
+        assert_eq!(rx.try_recv(), Err(QueueRecvError::Disconnected));
+        let rx = resolved("cached");
+        assert_eq!(rx.recv(), Ok("cached"));
     }
 
     #[test]

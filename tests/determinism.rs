@@ -520,3 +520,288 @@ fn concurrent_service_sssp_is_bit_identical_to_serial_sessions() {
         });
     }
 }
+
+/// Builds a small service over the given graph for the cache/fusion tests.
+fn cache_service(
+    graph: &std::sync::Arc<PropertyGraph<Vec<f64>, f64>>,
+    mode: ExecutionMode,
+    configure: impl FnOnce(ServiceBuilder<Vec<f64>, f64>) -> ServiceBuilder<Vec<f64>, f64>,
+) -> GraphService<Vec<f64>, f64> {
+    let parts = 2;
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(graph, parts)
+        .unwrap();
+    configure(
+        GraphService::builder(std::sync::Arc::clone(graph))
+            .partitioned_by(partitioning)
+            .devices(mixed_devices(parts))
+            .config(MiddlewareConfig::default().with_execution(mode))
+            .dataset("rmat")
+            .max_iterations(100)
+            .worker_sessions(1),
+    )
+    .build()
+    .unwrap()
+}
+
+fn sssp_bits(values: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    values
+        .iter()
+        .map(|d| d.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_the_fill_run() {
+    let list = Rmat::new(10, 8.0).generate(41);
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+    for mode in [ExecutionMode::Serial, ExecutionMode::Threaded] {
+        let service = cache_service(&graph, mode, |builder| builder);
+        let algo = MultiSourceSssp::paper_default();
+        let fill = service.submit(algo.clone()).unwrap().wait().unwrap();
+        let hit = service.submit(algo.clone()).unwrap().wait().unwrap();
+        // The whole outcome is served verbatim: values, per-iteration
+        // metrics and middleware accounting.
+        assert_eq!(sssp_bits(&fill.values), sssp_bits(&hit.values));
+        assert_eq!(fill.report, hit.report);
+        assert_eq!(fill.agent_stats, hit.agent_stats);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "in {mode:?}");
+        assert_eq!(stats.submitted, 1, "hits never reach the queue");
+        assert!(stats.cache_hit_percentile(0.5).unwrap().as_millis() < 50);
+    }
+}
+
+#[test]
+fn concurrent_duplicates_resolve_single_flight_and_identical() {
+    // 12 identical submissions race in from 4 threads against a 1-worker
+    // service: every answer must be bit-identical to a fresh single-tenant
+    // session run, while the cache + coalescing layers keep the number of
+    // actual executions below the number of submissions.
+    let list = Rmat::new(10, 8.0).generate(43);
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let reference = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .devices(mixed_devices(2))
+        .dataset("rmat")
+        .max_iterations(100)
+        .build()
+        .unwrap()
+        .run(&MultiSourceSssp::paper_default())
+        .unwrap();
+    let service = cache_service(&graph, ExecutionMode::Threaded, |builder| builder);
+    let outcomes: Vec<RunOutcome<Vec<f64>>> = std::thread::scope(|scope| {
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let service = service.clone();
+                scope.spawn(move || {
+                    (0..3)
+                        .map(|_| {
+                            service
+                                .submit(MultiSourceSssp::paper_default())
+                                .unwrap()
+                                .wait()
+                                .unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        submitters
+            .into_iter()
+            .flat_map(|s| s.join().unwrap())
+            .collect()
+    });
+    assert_eq!(outcomes.len(), 12);
+    for outcome in &outcomes {
+        assert_eq!(sssp_bits(&outcome.values), sssp_bits(&reference.values));
+        assert_eq!(outcome.report.iterations, reference.report.iterations);
+    }
+    let stats = service.stats();
+    // Every submission was served by a hit, a coalesced resolve or a run —
+    // and the very first run is the only execution that was strictly needed,
+    // so hits + coalesced account for everything except actual runs.
+    let executions = stats.submitted - stats.coalesced_jobs;
+    assert_eq!(stats.cache_hits + stats.submitted, 12);
+    assert!(executions >= 1);
+    assert!(
+        stats.cache_hits + stats.coalesced_jobs > 0,
+        "duplicate traffic must not run 12 times: {stats:?}"
+    );
+}
+
+#[test]
+fn bypass_and_refresh_policies_rerun_but_stay_identical() {
+    let list = Rmat::new(10, 8.0).generate(47);
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+    let service = cache_service(&graph, ExecutionMode::Threaded, |builder| builder);
+    let algo = MultiSourceSssp::new(vec![0, 5]);
+    let fill = service.submit(algo.clone()).unwrap().wait().unwrap();
+    let bypass = service
+        .submit_with(
+            algo.clone(),
+            JobOptions::new().with_cache(CachePolicy::Bypass),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    let refresh = service
+        .submit_with(
+            algo.clone(),
+            JobOptions::new().with_cache(CachePolicy::Refresh),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    // Both policies force fresh executions...
+    assert_eq!(service.stats().cache_hits, 0);
+    assert_eq!(service.stats().submitted, 3);
+    // ...whose answers are bit-identical to the original fill run anyway.
+    assert_eq!(sssp_bits(&fill.values), sssp_bits(&bypass.values));
+    assert_eq!(sssp_bits(&fill.values), sssp_bits(&refresh.values));
+    // The refresh re-filled the cache: the next default submission hits.
+    service.submit(algo).unwrap().wait().unwrap();
+    assert_eq!(service.stats().cache_hits, 1);
+}
+
+#[test]
+fn tight_byte_budget_evicts_rather_than_serving_stale_results() {
+    // A cache whose byte budget holds at most one outcome: alternating two
+    // keys means every lookup either misses (evicted) or hits the entry for
+    // exactly the right key — never a stale answer for the other key.
+    let list = Rmat::new(10, 8.0).generate(53);
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+    let num_vertices = graph.num_vertices();
+    // The cache accounts shallowly: one outcome charges a `Vec` header per
+    // vertex (24 bytes) plus the structs.  A budget of 1.5 headers' worth
+    // holds one outcome but never two.
+    let one_outcome = num_vertices * 36;
+    let service = cache_service(&graph, ExecutionMode::Threaded, |builder| {
+        builder.cache_bytes(one_outcome)
+    });
+    let algo_a = MultiSourceSssp::paper_default();
+    let algo_b = MultiSourceSssp::new(vec![9, 10, 11, 12]);
+    let fresh_a = service.submit(algo_a.clone()).unwrap().wait().unwrap();
+    let fresh_b = service.submit(algo_b.clone()).unwrap().wait().unwrap();
+    assert!(service.cached_results() <= 1);
+    for _ in 0..3 {
+        let again_a = service.submit(algo_a.clone()).unwrap().wait().unwrap();
+        let again_b = service.submit(algo_b.clone()).unwrap().wait().unwrap();
+        assert_eq!(sssp_bits(&again_a.values), sssp_bits(&fresh_a.values));
+        assert_eq!(sssp_bits(&again_b.values), sssp_bits(&fresh_b.values));
+    }
+    // Invalidation on top of eviction: still never stale.
+    service.invalidate_cache();
+    let after = service.submit(algo_a).unwrap().wait().unwrap();
+    assert_eq!(sssp_bits(&after.values), sssp_bits(&fresh_a.values));
+}
+
+/// `MultiSourceSssp` behind a start gate, so the fusion test can hold the
+/// single worker busy while compatible jobs pile up in the queue.  The
+/// fusion hooks delegate to the real algorithm's source concatenation.
+#[derive(Clone)]
+struct GatedMulti {
+    inner: MultiSourceSssp,
+    gate: std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl GatedMulti {
+    fn new(inner: MultiSourceSssp) -> Self {
+        Self {
+            inner,
+            gate: std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new())),
+        }
+    }
+
+    fn release(&self) {
+        let (flag, condvar) = &*self.gate;
+        *flag.lock().unwrap() = true;
+        condvar.notify_all();
+    }
+}
+
+impl GraphAlgorithm<Vec<f64>, f64> for GatedMulti {
+    type Msg = Vec<f64>;
+    fn init_vertex(&self, v: VertexId, d: usize) -> Vec<f64> {
+        GraphAlgorithm::init_vertex(&self.inner, v, d)
+    }
+    fn msg_gen(&self, t: &Triplet<Vec<f64>, f64>, i: usize) -> Vec<AddressedMessage<Vec<f64>>> {
+        let (flag, condvar) = &*self.gate;
+        let mut open = flag.lock().unwrap();
+        while !*open {
+            open = condvar.wait(open).unwrap();
+        }
+        drop(open);
+        GraphAlgorithm::msg_gen(&self.inner, t, i)
+    }
+    fn msg_merge(&self, a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+        GraphAlgorithm::msg_merge(&self.inner, a, b)
+    }
+    fn msg_apply(&self, v: VertexId, c: &Vec<f64>, m: &Vec<f64>, i: usize) -> Option<Vec<f64>> {
+        GraphAlgorithm::msg_apply(&self.inner, v, c, m, i)
+    }
+    fn initial_active(&self, n: usize) -> Option<Vec<VertexId>> {
+        GraphAlgorithm::initial_active(&self.inner, n)
+    }
+    fn name(&self) -> &'static str {
+        "gated-multi"
+    }
+}
+
+#[test]
+fn fused_jobs_are_bit_identical_to_fresh_serial_sessions() {
+    // Three SSSP jobs with distinct frontiers fuse into one sweep; each
+    // member's extracted distance columns must match a fresh single-tenant
+    // session running that member alone — in both execution modes.
+    let list = Rmat::new(10, 8.0).generate(59);
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let members = [
+        MultiSourceSssp::new(vec![0, 1]),
+        MultiSourceSssp::new(vec![2]),
+        MultiSourceSssp::new(vec![3, 4, 5]),
+    ];
+    for mode in [ExecutionMode::Serial, ExecutionMode::Threaded] {
+        let config = MiddlewareConfig::default().with_execution(mode);
+        let service = cache_service(&graph, mode, |builder| builder.fusion_limit(3));
+        // Hold the worker busy so all three members are queued together.
+        let blocker = GatedMulti::new(MultiSourceSssp::new(vec![60]));
+        let busy = service.submit(blocker.clone()).unwrap();
+        while busy.status() == JobStatus::Queued {
+            std::thread::yield_now();
+        }
+        let tickets: Vec<_> = members
+            .iter()
+            .map(|member| service.submit(member.clone()).unwrap())
+            .collect();
+        blocker.release();
+        busy.wait().unwrap();
+        let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(service.stats().fused_runs, 1, "in {mode:?}");
+        assert_eq!(service.stats().coalesced_jobs, 0);
+        for (member, outcome) in members.iter().zip(&outcomes) {
+            let reference = SessionBuilder::new(&graph)
+                .partitioned_by(partitioning.clone())
+                .devices(mixed_devices(2))
+                .config(config)
+                .dataset("rmat")
+                .max_iterations(100)
+                .build()
+                .unwrap()
+                .run(member)
+                .unwrap();
+            assert!(outcome.report.converged);
+            assert_eq!(
+                sssp_bits(&outcome.values),
+                sssp_bits(&reference.values),
+                "fused member with sources {:?} diverged in {mode:?}",
+                member.sources()
+            );
+        }
+    }
+}

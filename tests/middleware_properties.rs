@@ -336,4 +336,94 @@ proptest! {
         prop_assert_eq!(stats.running, 0);
         prop_assert_eq!(stats.executed(), completed);
     }
+
+    /// Random interleavings of keyed submissions (with every cache policy),
+    /// invalidations and full clears: no matter how the cache is filled,
+    /// hit, evicted, invalidated or raced by in-flight runs, every ticket
+    /// resolves to the bit-exact answer for its key, and every submission is
+    /// accounted as exactly one hit or one queued job.
+    #[test]
+    fn cache_stays_exact_under_submit_invalidate_interleavings(
+        seed in 0u64..1_000,
+        workers in 1usize..3,
+        operations in prop::collection::vec((0u32..3, 0u8..8), 1..25),
+    ) {
+        use std::sync::Arc;
+
+        let list = Rmat::new(6, 4.0).generate(seed);
+        let graph: Arc<PropertyGraph<Vec<f64>, f64>> =
+            Arc::new(PropertyGraph::from_edge_list(list, Vec::new()).unwrap());
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 2)
+            .unwrap();
+        let build = || {
+            GraphService::builder(Arc::clone(&graph))
+                .partitioned_by(partitioning.clone())
+                .max_iterations(50)
+                .worker_sessions(workers)
+                .cache_capacity(2) // small enough that eviction happens too
+                .build()
+                .unwrap()
+        };
+        // The bit-exact reference answer for each of the three keys.
+        let reference_service = build();
+        let reference: Vec<Vec<Vec<u64>>> = (0..3u32)
+            .map(|key| {
+                let outcome = reference_service
+                    .submit(MultiSourceSssp::new(vec![key]))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                outcome
+                    .values
+                    .iter()
+                    .map(|d| d.iter().map(|x| x.to_bits()).collect())
+                    .collect()
+            })
+            .collect();
+
+        let service = build();
+        let mut submissions = 0u64;
+        let tickets: Vec<(u32, JobTicket<Vec<f64>>)> = operations
+            .iter()
+            .filter_map(|&(key, op)| {
+                let policy = match op {
+                    0..=3 => CachePolicy::UseOrFill,
+                    4 => CachePolicy::Bypass,
+                    5 => CachePolicy::Refresh,
+                    6 => {
+                        service.invalidate_cache();
+                        return None;
+                    }
+                    _ => {
+                        service.clear_cache();
+                        return None;
+                    }
+                };
+                submissions += 1;
+                let ticket = service
+                    .submit_with(
+                        MultiSourceSssp::new(vec![key]),
+                        JobOptions::new().with_cache(policy),
+                    )
+                    .unwrap();
+                Some((key, ticket))
+            })
+            .collect();
+        service.shutdown();
+
+        for (key, ticket) in tickets {
+            let outcome = ticket.wait().unwrap();
+            for (v, (got, want)) in outcome.values.iter().zip(&reference[key as usize]).enumerate() {
+                let bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(&bits, want, "key {} vertex {} diverged", key, v);
+            }
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.cache_hits + stats.submitted, submissions);
+        prop_assert_eq!(stats.completed, stats.submitted);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.queued, 0);
+        prop_assert!(service.cached_results() <= 2);
+    }
 }
