@@ -495,12 +495,24 @@ impl LaunchState {
     }
 }
 
-/// One chunk dispatched to the pool.  The kernel reference is
-/// lifetime-erased: [`HostParallelBackend::launch`] blocks on the launch's
-/// [`LaunchState`] until every chunk completed, so the borrow it erased
-/// outlives every dereference.
+/// The lifetime-erased kernel of one launch, carried to the pool workers as
+/// a raw pointer.  Raw — not `&'static` — because a worker still holds the
+/// job after its `complete()` call briefly unblocks the launching thread and
+/// ends the kernel borrow; a leftover raw pointer is inert, while a dangling
+/// reference would be a Stacked/Tree Borrows violation even undereferenced.
+#[derive(Clone, Copy)]
+struct KernelPtr(*const ChunkKernel<'static>);
+
+// SAFETY: the pointee is `Sync` (`ChunkKernel` is `dyn Fn(..) + Sync`), so
+// shipping the pointer to a worker thread and dereferencing it there is a
+// shared borrow of a `Sync` value.  Liveness is the dispatch protocol's
+// contract: workers dereference only before marking their chunk complete,
+// while the launching thread is pinned in [`LaunchState::wait`].
+unsafe impl Send for KernelPtr {}
+
+/// One chunk dispatched to the pool.
 struct PoolJob {
-    kernel: &'static ChunkKernel<'static>,
+    kernel: KernelPtr,
     chunk: ChunkSpec,
     launch: Arc<LaunchState>,
 }
@@ -583,8 +595,17 @@ fn pool_worker(shared: &PoolShared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| (job.kernel)(job.chunk)));
-        job.launch.complete(outcome.err());
+        let PoolJob {
+            kernel,
+            chunk,
+            launch,
+        } = job;
+        // SAFETY: this chunk has not been marked complete yet, so the
+        // launching thread is still blocked in `LaunchState::wait` and the
+        // borrow behind the pointer is live.  The reference exists only for
+        // this call and is gone before `complete()` releases the launcher.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*kernel.0)(chunk) }));
+        launch.complete(outcome.err());
     }
 }
 
@@ -743,13 +764,16 @@ impl AcceleratorBackend for HostParallelBackend {
                 .pool
                 .0
                 .get_or_insert_with(|| WorkerPool::new(self.threads, &self.name));
-            // SAFETY: the pool workers only dereference this between the
-            // dispatch below and the `launch_state.wait()` that follows it,
-            // and `wait` does not return until every chunk completed — the
-            // erased borrow strictly outlives every use.
-            let kernel = unsafe {
-                std::mem::transmute::<&ChunkKernel<'_>, &'static ChunkKernel<'static>>(kernel)
-            };
+            // Erase the kernel borrow's lifetime into a raw pointer.  The
+            // pool workers dereference it only between the dispatch below
+            // and the `launch_state.wait()` that follows, and `wait` does
+            // not return until every chunk completed — the borrow strictly
+            // outlives every dereference.
+            let kernel = KernelPtr(unsafe {
+                std::mem::transmute::<*const ChunkKernel<'_>, *const ChunkKernel<'static>>(
+                    kernel as *const ChunkKernel<'_>,
+                )
+            });
             let launch_state = Arc::new(LaunchState::new(chunks));
             // Contiguous even split: the first `rem` chunks take one extra
             // item, so concatenating ranges in index order covers 0..items.

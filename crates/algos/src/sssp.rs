@@ -158,6 +158,13 @@ impl GraphAlgorithm<Distances, f64> for MultiSourceSssp {
             .sum();
         value[offset..offset + members[index].num_sources()].to_vec()
     }
+
+    /// Each vertex owns a distance vector (one `f64` per source), so a
+    /// byte-budgeted result cache must charge the vector payloads, not just
+    /// the `Vec` headers.
+    fn value_bytes(value: &Distances) -> usize {
+        std::mem::size_of_val(value.as_slice())
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +252,18 @@ mod tests {
         assert_eq!(a.cache_key(), b.cache_key());
         assert_ne!(a.cache_key(), c.cache_key());
         assert_eq!(a.cache_key().unwrap(), "s0,1,2,3");
+    }
+
+    #[test]
+    fn value_bytes_counts_the_per_vertex_distance_payload() {
+        // A byte-budgeted result cache charges each vertex's distance
+        // vector, not just its `Vec` header.
+        let value: Distances = vec![0.0; 7];
+        assert_eq!(
+            MultiSourceSssp::value_bytes(&value),
+            7 * std::mem::size_of::<f64>()
+        );
+        assert_eq!(MultiSourceSssp::value_bytes(&Distances::new()), 0);
     }
 
     #[test]

@@ -400,6 +400,12 @@ trait ErasedJob<V, E>: Send {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 
+    /// Sizes one of this job's outcomes for the result cache's byte budget
+    /// ([`sized_outcome_bytes`] instantiated at the concrete algorithm
+    /// type).  A plain `fn` so the scheduler can size results after
+    /// [`ErasedJob::run_group`] consumed the job box.
+    fn outcome_sizer(&self) -> fn(&RunOutcome<V>) -> usize;
+
     /// Runs this job together with `peers` on a worker session.  With no
     /// peers this is a plain run.  With peers — all of which passed
     /// [`ErasedJob::can_fuse_with`] — the group is fused into one run when
@@ -442,6 +448,10 @@ where
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn outcome_sizer(&self) -> fn(&RunOutcome<V>) -> usize {
+        sized_outcome_bytes::<V, E, A>
     }
 
     fn run_group(
@@ -550,14 +560,28 @@ struct CacheEntry<V> {
 }
 
 /// Shallow size estimate of a stored outcome: the vectors' element payloads
-/// plus the struct itself.  Heap data *inside* `V` (e.g. per-vertex `Vec`s)
-/// is not traversed — the budget bounds the dominant cost for the flat
-/// vertex types the engine trades in, and the entry-count cap bounds the
-/// rest.
+/// plus the struct itself.  Heap data *inside* `V` is not traversed here —
+/// [`sized_outcome_bytes`] adds it via [`GraphAlgorithm::value_bytes`], so
+/// nested per-vertex payloads (multi-source SSSP's per-vertex distance
+/// vector) are charged accurately when the algorithm declares them.
 fn outcome_bytes<V>(outcome: &RunOutcome<V>) -> usize {
     std::mem::size_of::<RunOutcome<V>>()
         + std::mem::size_of_val(outcome.values.as_slice())
         + std::mem::size_of_val(outcome.agent_stats.as_slice())
+}
+
+/// Full size estimate of a stored outcome for algorithm `A`: the shallow
+/// [`outcome_bytes`] plus `A`'s declared per-vertex heap payload.
+fn sized_outcome_bytes<V, E, A>(outcome: &RunOutcome<V>) -> usize
+where
+    A: GraphAlgorithm<V, E>,
+{
+    outcome_bytes(outcome)
+        + outcome
+            .values
+            .iter()
+            .map(|value| A::value_bytes(value))
+            .sum::<usize>()
 }
 
 /// The keyed result cache: LRU order in a deque (front = coldest), bounded
@@ -597,12 +621,13 @@ impl<V: Clone> ResultCache<V> {
 
     /// Stores `outcome` under `key` at `version`, replacing any existing
     /// entry for the key and evicting from the cold end until both bounds
-    /// hold.  Outcomes larger than the whole byte budget are not stored.
-    fn store(&mut self, key: Arc<JobKey>, outcome: &RunOutcome<V>, version: u64) {
+    /// hold.  `bytes` is the caller's size estimate (see
+    /// [`ErasedJob::outcome_sizer`]); outcomes larger than the whole byte
+    /// budget are not stored.
+    fn store(&mut self, key: Arc<JobKey>, outcome: &RunOutcome<V>, version: u64, bytes: usize) {
         if self.capacity == 0 {
             return;
         }
-        let bytes = outcome_bytes(outcome);
         if bytes > self.byte_budget {
             return;
         }
@@ -750,7 +775,8 @@ struct StatsInner {
     queue_wait_max: Duration,
     run_wall_total: Duration,
     run_wall_max: Duration,
-    recent: VecDeque<(Duration, Duration)>,
+    recent_waits: VecDeque<Duration>,
+    recent_walls: VecDeque<Duration>,
     recent_hits: VecDeque<Duration>,
 }
 
@@ -770,20 +796,33 @@ impl StatsInner {
             queue_wait_max: Duration::ZERO,
             run_wall_total: Duration::ZERO,
             run_wall_max: Duration::ZERO,
-            recent: VecDeque::new(),
+            recent_waits: VecDeque::new(),
+            recent_walls: VecDeque::new(),
             recent_hits: VecDeque::new(),
         }
     }
 
-    fn record_run(&mut self, queue_wait: Duration, run_wall: Duration) {
+    /// Counts one resolved job's queue wait.  Every member of a coalesced
+    /// or fused flight waited on its own, so this is recorded per job.
+    fn record_wait(&mut self, queue_wait: Duration) {
         self.queue_wait_total += queue_wait;
         self.queue_wait_max = self.queue_wait_max.max(queue_wait);
+        if self.recent_waits.len() == RECENT_SAMPLES {
+            self.recent_waits.pop_front();
+        }
+        self.recent_waits.push_back(queue_wait);
+    }
+
+    /// Counts one *physical* run's wall time.  A coalesced or fused flight
+    /// executes once, so only its leader records this — the wall totals and
+    /// percentiles measure worker occupancy, not per-job attribution.
+    fn record_wall(&mut self, run_wall: Duration) {
         self.run_wall_total += run_wall;
         self.run_wall_max = self.run_wall_max.max(run_wall);
-        if self.recent.len() == RECENT_SAMPLES {
-            self.recent.pop_front();
+        if self.recent_walls.len() == RECENT_SAMPLES {
+            self.recent_walls.pop_front();
         }
-        self.recent.push_back((queue_wait, run_wall));
+        self.recent_walls.push_back(run_wall);
     }
 
     fn record_hit(&mut self, latency: Duration) {
@@ -834,13 +873,18 @@ pub struct ServiceStats {
     pub queue_wait_total: Duration,
     /// Largest single queue wait.
     pub queue_wait_max: Duration,
-    /// Total run wall time across all executed jobs.
+    /// Total wall time across *physical* runs: a coalesced or fused flight
+    /// executes once and counts once here, however many job tickets it
+    /// resolved — this is worker occupancy, not per-job attribution.
     pub run_wall_total: Duration,
-    /// Largest single run wall time.
+    /// Largest single physical-run wall time.
     pub run_wall_max: Duration,
-    /// The retained `(queue wait, run wall)` samples, oldest first (bounded;
-    /// the basis of the percentile queries).
-    recent: Vec<(Duration, Duration)>,
+    /// The retained per-job queue-wait samples, oldest first (bounded; the
+    /// basis of [`ServiceStats::queue_wait_percentile`]).
+    recent_waits: Vec<Duration>,
+    /// The retained per-physical-run wall samples, oldest first (bounded;
+    /// the basis of [`ServiceStats::run_wall_percentile`]).
+    recent_walls: Vec<Duration>,
     /// The retained cache-hit resolution latencies, oldest first (bounded).
     recent_hits: Vec<Duration>,
 }
@@ -858,19 +902,27 @@ impl ServiceStats {
         (executed > 0).then(|| self.queue_wait_total / executed as u32)
     }
 
-    /// The retained per-job `(queue wait, run wall)` samples, oldest first.
-    pub fn recent_samples(&self) -> &[(Duration, Duration)] {
-        &self.recent
+    /// The retained per-job queue-wait samples, oldest first.
+    pub fn recent_wait_samples(&self) -> &[Duration] {
+        &self.recent_waits
+    }
+
+    /// The retained per-physical-run wall samples, oldest first.  A
+    /// coalesced or fused flight contributes one sample, recorded by its
+    /// leader.
+    pub fn recent_wall_samples(&self) -> &[Duration] {
+        &self.recent_walls
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of the retained queue-wait samples.
     pub fn queue_wait_percentile(&self, q: f64) -> Option<Duration> {
-        percentile(self.recent.iter().map(|(wait, _)| *wait), q)
+        percentile(self.recent_waits.iter().copied(), q)
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) of the retained run-wall samples.
+    /// The `q`-quantile (`0.0..=1.0`) of the retained run-wall samples (one
+    /// per physical run).
     pub fn run_wall_percentile(&self, q: f64) -> Option<Duration> {
-        percentile(self.recent.iter().map(|(_, wall)| *wall), q)
+        percentile(self.recent_walls.iter().copied(), q)
     }
 
     /// The retained cache-hit resolution latencies, oldest first.
@@ -980,6 +1032,12 @@ impl SharedDevices {
         for backend in backends {
             self.registry.release(backend);
         }
+        // Notify while holding `turn`: a checkout that just failed its
+        // try_checkout still holds the mutex until it parks in `freed.wait`,
+        // so acquiring it here orders this notification after that park —
+        // without it, a check-in landing in that window is lost and the
+        // waiter (holding a claimed job) can block forever.
+        let _turn = lock(&self.turn);
         self.freed.notify_all();
     }
 
@@ -1372,7 +1430,8 @@ where
             queue_wait_max: stats.queue_wait_max,
             run_wall_total: stats.run_wall_total,
             run_wall_max: stats.run_wall_max,
-            recent: stats.recent.iter().copied().collect(),
+            recent_waits: stats.recent_waits.iter().copied().collect(),
+            recent_walls: stats.recent_walls.iter().copied().collect(),
             recent_hits: stats.recent_hits.iter().copied().collect(),
         }
     }
@@ -1466,6 +1525,11 @@ fn claim_matching<V, E>(
 /// Resolves one claimed job from its run result: finishes the cell, counts
 /// and samples the run, fills the cache (keyed, non-`Bypass` successes) and
 /// fires the reply.
+///
+/// `run_wall` is `Some` only on the flight's leader: one physical run is
+/// sampled once however many coalesced/fused tickets it resolves.  `sizer`
+/// comes from the leader's [`ErasedJob::outcome_sizer`] (every member of a
+/// flight shares the leader's concrete algorithm type).
 #[allow(clippy::too_many_arguments)]
 fn resolve_run<V, E>(
     shared: &ServiceShared<V, E>,
@@ -1474,8 +1538,9 @@ fn resolve_run<V, E>(
     key: Option<&Arc<JobKey>>,
     policy: CachePolicy,
     queue_wait: Duration,
-    run_wall: Duration,
+    run_wall: Option<Duration>,
     version: u64,
+    sizer: fn(&RunOutcome<V>) -> usize,
     result: Result<RunOutcome<V>, SessionError>,
 ) where
     V: Clone,
@@ -1483,7 +1548,10 @@ fn resolve_run<V, E>(
     cell.finish();
     {
         let mut stats = lock(&shared.stats);
-        stats.record_run(queue_wait, run_wall);
+        stats.record_wait(queue_wait);
+        if let Some(run_wall) = run_wall {
+            stats.record_wall(run_wall);
+        }
         match &result {
             Ok(_) => stats.completed += 1,
             Err(_) => stats.failed += 1,
@@ -1491,7 +1559,8 @@ fn resolve_run<V, E>(
     }
     if policy != CachePolicy::Bypass {
         if let (Ok(outcome), Some(key)) = (&result, key) {
-            lock(&shared.cache).store(Arc::clone(key), outcome, version);
+            let bytes = sizer(outcome);
+            lock(&shared.cache).store(Arc::clone(key), outcome, version, bytes);
         }
     }
     let _ = reply.send(result.map_err(ServiceError::Session));
@@ -1590,6 +1659,9 @@ fn worker_loop<V, E>(
         // run: an invalidation racing with the run makes the fill stale
         // (never served) rather than wrongly fresh.
         let version = shared.graph_version.load(Ordering::Acquire);
+        // Captured before `run_group` consumes the job box; fusion peers
+        // share the leader's concrete type, so one sizer serves the flight.
+        let sizer = job.outcome_sizer();
         if let Some(pool) = &shared.devices {
             session.install_daemons(daemons_from_backends(pool.checkout()));
         }
@@ -1631,12 +1703,15 @@ fn worker_loop<V, E>(
                             None,
                             duplicate.policy,
                             duplicate_wait,
-                            run_wall,
+                            None,
                             version,
+                            sizer,
                             leader_result.clone(),
                         );
                     }
                 }
+                // The leader alone carries the physical run's wall sample —
+                // the flight executed once, however many tickets it fills.
                 resolve_run(
                     &shared,
                     &cell,
@@ -1644,8 +1719,9 @@ fn worker_loop<V, E>(
                     key.as_ref(),
                     policy,
                     queue_wait,
-                    run_wall,
+                    Some(run_wall),
                     version,
+                    sizer,
                     leader_result,
                 );
                 for (result, (peer_cell, peer_reply, peer_key, peer_policy, peer_wait)) in
@@ -1658,8 +1734,9 @@ fn worker_loop<V, E>(
                         peer_key.as_ref(),
                         peer_policy,
                         peer_wait,
-                        run_wall,
+                        None,
                         version,
+                        sizer,
                         result,
                     );
                 }
@@ -1682,7 +1759,8 @@ fn worker_loop<V, E>(
                 }
                 {
                     let mut stats = lock(&shared.stats);
-                    stats.record_run(queue_wait, run_wall);
+                    stats.record_wait(queue_wait);
+                    stats.record_wall(run_wall);
                     stats.panicked += victims;
                 }
                 if let Some(pool) = &shared.devices {
@@ -1864,6 +1942,14 @@ where
     /// Byte budget of the result cache (default [`DEFAULT_CACHE_BYTES`]).
     /// Entries are evicted coldest-first until the estimated resident bytes
     /// fit; a single result larger than the whole budget is never stored.
+    ///
+    /// The estimate counts the outcome's inline vectors plus whatever heap
+    /// payload the algorithm declares via [`GraphAlgorithm::value_bytes`].
+    /// For vertex values owning heap data the algorithm does not declare
+    /// (including any algorithm erased behind `SharedAlgorithm`, where the
+    /// `Self: Sized` hook is unreachable), the estimate undercounts by that
+    /// payload — size the budget conservatively or rely on
+    /// [`ServiceBuilder::cache_capacity`]'s entry cap in that case.
     pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
         self
@@ -2839,6 +2925,49 @@ mod tests {
         assert_eq!(stats.cache_hits, 0);
         // The coalesced run filled the cache once.
         assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn shared_devices_checkout_never_loses_a_wakeup() {
+        // Regression test for a lost-wakeup race: a check-in landing between
+        // a waiter's failed `try_checkout` and its park on the `freed`
+        // condvar must still wake it — `checkin` takes the `turn` mutex
+        // before notifying for exactly that window.  One complement, many
+        // threads churning checkouts: a lost notification deadlocks the run
+        // (the test then trips the watchdog instead of hanging the suite).
+        let pool = Arc::new(SharedDevices::new(gpus_per_node(2), 1));
+        let done = Arc::new(AtomicUsize::new(0));
+        let churners: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        let complement = pool.checkout();
+                        pool.checkin(complement.into_iter().flatten());
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while done.load(Ordering::SeqCst) < 8 {
+            assert!(
+                Instant::now() < deadline,
+                "shared-device checkout deadlocked: a check-in wakeup was lost"
+            );
+            thread::yield_now();
+        }
+        for churner in churners {
+            churner.join().unwrap();
+        }
+        // Every complement made it back: a full checkout still succeeds.
+        let complement = pool.checkout();
+        assert_eq!(
+            complement.iter().map(Vec::len).sum::<usize>(),
+            pool.complement_size()
+        );
+        pool.checkin(complement.into_iter().flatten());
     }
 
     #[test]

@@ -191,6 +191,24 @@ pub trait GraphAlgorithm<V, E>: Send + Sync {
         let _ = (members, index, value);
         unimplemented!("extract_fused must be implemented alongside fuse")
     }
+
+    /// Heap bytes owned by one vertex value *beyond* `size_of::<V>()`,
+    /// charged against a result cache's byte budget.
+    ///
+    /// The default, `0`, is exact for flat vertex values (`f64`, integers,
+    /// small structs).  Algorithms whose vertex values own heap data — like
+    /// multi-source SSSP's per-vertex distance vector — should override it
+    /// so a byte-budgeted cache tracks resident memory instead of only the
+    /// values' inline headers.  Like [`GraphAlgorithm::fuse`], this is a
+    /// `Self: Sized` hook: it does not survive [`SharedAlgorithm`] erasure,
+    /// which falls back to the shallow default.
+    fn value_bytes(value: &V) -> usize
+    where
+        Self: Sized,
+    {
+        let _ = value;
+        0
+    }
 }
 
 /// Object-safe view of a [`GraphAlgorithm`] with the message type lifted
