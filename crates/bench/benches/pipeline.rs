@@ -588,6 +588,153 @@ fn bench_service_cache(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// server_http: the serving front end's socket overhead
+// ---------------------------------------------------------------------------
+
+/// A keep-alive HTTP client speaking the binary frame protocol — the bench
+/// must measure protocol overhead, not per-request TCP connects.
+struct WireClient {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl WireClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let writer = std::net::TcpStream::connect(addr).expect("connect to bench server");
+        writer.set_nodelay(true).unwrap();
+        writer
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let reader = std::io::BufReader::new(writer.try_clone().unwrap());
+        Self { reader, writer }
+    }
+
+    /// One request/response on the persistent connection.
+    fn exchange(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        use std::io::{BufRead, Read, Write};
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\n\
+             Authorization: Bearer bench-token\r\n\
+             Content-Type: application/x-gxplug-frame\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).unwrap();
+        self.writer.write_all(body).unwrap();
+
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = value.parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).unwrap();
+        (status, body)
+    }
+
+    /// Submits a spec and returns the job id (panics on a non-Accepted
+    /// answer — the bench tenant is never over quota).
+    fn submit(&mut self, spec: gxplug_ipc::wire::JobSpec, cache: u8) -> u64 {
+        let frame = gxplug_ipc::wire::Frame::Submit {
+            spec,
+            options: gxplug_ipc::wire::WireJobOptions {
+                cache,
+                ..Default::default()
+            },
+        };
+        let (status, body) = self.exchange("POST", "/v1/jobs", &gxplug_ipc::wire::encode(&frame));
+        let (frame, _) = gxplug_ipc::wire::decode(&body).expect("frame response");
+        match frame {
+            gxplug_ipc::wire::Frame::Accepted { job } => job,
+            other => panic!("submit answered {status}: {other:?}"),
+        }
+    }
+
+    /// Polls a job until its Result frame lands.
+    fn wait_result(&mut self, job: u64) -> gxplug_ipc::wire::JobResultFrame {
+        loop {
+            let (_, body) = self.exchange("GET", &format!("/v1/jobs/{job}"), &[]);
+            let (frame, _) = gxplug_ipc::wire::decode(&body).expect("frame response");
+            match frame {
+                gxplug_ipc::wire::Frame::State { .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(1))
+                }
+                gxplug_ipc::wire::Frame::Result(result) => return result,
+                other => panic!("job {job} failed: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Boots the stock serving deployment with one quota-free bench tenant.
+fn bench_server() -> gxplug_server::Server<gxplug_server::ServeVertex, f64> {
+    let queue_depth = 32;
+    let service = gxplug_server::standard_service(8, 7, 2, queue_depth);
+    let tenants = gxplug_server::TenantRegistry::new().register(
+        "bench-token",
+        gxplug_server::Tenant::new("bench").with_quota(gxplug_server::TenantQuota {
+            max_in_flight: 64,
+            queue_share: 1.0,
+        }),
+    );
+    gxplug_server::Server::serve(
+        service,
+        gxplug_server::standard_registry(),
+        tenants,
+        gxplug_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handler_threads: 6,
+            queue_depth,
+        },
+    )
+    .expect("bind the bench server")
+}
+
+/// The pre-warmed hot job of the latency arm: a cache hit resolves at
+/// submit, so POST + GET measures pure transport overhead.
+fn hot_spec() -> gxplug_ipc::wire::JobSpec {
+    gxplug_ipc::wire::JobSpec::new("pagerank")
+        .with_f64("damping", 0.85)
+        .with_u64("iterations", 10)
+}
+
+fn bench_server_http(c: &mut Criterion) {
+    let server = bench_server();
+    let mut client = WireClient::connect(server.local_addr());
+    // Warm the result cache so every measured iteration is a hit.
+    let job = client.submit(hot_spec(), 0);
+    client.wait_result(job);
+
+    c.bench_function("server_http_cache_hit_roundtrips", |b| {
+        b.iter(|| {
+            let job = client.submit(hot_spec(), 0);
+            black_box(client.wait_result(job).values.len())
+        })
+    });
+    drop(client);
+    server.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_threaded_pipeline,
@@ -598,7 +745,8 @@ criterion_group!(
     bench_backend_matrix,
     bench_session_reuse,
     bench_service_throughput,
-    bench_service_cache
+    bench_service_cache,
+    bench_server_http
 );
 
 /// One record of the machine-readable benchmark output.
@@ -957,6 +1105,127 @@ fn emit_bench_json() {
                 cache: cache_label,
             });
         }
+    }
+
+    // --- server_http: socket overhead vs in-process submission ------------
+    {
+        use gxplug_server::{ServeRank, ServeReach};
+        let server = bench_server();
+        let addr = server.local_addr();
+
+        // Latency arm: pre-warmed cache-hit job, so POST + GET measures the
+        // transport (HTTP parse, frame encode/decode, job-table hop) and not
+        // graph compute.  The direct arm is the same cache hit in-process.
+        let mut client = WireClient::connect(addr);
+        let warm = client.submit(hot_spec(), 0);
+        client.wait_result(warm);
+        let latency_jobs = if test_mode { 20 } else { 200 };
+        let mut socket_us: Vec<f64> = Vec::with_capacity(latency_jobs);
+        for _ in 0..latency_jobs {
+            let start = Instant::now();
+            let job = client.submit(hot_spec(), 0);
+            client.wait_result(job);
+            socket_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        let mut direct_us: Vec<f64> = Vec::with_capacity(latency_jobs);
+        for _ in 0..latency_jobs {
+            let start = Instant::now();
+            server
+                .service()
+                .submit_with(
+                    ServeRank {
+                        damping: 0.85,
+                        iterations: 10,
+                    },
+                    JobOptions::new(),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            direct_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        socket_us.sort_by(|a, b| a.total_cmp(b));
+        direct_us.sort_by(|a, b| a.total_cmp(b));
+        let pct = |sorted: &[f64], q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        let overhead_p50_us = (pct(&socket_us, 0.5) - pct(&direct_us, 0.5)).max(0.0);
+        records.push(BenchRecord {
+            mode: "server_http/latency_cache_hit".into(),
+            backend: BackendKind::Sim.label().into(),
+            graph: "rmat8-2nodes".into(),
+            wall_ms: pct(&socket_us, 0.5) / 1e3,
+            blocks: 0,
+            triplets: 0,
+            bytes_moved: 0,
+            service: format!(
+                "jobs={latency_jobs} p50_us={:.1} p99_us={:.1} direct_p50_us={:.1} \
+                 direct_p99_us={:.1} overhead_p50_us={overhead_p50_us:.1}",
+                pct(&socket_us, 0.5),
+                pct(&socket_us, 0.99),
+                pct(&direct_us, 0.5),
+                pct(&direct_us, 0.99),
+            ),
+            cache: "dup=100% policy=use-or-fill".into(),
+        });
+
+        // Throughput arms: fresh single-source SSSP jobs (distinct sources,
+        // cache bypassed), submit→wait serialised per lane, so the socket
+        // figures are apples-to-apples with the direct baseline.
+        let throughput_jobs = if test_mode { 8 } else { 40 };
+        let start = Instant::now();
+        for i in 0..throughput_jobs {
+            server
+                .service()
+                .submit_with(
+                    ServeReach {
+                        sources: vec![i as u32],
+                    },
+                    JobOptions::new().with_cache(CachePolicy::Bypass),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let direct_jobs_per_s = throughput_jobs as f64 / start.elapsed().as_secs_f64();
+
+        fn sssp(source: u32) -> gxplug_ipc::wire::JobSpec {
+            gxplug_ipc::wire::JobSpec::new("sssp").with_ids("sources", vec![source])
+        }
+        for conns in [1usize, 4] {
+            let per_conn = throughput_jobs / conns;
+            let start = Instant::now();
+            let lanes: Vec<std::thread::JoinHandle<()>> = (0..conns)
+                .map(|lane| {
+                    std::thread::spawn(move || {
+                        let mut client = WireClient::connect(addr);
+                        for i in 0..per_conn {
+                            let job = client.submit(sssp((lane * per_conn + i) as u32 + 64), 1);
+                            client.wait_result(job);
+                        }
+                    })
+                })
+                .collect();
+            for lane in lanes {
+                lane.join().unwrap();
+            }
+            let elapsed = start.elapsed();
+            let jobs = conns * per_conn;
+            records.push(BenchRecord {
+                mode: format!("server_http/throughput_conns={conns}"),
+                backend: BackendKind::Sim.label().into(),
+                graph: "rmat8-2nodes".into(),
+                wall_ms: elapsed.as_secs_f64() * 1e3,
+                blocks: 0,
+                triplets: 0,
+                bytes_moved: 0,
+                service: format!(
+                    "conns={conns} jobs={jobs} jobs_per_s={:.2} direct_jobs_per_s={direct_jobs_per_s:.2}",
+                    jobs as f64 / elapsed.as_secs_f64(),
+                ),
+                cache: no_cache(),
+            });
+        }
+        drop(client);
+        server.shutdown();
     }
 
     let body: Vec<String> = records.iter().map(BenchRecord::to_json).collect();

@@ -92,7 +92,7 @@ pub use pipeline::{BlockSizeChoice, LemmaCase, PipelineCoefficients};
 pub use runtime::{DaemonHandle, DaemonJob, RuntimeError, ThreadedAgent, ThreadedNodes};
 pub use service::{
     AdmissionPolicy, CachePolicy, GraphService, JobOptions, JobPriority, JobStatus, JobTicket,
-    ServiceBuilder, ServiceError, ServiceStats,
+    ServiceBuilder, ServiceError, ServiceStats, StatsSnapshot,
 };
 pub use session::{
     system_label, RunOutcome, RunOverrides, Session, SessionBuilder, SessionError, SessionSpec,

@@ -725,10 +725,20 @@ impl<V> JobTicket<V> {
         }
     }
 
-    /// [`JobTicket::wait`] with a deadline.  `None` means the job has not
-    /// resolved yet; the ticket stays valid.
+    /// [`JobTicket::wait`] with a relative timeout.  `None` means the job
+    /// has not resolved yet; the ticket stays valid.  The timeout re-arms on
+    /// every call — a wait loop enforcing one overall budget should use
+    /// [`JobTicket::wait_deadline`] instead.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult<V>> {
-        match self.reply.recv_timeout(timeout) {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// [`JobTicket::wait`] up to an absolute deadline.  `None` means the job
+    /// has not resolved yet; the ticket stays valid, and a deadline already
+    /// in the past degrades to a non-blocking poll — so a serving loop can
+    /// interleave ticket waits with heartbeat deadlines without drifting.
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<JobResult<V>> {
+        match self.reply.recv_deadline(deadline) {
             Ok(result) => Some(result),
             Err(QueueRecvError::Timeout) | Err(QueueRecvError::Empty) => None,
             Err(QueueRecvError::Disconnected) => Some(match self.cell.status() {
@@ -832,6 +842,37 @@ impl StatsInner {
         }
         self.recent_hits.push_back(latency);
     }
+
+    /// Builds the compact snapshot from one locked view of the counters and
+    /// sample windows.  The gauges are sampled by the caller *before* taking
+    /// the stats lock, so this never nests another lock inside it.
+    fn snapshot(&self, queued: usize, running: usize, worker_sessions: usize) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            cancelled: self.cancelled,
+            panicked: self.panicked,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            coalesced_jobs: self.coalesced_jobs,
+            fused_runs: self.fused_runs,
+            queued,
+            running,
+            worker_sessions,
+            queue_wait_total: self.queue_wait_total,
+            queue_wait_max: self.queue_wait_max,
+            run_wall_total: self.run_wall_total,
+            run_wall_max: self.run_wall_max,
+            wait_p50: percentile(self.recent_waits.iter().copied(), 0.50),
+            wait_p90: percentile(self.recent_waits.iter().copied(), 0.90),
+            wait_p99: percentile(self.recent_waits.iter().copied(), 0.99),
+            wall_p50: percentile(self.recent_walls.iter().copied(), 0.50),
+            wall_p90: percentile(self.recent_walls.iter().copied(), 0.90),
+            wall_p99: percentile(self.recent_walls.iter().copied(), 0.99),
+            hit_p50: percentile(self.recent_hits.iter().copied(), 0.50),
+        }
+    }
 }
 
 /// A point-in-time snapshot of a service's counters and latency samples
@@ -934,6 +975,110 @@ impl ServiceStats {
     /// latencies — submit-time lookup through ticket wiring.
     pub fn cache_hit_percentile(&self, q: f64) -> Option<Duration> {
         percentile(self.recent_hits.iter().copied(), q)
+    }
+
+    /// Condenses this (already consistent) stats report into the compact
+    /// [`StatsSnapshot`] form, pre-computing the standard percentiles.  When
+    /// the sample vectors themselves are not needed, prefer
+    /// [`GraphService::stats_snapshot`], which builds the snapshot without
+    /// cloning them at all.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            cancelled: self.cancelled,
+            panicked: self.panicked,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            coalesced_jobs: self.coalesced_jobs,
+            fused_runs: self.fused_runs,
+            queued: self.queued,
+            running: self.running,
+            worker_sessions: self.worker_sessions,
+            queue_wait_total: self.queue_wait_total,
+            queue_wait_max: self.queue_wait_max,
+            run_wall_total: self.run_wall_total,
+            run_wall_max: self.run_wall_max,
+            wait_p50: self.queue_wait_percentile(0.50),
+            wait_p90: self.queue_wait_percentile(0.90),
+            wait_p99: self.queue_wait_percentile(0.99),
+            wall_p50: self.run_wall_percentile(0.50),
+            wall_p90: self.run_wall_percentile(0.90),
+            wall_p99: self.run_wall_percentile(0.99),
+            hit_p50: self.cache_hit_percentile(0.50),
+        }
+    }
+}
+
+/// A compact, lock-consistent point-in-time view of a service's counters
+/// and latency percentiles — what a `/metrics` scrape renders.
+///
+/// Unlike [`ServiceStats`] it carries no sample vectors, so producing one is
+/// a single stats-lock acquisition and a bounded percentile computation:
+/// cheap enough to call on every scrape, and *torn-read free* — every
+/// counter and every percentile comes from the same locked instant, so
+/// [`StatsSnapshot::executed`] can never exceed
+/// [`StatsSnapshot::submitted`].  (The `queued`/`running` gauges are sampled
+/// immediately before that instant from their own sources; they are moving
+/// occupancy figures, not monotone counters, and carry no cross-field
+/// invariant.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue since the service started.
+    pub submitted: u64,
+    /// Jobs that ran to a successful outcome.
+    pub completed: u64,
+    /// Jobs that ran and failed with a session error.
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Jobs that panicked while running.
+    pub panicked: u64,
+    /// Submissions served straight from the result cache.
+    pub cache_hits: u64,
+    /// Cache-eligible submissions that missed and queued normally.
+    pub cache_misses: u64,
+    /// Queued duplicate jobs resolved from another job's single flight.
+    pub coalesced_jobs: u64,
+    /// Worker runs that executed a fused group instead of one job.
+    pub fused_runs: u64,
+    /// Jobs currently waiting in the priority lanes.
+    pub queued: usize,
+    /// Jobs currently executing on worker sessions.
+    pub running: usize,
+    /// Worker sessions the service was built with.
+    pub worker_sessions: usize,
+    /// Total queue wait across all executed jobs.
+    pub queue_wait_total: Duration,
+    /// Largest single queue wait.
+    pub queue_wait_max: Duration,
+    /// Total wall time across physical runs.
+    pub run_wall_total: Duration,
+    /// Largest single physical-run wall time.
+    pub run_wall_max: Duration,
+    /// Median queue wait over the retained samples.
+    pub wait_p50: Option<Duration>,
+    /// 90th-percentile queue wait.
+    pub wait_p90: Option<Duration>,
+    /// 99th-percentile queue wait.
+    pub wait_p99: Option<Duration>,
+    /// Median physical-run wall time.
+    pub wall_p50: Option<Duration>,
+    /// 90th-percentile physical-run wall time.
+    pub wall_p90: Option<Duration>,
+    /// 99th-percentile physical-run wall time.
+    pub wall_p99: Option<Duration>,
+    /// Median cache-hit resolution latency.
+    pub hit_p50: Option<Duration>,
+}
+
+impl StatsSnapshot {
+    /// Jobs that reached a worker and resolved (completed, failed or
+    /// panicked).  Guaranteed `<=` [`StatsSnapshot::submitted`] within one
+    /// snapshot.
+    pub fn executed(&self) -> u64 {
+        self.completed + self.failed + self.panicked
     }
 }
 
@@ -1410,8 +1555,16 @@ where
 
     /// A point-in-time snapshot of the service's counters and latency
     /// samples.
+    ///
+    /// The gauges (`queued`, `running`) are sampled from their own sources
+    /// immediately before the stats lock is taken — never nested inside it —
+    /// and every counter and sample window is then read under that one
+    /// acquisition, so the monotone counters are mutually consistent
+    /// (`executed() <= submitted`, always).
     pub fn stats(&self) -> ServiceStats {
         let shared = &self.inner.shared;
+        let queued = lock(&shared.gate).queued;
+        let running = shared.running.load(Ordering::Relaxed);
         let stats = lock(&shared.stats);
         ServiceStats {
             submitted: stats.submitted,
@@ -1423,8 +1576,8 @@ where
             cache_misses: stats.cache_misses,
             coalesced_jobs: stats.coalesced_jobs,
             fused_runs: stats.fused_runs,
-            queued: lock(&shared.gate).queued,
-            running: shared.running.load(Ordering::Relaxed),
+            queued,
+            running,
             worker_sessions: shared.worker_sessions,
             queue_wait_total: stats.queue_wait_total,
             queue_wait_max: stats.queue_wait_max,
@@ -1434,6 +1587,19 @@ where
             recent_walls: stats.recent_walls.iter().copied().collect(),
             recent_hits: stats.recent_hits.iter().copied().collect(),
         }
+    }
+
+    /// The compact, lock-consistent [`StatsSnapshot`]: one stats-lock
+    /// acquisition, no sample-vector clones, percentiles pre-computed.  This
+    /// is the scrape path — a `/metrics` endpoint calling this on every
+    /// request never observes torn counters (`executed > submitted` is
+    /// impossible) and never pays the allocation cost of
+    /// [`GraphService::stats`].
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let shared = &self.inner.shared;
+        let queued = lock(&shared.gate).queued;
+        let running = shared.running.load(Ordering::Relaxed);
+        lock(&shared.stats).snapshot(queued, running, shared.worker_sessions)
     }
 
     /// Invalidates every cached result by bumping the service's graph
@@ -2302,6 +2468,109 @@ mod tests {
         assert_eq!(stats.completed, 12);
         assert_eq!(stats.queued, 0);
         assert_eq!(stats.running, 0);
+    }
+
+    #[test]
+    fn snapshots_are_never_torn_under_concurrent_load() {
+        // Regression: a metrics scrape racing the submit/complete paths must
+        // never observe more executed jobs than submitted ones — the
+        // counters all come from one stats-lock acquisition.
+        let graph = test_graph();
+        let service = small_service(&graph, 2, 64, AdmissionPolicy::Block);
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapers: Vec<_> = (0..2)
+            .map(|_| {
+                let service = service.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = service.stats_snapshot();
+                        assert!(
+                            snap.executed() <= snap.submitted,
+                            "torn snapshot: executed {} > submitted {}",
+                            snap.executed(),
+                            snap.submitted
+                        );
+                        assert!(snap.completed <= snap.submitted);
+                        // Percentiles exist exactly when a sample was taken,
+                        // which by the same consistency can only be after
+                        // the first submission was counted.
+                        if snap.wait_p50.is_some() {
+                            assert!(snap.submitted > 0);
+                            assert!(snap.wait_p50 <= snap.wait_p99);
+                        }
+                        scrapes += 1;
+                    }
+                    scrapes
+                })
+            })
+            .collect();
+        let submitters: Vec<_> = (0..2u32)
+            .map(|t| {
+                let service = service.clone();
+                thread::spawn(move || {
+                    for j in 0..6u32 {
+                        let sources = vec![VertexId::from((t * 6 + j) % 50)];
+                        let ticket = service
+                            .submit_with(
+                                Sssp { sources },
+                                JobOptions::default().with_cache(CachePolicy::Bypass),
+                            )
+                            .unwrap();
+                        ticket.wait().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for submitter in submitters {
+            submitter.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for scraper in scrapers {
+            assert!(scraper.join().unwrap() > 0, "scraper never ran");
+        }
+        let snap = service.stats_snapshot();
+        assert_eq!(snap.submitted, 12);
+        assert_eq!(snap.executed(), 12);
+        assert_eq!(snap.queued, 0);
+        assert_eq!(snap.running, 0);
+        // The snapshot agrees with the heavyweight report, which also
+        // derives it.
+        let stats = service.stats();
+        assert_eq!(stats.snapshot(), snap);
+        assert_eq!(snap.wait_p50, stats.queue_wait_percentile(0.5));
+        assert_eq!(snap.wall_p99, stats.run_wall_percentile(0.99));
+    }
+
+    #[test]
+    fn wait_deadline_polls_then_delivers() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 16, AdmissionPolicy::Block);
+        let gate = GateControl::default();
+        let ticket = service
+            .submit(GatedSssp {
+                inner: Sssp { sources: vec![0] },
+                gate: gate.clone(),
+            })
+            .unwrap();
+        // The job is gated, so an absolute deadline expires without a result
+        // and the ticket stays valid.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert!(ticket.wait_deadline(deadline).is_none());
+        assert!(Instant::now() >= deadline);
+        gate.release();
+        let outcome = ticket
+            .wait_deadline(Instant::now() + Duration::from_secs(30))
+            .expect("released job resolves")
+            .unwrap();
+        assert!(outcome.report.converged);
+        // A past deadline is a non-blocking poll now that the ticket has
+        // delivered: the slot reads as lost, not as a hang.
+        assert!(matches!(
+            ticket.wait_deadline(Instant::now() - Duration::from_millis(1)),
+            Some(Err(ServiceError::Lost))
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   blocks and the borrowed [`TripletBlockRef`] views of the zero-copy
 //!   pipeline;
 //! * [`messages`] — the control-message vocabulary of Algorithms 1 and 2;
-//! * [`channel`] — bidirectional agent ↔ daemon control links.
+//! * [`channel`] — bidirectional agent ↔ daemon control links;
+//! * [`wire`] — the versioned, length-prefixed binary frame format the
+//!   network serving layer speaks (job submissions, results, errors, stats),
+//!   with the unified [`ServerError`] vocabulary every transport shares.
 //!
 //! All of these primitives are cross-thread safe: `ControlLink`,
 //! `SharedSegment` and the queue endpoints are `Send + Sync` (for `Send +
@@ -34,6 +37,7 @@ pub mod messages;
 pub mod oneshot;
 pub mod queue;
 pub mod segment;
+pub mod wire;
 
 pub use blocks::{
     pack_block_pairs, pack_triplet_blocks, triplet_block_views, BlockPair, EdgeBlock, TripletBlock,
@@ -45,3 +49,4 @@ pub use messages::{ApiCall, ControlMessage};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSendError, QueueSender};
 pub use segment::{SegmentPool, SegmentStats, SharedSegment};
+pub use wire::{Frame, JobSpec, JobState, ServerError, StatsFrame, WireError, WireJobOptions};

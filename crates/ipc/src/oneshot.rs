@@ -172,8 +172,21 @@ impl<T> OneshotReceiver<T> {
     /// Blocks until the value arrives, the sender departs unfired, or
     /// `timeout` elapses.  The receiver survives a timeout, so callers can
     /// keep polling.
+    ///
+    /// Like the queue's flavour, the timeout re-arms on every call; loops
+    /// enforcing one overall budget should use
+    /// [`OneshotReceiver::recv_deadline`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, QueueRecvError> {
-        let deadline = Instant::now() + timeout;
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Blocks until the value arrives, the sender departs unfired, or the
+    /// absolute `deadline` passes.  The receiver survives a timeout; a
+    /// deadline already in the past degrades to a non-blocking poll that
+    /// still delivers an already-fired value.  This is how a streaming
+    /// server waits on a job ticket *and* keeps its heartbeat cadence: one
+    /// deadline serves the whole wait, with no per-call drift.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, QueueRecvError> {
         let mut state = self.shared.lock();
         loop {
             if let Some(value) = state.value.take() {
@@ -304,6 +317,17 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(30));
         tx.send(3u32).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(3));
+    }
+
+    #[test]
+    fn recv_deadline_expires_at_the_absolute_instant() {
+        let (tx, rx) = oneshot();
+        let deadline = Instant::now() + Duration::from_millis(40);
+        assert_eq!(rx.recv_deadline(deadline), Err(QueueRecvError::Timeout));
+        assert!(Instant::now() >= deadline);
+        // A past deadline is a poll, and a poll still delivers a fired value.
+        tx.send(11u32).unwrap();
+        assert_eq!(rx.recv_deadline(deadline), Ok(11));
     }
 
     #[test]

@@ -194,8 +194,27 @@ impl<T> QueueReceiver<T> {
 
     /// Blocks until a message arrives, every sender disconnects, or `timeout`
     /// elapses.
+    ///
+    /// The timeout is *relative* and restarts with every call: a loop that
+    /// calls `recv_timeout(d)` per message waits up to `d` per message, so
+    /// its total wait drifts past any intended overall deadline by up to `d`
+    /// per iteration.  Loops enforcing a total budget should compute the
+    /// deadline once and call [`QueueReceiver::recv_deadline`] instead.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, QueueRecvError> {
-        let deadline = Instant::now() + timeout;
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Blocks until a message arrives, every sender disconnects, or the
+    /// absolute `deadline` passes.
+    ///
+    /// Unlike [`QueueReceiver::recv_timeout`], the deadline does not re-arm
+    /// across calls: draining a burst in a loop with one shared deadline
+    /// returns [`QueueRecvError::Timeout`] once that instant passes, however
+    /// many messages arrived in between — the primitive the server's
+    /// connection reaper and WebSocket heartbeats tick on.  A deadline
+    /// already in the past degrades to a lock-protected poll: any message
+    /// pending at call time is still delivered before `Timeout` is reported.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, QueueRecvError> {
         let mut state = self.shared.lock();
         loop {
             if let Some(value) = state.items.pop_front() {
@@ -361,6 +380,66 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(30));
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+    }
+
+    #[test]
+    fn recv_deadline_expires_at_the_absolute_instant() {
+        let (tx, rx) = sync_queue::<u8>();
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(40);
+        assert_eq!(rx.recv_deadline(deadline), Err(QueueRecvError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        // The receiver survives the timeout and still delivers.
+        tx.send(3).unwrap();
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(40)),
+            Ok(3)
+        );
+        // A deadline already in the past is a poll: pending messages are
+        // still delivered, an empty queue reports Timeout immediately.
+        tx.send(4).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(rx.recv_deadline(past), Ok(4));
+        assert_eq!(rx.recv_deadline(past), Err(QueueRecvError::Timeout));
+    }
+
+    #[test]
+    fn recv_deadline_does_not_drift_across_a_wait_loop() {
+        // The drift footgun: a loop calling recv_timeout(d) per message waits
+        // up to d *per message*, overshooting any intended total budget.  The
+        // same loop on recv_deadline with one shared deadline stops on time
+        // however many messages trickle in.
+        let (tx, rx) = sync_queue::<u32>();
+        let producer = thread::spawn(move || {
+            for i in 0..100u32 {
+                thread::sleep(Duration::from_millis(5));
+                if tx.send(i).is_err() {
+                    return;
+                }
+            }
+        });
+        let budget = Duration::from_millis(60);
+        let start = Instant::now();
+        let deadline = start + budget;
+        let mut seen = 0usize;
+        while let Ok(_msg) = rx.recv_deadline(deadline) {
+            seen += 1;
+        }
+        let elapsed = start.elapsed();
+        // Messages kept arriving every 5ms, yet the loop ended within the
+        // budget (generous slack for scheduler noise) instead of re-arming
+        // per message the way a recv_timeout loop would.
+        assert!(elapsed >= budget);
+        assert!(
+            elapsed < budget + Duration::from_millis(250),
+            "deadline loop overshot: {elapsed:?} vs budget {budget:?}"
+        );
+        assert!(
+            seen > 0,
+            "the loop consumed the messages sent before expiry"
+        );
+        drop(rx);
+        producer.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Tenant identity, bearer-token authentication and per-tenant quotas.
+//!
+//! The serving layer is multi-tenant by construction: every request carries
+//! a bearer token, the token names a [`Tenant`], and the tenant's
+//! [`TenantQuota`] bounds how much of the shared service the tenant may
+//! occupy — a hard in-flight-job cap plus a fractional share of the bounded
+//! queue.  Quotas are enforced *before* submission, so an over-quota tenant
+//! receives a typed 429 and never claims a queue slot another tenant could
+//! have used; the priority ceiling maps each tenant onto the scheduler's
+//! existing lanes without letting any tenant jump above its paid class.
+
+use gxplug_core::JobPriority;
+use std::collections::HashMap;
+
+/// Resource bounds of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Maximum jobs the tenant may have queued or running at once.
+    pub max_in_flight: usize,
+    /// Fraction of the service's bounded queue the tenant's *queued* jobs
+    /// may occupy, in `(0, 1]`.  With a queue depth of 32 and a share of
+    /// 0.25, at most 8 of the tenant's jobs wait in the lanes at once.
+    pub queue_share: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 16,
+            queue_share: 0.5,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// The tenant's queued-job allowance for a service with `queue_depth`
+    /// slots (always at least 1, so a valid tenant can always queue
+    /// something).
+    pub fn queue_allowance(&self, queue_depth: usize) -> usize {
+        ((queue_depth as f64 * self.queue_share).floor() as usize).max(1)
+    }
+}
+
+/// One authenticated principal of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Stable tenant name (appears in metrics labels and quota errors).
+    pub name: String,
+    /// The best priority lane the tenant may use.  A submission requesting a
+    /// higher lane is clamped down to this ceiling; requesting a lower lane
+    /// is honoured as-is.
+    pub priority_ceiling: JobPriority,
+    /// The tenant's resource bounds.
+    pub quota: TenantQuota,
+}
+
+impl Tenant {
+    /// A tenant with the default quota and a normal-priority ceiling.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            priority_ceiling: JobPriority::Normal,
+            quota: TenantQuota::default(),
+        }
+    }
+
+    /// Sets the priority ceiling.
+    pub fn with_priority_ceiling(mut self, ceiling: JobPriority) -> Self {
+        self.priority_ceiling = ceiling;
+        self
+    }
+
+    /// Sets the quota.
+    pub fn with_quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Clamps a requested priority to this tenant's ceiling: the effective
+    /// lane is the *worse* (numerically larger) of the two, so no tenant
+    /// ever schedules above its class.
+    pub fn effective_priority(&self, requested: JobPriority) -> JobPriority {
+        fn lane(priority: JobPriority) -> u8 {
+            match priority {
+                JobPriority::High => 0,
+                JobPriority::Normal => 1,
+                JobPriority::Low => 2,
+            }
+        }
+        if lane(requested) >= lane(self.priority_ceiling) {
+            requested
+        } else {
+            self.priority_ceiling
+        }
+    }
+}
+
+/// The token → tenant directory the server authenticates against.
+#[derive(Debug, Clone, Default)]
+pub struct TenantRegistry {
+    tenants: HashMap<String, Tenant>,
+}
+
+impl TenantRegistry {
+    /// An empty registry (every request is rejected until tenants are
+    /// registered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `tenant` under `token`, replacing any previous holder of
+    /// the token.
+    pub fn register(mut self, token: impl Into<String>, tenant: Tenant) -> Self {
+        self.tenants.insert(token.into(), tenant);
+        self
+    }
+
+    /// Resolves a bearer token to its tenant.
+    pub fn authenticate(&self, token: &str) -> Option<&Tenant> {
+        self.tenants.get(token)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// `true` when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Iterates over the registered tenants (order unspecified).
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+}
+
+/// Extracts the token from an `Authorization: Bearer <token>` header value.
+pub fn bearer_token(header_value: &str) -> Option<&str> {
+    let rest = header_value.strip_prefix("Bearer ")?;
+    let token = rest.trim();
+    (!token.is_empty()).then_some(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_priority_clamps_to_the_ceiling() {
+        let batch = Tenant::new("batch").with_priority_ceiling(JobPriority::Low);
+        assert_eq!(
+            batch.effective_priority(JobPriority::High),
+            JobPriority::Low
+        );
+        assert_eq!(batch.effective_priority(JobPriority::Low), JobPriority::Low);
+
+        let premium = Tenant::new("premium").with_priority_ceiling(JobPriority::High);
+        assert_eq!(
+            premium.effective_priority(JobPriority::High),
+            JobPriority::High
+        );
+        // A premium tenant may still choose to ride a lower lane.
+        assert_eq!(
+            premium.effective_priority(JobPriority::Low),
+            JobPriority::Low
+        );
+    }
+
+    #[test]
+    fn queue_allowance_scales_with_depth_and_never_reaches_zero() {
+        let quota = TenantQuota {
+            max_in_flight: 4,
+            queue_share: 0.25,
+        };
+        assert_eq!(quota.queue_allowance(32), 8);
+        assert_eq!(quota.queue_allowance(4), 1);
+        assert_eq!(quota.queue_allowance(1), 1);
+    }
+
+    #[test]
+    fn registry_authenticates_by_exact_token() {
+        let registry = TenantRegistry::new()
+            .register("tok-a", Tenant::new("acme"))
+            .register("tok-b", Tenant::new("burns"));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.authenticate("tok-a").unwrap().name, "acme");
+        assert!(registry.authenticate("tok-c").is_none());
+        assert!(registry.authenticate("").is_none());
+    }
+
+    #[test]
+    fn bearer_tokens_are_extracted_strictly() {
+        assert_eq!(bearer_token("Bearer tok-a"), Some("tok-a"));
+        assert_eq!(bearer_token("Bearer  padded "), Some("padded"));
+        assert_eq!(bearer_token("bearer tok-a"), None);
+        assert_eq!(bearer_token("Basic dXNlcg=="), None);
+        assert_eq!(bearer_token("Bearer "), None);
+    }
+}

@@ -1,0 +1,467 @@
+//! End-to-end serving tests: a real `Server` on an ephemeral port, driven by
+//! raw `TcpStream` clients speaking HTTP/1.1 and RFC 6455 WebSocket frames.
+//!
+//! The central claim under test is the determinism invariant: a job's `f64`
+//! values read over the socket are **bit-identical** to the same algorithm
+//! submitted to the same `GraphService` in-process.  Around that: tenant
+//! auth, over-quota 429s that leave other tenants untouched, cancellation,
+//! the Prometheus exposition, and the WebSocket state stream.
+
+use gxplug_core::{CachePolicy, JobOptions};
+use gxplug_ipc::wire::{self, Frame, JobSpec, JobState, ServerError, WireJobOptions};
+use gxplug_server::{
+    metrics, standard_registry, standard_service, ws, ServeRank, ServeReach, Server, ServerConfig,
+    Tenant, TenantQuota, TenantRegistry,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Boots a server over the stock deployment.
+fn boot(scale: u32, seed: u64, workers: usize) -> Server<gxplug_server::ServeVertex, f64> {
+    let queue_depth = 32;
+    let service = standard_service(scale, seed, workers, queue_depth);
+    let tenants = TenantRegistry::new()
+        .register("tok-a", Tenant::new("acme"))
+        .register(
+            "tok-b",
+            Tenant::new("burns").with_quota(TenantQuota {
+                max_in_flight: 1,
+                queue_share: 0.03,
+            }),
+        );
+    Server::serve(
+        service,
+        standard_registry(),
+        tenants,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handler_threads: 6,
+            queue_depth,
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+/// One full HTTP exchange on a fresh connection (`Connection: close`).
+/// Returns `(status, body)`.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    content_type: Option<&str>,
+    accept_text: bool,
+    body: &[u8],
+) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n");
+    if let Some(token) = token {
+        head.push_str(&format!("Authorization: Bearer {token}\r\n"));
+    }
+    if let Some(content_type) = content_type {
+        head.push_str(&format!("Content-Type: {content_type}\r\n"));
+    }
+    if accept_text {
+        head.push_str("Accept: text/plain\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header block");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("ASCII headers");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+/// POSTs a binary Submit frame; returns the job id from the Accepted frame,
+/// or the error.
+fn submit(
+    addr: SocketAddr,
+    token: &str,
+    spec: JobSpec,
+    options: WireJobOptions,
+) -> Result<u64, (u16, ServerError)> {
+    let body = wire::encode(&Frame::Submit { spec, options });
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(token),
+        Some("application/x-gxplug-frame"),
+        false,
+        &body,
+    );
+    let (frame, _) = wire::decode(&body).expect("response is a frame");
+    match frame {
+        Frame::Accepted { job } => {
+            assert_eq!(status, 202);
+            Ok(job)
+        }
+        Frame::Error { error, .. } => Err((status, error)),
+        other => panic!("unexpected response frame {other:?}"),
+    }
+}
+
+/// Polls a job until its terminal frame (Result or Error) lands.
+fn poll_until_terminal(addr: SocketAddr, token: &str, job: u64) -> (u16, Frame) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = request(
+            addr,
+            "GET",
+            &format!("/v1/jobs/{job}"),
+            Some(token),
+            None,
+            false,
+            &[],
+        );
+        let (frame, _) = wire::decode(&body).expect("poll response is a frame");
+        match frame {
+            Frame::State { .. } => {
+                assert!(Instant::now() < deadline, "job {job} never finished");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            terminal => return (status, terminal),
+        }
+    }
+}
+
+/// The options every parity run uses: bypass the result cache so both the
+/// direct and the socket submission do a full physical run.
+fn bypass() -> WireJobOptions {
+    WireJobOptions {
+        cache: 1,
+        ..WireJobOptions::default()
+    }
+}
+
+#[test]
+fn socket_results_are_bit_identical_to_direct_submission() {
+    let server = boot(8, 11, 2);
+    let addr = server.local_addr();
+
+    // No token / bad token → 401, typed.
+    let (status, _) = request(addr, "POST", "/v1/jobs", None, None, false, &[]);
+    assert_eq!(status, 401);
+    let (status, _) = request(addr, "GET", "/v1/jobs/1", Some("tok-zz"), None, false, &[]);
+    assert_eq!(status, 401);
+
+    // PageRank over the socket...
+    let spec = JobSpec::new("pagerank")
+        .with_f64("damping", 0.85)
+        .with_u64("iterations", 20);
+    let job = submit(addr, "tok-a", spec, bypass()).expect("accepted");
+    let (status, frame) = poll_until_terminal(addr, "tok-a", job);
+    assert_eq!(status, 200);
+    let Frame::Result(socket_rank) = frame else {
+        panic!("expected a result, got {frame:?}")
+    };
+    assert_eq!(socket_rank.algorithm, "pagerank");
+    assert!(socket_rank.iterations > 0);
+
+    // ... and the same algorithm struct, submitted in-process to the same
+    // service.
+    let direct = server
+        .service()
+        .submit_with(
+            ServeRank {
+                damping: 0.85,
+                iterations: 20,
+            },
+            JobOptions::new().with_cache(CachePolicy::Bypass),
+        )
+        .expect("direct submit")
+        .wait()
+        .expect("direct run");
+    let direct_bits: Vec<u64> = direct.values.iter().map(|v| v.rank.to_bits()).collect();
+    let socket_bits: Vec<u64> = socket_rank.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        direct_bits, socket_bits,
+        "PageRank bits differ across the socket"
+    );
+
+    // Same check for SSSP.
+    let spec = JobSpec::new("sssp").with_ids("sources", vec![0, 7]);
+    let job = submit(addr, "tok-a", spec, bypass()).expect("accepted");
+    let (_, frame) = poll_until_terminal(addr, "tok-a", job);
+    let Frame::Result(socket_sssp) = frame else {
+        panic!("expected a result, got {frame:?}")
+    };
+    let direct = server
+        .service()
+        .submit_with(
+            ServeReach {
+                sources: vec![0, 7],
+            },
+            JobOptions::new().with_cache(CachePolicy::Bypass),
+        )
+        .expect("direct submit")
+        .wait()
+        .expect("direct run");
+    let direct_bits: Vec<u64> = direct.values.iter().map(|v| v.dist.to_bits()).collect();
+    let socket_bits: Vec<u64> = socket_sssp.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        direct_bits, socket_bits,
+        "SSSP bits differ across the socket"
+    );
+
+    // The curl-friendly text form works too.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some("tok-a"),
+        None,
+        true,
+        b"algorithm=sssp&sources=0,7&priority=high",
+    );
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.starts_with("job ") && text.contains("accepted"),
+        "{text}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn over_quota_tenants_get_429_without_disturbing_others() {
+    // One worker, so a long-running job keeps the queue occupied.
+    let server = boot(7, 3, 1);
+    let addr = server.local_addr();
+
+    // acme holds the worker with a long PageRank...
+    let long = JobSpec::new("pagerank").with_u64("iterations", 120);
+    let a1 = submit(addr, "tok-a", long.clone(), bypass()).expect("acme accepted");
+
+    // ... burns (1 in flight, queue allowance 1) queues one job ...
+    let b1 = submit(
+        addr,
+        "tok-b",
+        JobSpec::new("sssp").with_ids("sources", vec![1]),
+        bypass(),
+    )
+    .expect("burns first job accepted");
+
+    // ... and the second burns submission is a typed 429.
+    let refused = submit(
+        addr,
+        "tok-b",
+        JobSpec::new("sssp").with_ids("sources", vec![2]),
+        bypass(),
+    );
+    match refused {
+        Err((429, ServerError::QuotaExceeded { tenant, limit, .. })) => {
+            assert_eq!(tenant, "burns");
+            assert_eq!(limit, 1);
+        }
+        other => panic!("expected a 429 quota rejection, got {other:?}"),
+    }
+
+    // The rejection cost acme nothing: its next submission is accepted.
+    let a2 = submit(addr, "tok-a", long, bypass()).expect("acme still accepted");
+
+    // Tenants cannot see each other's jobs.
+    let (status, _) = request(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{b1}"),
+        Some("tok-a"),
+        None,
+        false,
+        &[],
+    );
+    assert_eq!(status, 404, "cross-tenant polling must look like a miss");
+
+    // burns frees its slot with DELETE (200: the cancellation happened)...
+    let (status, body) = request(
+        addr,
+        "DELETE",
+        &format!("/v1/jobs/{b1}"),
+        Some("tok-b"),
+        None,
+        false,
+        &[],
+    );
+    let (frame, _) = wire::decode(&body).expect("cancel response is a frame");
+    assert!(status == 200, "cancel answered {status} with {frame:?}");
+    // ... and late polls of the cancelled job are a stored 409.
+    let (status, frame) = poll_until_terminal(addr, "tok-b", b1);
+    match frame {
+        Frame::Error {
+            error: ServerError::Cancelled,
+            ..
+        } => assert_eq!(status, 409),
+        Frame::Result(_) => {} // raced to completion before the cancel won
+        other => panic!("unexpected terminal frame {other:?}"),
+    }
+
+    // /metrics is unauthenticated, parses, and carries the 429.
+    let (status, body) = request(addr, "GET", "/metrics", None, None, true, &[]);
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    let samples = metrics::parse_exposition(&text).expect("valid Prometheus exposition");
+    // Family totals: tenant-labelled families render one sample per tenant.
+    let total = |name: &str| {
+        let matching: Vec<f64> = samples
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(!matching.is_empty(), "{name} missing from exposition");
+        matching.iter().sum::<f64>()
+    };
+    assert!(total("gxplug_jobs_submitted_total") >= 3.0);
+    assert!(total("gxplug_tenant_jobs_rejected_total") >= 1.0);
+
+    // Drain the acme jobs so shutdown has nothing in flight.
+    for job in [a1, a2] {
+        let (_, frame) = poll_until_terminal(addr, "tok-a", job);
+        assert!(matches!(frame, Frame::Result(_)), "{frame:?}");
+    }
+    server.shutdown();
+}
+
+/// Reads one *server* (unmasked) WebSocket frame: `(opcode, payload)`.
+fn read_server_frame(reader: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 2];
+    reader.read_exact(&mut header)?;
+    assert_eq!(header[0] & 0x80, 0x80, "server frames must set FIN");
+    assert_eq!(header[1] & 0x80, 0, "server frames must be unmasked");
+    let opcode = header[0] & 0x0F;
+    let mut len = (header[1] & 0x7F) as usize;
+    if len == 126 {
+        let mut ext = [0u8; 2];
+        reader.read_exact(&mut ext)?;
+        len = u16::from_be_bytes(ext) as usize;
+    } else if len == 127 {
+        let mut ext = [0u8; 8];
+        reader.read_exact(&mut ext)?;
+        len = u64::from_be_bytes(ext) as usize;
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok((opcode, payload))
+}
+
+#[test]
+fn websocket_streams_transitions_and_bit_identical_results() {
+    let server = boot(8, 29, 2);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let key = "dGhlIHNhbXBsZSBub25jZQ==";
+    let upgrade = format!(
+        "GET /v1/stream HTTP/1.1\r\nHost: localhost\r\n\
+         Authorization: Bearer tok-a\r\n\
+         Upgrade: websocket\r\nConnection: Upgrade\r\n\
+         Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n"
+    );
+    stream.write_all(upgrade.as_bytes()).unwrap();
+
+    // Read the 101 handshake (headers only — no body follows).
+    let mut response = Vec::new();
+    let mut byte = [0u8; 1];
+    while !response.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("handshake bytes");
+        response.push(byte[0]);
+    }
+    let response = String::from_utf8(response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 101"), "{response}");
+    assert!(
+        response.contains(&format!("Sec-WebSocket-Accept: {}", ws::accept_key(key))),
+        "{response}"
+    );
+
+    // Submit over the socket (client frames must be masked).
+    let submit = wire::encode(&Frame::Submit {
+        spec: JobSpec::new("sssp").with_ids("sources", vec![3]),
+        options: bypass(),
+    });
+    let masked = ws::client_frame(0x2, &submit, [0x1b, 0x2c, 0x3d, 0x4e]);
+    stream.write_all(&masked).unwrap();
+
+    // Collect pushed frames until the Result arrives.
+    let mut job = None;
+    let mut states = Vec::new();
+    let mut result = None;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while result.is_none() {
+        assert!(Instant::now() < deadline, "no result over the stream");
+        let (opcode, payload) = read_server_frame(&mut stream).expect("stream frame");
+        match opcode {
+            0x9 => {
+                // Ping → masked pong.
+                let pong = ws::client_frame(0xA, &payload, [9, 9, 9, 9]);
+                stream.write_all(&pong).unwrap();
+            }
+            0x2 => {
+                let (frame, _) = wire::decode(&payload).expect("pushed frame decodes");
+                match frame {
+                    Frame::Accepted { job: id } => job = Some(id),
+                    Frame::State { state, job: id } => {
+                        assert_eq!(Some(id), job, "states follow the accepted job");
+                        states.push(state);
+                    }
+                    Frame::Result(r) => result = Some(r),
+                    other => panic!("unexpected push {other:?}"),
+                }
+            }
+            0x8 => panic!("server closed early"),
+            other => panic!("unexpected opcode {other}"),
+        }
+    }
+
+    // The stream narrated the lifecycle in order, ending Done.
+    assert!(job.is_some(), "no Accepted frame");
+    assert_eq!(states.first(), Some(&JobState::Queued));
+    assert_eq!(states.last(), Some(&JobState::Done));
+    let positions: Vec<Option<usize>> = [JobState::Queued, JobState::Running, JobState::Done]
+        .iter()
+        .map(|s| states.iter().position(|x| x == s))
+        .collect();
+    for window in positions.windows(2) {
+        if let (Some(a), Some(b)) = (window[0], window[1]) {
+            assert!(a < b, "out-of-order transitions: {states:?}");
+        }
+    }
+
+    // And the values match the in-process run bit for bit.
+    let result = result.unwrap();
+    let direct = server
+        .service()
+        .submit_with(
+            ServeReach { sources: vec![3] },
+            JobOptions::new().with_cache(CachePolicy::Bypass),
+        )
+        .expect("direct submit")
+        .wait()
+        .expect("direct run");
+    let direct_bits: Vec<u64> = direct.values.iter().map(|v| v.dist.to_bits()).collect();
+    let socket_bits: Vec<u64> = result.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(direct_bits, socket_bits, "WS bits differ from direct run");
+
+    // Clean close.
+    let close = ws::client_frame(0x8, &1000u16.to_be_bytes(), [1, 2, 3, 4]);
+    stream.write_all(&close).unwrap();
+    server.shutdown();
+}

@@ -72,6 +72,7 @@ pub use gxplug_core as core;
 pub use gxplug_engine as engine;
 pub use gxplug_graph as graph;
 pub use gxplug_ipc as ipc;
+pub use gxplug_server as server;
 
 /// Convenience re-exports covering the most common entry points.
 pub mod prelude {
@@ -104,5 +105,10 @@ pub mod prelude {
     pub use gxplug_graph::{
         Edge, EdgeList, PropertyGraph, Triplet, TripletBuffer, VertexId, ViewStats,
     };
+    pub use gxplug_ipc::wire::{Frame, JobSpec, JobState, ServerError, WireJobOptions};
     pub use gxplug_ipc::{SegmentPool, SharedSegment, TripletBlockRef};
+    pub use gxplug_server::{
+        standard_registry, standard_service, AlgorithmRegistry, ServeRank, ServeReach, ServeVertex,
+        Server, ServerConfig, Tenant, TenantQuota, TenantRegistry,
+    };
 }
