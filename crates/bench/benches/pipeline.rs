@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks for the pipeline-shuffle mechanism:
 //! the threaded pipeline vs sequential processing, the literal Algorithms 1&2
 //! protocol, the Lemma-1 block-size machinery, the zero-copy vs owned-copy
-//! triplet hot path, and the end-to-end serial-vs-threaded execution modes of
-//! the middleware runtime.
+//! triplet hot path, the dense-id data layout vs the seed's hash-keyed
+//! layout (`dense_hot_path`), and the end-to-end serial-vs-threaded
+//! execution modes of the middleware runtime.
 //!
 //! Besides the human-readable criterion output, the suite emits a
 //! machine-readable `BENCH_pipeline.json` (mode, graph, wall time, blocks,
@@ -11,7 +12,7 @@
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use gxplug_accel::{presets, BackendKind};
-use gxplug_algos::MultiSourceSssp;
+use gxplug_algos::{MultiSourceSssp, PageRank, RankValue};
 use gxplug_core::daemon::{execute_share, merge_addressed};
 use gxplug_core::pipeline::shuffle::{run_pipeline, run_shuffle_protocol};
 use gxplug_core::{
@@ -22,6 +23,7 @@ use gxplug_engine::network::NetworkModel;
 use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::dense::DenseSlots;
 use gxplug_graph::generators::{Generator, Rmat};
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner, Partitioning};
@@ -29,7 +31,7 @@ use gxplug_graph::types::{Triplet, VertexId};
 use gxplug_graph::view::TripletBuffer;
 use gxplug_ipc::blocks::TripletBlock;
 use gxplug_ipc::key::KeyGenerator;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -244,6 +246,233 @@ fn bench_msg_gen_hot_path(c: &mut Criterion) {
     group.bench_function("borrowed_block_path", |b| {
         b.iter(|| black_box(fixture.iteration_borrowed(block_size, &mut buffer, &mut msg_bufs)))
     });
+    group.finish();
+}
+
+/// One node's worth of layout-comparison state over rmat-12: the dense-id
+/// data path as shipped (all-active fast path / frontier-bitset edge
+/// enumeration, pooled triplets, slot-array message merge) against an
+/// in-bench replica of the seed's hash-keyed layout (`HashSet` frontier,
+/// `HashMap` out-edge map, `sort_unstable`, `HashMap`-keyed merge).  Both
+/// arms share the node, daemons and kernel work, so the measured delta is
+/// purely the data-structure walk the dense refactor replaced.
+struct LayoutFixture<V, A: GraphAlgorithm<V, f64>> {
+    node: NodeState<V, f64>,
+    /// Seed replica of the deleted `VertexEdgeMap`: global id → out-edge ids.
+    edge_map: HashMap<VertexId, Vec<usize>>,
+    /// Seed replica of the hash-keyed frontier.
+    active_hash: HashSet<VertexId>,
+    daemons: Vec<Daemon>,
+    capacities: Vec<f64>,
+    algorithm: A,
+}
+
+impl<V, A> LayoutFixture<V, A>
+where
+    V: Clone + Sync,
+    A: GraphAlgorithm<V, f64>,
+{
+    /// Builds the single-node rmat-12 deployment with an all-active frontier.
+    fn new(algorithm: A, default_value: V) -> Self {
+        let list = Rmat::new(12, 8.0).generate(7);
+        let graph: PropertyGraph<V, f64> =
+            PropertyGraph::from_edge_list(list, default_value).unwrap();
+        let partitioning = GreedyVertexCutPartitioner::default()
+            .partition(&graph, 1)
+            .unwrap();
+        let mut node = NodeState::build(0, &graph, &partitioning, &algorithm);
+        node.activate_all();
+        let edge_map: HashMap<VertexId, Vec<usize>> = node
+            .vertex_table()
+            .ids()
+            .map(|v| (v, node.out_edge_ids(v).to_vec()))
+            .collect();
+        let active_hash: HashSet<VertexId> = node.vertex_table().ids().collect();
+        let keys = KeyGenerator::new(0xD0);
+        let mut daemons = vec![
+            Daemon::new("gpu", presets::gpu_v100("gpu"), keys.key_for(0, 0)),
+            Daemon::new("cpu", presets::cpu_xeon_20c("cpu"), keys.key_for(0, 1)),
+        ];
+        for daemon in &mut daemons {
+            daemon.start();
+        }
+        let capacities: Vec<f64> = daemons.iter().map(Daemon::capacity_factor).collect();
+        Self {
+            node,
+            edge_map,
+            active_hash,
+            daemons,
+            capacities,
+            algorithm,
+        }
+    }
+
+    /// Shrinks both frontiers to the given sources (the sparse-superstep
+    /// arms: the cost must track the frontier, not the graph).
+    fn set_sparse_frontier(&mut self, sources: &[VertexId]) {
+        self.node.set_active(sources.iter().copied());
+        self.active_hash = sources.iter().copied().collect();
+    }
+
+    /// Runs the daemon kernels over the prepared triplet buffer and drains
+    /// the raw messages into `msg_bufs` — the part both layouts share.
+    fn run_kernels(
+        &mut self,
+        block_size: usize,
+        buffer: &TripletBuffer<V, f64>,
+        msg_bufs: &mut [Vec<AddressedMessage<A::Msg>>],
+    ) {
+        let triplets = buffer.as_slice();
+        for (daemon_index, range) in split_by_capacity(triplets.len(), &self.capacities)
+            .into_iter()
+            .enumerate()
+        {
+            let out = &mut msg_bufs[daemon_index];
+            out.clear();
+            execute_share(
+                &mut self.daemons[daemon_index],
+                &self.algorithm,
+                &triplets[range],
+                block_size,
+                0,
+                out,
+            )
+            .unwrap();
+        }
+    }
+
+    /// One superstep on the shipped dense layout: bitset frontier → ascending
+    /// edge ids (all-active fast path when applicable), pooled triplet
+    /// refill, kernels, then the Vec-indexed slot-array merge.
+    fn iteration_dense(
+        &mut self,
+        block_size: usize,
+        edge_ids: &mut Vec<usize>,
+        buffer: &mut TripletBuffer<V, f64>,
+        msg_bufs: &mut [Vec<AddressedMessage<A::Msg>>],
+        merge: &mut DenseSlots<A::Msg>,
+    ) -> usize {
+        self.node.active_edge_ids_into(edge_ids);
+        self.node.fill_triplets(edge_ids, buffer);
+        self.run_kernels(block_size, buffer, msg_bufs);
+        let table = self.node.vertex_table();
+        let algorithm = &self.algorithm;
+        merge.ensure_capacity(table.len());
+        merge.begin();
+        for message in msg_bufs.iter_mut().flat_map(|buf| buf.drain(..)) {
+            // Single-node deployment: every target is local by construction.
+            let local = table.local_of(message.target).expect("local target");
+            merge.merge(local, message.payload, |a, b| algorithm.msg_merge(a, b));
+        }
+        let mut merged: Vec<AddressedMessage<A::Msg>> = Vec::with_capacity(merge.len());
+        for i in 0..merge.len() {
+            let local = merge.touched_at(i);
+            let payload = merge.take(local).expect("touched slot");
+            merged.push(AddressedMessage::new(table.global_of(local), payload));
+        }
+        merged.len()
+    }
+
+    /// One superstep on the seed's hash-keyed layout, replicated in-bench
+    /// (the engine no longer carries these structures): `HashSet` frontier →
+    /// per-vertex `HashMap` lookups → `sort_unstable`, the same pooled
+    /// triplets and kernels, then the `HashMap`-keyed `merge_addressed`.
+    fn iteration_hash(
+        &mut self,
+        block_size: usize,
+        edge_ids: &mut Vec<usize>,
+        buffer: &mut TripletBuffer<V, f64>,
+        msg_bufs: &mut [Vec<AddressedMessage<A::Msg>>],
+    ) -> usize {
+        edge_ids.clear();
+        for v in &self.active_hash {
+            if let Some(edges) = self.edge_map.get(v) {
+                edge_ids.extend_from_slice(edges);
+            }
+        }
+        edge_ids.sort_unstable();
+        self.node.fill_triplets(edge_ids, buffer);
+        self.run_kernels(block_size, buffer, msg_bufs);
+        let merged = merge_addressed(
+            &self.algorithm,
+            msg_bufs.iter_mut().flat_map(|buf| buf.drain(..)),
+        );
+        merged.len()
+    }
+}
+
+/// The dense-id data path against the seed's hash-keyed layout, one full
+/// superstep per sample on the same node and daemons: all-active PageRank
+/// (the merge-heavy worst case the refactor targeted) and a 64-source sparse
+/// SSSP frontier (where the cost must be proportional to the frontier, not
+/// the graph).
+fn bench_dense_hot_path(c: &mut Criterion) {
+    let block_size = 1_024usize;
+    let mut group = c.benchmark_group("dense_hot_path");
+    {
+        let mut fixture = LayoutFixture::new(
+            PageRank::new(20),
+            RankValue {
+                rank: 1.0,
+                out_degree: 0,
+            },
+        );
+        let mut edge_ids = Vec::new();
+        let mut buffer = TripletBuffer::new();
+        let mut msg_bufs = vec![Vec::new(), Vec::new()];
+        let mut merge = DenseSlots::new();
+        group.bench_function("pagerank_allactive_rmat12/dense", |b| {
+            b.iter(|| {
+                black_box(fixture.iteration_dense(
+                    block_size,
+                    &mut edge_ids,
+                    &mut buffer,
+                    &mut msg_bufs,
+                    &mut merge,
+                ))
+            })
+        });
+        group.bench_function("pagerank_allactive_rmat12/hash", |b| {
+            b.iter(|| {
+                black_box(fixture.iteration_hash(
+                    block_size,
+                    &mut edge_ids,
+                    &mut buffer,
+                    &mut msg_bufs,
+                ))
+            })
+        });
+    }
+    {
+        let mut fixture = LayoutFixture::new(MultiSourceSssp::paper_default(), Vec::new());
+        let sources: Vec<VertexId> = (0..64).collect();
+        fixture.set_sparse_frontier(&sources);
+        let mut edge_ids = Vec::new();
+        let mut buffer = TripletBuffer::new();
+        let mut msg_bufs = vec![Vec::new(), Vec::new()];
+        let mut merge = DenseSlots::new();
+        group.bench_function("sssp_sparse64_rmat12/dense", |b| {
+            b.iter(|| {
+                black_box(fixture.iteration_dense(
+                    block_size,
+                    &mut edge_ids,
+                    &mut buffer,
+                    &mut msg_bufs,
+                    &mut merge,
+                ))
+            })
+        });
+        group.bench_function("sssp_sparse64_rmat12/hash", |b| {
+            b.iter(|| {
+                black_box(fixture.iteration_hash(
+                    block_size,
+                    &mut edge_ids,
+                    &mut buffer,
+                    &mut msg_bufs,
+                ))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -741,6 +970,7 @@ criterion_group!(
     bench_shuffle_protocol,
     bench_block_size_selection,
     bench_msg_gen_hot_path,
+    bench_dense_hot_path,
     bench_execution_modes,
     bench_backend_matrix,
     bench_session_reuse,
@@ -767,12 +997,17 @@ struct BenchRecord {
     /// hit-resolution latency percentiles
     /// (`dup=…% hits=… hit_p50_us=… hit_p95_us=…`).
     cache: String,
+    /// Node data-layout context of the record: `"dense"` for the shipped
+    /// dense-id path, `"hash"` for the in-bench replica of the seed's
+    /// hash-keyed layout; the dense arm of a layout comparison appends its
+    /// measured advantage (`dense speedup_vs_hash=…x`).
+    layout: String,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
-            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}", "cache": "{}"}}"#,
+            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}", "cache": "{}", "layout": "{}"}}"#,
             self.mode,
             self.backend,
             self.graph,
@@ -781,7 +1016,8 @@ impl BenchRecord {
             self.triplets,
             self.bytes_moved,
             self.service,
-            self.cache
+            self.cache,
+            self.layout
         )
     }
 }
@@ -794,6 +1030,143 @@ fn no_service() -> String {
 /// The `cache` label of a record that did not exercise the result cache.
 fn no_cache() -> String {
     "-".to_string()
+}
+
+/// The `layout` label of a record running the shipped dense-id data path —
+/// every record except the in-bench hash-layout replica arms.
+fn dense_layout() -> String {
+    "dense".to_string()
+}
+
+/// Times one [`LayoutFixture`] workload shape on both layouts and returns
+/// the hash record plus the dense record carrying the measured
+/// `speedup_vs_hash` label (what the CI tripwire asserts against).
+fn layout_records<V, A>(
+    label: &str,
+    fixture: &mut LayoutFixture<V, A>,
+    samples: usize,
+) -> [BenchRecord; 2]
+where
+    V: Clone + Sync,
+    A: GraphAlgorithm<V, f64>,
+{
+    let block_size = 1_024usize;
+    let mut edge_ids = Vec::new();
+    let mut buffer = TripletBuffer::new();
+    let mut msg_bufs = vec![Vec::new(), Vec::new()];
+    let mut merge = DenseSlots::new();
+    // Warm both arms once so pooled buffers grow outside the clock.
+    fixture.iteration_hash(block_size, &mut edge_ids, &mut buffer, &mut msg_bufs);
+    fixture.iteration_dense(
+        block_size,
+        &mut edge_ids,
+        &mut buffer,
+        &mut msg_bufs,
+        &mut merge,
+    );
+    let start = Instant::now();
+    for _ in 0..samples {
+        fixture.iteration_hash(block_size, &mut edge_ids, &mut buffer, &mut msg_bufs);
+    }
+    let hash_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+    let start = Instant::now();
+    for _ in 0..samples {
+        fixture.iteration_dense(
+            block_size,
+            &mut edge_ids,
+            &mut buffer,
+            &mut msg_bufs,
+            &mut merge,
+        );
+    }
+    let dense_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+    let triplets = fixture.node.active_edge_count() as u64;
+    let triplet_bytes = std::mem::size_of::<Triplet<V, f64>>() as u64;
+    let record = |layout: String, wall_ms: f64| BenchRecord {
+        mode: format!("dense_hot_path/{label}"),
+        backend: BackendKind::Sim.label().into(),
+        graph: "rmat12-1node".into(),
+        wall_ms,
+        blocks: triplets.div_ceil(block_size as u64),
+        triplets,
+        bytes_moved: triplets * triplet_bytes,
+        service: no_service(),
+        cache: no_cache(),
+        layout,
+    };
+    [
+        record("hash".to_string(), hash_ms),
+        record(
+            format!("dense speedup_vs_hash={:.2}x", hash_ms / dense_ms),
+            dense_ms,
+        ),
+    ]
+}
+
+/// End-to-end wall of repeated full session runs on the shared rmat-12
+/// 4-node mixed-device deployment — the `dense_hot_path/full_run_*` records.
+fn full_run_record<V, A>(
+    label: &str,
+    algorithm: &A,
+    default_value: V,
+    samples: usize,
+) -> BenchRecord
+where
+    V: Clone + Send + Sync + std::fmt::Debug + PartialEq,
+    A: GraphAlgorithm<V, f64>,
+{
+    let parts = 4;
+    let list = Rmat::new(12, 8.0).generate(42);
+    let graph = PropertyGraph::from_edge_list(list, default_value).unwrap();
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, parts)
+        .unwrap();
+    let mut session = SessionBuilder::new(&graph)
+        .partitioned_by(partitioning)
+        .profile(RuntimeProfile::powergraph())
+        .network(NetworkModel::datacenter())
+        .devices(
+            (0..parts)
+                .map(|n| {
+                    vec![
+                        presets::gpu_v100(format!("n{n}g")),
+                        presets::cpu_xeon_20c(format!("n{n}c")),
+                    ]
+                })
+                .collect(),
+        )
+        .config(MiddlewareConfig::default())
+        .dataset("rmat12")
+        .max_iterations(100)
+        .build()
+        .unwrap();
+    // Warm-up run: pays the deployment and grows the pooled arenas.
+    session.run(algorithm).unwrap();
+    let start = Instant::now();
+    let mut outcome = None;
+    for _ in 0..samples {
+        outcome = Some(session.run(algorithm).unwrap());
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+    let outcome = outcome.expect("at least one sample");
+    let blocks: u64 = outcome
+        .agent_stats
+        .iter()
+        .map(|stats| stats.kernel_launches)
+        .sum();
+    let triplets = outcome.report.total_triplets() as u64;
+    BenchRecord {
+        mode: format!("dense_hot_path/{label}"),
+        backend: BackendKind::Sim.label().into(),
+        graph: "rmat12-4nodes".into(),
+        wall_ms,
+        blocks,
+        triplets,
+        bytes_moved: triplets * std::mem::size_of::<Triplet<V, f64>>() as u64,
+        service: no_service(),
+        cache: no_cache(),
+        layout: dense_layout(),
+    }
 }
 
 /// Measures the tracked perf numbers and writes `BENCH_pipeline.json` to the
@@ -835,6 +1208,7 @@ fn emit_bench_json() {
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
             cache: no_cache(),
+            layout: dense_layout(),
         });
         let mut buffer = TripletBuffer::new();
         let mut msg_bufs = vec![Vec::new(), Vec::new()];
@@ -855,7 +1229,49 @@ fn emit_bench_json() {
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
             cache: no_cache(),
+            layout: dense_layout(),
         });
+    }
+
+    // --- dense hot path: dense-id layout vs the seed's hash-keyed layout --
+    {
+        // Per-superstep arms: the merge-heavy all-active PageRank iteration
+        // and the 64-source sparse SSSP tail, dense vs hash on one node.
+        let mut all_active = LayoutFixture::new(
+            PageRank::new(20),
+            RankValue {
+                rank: 1.0,
+                out_degree: 0,
+            },
+        );
+        records.extend(layout_records(
+            "pagerank_allactive",
+            &mut all_active,
+            samples,
+        ));
+        let mut sparse = LayoutFixture::new(MultiSourceSssp::paper_default(), Vec::new());
+        let sources: Vec<VertexId> = (0..64).collect();
+        sparse.set_sparse_frontier(&sources);
+        records.extend(layout_records("sssp_sparse64", &mut sparse, samples));
+
+        // Full-run walls ride on the real session driver: the whole dense
+        // path (planning, frontier, merge, halt check) under its production
+        // call pattern.
+        records.push(full_run_record(
+            "full_run_pagerank",
+            &PageRank::new(20),
+            RankValue {
+                rank: 1.0,
+                out_degree: 0,
+            },
+            samples,
+        ));
+        records.push(full_run_record(
+            "full_run_sssp",
+            &MultiSourceSssp::paper_default(),
+            Vec::new(),
+            samples,
+        ));
     }
 
     // --- end to end: serial vs threaded session runs ----------------------
@@ -892,6 +1308,7 @@ fn emit_bench_json() {
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
             cache: no_cache(),
+            layout: dense_layout(),
         });
     }
 
@@ -928,6 +1345,7 @@ fn emit_bench_json() {
             bytes_moved: triplets * triplet_bytes,
             service: no_service(),
             cache: no_cache(),
+            layout: dense_layout(),
         });
     }
 
@@ -1004,6 +1422,7 @@ fn emit_bench_json() {
                 bytes_moved: triplets * triplet_bytes,
                 service: service_label,
                 cache: no_cache(),
+                layout: dense_layout(),
             });
         }
     }
@@ -1069,6 +1488,7 @@ fn emit_bench_json() {
                 samples * CACHE_BATCH
             ),
             cache: "dup=90% policy=bypass".into(),
+            layout: dense_layout(),
         });
         for (duplicates, pct) in CACHE_DUPLICATE_ARMS {
             let (jobs_per_s, batch_ms, triplets, stats) =
@@ -1103,6 +1523,7 @@ fn emit_bench_json() {
                     samples * CACHE_BATCH
                 ),
                 cache: cache_label,
+                layout: dense_layout(),
             });
         }
     }
@@ -1165,6 +1586,7 @@ fn emit_bench_json() {
                 pct(&direct_us, 0.99),
             ),
             cache: "dup=100% policy=use-or-fill".into(),
+            layout: dense_layout(),
         });
 
         // Throughput arms: fresh single-source SSSP jobs (distinct sources,
@@ -1222,6 +1644,7 @@ fn emit_bench_json() {
                     jobs as f64 / elapsed.as_secs_f64(),
                 ),
                 cache: no_cache(),
+                layout: dense_layout(),
             });
         }
         drop(client);

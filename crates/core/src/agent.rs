@@ -30,7 +30,7 @@
 //! to daemon worker threads so its daemons genuinely compute concurrently.
 
 use crate::config::{MiddlewareConfig, PipelineMode};
-use crate::daemon::{execute_share, merge_addressed, Daemon};
+use crate::daemon::{execute_share, Daemon};
 use crate::metrics::AgentStats;
 use crate::pipeline::block_size::PipelineCoefficients;
 use crate::runtime::RuntimeError;
@@ -40,9 +40,9 @@ use gxplug_engine::cluster::NodeComputeOutput;
 use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::dense::{DenseSlots, FrontierSet};
 use gxplug_graph::types::{PartitionId, VertexId};
 use gxplug_graph::view::TripletBuffer;
-use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -69,10 +69,10 @@ pub(crate) struct IterationPlan {
 /// like the triplet path.
 #[derive(Debug, Default)]
 struct PlanScratch {
-    /// Local ids of the iteration's active edges (sorted).
+    /// Local ids of the iteration's active edges (ascending).
     active_edge_ids: Vec<usize>,
-    /// Dedup set for the download working set.
-    needed_set: HashSet<VertexId>,
+    /// Dedup bitset for the download working set, over dense local ids.
+    needed_marks: FrontierSet,
     /// The iteration's download working set, in deterministic probe order.
     needed_vertices: Vec<VertexId>,
 }
@@ -110,6 +110,13 @@ pub(crate) struct AgentScratch<V, E, M> {
     pub shares: Vec<Range<usize>>,
     pub dispatched: Vec<usize>,
     pub share_runs: Vec<ShareRun>,
+    /// Pooled dense slots for the per-target `MSGMerge`, keyed by the node's
+    /// dense local ids — the hash-free sibling of the triplet arena; an epoch
+    /// bump resets it each iteration.
+    pub merge: DenseSlots<M>,
+    /// Messages whose target has no local replica (never produced by a sound
+    /// partitioning) — appended verbatim after the dense drain.
+    pub overflow: Vec<AddressedMessage<M>>,
 }
 
 impl<V, E, M> AgentScratch<V, E, M> {
@@ -120,6 +127,8 @@ impl<V, E, M> AgentScratch<V, E, M> {
             shares: Vec::with_capacity(num_daemons),
             dispatched: Vec::with_capacity(num_daemons),
             share_runs: Vec::with_capacity(num_daemons),
+            merge: DenseSlots::new(),
+            overflow: Vec::new(),
         }
     }
 
@@ -217,7 +226,7 @@ where
     /// [`AgentCore::active_edge_ids`] until the next `begin_iteration`.
     pub(crate) fn begin_iteration<E>(
         &mut self,
-        node: &NodeState<V, E>,
+        node: &mut NodeState<V, E>,
         iteration: usize,
     ) -> Option<IterationPlan> {
         node.active_edge_ids_into(&mut self.plan.active_edge_ids);
@@ -227,23 +236,29 @@ where
         }
         self.stats.iterations += 1;
 
-        let needed_set = &mut self.plan.needed_set;
-        needed_set.clear();
-        for &edge_id in &self.plan.active_edge_ids {
-            if let Some(edge) = node.edge(edge_id) {
-                needed_set.insert(edge.src);
-                needed_set.insert(edge.dst);
-            }
-        }
-        // Probe the cache in a deterministic order: hash-set iteration order
-        // varies run to run, and the probe order decides LRU evictions, so a
-        // fixed order is what makes the hit/miss counters reproducible.  The
-        // order is scrambled by a fixed mix (not ascending) because a strict
-        // sequential scan is the LRU worst case — it would evict every entry
-        // just before re-probing it.
+        // Dedup the download working set through a dense bitset over the
+        // node's local ids — no hashing on the hot path.
+        let needed_marks = &mut self.plan.needed_marks;
+        needed_marks.ensure_capacity(node.num_vertices());
+        needed_marks.clear();
         let needed_vertices = &mut self.plan.needed_vertices;
         needed_vertices.clear();
-        needed_vertices.extend(needed_set.iter().copied());
+        for &edge_id in &self.plan.active_edge_ids {
+            if let Some((src, dst)) = node.edge_endpoint_locals(edge_id) {
+                if needed_marks.insert(src) {
+                    needed_vertices.push(node.vertex_table().global_of(src));
+                }
+                if needed_marks.insert(dst) {
+                    needed_vertices.push(node.vertex_table().global_of(dst));
+                }
+            }
+        }
+        // Probe the cache in a deterministic order: the probe order decides
+        // LRU evictions, so a fixed total order (independent of how the set
+        // was gathered) is what makes the hit/miss counters reproducible.
+        // The order is scrambled by a fixed mix (not ascending) because a
+        // strict sequential scan is the LRU worst case — it would evict every
+        // entry just before re-probing it.
         needed_vertices.sort_unstable_by_key(|&v| (gxplug_ipc::key::splitmix64(v as u64), v));
         let needed_count = needed_vertices.len();
         let vertex_downloads = match &mut self.cache {
@@ -303,31 +318,24 @@ where
         )
     }
 
-    /// The merge, upload and timing-attribution phases, shared by the serial
-    /// and threaded paths.  `raw_messages` must yield messages ordered by
-    /// daemon index (then block, then triplet) — both paths drain their
-    /// per-daemon buffers that way, which keeps the first-seen merge order,
-    /// and therefore the results, identical.
-    pub(crate) fn finish_iteration<E, A, I>(
+    /// The upload and timing-attribution phases, shared by the serial and
+    /// threaded paths.  `merged` is the iteration's per-target `MSGMerge`
+    /// output (see [`dense_merge`]) — both paths drain their per-daemon
+    /// buffers in daemon order (then block, then triplet) into the merge,
+    /// which keeps the per-target combine order, and therefore the results,
+    /// identical.
+    pub(crate) fn finish_iteration<E, M>(
         &mut self,
         node: &NodeState<V, E>,
-        algorithm: &A,
         plan: &IterationPlan,
-        raw_messages: I,
+        merged: Vec<AddressedMessage<M>>,
         share_runs: &[ShareRun],
-    ) -> NodeComputeOutput<V, A::Msg>
-    where
-        A: GraphAlgorithm<V, E>,
-        I: IntoIterator<Item = AddressedMessage<A::Msg>>,
-    {
+    ) -> NodeComputeOutput<V, M> {
         let d = plan.d;
         self.stats.triplets_processed += d as u64;
         for run in share_runs {
             self.stats.kernel_launches += run.blocks as u64;
         }
-
-        // ---- merge phase (MSGMerge) ------------------------------------------
-        let merged = merge_addressed(algorithm, raw_messages);
 
         // ---- upload phase -----------------------------------------------------
         let uploads = if self.config.lazy_upload && self.cache.is_some() {
@@ -392,6 +400,51 @@ where
             pre_applied: Vec::new(),
         }
     }
+}
+
+/// The per-target `MSGMerge` of one iteration's raw daemon output, through
+/// the agent's pooled dense slots.
+///
+/// `raw` must yield messages ordered by daemon index (then block, then
+/// triplet); targets are resolved to the node's dense local ids, combined in
+/// arrival order (`msg_merge(existing, incoming)`), and drained in first-seen
+/// order.  Targets without a local replica (never produced by a sound
+/// partitioning) pass through `overflow`, appended verbatim — the cluster's
+/// synchronisation folds them with the same left-to-right combine order
+/// either way.  Zero steady-state allocation beyond the returned vector.
+pub(crate) fn dense_merge<V, E, A>(
+    node: &NodeState<V, E>,
+    algorithm: &A,
+    raw: impl IntoIterator<Item = AddressedMessage<A::Msg>>,
+    slots: &mut DenseSlots<A::Msg>,
+    overflow: &mut Vec<AddressedMessage<A::Msg>>,
+) -> Vec<AddressedMessage<A::Msg>>
+where
+    A: GraphAlgorithm<V, E>,
+{
+    slots.ensure_capacity(node.num_vertices());
+    slots.begin();
+    overflow.clear();
+    for message in raw {
+        match node.vertex_table().local_of(message.target) {
+            Some(local) => slots.merge(local, message.payload, |existing, payload| {
+                algorithm.msg_merge(existing, payload)
+            }),
+            None => overflow.push(message),
+        }
+    }
+    let mut merged = Vec::with_capacity(slots.len() + overflow.len());
+    for i in 0..slots.len() {
+        let local = slots.touched_at(i);
+        if let Some(payload) = slots.take(local) {
+            merged.push(AddressedMessage::new(
+                node.vertex_table().global_of(local),
+                payload,
+            ));
+        }
+    }
+    merged.append(overflow);
+    merged
 }
 
 /// The agent of one distributed node, driving its daemons serially on the
@@ -561,14 +614,18 @@ where
             });
         }
 
-        let raw = self
-            .scratch
-            .msg_bufs
-            .iter_mut()
-            .flat_map(|buf| buf.drain(..));
+        // ---- merge phase (MSGMerge, into pooled dense slots) ----------------
+        let AgentScratch {
+            msg_bufs,
+            merge,
+            overflow,
+            ..
+        } = &mut self.scratch;
+        let raw = msg_bufs.iter_mut().flat_map(|buf| buf.drain(..));
+        let merged = dense_merge(node, algorithm, raw, merge, overflow);
         Ok(self
             .core
-            .finish_iteration(node, algorithm, &plan, raw, &self.scratch.share_runs))
+            .finish_iteration(node, &plan, merged, &self.scratch.share_runs))
     }
 }
 
@@ -749,10 +806,9 @@ mod tests {
         // mostly cache hits for the cached agent.
         for run in [&mut cached, &mut uncached] {
             let mut node = test_node();
-            let all: std::collections::HashSet<VertexId> = node.vertex_table().ids().collect();
-            node.set_active(all.clone());
+            node.activate_all();
             run.process_iteration(&mut node, &Relax, 0).unwrap();
-            node.set_active(all);
+            node.activate_all();
             run.process_iteration(&mut node, &Relax, 1).unwrap();
         }
         assert!(cached.stats().downloads_avoided > 0);
@@ -784,8 +840,7 @@ mod tests {
             let mut a = agent(config);
             a.connect();
             let mut node = test_node();
-            let all: std::collections::HashSet<VertexId> = node.vertex_table().ids().collect();
-            node.set_active(all);
+            node.activate_all();
             let output = a.process_iteration(&mut node, &Relax, 0).unwrap();
             outputs.push(output);
         }
@@ -810,14 +865,13 @@ mod tests {
         let mut agent = agent(MiddlewareConfig::default());
         agent.connect();
         let mut node = test_node();
-        let all: std::collections::HashSet<VertexId> = node.vertex_table().ids().collect();
         // Warm-up iteration discovers the peak workload.
-        node.set_active(all.clone());
+        node.activate_all();
         agent.process_iteration(&mut node, &Relax, 0).unwrap();
         let warm = agent.scratch.triplets.stats();
         // Steady state: the same workload refills in place.
         for iteration in 1..5 {
-            node.set_active(all.clone());
+            node.activate_all();
             agent
                 .process_iteration(&mut node, &Relax, iteration)
                 .unwrap();

@@ -39,7 +39,7 @@
 //! bounds or reference counting; the scope guarantees every worker is joined
 //! before the borrowed data goes away.
 
-use crate::agent::{split_by_capacity_into, AgentCore, AgentScratch, ShareRun};
+use crate::agent::{dense_merge, split_by_capacity_into, AgentCore, AgentScratch, ShareRun};
 use crate::config::MiddlewareConfig;
 use crate::daemon::{execute_share, Daemon, DaemonInfo, DaemonStats};
 use crate::metrics::AgentStats;
@@ -490,14 +490,18 @@ where
             return Err(error);
         }
 
-        let raw = self
-            .scratch
-            .msg_bufs
-            .iter_mut()
-            .flat_map(|buf| buf.drain(..));
+        // ---- merge phase (MSGMerge, into pooled dense slots) ----------------
+        let AgentScratch {
+            msg_bufs,
+            merge,
+            overflow,
+            ..
+        } = &mut self.scratch;
+        let raw = msg_bufs.iter_mut().flat_map(|buf| buf.drain(..));
+        let merged = dense_merge(node, algorithm, raw, merge, overflow);
         Ok(self
             .core
-            .finish_iteration(node, algorithm, &plan, raw, &self.scratch.share_runs))
+            .finish_iteration(node, &plan, merged, &self.scratch.share_runs))
     }
 
     /// Joins every daemon worker, returning the daemons.  Re-raises the panic

@@ -15,11 +15,11 @@ use crate::node::NodeState;
 use crate::profile::RuntimeProfile;
 use crate::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_accel::SimDuration;
+use gxplug_graph::dense::DenseSlots;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
 use gxplug_graph::types::{PartitionId, VertexId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 use std::convert::Infallible;
 use std::sync::Arc;
 use std::thread;
@@ -178,6 +178,25 @@ impl<V, M> NodeComputeOutput<V, M> {
             triplets_processed: 0,
             messages: Vec::new(),
             pre_applied: Vec::new(),
+        }
+    }
+}
+
+/// Pooled dense scratch for the synchronisation phase, allocated once per run
+/// and reset with an epoch bump each iteration — the global vertex space is
+/// dense `0..num_vertices`, so global ids index the slots directly.
+struct SyncScratch<V, M> {
+    /// Per-target merged message of the current iteration.
+    merged: DenseSlots<M>,
+    /// Per-vertex new value of the current iteration (pre-applied + applied).
+    changed: DenseSlots<V>,
+}
+
+impl<V, M> SyncScratch<V, M> {
+    fn new(num_vertices: usize) -> Self {
+        Self {
+            merged: DenseSlots::with_capacity(num_vertices),
+            changed: DenseSlots::with_capacity(num_vertices),
         }
     }
 }
@@ -476,12 +495,13 @@ where
             converged: false,
             setup,
         };
+        let mut scratch = SyncScratch::new(self.num_vertices);
         for iteration in 0..iteration_cap {
             if algorithm.always_active() {
-                // Fixed-point algorithms keep the whole frontier active.
+                // Fixed-point algorithms keep the whole frontier active —
+                // a word fill, not a materialised all-ids set.
                 for node in &mut self.nodes {
-                    let all: HashSet<VertexId> = node.vertex_table().ids().collect();
-                    node.set_active(all);
+                    node.activate_all();
                 }
             }
             let active_vertices = self.total_active();
@@ -501,7 +521,7 @@ where
                 triplets_processed += output.triplets_processed;
             }
             // ---- synchronisation phase ----
-            let sync = self.synchronize(algorithm, outputs, sync_policy, iteration);
+            let sync = self.synchronize(algorithm, outputs, sync_policy, iteration, &mut scratch);
             let upper_overhead = if sync.skipped {
                 SimDuration::ZERO
             } else {
@@ -535,45 +555,52 @@ where
 
     /// Routes messages to master vertices, applies them, refreshes replicas
     /// and recomputes the active frontier.
+    ///
+    /// `scratch` is the run's pooled dense merge/changed state; slots are
+    /// indexed directly by global vertex id.  Both the apply and the replica
+    /// refresh are per-vertex independent, so draining the slots in
+    /// first-seen order produces bit-identical results to any other order.
     fn synchronize<A>(
         &mut self,
         algorithm: &A,
         outputs: Vec<NodeComputeOutput<V, A::Msg>>,
         policy: SyncPolicy,
         iteration: usize,
+        scratch: &mut SyncScratch<V, A::Msg>,
     ) -> SyncOutcome
     where
         A: GraphAlgorithm<V, E>,
     {
+        let SyncScratch { merged, changed } = scratch;
+        merged.begin();
+        changed.begin();
         // 1. Merge all per-node messages by target vertex, remembering how
         //    many crossed a node boundary (those are the entities the global
-        //    data queue would carry).
-        let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+        //    data queue would carry).  Outputs arrive in node order, so the
+        //    per-target combine order is deterministic.
         let mut remote_messages = 0usize;
-        let mut changed: HashMap<VertexId, V> = HashMap::new();
         for (node_id, output) in outputs.into_iter().enumerate() {
             for (v, value) in output.pre_applied {
-                changed.insert(v, value);
+                changed.put(v, value);
             }
             for message in output.messages {
                 let master = self.partitioning.master_of(message.target);
                 if master != node_id {
                     remote_messages += 1;
                 }
-                match merged.remove(&message.target) {
-                    Some(existing) => {
-                        let combined = algorithm.msg_merge(existing, message.payload);
-                        merged.insert(message.target, combined);
-                    }
-                    None => {
-                        merged.insert(message.target, message.payload);
-                    }
-                }
+                merged.merge(message.target, message.payload, |existing, payload| {
+                    algorithm.msg_merge(existing, payload)
+                });
             }
         }
         // 2. Apply merged messages at the master copies.
         let mut applies = 0usize;
-        for (target, message) in merged {
+        for i in 0..merged.len() {
+            let target = merged.touched_at(i);
+            let message = match merged.take(target) {
+                Some(message) => message,
+                None => continue,
+            };
             let master = self.partitioning.master_of(target);
             let node = &mut self.nodes[master];
             let current = match node.vertex_value(target) {
@@ -584,7 +611,7 @@ where
             if let Some(new_value) = algorithm.msg_apply(target, &current, &message, iteration) {
                 if new_value != current {
                     node.update_vertex(target, new_value.clone());
-                    changed.insert(target, new_value);
+                    changed.put(target, new_value);
                 }
             }
         }
@@ -593,7 +620,7 @@ where
         //    and no message may have crossed a node boundary.
         let needs_in_edges_local = algorithm.reads_destination_attribute();
         let all_local = remote_messages == 0
-            && changed.keys().all(|&v| {
+            && changed.touched().iter().all(|&v| {
                 let master = self.partitioning.master_of(v);
                 let out_local = self.out_edge_parts[v as usize]
                     .iter()
@@ -611,7 +638,11 @@ where
         for node in &mut self.nodes {
             node.clear_active();
         }
-        for (&v, value) in &changed {
+        for &v in changed.touched() {
+            let value = match changed.get(v) {
+                Some(value) => value,
+                None => continue,
+            };
             let master = self.partitioning.master_of(v);
             if skipped {
                 self.nodes[master].activate(v);
@@ -665,24 +696,35 @@ where
     A: GraphAlgorithm<V, E>,
 {
     let triplets = node.active_triplets();
-    let mut merged: HashMap<VertexId, A::Msg> = HashMap::new();
+    // Merge per target into dense slots keyed by local id; targets without a
+    // local replica (never produced by a sound partitioning) fall through to
+    // the overflow list.  Merging is commutative only in arrival order, which
+    // is the triplet order either way; the output order is per-vertex
+    // independent downstream, so first-seen drain order is safe.
+    let mut merged: DenseSlots<A::Msg> = DenseSlots::with_capacity(node.num_vertices());
+    merged.begin();
+    let mut overflow: Vec<AddressedMessage<A::Msg>> = Vec::new();
     for triplet in &triplets {
         for message in algorithm.msg_gen(triplet, iteration) {
-            match merged.remove(&message.target) {
-                Some(existing) => {
-                    let combined = algorithm.msg_merge(existing, message.payload);
-                    merged.insert(message.target, combined);
-                }
-                None => {
-                    merged.insert(message.target, message.payload);
-                }
+            match node.vertex_table().local_of(message.target) {
+                Some(local) => merged.merge(local, message.payload, |existing, payload| {
+                    algorithm.msg_merge(existing, payload)
+                }),
+                None => overflow.push(message),
             }
         }
     }
-    let messages: Vec<AddressedMessage<A::Msg>> = merged
-        .into_iter()
-        .map(|(target, payload)| AddressedMessage::new(target, payload))
-        .collect();
+    let mut messages: Vec<AddressedMessage<A::Msg>> = Vec::with_capacity(merged.len());
+    for i in 0..merged.len() {
+        let local = merged.touched_at(i);
+        if let Some(payload) = merged.take(local) {
+            messages.push(AddressedMessage::new(
+                node.vertex_table().global_of(local),
+                payload,
+            ));
+        }
+    }
+    messages.extend(overflow);
     let compute_time =
         profile.native_compute_cost(triplets.len(), 0, algorithm.operational_intensity());
     NodeComputeOutput {

@@ -1,18 +1,30 @@
 //! Per-distributed-node state.
 //!
 //! A [`NodeState`] is the local view one distributed node of the upper system
-//! holds: its partition's vertex table, edge table and vertex-edge mapping
-//! table (§II-B), plus the set of vertices that are *active* for the next
-//! iteration.  Both the native execution paths and the middleware's agents
-//! operate on this state.
+//! holds: its partition's vertex table and edge table (§II-B), the paper's
+//! vertex-edge mapping table realised as a per-node [`Csr`] over **dense local
+//! ids**, plus the set of vertices that are *active* for the next iteration.
+//! Both the native execution paths and the middleware's agents operate on this
+//! state.
+//!
+//! The data path is hash-free at steady state: the vertex table assigns every
+//! global id a dense local id once at build time, edges carry their endpoints'
+//! local ids, the frontier is an epoch-stamped [`FrontierSet`] bitset, and
+//! active-edge enumeration walks contiguous CSR slices — every hot-path lookup
+//! is an array load, and every iteration order is ascending by construction.
 
 use crate::template::GraphAlgorithm;
+use gxplug_graph::csr::Csr;
+use gxplug_graph::dense::FrontierSet;
 use gxplug_graph::graph::PropertyGraph;
 use gxplug_graph::partition::Partitioning;
-use gxplug_graph::tables::{EdgeTable, VertexEdgeMap, VertexTable};
+use gxplug_graph::tables::{EdgeTable, VertexTable};
 use gxplug_graph::types::{Edge, EdgeId, PartitionId, Triplet, VertexId};
 use gxplug_graph::view::TripletBuffer;
-use std::collections::{HashMap, HashSet};
+
+/// Sentinel local id for an edge endpoint that is not stored locally (which
+/// would indicate a broken partitioning — tolerated, never enumerated).
+const NO_LOCAL: u32 = u32::MAX;
 
 /// The state of one distributed node.
 #[derive(Debug, Clone)]
@@ -20,11 +32,27 @@ pub struct NodeState<V, E> {
     id: PartitionId,
     vertex_table: VertexTable<V>,
     edge_table: EdgeTable<E>,
-    vertex_edge_map: VertexEdgeMap,
-    active: HashSet<VertexId>,
-    /// Global out-degree of every local vertex, captured at build time so the
-    /// node can re-seed itself for a new algorithm without the graph.
-    out_degrees: HashMap<VertexId, usize>,
+    /// Out-edge CSR over dense local vertex ids.  Bucket `num_vertices` (one
+    /// past the last local id) collects edges whose source is not local, so
+    /// edge ids stay aligned with the edge table without ever enumerating
+    /// such edges.
+    csr: Csr,
+    /// Per-edge source local id, `NO_LOCAL` if the source is not local.
+    edge_src_local: Vec<u32>,
+    /// Per-edge destination local id, `NO_LOCAL` if not local.
+    edge_dst_local: Vec<u32>,
+    /// Number of edges in the orphan CSR bucket (0 for a sound partitioning).
+    orphan_edges: usize,
+    /// The active frontier, over dense local vertex ids.
+    active: FrontierSet,
+    /// Reusable scratch marking the active *edges* of the current superstep,
+    /// over local edge ids — its ascending word scan is what makes
+    /// [`NodeState::active_edge_ids_into`] sorted without sorting.
+    active_edges: FrontierSet,
+    /// Global out-degree of every local vertex (indexed by local id), captured
+    /// at build time so the node can re-seed itself for a new algorithm
+    /// without the graph.
+    out_degrees: Vec<u32>,
 }
 
 impl<V: Clone, E: Clone> NodeState<V, E> {
@@ -41,12 +69,13 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
     {
         let part = partitioning.part(id);
         let mut vertex_table = VertexTable::with_capacity(part.vertices.len());
-        let mut out_degrees = HashMap::with_capacity(part.vertices.len());
+        let mut out_degrees = Vec::with_capacity(part.vertices.len());
         for &v in &part.vertices {
             let degree = graph.out_degree(v);
             let attr = algorithm.init_vertex(v, degree);
-            vertex_table.upsert(v, attr, partitioning.master_of(v) == id);
-            out_degrees.insert(v, degree);
+            if vertex_table.upsert(v, attr, partitioning.master_of(v) == id) {
+                out_degrees.push(degree as u32);
+            }
         }
         // Isolated vertices mastered here may not appear in `vertices`.
         for &v in &part.masters {
@@ -54,35 +83,67 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
                 let degree = graph.out_degree(v);
                 let attr = algorithm.init_vertex(v, degree);
                 vertex_table.upsert(v, attr, true);
-                out_degrees.insert(v, degree);
+                out_degrees.push(degree as u32);
             }
         }
         let mut edge_table = EdgeTable::new();
         for &edge_id in &part.edges {
             edge_table.push(graph.edge(edge_id).clone());
         }
-        let vertex_edge_map = VertexEdgeMap::from_edge_table(&edge_table);
-        let initial_active: HashSet<VertexId> = match algorithm.initial_active(graph.num_vertices())
-        {
-            Some(seed) => seed
-                .into_iter()
-                .filter(|v| vertex_table.contains(*v))
-                .collect(),
-            None => vertex_table.ids().collect(),
-        };
+        let num_locals = vertex_table.len();
+        let orphan = num_locals as u32;
+        let edge_src_local: Vec<u32> = edge_table
+            .edges()
+            .iter()
+            .map(|e| vertex_table.local_of(e.src).unwrap_or(NO_LOCAL))
+            .collect();
+        let edge_dst_local: Vec<u32> = edge_table
+            .edges()
+            .iter()
+            .map(|e| vertex_table.local_of(e.dst).unwrap_or(NO_LOCAL))
+            .collect();
+        let csr = Csr::from_edges(
+            num_locals + 1,
+            edge_src_local
+                .iter()
+                .zip(edge_dst_local.iter())
+                .map(|(&src, &dst)| {
+                    (
+                        if src == NO_LOCAL { orphan } else { src },
+                        if dst == NO_LOCAL { orphan } else { dst },
+                    )
+                }),
+        );
+        let orphan_edges = csr.degree(orphan);
+        let mut active = FrontierSet::new(num_locals);
+        match algorithm.initial_active(graph.num_vertices()) {
+            Some(seed) => {
+                for v in seed {
+                    if let Some(local) = vertex_table.local_of(v) {
+                        active.insert(local);
+                    }
+                }
+            }
+            None => active.activate_all(),
+        }
+        let active_edges = FrontierSet::new(edge_table.len());
         Self {
             id,
             vertex_table,
             edge_table,
-            vertex_edge_map,
-            active: initial_active,
+            csr,
+            edge_src_local,
+            edge_dst_local,
+            orphan_edges,
+            active,
+            active_edges,
             out_degrees,
         }
     }
 
     /// Re-seeds the vertex attributes and the active frontier for a fresh run
-    /// of `algorithm`, keeping the structural state (edge table, vertex-edge
-    /// map, master assignment) untouched.  `num_global_vertices` is the size
+    /// of `algorithm`, keeping the structural state (edge table, CSR, local id
+    /// assignment, master flags) untouched.  `num_global_vertices` is the size
     /// of the global vertex space (the argument `initial_active` expects).
     ///
     /// After a reset the node is indistinguishable from one freshly built for
@@ -92,22 +153,25 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
     where
         A: GraphAlgorithm<V, E> + ?Sized,
     {
-        let ids: Vec<VertexId> = self.vertex_table.ids().collect();
-        for v in ids {
-            let degree = self.out_degrees.get(&v).copied().unwrap_or(0);
+        for local in 0..self.vertex_table.len() as u32 {
+            let v = self.vertex_table.global_of(local);
+            let degree = self.out_degrees[local as usize] as usize;
             let attr = algorithm.init_vertex(v, degree);
-            if let Some(row) = self.vertex_table.get_mut(v) {
-                row.attr = attr;
-                row.dirty = false;
-            }
+            let row = self.vertex_table.row_at_mut(local);
+            row.attr = attr;
+            row.dirty = false;
         }
-        self.active = match algorithm.initial_active(num_global_vertices) {
-            Some(seed) => seed
-                .into_iter()
-                .filter(|v| self.vertex_table.contains(*v))
-                .collect(),
-            None => self.vertex_table.ids().collect(),
-        };
+        match algorithm.initial_active(num_global_vertices) {
+            Some(seed) => {
+                self.active.clear();
+                for v in seed {
+                    if let Some(local) = self.vertex_table.local_of(v) {
+                        self.active.insert(local);
+                    }
+                }
+            }
+            None => self.active.activate_all(),
+        }
     }
 }
 
@@ -142,9 +206,23 @@ impl<V, E> NodeState<V, E> {
         &self.edge_table
     }
 
-    /// The node's vertex-edge mapping table.
-    pub fn vertex_edge_map(&self) -> &VertexEdgeMap {
-        &self.vertex_edge_map
+    /// Out-edge local ids of `v` — the paper's vertex-edge mapping table,
+    /// served as a contiguous CSR slice (empty if `v` has no local out-edges
+    /// or is not local).
+    pub fn out_edge_ids(&self, v: VertexId) -> &[EdgeId] {
+        match self.vertex_table.local_of(v) {
+            Some(local) => self.csr.edge_ids(local),
+            None => &[],
+        }
+    }
+
+    /// The dense local ids `(src, dst)` of edge `id`'s endpoints, if both are
+    /// stored locally.
+    #[inline]
+    pub fn edge_endpoint_locals(&self, id: EdgeId) -> Option<(u32, u32)> {
+        let src = *self.edge_src_local.get(id)?;
+        let dst = *self.edge_dst_local.get(id)?;
+        (src != NO_LOCAL && dst != NO_LOCAL).then_some((src, dst))
     }
 
     /// Number of currently active local vertices.
@@ -154,23 +232,42 @@ impl<V, E> NodeState<V, E> {
 
     /// Returns `true` if vertex `v` is active on this node.
     pub fn is_active(&self, v: VertexId) -> bool {
-        self.active.contains(&v)
+        match self.vertex_table.local_of(v) {
+            Some(local) => self.active.contains(local),
+            None => false,
+        }
     }
 
-    /// Iterates over the active vertices (order unspecified).
+    /// Iterates over the active vertices, ascending by dense local id.
     pub fn active_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.active.iter().copied()
+        self.active
+            .iter()
+            .map(move |local| self.vertex_table.global_of(local))
     }
 
     /// Replaces the active set (used by the cluster at the end of an
-    /// iteration).
-    pub fn set_active(&mut self, active: HashSet<VertexId>) {
-        self.active = active;
+    /// iteration); ids that are not local are ignored.
+    pub fn set_active(&mut self, active: impl IntoIterator<Item = VertexId>) {
+        self.active.clear();
+        for v in active {
+            if let Some(local) = self.vertex_table.local_of(v) {
+                self.active.insert(local);
+            }
+        }
     }
 
-    /// Marks a single vertex active.
+    /// Marks every local vertex active — the dense replacement for
+    /// materialising an all-ids set when a template declares itself
+    /// always-active.
+    pub fn activate_all(&mut self) {
+        self.active.activate_all();
+    }
+
+    /// Marks a single vertex active (ignored if `v` is not local).
     pub fn activate(&mut self, v: VertexId) {
-        self.active.insert(v);
+        if let Some(local) = self.vertex_table.local_of(v) {
+            self.active.insert(local);
+        }
     }
 
     /// Clears the active set.
@@ -185,7 +282,7 @@ impl<V, E> NodeState<V, E> {
 
     /// Local edge ids whose source vertex is currently active — the workload
     /// of the next computation iteration on this node.
-    pub fn active_edge_ids(&self) -> Vec<EdgeId> {
+    pub fn active_edge_ids(&mut self) -> Vec<EdgeId> {
         let mut ids = Vec::new();
         self.active_edge_ids_into(&mut ids);
         ids
@@ -193,22 +290,40 @@ impl<V, E> NodeState<V, E> {
 
     /// [`NodeState::active_edge_ids`] into a reusable output vector (cleared
     /// first) — the pooled variant the middleware's planning path uses, so
-    /// steady-state supersteps refill one warm buffer instead of allocating
-    /// a fresh id vector per iteration.
-    pub fn active_edge_ids_into(&self, ids: &mut Vec<EdgeId>) {
+    /// steady-state supersteps refill one warm buffer instead of allocating a
+    /// fresh id vector per iteration.
+    ///
+    /// Ids come out ascending *by construction*: active sources' CSR slices
+    /// are marked in the `active_edges` bitset and drained by its word scan,
+    /// so no sort is needed, and an all-active frontier short-circuits to the
+    /// full `0..num_edges` range.
+    pub fn active_edge_ids_into(&mut self, ids: &mut Vec<EdgeId>) {
         ids.clear();
-        for &v in &self.active {
-            ids.extend_from_slice(self.vertex_edge_map.out_edges(v));
+        if self.active.len() == self.num_vertices() && self.orphan_edges == 0 {
+            ids.extend(0..self.edge_table.len());
+            return;
         }
-        ids.sort_unstable();
+        let Self {
+            active,
+            active_edges,
+            csr,
+            ..
+        } = self;
+        active_edges.clear();
+        for local in active.iter() {
+            for &edge_id in csr.edge_ids(local) {
+                active_edges.insert(edge_id as u32);
+            }
+        }
+        ids.extend(active_edges.iter().map(|id| id as EdgeId));
     }
 
     /// Number of edges whose source is active (without materialising ids).
     pub fn active_edge_count(&self) -> usize {
-        self.active
-            .iter()
-            .map(|&v| self.vertex_edge_map.out_edges(v).len())
-            .sum()
+        if self.active.len() == self.num_vertices() {
+            return self.num_edges() - self.orphan_edges;
+        }
+        self.active.iter().map(|local| self.csr.degree(local)).sum()
     }
 
     /// The local edge with the given local id.
@@ -219,12 +334,14 @@ impl<V, E> NodeState<V, E> {
 
 impl<V: Clone, E: Clone> NodeState<V, E> {
     /// Materialises the triplet of local edge `id` by joining the edge and
-    /// vertex tables.  Returns `None` if either endpoint is missing locally
-    /// (which would indicate a broken partitioning).
+    /// vertex tables through the precomputed endpoint local ids — two array
+    /// loads, no hashing.  Returns `None` if either endpoint is missing
+    /// locally (which would indicate a broken partitioning).
     pub fn triplet(&self, id: EdgeId) -> Option<Triplet<V, E>> {
         let edge = self.edge_table.get(id)?;
-        let src_attr = self.vertex_value(edge.src)?.clone();
-        let dst_attr = self.vertex_value(edge.dst)?.clone();
+        let (src_local, dst_local) = self.edge_endpoint_locals(id)?;
+        let src_attr = self.vertex_table.row_at(src_local).attr.clone();
+        let dst_attr = self.vertex_table.row_at(dst_local).attr.clone();
         Some(Triplet::new(
             edge.src,
             edge.dst,
@@ -253,8 +370,9 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
     }
 
     /// Materialises the triplets of all currently active edges.
-    pub fn active_triplets(&self) -> Vec<Triplet<V, E>> {
-        self.triplets_for(&self.active_edge_ids())
+    pub fn active_triplets(&mut self) -> Vec<Triplet<V, E>> {
+        let ids = self.active_edge_ids();
+        self.triplets_for(&ids)
     }
 
     /// Updates the attribute of a local vertex (marking it dirty); returns
@@ -350,9 +468,29 @@ mod tests {
             .expect("node 0 should hold at least one edge");
         node.activate(some_src);
         assert!(node.is_active(some_src));
-        let expected = node.vertex_edge_map().out_edges(some_src).len();
+        let expected = node.out_edge_ids(some_src).len();
         assert_eq!(node.active_edge_count(), expected);
         assert_eq!(node.active_triplets().len(), expected);
+    }
+
+    #[test]
+    fn active_edge_ids_ascend_without_sorting() {
+        let (graph, partitioning) = setup();
+        let mut node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        // All-active takes the 0..num_edges fast path.
+        let all = node.active_edge_ids();
+        assert_eq!(all, (0..node.num_edges()).collect::<Vec<_>>());
+        // A partial frontier drains the edge bitset ascending.
+        node.clear_active();
+        let srcs: Vec<VertexId> = node.edge_table().edges().iter().map(|e| e.src).collect();
+        for v in srcs.into_iter().rev() {
+            node.activate(v);
+        }
+        let partial = node.active_edge_ids();
+        let mut sorted = partial.clone();
+        sorted.sort_unstable();
+        assert_eq!(partial, sorted);
+        assert_eq!(partial.len(), node.active_edge_count());
     }
 
     #[test]
@@ -391,7 +529,7 @@ mod tests {
     #[test]
     fn fill_triplets_matches_triplets_for_and_reuses_allocation() {
         let (graph, partitioning) = setup();
-        let node = NodeState::build(0, &graph, &partitioning, &MinLabel);
+        let mut node = NodeState::build(0, &graph, &partitioning, &MinLabel);
         let ids = node.active_edge_ids();
         let owned = node.triplets_for(&ids);
         let mut buffer = TripletBuffer::new();

@@ -8,8 +8,10 @@
 //!
 //! * [`EdgeList`] / [`PropertyGraph`] / [`Csr`] — construction and storage of
 //!   directed property graphs;
-//! * [`tables`] — the agent-side vertex table, edge table and vertex-edge
-//!   mapping table described in §II-B of the paper;
+//! * [`tables`] — the agent-side vertex table and edge table described in
+//!   §II-B of the paper, indexed by dense local ids;
+//! * [`dense`] — the dense-id primitives ([`LocalIdMap`], [`FrontierSet`],
+//!   [`DenseSlots`]) that make the per-node superstep data path hash-free;
 //! * [`generators`] — R-MAT, Erdős–Rényi and road-network generators used to
 //!   build synthetic analogues of the paper's datasets;
 //! * [`partition`] — hash, range, greedy vertex-cut and capacity-weighted
@@ -24,6 +26,7 @@
 
 pub mod csr;
 pub mod datasets;
+pub mod dense;
 pub mod edge_list;
 pub mod generators;
 pub mod graph;
@@ -34,6 +37,7 @@ pub mod types;
 pub mod view;
 
 pub use csr::Csr;
+pub use dense::{DenseSlots, FrontierSet, LocalIdMap};
 pub use edge_list::EdgeList;
 pub use graph::PropertyGraph;
 pub use types::{Edge, EdgeId, GraphError, PartitionId, Result, Triplet, VertexId};

@@ -1,14 +1,17 @@
 //! Agent-side data management tables (§II-B of the paper).
 //!
 //! An agent manages the graph data of one distributed node with a *vertex
-//! table* and an *edge table*, plus a *vertex-edge mapping table* that maps a
-//! vertex to its outgoing edges so that edge blocks can be packaged for the
-//! daemon.  These are deliberately simple, index-based structures: the
-//! middleware's job is packaging and synchronising them, not providing a full
-//! graph database.
+//! table* and an *edge table*.  These are deliberately simple, index-based
+//! structures: the middleware's job is packaging and synchronising them, not
+//! providing a full graph database.  The vertex table assigns each global id
+//! a **dense local id** (its insertion index) through a
+//! [`LocalIdMap`](crate::dense::LocalIdMap), so the superstep hot path can
+//! address rows with plain array loads instead of hash probes; the paper's
+//! vertex-edge mapping table is realised as a per-node CSR over those local
+//! ids (see `gxplug-engine`'s `NodeState`).
 
+use crate::dense::LocalIdMap;
 use crate::types::{Edge, EdgeId, VertexId};
-use std::collections::HashMap;
 
 /// One row of the vertex table.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,12 +31,15 @@ pub struct VertexRow<V> {
 
 /// The vertex table of a distributed node.
 ///
-/// Rows are stored densely and addressed through a global-id → local-index
-/// map, because a partition only holds a subset of the global vertex space.
+/// Rows are stored densely in insertion order and addressed through a
+/// [`LocalIdMap`], because a partition only holds a subset of the global
+/// vertex space.  A row's position *is* its dense local id, so hot-path
+/// consumers can resolve `global → local` once and address rows by index
+/// thereafter ([`VertexTable::row_at`]).
 #[derive(Debug, Clone, Default)]
 pub struct VertexTable<V> {
     rows: Vec<VertexRow<V>>,
-    index: HashMap<VertexId, usize>,
+    index: LocalIdMap,
 }
 
 impl<V> VertexTable<V> {
@@ -41,7 +47,7 @@ impl<V> VertexTable<V> {
     pub fn new() -> Self {
         Self {
             rows: Vec::new(),
-            index: HashMap::new(),
+            index: LocalIdMap::new(),
         }
     }
 
@@ -49,7 +55,7 @@ impl<V> VertexTable<V> {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             rows: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: LocalIdMap::with_capacity(capacity),
         }
     }
 
@@ -65,41 +71,75 @@ impl<V> VertexTable<V> {
 
     /// Inserts or replaces a vertex row; returns `true` if the vertex was new.
     pub fn upsert(&mut self, id: VertexId, attr: V, is_master: bool) -> bool {
-        match self.index.get(&id) {
-            Some(&slot) => {
-                let row = &mut self.rows[slot];
+        match self.index.local(id) {
+            Some(local) => {
+                let row = &mut self.rows[local as usize];
                 row.attr = attr;
                 row.is_master = is_master;
                 false
             }
             None => {
-                let slot = self.rows.len();
+                self.index.insert(id);
                 self.rows.push(VertexRow {
                     id,
                     attr,
                     dirty: false,
                     is_master,
                 });
-                self.index.insert(id, slot);
                 true
             }
         }
     }
 
+    /// The dense local id of `id`, if the vertex is stored locally.
+    #[inline]
+    pub fn local_of(&self, id: VertexId) -> Option<u32> {
+        self.index.local(id)
+    }
+
+    /// The global id behind dense local id `local`.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn global_of(&self, local: u32) -> VertexId {
+        self.index.global(local)
+    }
+
+    /// The row at dense local id `local`.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn row_at(&self, local: u32) -> &VertexRow<V> {
+        &self.rows[local as usize]
+    }
+
+    /// Mutable access to the row at dense local id `local`.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn row_at_mut(&mut self, local: u32) -> &mut VertexRow<V> {
+        &mut self.rows[local as usize]
+    }
+
     /// Returns the row for `id`, if present.
+    #[inline]
     pub fn get(&self, id: VertexId) -> Option<&VertexRow<V>> {
-        self.index.get(&id).map(|&slot| &self.rows[slot])
+        self.index.local(id).map(|local| &self.rows[local as usize])
     }
 
     /// Returns a mutable row for `id`, if present.
+    #[inline]
     pub fn get_mut(&mut self, id: VertexId) -> Option<&mut VertexRow<V>> {
-        let slot = *self.index.get(&id)?;
-        Some(&mut self.rows[slot])
+        let local = self.index.local(id)?;
+        Some(&mut self.rows[local as usize])
     }
 
     /// Returns `true` if the vertex is stored locally.
     pub fn contains(&self, id: VertexId) -> bool {
-        self.index.contains_key(&id)
+        self.index.local(id).is_some()
     }
 
     /// Updates the attribute of `id`, marking the row dirty.  Returns `false`
@@ -195,42 +235,6 @@ impl<E> EdgeTable<E> {
     }
 }
 
-/// The vertex-edge mapping table (§II-B): source vertex → local out-edge ids.
-///
-/// An agent uses this to construct edge blocks: "to construct an edge block,
-/// an agent selects a vertex and retrieves its outer edges, with vertex-edge
-/// mapping table".
-#[derive(Debug, Clone, Default)]
-pub struct VertexEdgeMap {
-    map: HashMap<VertexId, Vec<EdgeId>>,
-}
-
-impl VertexEdgeMap {
-    /// Builds the mapping from an edge table.
-    pub fn from_edge_table<E>(table: &EdgeTable<E>) -> Self {
-        let mut map: HashMap<VertexId, Vec<EdgeId>> = HashMap::new();
-        for (id, edge) in table.edges().iter().enumerate() {
-            map.entry(edge.src).or_default().push(id);
-        }
-        Self { map }
-    }
-
-    /// Out-edge local ids of `v` (empty slice if `v` has no local out-edges).
-    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        self.map.get(&v).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Number of distinct source vertices.
-    pub fn num_sources(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Iterates `(vertex, out-edge ids)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[EdgeId])> {
-        self.map.iter().map(|(&v, ids)| (v, ids.as_slice()))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,14 +284,18 @@ mod tests {
     }
 
     #[test]
-    fn vertex_edge_map_groups_out_edges() {
-        let t = edge_table();
-        let map = VertexEdgeMap::from_edge_table(&t);
-        assert_eq!(map.out_edges(0), &[0, 1]);
-        assert_eq!(map.out_edges(2), &[2]);
-        assert!(map.out_edges(1).is_empty());
-        assert_eq!(map.num_sources(), 2);
-        let total: usize = map.iter().map(|(_, ids)| ids.len()).sum();
-        assert_eq!(total, t.len());
+    fn vertex_table_assigns_dense_local_ids_in_insertion_order() {
+        let mut t = VertexTable::new();
+        t.upsert(9, 1.0, true);
+        t.upsert(4, 2.0, false);
+        t.upsert(9, 3.0, true);
+        assert_eq!(t.local_of(9), Some(0));
+        assert_eq!(t.local_of(4), Some(1));
+        assert_eq!(t.local_of(5), None);
+        assert_eq!(t.global_of(0), 9);
+        assert_eq!(t.global_of(1), 4);
+        assert_eq!(t.row_at(0).attr, 3.0);
+        t.row_at_mut(1).attr = 7.0;
+        assert_eq!(t.get(4).unwrap().attr, 7.0);
     }
 }

@@ -1,0 +1,99 @@
+//! Model-based property tests for [`FrontierSet`]: random op sequences are
+//! interpreted against both the epoch-stamped bitset and a plain `HashSet`
+//! reference, and every observable — membership, length, and the ascending
+//! iteration order — must agree after every operation.
+//!
+//! This is the correctness backstop for the dense-id data path: the frontier
+//! is the structure every superstep's workload is derived from, and its
+//! epoch-bump `clear` / lazy word refresh / word-range iteration tricks are
+//! exactly the kind of state machine a hand-picked unit test under-covers.
+
+use gxplug_graph::dense::FrontierSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const CAPACITY: u32 = 400;
+
+/// Applies one encoded op to both implementations.  Ops:
+/// `0` → insert id, `1` → contains check, `2` → clear (epoch bump),
+/// `3` → full iteration comparison, `4` → activate_all.
+fn apply(op: u32, id: u32, set: &mut FrontierSet, reference: &mut HashSet<u32>) {
+    match op {
+        0 => {
+            let fresh = set.insert(id);
+            let ref_fresh = reference.insert(id);
+            assert_eq!(fresh, ref_fresh, "insert({id}) freshness diverged");
+        }
+        1 => {
+            assert_eq!(
+                set.contains(id),
+                reference.contains(&id),
+                "contains({id}) diverged"
+            );
+        }
+        2 => {
+            set.clear();
+            reference.clear();
+        }
+        3 => {
+            let got: Vec<u32> = set.iter().collect();
+            let mut want: Vec<u32> = reference.iter().copied().collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "iteration diverged from sorted reference");
+        }
+        _ => {
+            set.activate_all();
+            reference.clear();
+            reference.extend(0..CAPACITY);
+        }
+    }
+    assert_eq!(set.len(), reference.len(), "len diverged after op {op}");
+    assert_eq!(set.is_empty(), reference.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random insert/contains/clear/iterate/activate-all sequences keep the
+    /// bitset in lockstep with the `HashSet` reference.
+    #[test]
+    fn frontier_matches_hash_set_reference(
+        ops in prop::collection::vec((0u32..5, 0u32..CAPACITY), 0..120),
+    ) {
+        let mut set = FrontierSet::new(CAPACITY as usize);
+        let mut reference: HashSet<u32> = HashSet::new();
+        for (op, id) in ops {
+            apply(op, id, &mut set, &mut reference);
+        }
+        // Final full-state comparison regardless of the last op.
+        let got: Vec<u32> = set.iter().collect();
+        let mut want: Vec<u32> = reference.iter().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Epoch reuse: clearing and refilling many times never resurrects stale
+    /// bits, and growth via ensure_capacity preserves membership.
+    #[test]
+    fn frontier_survives_epoch_reuse_and_growth(
+        rounds in prop::collection::vec(
+            prop::collection::vec((0u32..2, 0u32..CAPACITY), 0..40),
+            1..6,
+        ),
+        extra in 0u32..200,
+    ) {
+        let mut set = FrontierSet::new(CAPACITY as usize);
+        for round in rounds {
+            set.clear();
+            let mut reference: HashSet<u32> = HashSet::new();
+            for (op, id) in round {
+                apply(op, id, &mut set, &mut reference);
+            }
+        }
+        // Growing the id space keeps the current epoch's contents readable.
+        let before: Vec<u32> = set.iter().collect();
+        set.ensure_capacity((CAPACITY + extra) as usize);
+        let after: Vec<u32> = set.iter().collect();
+        prop_assert_eq!(before, after);
+    }
+}

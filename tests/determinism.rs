@@ -573,6 +573,63 @@ fn cache_hits_are_bit_identical_to_the_fill_run() {
 }
 
 #[test]
+fn pagerank_cache_misses_and_hits_are_bit_identical_to_a_fresh_session() {
+    // The PageRank arm of the cache determinism suite: the fill run (a cache
+    // *miss* taking the full dense-id data path) must be bit-identical to a
+    // fresh single-tenant session, and the subsequent *hit* must serve that
+    // outcome verbatim — in both execution modes.
+    let list = Rmat::new(10, 8.0).generate(41);
+    let default = RankValue {
+        rank: 1.0,
+        out_degree: 0,
+    };
+    let graph = std::sync::Arc::new(PropertyGraph::from_edge_list(list, default).unwrap());
+    let partitioning = GreedyVertexCutPartitioner::default()
+        .partition(&graph, 2)
+        .unwrap();
+    let rank_bits = |values: &[RankValue]| -> Vec<Vec<u64>> {
+        values
+            .iter()
+            .map(|v| vec![v.rank.to_bits(), v.out_degree as u64])
+            .collect()
+    };
+    for mode in [ExecutionMode::Serial, ExecutionMode::Threaded] {
+        let reference = SessionBuilder::new(&graph)
+            .partitioned_by(partitioning.clone())
+            .devices(mixed_devices(2))
+            .config(MiddlewareConfig::default().with_execution(mode))
+            .dataset("rmat")
+            .max_iterations(100)
+            .build()
+            .unwrap()
+            .run(&PageRank::new(20))
+            .unwrap();
+        let service = GraphService::builder(std::sync::Arc::clone(&graph))
+            .partitioned_by(partitioning.clone())
+            .devices(mixed_devices(2))
+            .config(MiddlewareConfig::default().with_execution(mode))
+            .dataset("rmat")
+            .max_iterations(100)
+            .worker_sessions(1)
+            .build()
+            .unwrap();
+        let fill = service.submit(PageRank::new(20)).unwrap().wait().unwrap();
+        let hit = service.submit(PageRank::new(20)).unwrap().wait().unwrap();
+        assert_eq!(
+            rank_bits(&fill.values),
+            rank_bits(&reference.values),
+            "cache miss diverged from fresh session in {mode:?}"
+        );
+        assert_eq!(rank_bits(&fill.values), rank_bits(&hit.values));
+        assert_eq!(fill.report, hit.report);
+        assert_eq!(fill.agent_stats, hit.agent_stats);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "in {mode:?}");
+        assert_eq!(stats.submitted, 1, "in {mode:?}");
+    }
+}
+
+#[test]
 fn concurrent_duplicates_resolve_single_flight_and_identical() {
     // 12 identical submissions race in from 4 threads against a 1-worker
     // service: every answer must be bit-identical to a fresh single-tenant
