@@ -6,6 +6,7 @@
 //! per source, and each relaxation processes every source at once.
 
 use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
+use gxplug_graph::mutate::MutationScope;
 use gxplug_graph::types::{Triplet, VertexId};
 
 /// Vertex attribute of SSSP-BF: one tentative distance per source.
@@ -131,6 +132,23 @@ impl GraphAlgorithm<Distances, f64> for MultiSourceSssp {
 
     fn fusion_family(&self) -> Option<&'static str> {
         Some("sssp-bf-multi")
+    }
+
+    /// Distances only ever tighten: relaxation applies a strict `<`, per-path
+    /// sums are deterministic, and a converged distance vector is a valid
+    /// upper bound to restart from.  After insert-only mutations, warm values
+    /// plus the dirty frontier therefore converge to the bit-identical fixed
+    /// point a from-scratch run reaches.
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    /// Edge removals or vertex detaches can *lengthen* shortest paths, which
+    /// monotone relaxation from warm (now possibly too-small) distances can
+    /// never undo — those batches force a cold re-run.  Insert-only batches
+    /// re-seed from the mutation's dirty frontier.
+    fn rescope(&self, scope: &MutationScope) -> Option<Vec<VertexId>> {
+        (!scope.has_removals && !scope.has_detaches).then(|| scope.dirty.clone())
     }
 
     /// Fusing SSSP jobs concatenates their source lists: one run relaxes

@@ -26,6 +26,7 @@ use gxplug_engine::template::{AddressedMessage, GraphAlgorithm};
 use gxplug_graph::dense::DenseSlots;
 use gxplug_graph::generators::{Generator, Rmat};
 use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::mutate::{MutationBatch, MutationLog};
 use gxplug_graph::partition::{GreedyVertexCutPartitioner, Partitioner, Partitioning};
 use gxplug_graph::types::{Triplet, VertexId};
 use gxplug_graph::view::TripletBuffer;
@@ -33,7 +34,7 @@ use gxplug_ipc::blocks::TripletBlock;
 use gxplug_ipc::key::KeyGenerator;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn make_blocks(blocks: usize, block_size: usize) -> Vec<Vec<u64>> {
     (0..blocks)
@@ -521,6 +522,84 @@ fn mixed_device_session<'g>(
         .unwrap()
 }
 
+/// The live-mutation churn matrix: fraction of the edge table inserted per
+/// batch, from "a trickle" to "a tenth of the graph at once".
+const CHURN_ARMS: [(&str, f64); 3] = [("0.1%", 0.001), ("1%", 0.01), ("10%", 0.1)];
+
+/// Deterministic insert-only churn batch: `batch_size` new edges whose
+/// endpoints come from a splitmix64 hash of `(round, index)`, so every bench
+/// invocation replays the identical mutation log.  Insert-only keeps the
+/// warm distances valid upper bounds, which is what lets the incremental
+/// rerun take the dirty-frontier path.
+fn churn_batch(num_vertices: u32, batch_size: usize, round: usize) -> MutationBatch<Vec<f64>, f64> {
+    let mut batch = MutationBatch::new();
+    for i in 0..batch_size {
+        let mut x = ((round as u64) << 32) | i as u64;
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let src = (x as u32) % num_vertices;
+        let dst = ((x >> 32) as u32) % num_vertices;
+        batch = batch.add_edge(src, dst, 0.5 + (i % 7) as f64);
+    }
+    batch
+}
+
+/// Latency of the incremental rerun after each churn batch lands on a live
+/// deployment: apply the delta in place (outside the clock), then rerun SSSP
+/// seeded from the dirty frontier on the warm converged distances.  The log
+/// keeps growing across iterations — exactly what a live deployment sees.
+/// The paired full-recompute walls and the bit-equality check against them
+/// live in the JSON emitter.
+fn bench_incremental_recompute(c: &mut Criterion) {
+    let (graph, partitioning, parts) = end_to_end_workload();
+    let algorithm = MultiSourceSssp::paper_default();
+    let num_edges = graph.num_edges();
+    let mut group = c.benchmark_group("incremental_recompute");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for (pct, churn) in CHURN_ARMS {
+        let batch_size = ((num_edges as f64 * churn) as usize).max(1);
+        group.bench_with_input(
+            BenchmarkId::new("sssp_rmat12_4nodes", format!("churn={pct}")),
+            &batch_size,
+            |b, &batch_size| {
+                let mut session = mixed_device_session(
+                    &graph,
+                    &partitioning,
+                    parts,
+                    ExecutionMode::Threaded,
+                    BackendKind::Sim,
+                );
+                // Converge once: the warm state every incremental rerun
+                // starts from.
+                session.run(&algorithm).unwrap();
+                let mut log = MutationLog::new(
+                    graph.num_vertices(),
+                    graph.edges().iter().map(|e| (e.src, e.dst)),
+                );
+                let mut round = 0usize;
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let delta = log
+                            .append(&churn_batch(graph.num_vertices() as u32, batch_size, round))
+                            .unwrap();
+                        round += 1;
+                        session.apply_mutations(&delta);
+                        let start = Instant::now();
+                        black_box(session.run(&algorithm).unwrap());
+                        total += start.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// End-to-end wall-clock comparison of the middleware execution modes: the
 /// same SSSP run with daemons serialised on one thread vs daemons on worker
 /// threads and nodes fanned out per superstep.  On a multi-core host the
@@ -974,6 +1053,7 @@ criterion_group!(
     bench_execution_modes,
     bench_backend_matrix,
     bench_session_reuse,
+    bench_incremental_recompute,
     bench_service_throughput,
     bench_service_cache,
     bench_server_http
@@ -1002,12 +1082,17 @@ struct BenchRecord {
     /// hash-keyed layout; the dense arm of a layout comparison appends its
     /// measured advantage (`dense speedup_vs_hash=…x`).
     layout: String,
+    /// Live-mutation context of the record: `"-"` for runs over a static
+    /// deployment, otherwise the churn arm plus the paired walls and the
+    /// measured advantage of the dirty-frontier warm start
+    /// (`churn=…% batch=… full_ms=… incremental_ms=… speedup_vs_full=…x`).
+    mutation: String,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
-            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}", "cache": "{}", "layout": "{}"}}"#,
+            r#"    {{"mode": "{}", "backend": "{}", "graph": "{}", "wall_ms": {:.4}, "blocks": {}, "triplets": {}, "bytes_moved": {}, "service": "{}", "cache": "{}", "layout": "{}", "mutation": "{}"}}"#,
             self.mode,
             self.backend,
             self.graph,
@@ -1017,7 +1102,8 @@ impl BenchRecord {
             self.bytes_moved,
             self.service,
             self.cache,
-            self.layout
+            self.layout,
+            self.mutation
         )
     }
 }
@@ -1036,6 +1122,11 @@ fn no_cache() -> String {
 /// every record except the in-bench hash-layout replica arms.
 fn dense_layout() -> String {
     "dense".to_string()
+}
+
+/// The `mutation` label of a record that ran over a static deployment.
+fn no_mutation() -> String {
+    "-".to_string()
 }
 
 /// Times one [`LayoutFixture`] workload shape on both layouts and returns
@@ -1093,6 +1184,7 @@ where
         service: no_service(),
         cache: no_cache(),
         layout,
+        mutation: no_mutation(),
     };
     [
         record("hash".to_string(), hash_ms),
@@ -1166,6 +1258,7 @@ where
         service: no_service(),
         cache: no_cache(),
         layout: dense_layout(),
+        mutation: no_mutation(),
     }
 }
 
@@ -1209,6 +1302,7 @@ fn emit_bench_json() {
             service: no_service(),
             cache: no_cache(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
         let mut buffer = TripletBuffer::new();
         let mut msg_bufs = vec![Vec::new(), Vec::new()];
@@ -1230,6 +1324,7 @@ fn emit_bench_json() {
             service: no_service(),
             cache: no_cache(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
     }
 
@@ -1309,6 +1404,7 @@ fn emit_bench_json() {
             service: no_service(),
             cache: no_cache(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
     }
 
@@ -1346,7 +1442,91 @@ fn emit_bench_json() {
             service: no_service(),
             cache: no_cache(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
+    }
+
+    // --- incremental recompute: dirty-frontier warm start vs full rerun ---
+    // Two sessions over the same deployment absorb the identical insert-only
+    // churn deltas in place.  The full arm forgets its warm state before
+    // every timed run (from-scratch re-initialisation over the mutated
+    // cluster); the incremental arm reruns seeded from the dirty frontier on
+    // its converged distances.  Results must stay bit-identical — the
+    // speedup is iteration-count and frontier-size savings, never a
+    // different answer.
+    {
+        let num_vertices = graph.num_vertices();
+        let num_edges = graph.num_edges();
+        let bits = |values: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            values
+                .iter()
+                .map(|d| d.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        for (pct, churn) in CHURN_ARMS {
+            let batch_size = ((num_edges as f64 * churn) as usize).max(1);
+            let mut incremental = mixed_device_session(
+                &graph,
+                &partitioning,
+                parts,
+                ExecutionMode::Threaded,
+                BackendKind::Sim,
+            );
+            let mut full = mixed_device_session(
+                &graph,
+                &partitioning,
+                parts,
+                ExecutionMode::Threaded,
+                BackendKind::Sim,
+            );
+            // Both arms converge once before any churn lands.
+            incremental.run(&algorithm).unwrap();
+            full.run(&algorithm).unwrap();
+            let mut log =
+                MutationLog::new(num_vertices, graph.edges().iter().map(|e| (e.src, e.dst)));
+            let mut incremental_s = 0.0f64;
+            let mut full_s = 0.0f64;
+            let mut triplets = 0u64;
+            for round in 0..samples {
+                let delta = log
+                    .append(&churn_batch(num_vertices as u32, batch_size, round))
+                    .unwrap();
+                incremental.apply_mutations(&delta);
+                full.apply_mutations(&delta);
+                full.forget_warm_state();
+                let start = Instant::now();
+                let warm = incremental.run(&algorithm).unwrap();
+                incremental_s += start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                let cold = full.run(&algorithm).unwrap();
+                full_s += start.elapsed().as_secs_f64();
+                triplets += warm.report.total_triplets() as u64;
+                assert_eq!(
+                    bits(&warm.values),
+                    bits(&cold.values),
+                    "incremental recompute diverged from the full rerun at churn={pct}"
+                );
+            }
+            let incremental_ms = incremental_s * 1e3 / samples as f64;
+            let full_ms = full_s * 1e3 / samples as f64;
+            records.push(BenchRecord {
+                mode: format!("incremental_recompute/churn={pct}"),
+                backend: BackendKind::Sim.label().into(),
+                graph: "rmat12-4nodes".into(),
+                wall_ms: incremental_ms,
+                blocks: 0,
+                triplets,
+                bytes_moved: triplets * triplet_bytes,
+                service: no_service(),
+                cache: no_cache(),
+                layout: dense_layout(),
+                mutation: format!(
+                    "churn={pct} batch={batch_size} full_ms={full_ms:.3} \
+                     incremental_ms={incremental_ms:.3} speedup_vs_full={:.2}x",
+                    full_ms / incremental_ms
+                ),
+            });
+        }
     }
 
     // --- service throughput: 1 vs 2 pooled worker sessions ----------------
@@ -1423,6 +1603,7 @@ fn emit_bench_json() {
                 service: service_label,
                 cache: no_cache(),
                 layout: dense_layout(),
+                mutation: no_mutation(),
             });
         }
     }
@@ -1489,6 +1670,7 @@ fn emit_bench_json() {
             ),
             cache: "dup=90% policy=bypass".into(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
         for (duplicates, pct) in CACHE_DUPLICATE_ARMS {
             let (jobs_per_s, batch_ms, triplets, stats) =
@@ -1524,6 +1706,7 @@ fn emit_bench_json() {
                 ),
                 cache: cache_label,
                 layout: dense_layout(),
+                mutation: no_mutation(),
             });
         }
     }
@@ -1587,6 +1770,7 @@ fn emit_bench_json() {
             ),
             cache: "dup=100% policy=use-or-fill".into(),
             layout: dense_layout(),
+            mutation: no_mutation(),
         });
 
         // Throughput arms: fresh single-source SSSP jobs (distinct sources,
@@ -1645,6 +1829,7 @@ fn emit_bench_json() {
                 ),
                 cache: no_cache(),
                 layout: dense_layout(),
+                mutation: no_mutation(),
             });
         }
         drop(client);

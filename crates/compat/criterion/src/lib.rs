@@ -3,7 +3,8 @@
 //! Supports the subset this workspace's benches use: [`Criterion`],
 //! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
-//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//! [`Bencher::iter_custom`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
 //!
 //! Measurement is a short calibrated loop printing mean wall-clock
 //! nanoseconds per iteration — enough to compare variants on one machine.
@@ -79,6 +80,30 @@ impl Bencher {
             black_box(f());
         }
         let measured = start.elapsed();
+        self.last_ns_per_iter = measured.as_nanos() as f64 / n as f64;
+    }
+
+    /// Runs `f` with full control over the clock: `f` receives an iteration
+    /// count and returns the wall time of exactly those iterations, so
+    /// per-iteration setup (building inputs, applying a mutation batch) can
+    /// stay outside the measurement.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f(1));
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        // Same calibration shape as `iter`, with the closure keeping time.
+        let mut n: u64 = 1;
+        let mut elapsed;
+        loop {
+            elapsed = f(n);
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 20 {
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        let measured = f(n);
         self.last_ns_per_iter = measured.as_nanos() as f64 / n as f64;
     }
 }

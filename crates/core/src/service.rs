@@ -81,6 +81,7 @@ use crate::session::{
 use gxplug_accel::{AcceleratorBackend, DeviceRegistry, DeviceSpec};
 use gxplug_engine::template::{DynAlgorithm, GraphAlgorithm, SharedAlgorithm};
 use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::mutate::{MutationBatch, MutationError, MutationLog, ResolvedMutation};
 use gxplug_ipc::oneshot::{oneshot, resolved, OneshotReceiver, OneshotSender};
 use gxplug_ipc::queue::{sync_queue, QueueReceiver, QueueRecvError, QueueSender};
 use std::any::Any;
@@ -1216,8 +1217,17 @@ struct ServiceShared<V, E> {
     cache: Mutex<ResultCache<V>>,
     /// The service's graph version: entries are stored under the version
     /// current at fill time and only served while it still is current.
-    /// [`GraphService::invalidate_cache`] bumps it.
+    /// [`GraphService::invalidate_cache`] bumps it, and so does every
+    /// accepted mutation batch — cached results over the pre-mutation graph
+    /// invalidate automatically.
     graph_version: AtomicU64,
+    /// The service's versioned mutation log.  Batches are validated and
+    /// appended under this lock ([`GraphService::apply_mutations`]); workers
+    /// replay the suffix they have not applied yet right before each job
+    /// runs, under the same lock — so a running job never observes a
+    /// half-applied batch, and a batch accepted mid-run lands before the
+    /// *next* job on each worker.
+    mutations: Mutex<MutationLog<V, E>>,
     /// The deployment's defaults — the effective key fields of jobs that do
     /// not override them.
     default_config: MiddlewareConfig,
@@ -1605,13 +1615,60 @@ where
     /// Invalidates every cached result by bumping the service's graph
     /// version: entries stored under earlier versions are never served again
     /// (each is purged when a lookup next touches it).  Call this whenever
-    /// the graph data changes out from under the service — the versioned
-    /// mutation path of the roadmap rides on this same counter.
+    /// the graph data changes out from under the service —
+    /// [`GraphService::apply_mutations`] rides on this same counter.
     pub fn invalidate_cache(&self) {
         self.inner
             .shared
             .graph_version
             .fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Applies one live mutation batch to the served graph.
+    ///
+    /// The batch is validated against the current graph shape and appended
+    /// to the service's versioned mutation log; the graph version is bumped
+    /// under the same lock, so every previously cached result is invalid
+    /// the moment this returns.  Worker sessions replay the new batch in
+    /// place right before their next job — in-flight jobs finish on the
+    /// shape they started with, queued and future jobs observe the mutated
+    /// graph.  Nothing is redeployed: each worker's cost is proportional to
+    /// the delta and the shards it touches.
+    ///
+    /// Returns the resolved batch: its [`version`](ResolvedMutation::version)
+    /// is the log position the mutation committed at, and its
+    /// [`num_vertices`](ResolvedMutation::num_vertices) /
+    /// [`num_edges`](ResolvedMutation::num_edges) describe the post-batch
+    /// shape.
+    ///
+    /// # Errors
+    /// The batch is rejected as a whole (and nothing changes) when any op is
+    /// invalid against the working shape — see [`MutationError`].
+    pub fn apply_mutations(
+        &self,
+        batch: &MutationBatch<V, E>,
+    ) -> Result<Arc<ResolvedMutation<V, E>>, MutationError> {
+        let shared = &self.inner.shared;
+        let mut log = lock(&shared.mutations);
+        let delta = log.append(batch)?;
+        // Bumped while the log lock is held: a worker sampling the version
+        // under that lock is guaranteed to have replayed every batch the
+        // version covers.
+        shared.graph_version.fetch_add(1, Ordering::AcqRel);
+        Ok(delta)
+    }
+
+    /// The mutation-log version of the served graph: the number of mutation
+    /// batches accepted so far.
+    pub fn mutation_version(&self) -> u64 {
+        lock(&self.inner.shared.mutations).version()
+    }
+
+    /// The served graph's current shape, mutations included:
+    /// `(num_vertices, num_edges)`.
+    pub fn graph_shape(&self) -> (usize, usize) {
+        let log = lock(&self.inner.shared.mutations);
+        (log.num_vertices(), log.num_edges())
     }
 
     /// Drops every cached result immediately, freeing the cache's memory.
@@ -1755,6 +1812,10 @@ fn worker_loop<V, E>(
     };
     let mut session = deploy();
     strip_owned_devices(&mut session);
+    // How many mutation batches this worker's session has replayed.  A
+    // redeployed (post-panic) session starts from zero and replays the whole
+    // log before its next job.
+    let mut mutations_applied = 0usize;
     // One doorbell token per accepted job: when the doorbell reports
     // disconnected, the backlog is fully drained and the service is shutting
     // down.  Tokens are not bound to specific jobs — each wake-up claims the
@@ -1821,10 +1882,20 @@ fn worker_loop<V, E>(
             peer_jobs.push(peer.job);
             peer_tickets.push((peer.cell, peer.reply, peer.key, peer.policy, peer_wait));
         }
-        // The version the results are stored under is sampled *before* the
-        // run: an invalidation racing with the run makes the fill stale
-        // (never served) rather than wrongly fresh.
-        let version = shared.graph_version.load(Ordering::Acquire);
+        // Catch the session up with the mutation log, then sample the
+        // version the results are stored under — both under the log lock,
+        // so the sampled version never covers a batch this session has not
+        // replayed.  Sampling *before* the run means an invalidation (or a
+        // mutation) racing with the run makes the fill stale (never served)
+        // rather than wrongly fresh.
+        let version = {
+            let log = lock(&shared.mutations);
+            for delta in &log.batches()[mutations_applied..] {
+                session.apply_mutations(delta);
+            }
+            mutations_applied = log.batches().len();
+            shared.graph_version.load(Ordering::Acquire)
+        };
         // Captured before `run_group` consumes the job box; fusion peers
         // share the leader's concrete type, so one sizer serves the flight.
         let sizer = job.outcome_sizer();
@@ -1944,9 +2015,12 @@ fn worker_loop<V, E>(
                 }
                 // The unwound run consumed the deployment's daemons (their
                 // device contexts shut down as they dropped).  Replace the
-                // poisoned session so the service keeps serving.
+                // poisoned session so the service keeps serving; the fresh
+                // deployment is pre-mutation, so the whole log replays
+                // before the next job.
                 session = deploy();
                 strip_owned_devices(&mut session);
+                mutations_applied = 0;
             }
         }
     }
@@ -2188,6 +2262,10 @@ where
             stats: Mutex::new(StatsInner::new()),
             cache: Mutex::new(ResultCache::new(self.cache_capacity, self.cache_bytes)),
             graph_version: AtomicU64::new(0),
+            mutations: Mutex::new(MutationLog::new(
+                self.graph.num_vertices(),
+                self.graph.edges().iter().map(|edge| (edge.src, edge.dst)),
+            )),
             default_config: self.spec.config,
             default_max_iterations: self.spec.max_iterations,
             fusion_limit: self.fusion_limit,
@@ -3099,6 +3177,71 @@ mod tests {
             .wait()
             .unwrap();
         assert_eq!(service.stats().submitted, 3);
+    }
+
+    #[test]
+    fn a_mutation_makes_the_duplicate_submit_a_cache_miss() {
+        let graph = test_graph();
+        let service = small_service(&graph, 1, 8, AdmissionPolicy::Block);
+        let before = service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(before.values.len(), graph.num_vertices());
+        assert_eq!(service.stats().cache_misses, 1);
+
+        // Append a vertex hanging off source 0 at distance 0.25.
+        let new_vertex = graph.num_vertices() as VertexId;
+        let delta = service
+            .apply_mutations(
+                &MutationBatch::new()
+                    .add_vertex(f64::INFINITY)
+                    .add_edge(0, new_vertex, 0.25),
+            )
+            .unwrap();
+        assert_eq!(delta.version, 1);
+        assert_eq!(service.mutation_version(), 1);
+        assert_eq!(
+            service.graph_shape(),
+            (graph.num_vertices() + 1, graph.num_edges() + 1)
+        );
+
+        // The duplicate submission must not serve the pre-mutation entry: it
+        // is a miss, reruns against the mutated deployment and sees the new
+        // vertex.
+        let after = service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(after.values.len(), graph.num_vertices() + 1);
+        assert_eq!(after.values[new_vertex as usize], 0.25);
+
+        // The refilled entry serves hits again at the new version.
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+
+        // An invalid batch is rejected atomically: no version bump, cache
+        // entries stay live.
+        assert!(service
+            .apply_mutations(&MutationBatch::new().remove_edge(usize::MAX))
+            .is_err());
+        assert_eq!(service.mutation_version(), 1);
+        service
+            .submit(KeyedSssp::new(vec![0]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.stats().cache_hits, 2);
     }
 
     #[test]

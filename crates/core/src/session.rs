@@ -46,6 +46,7 @@ use gxplug_engine::node::NodeState;
 use gxplug_engine::profile::RuntimeProfile;
 use gxplug_engine::template::GraphAlgorithm;
 use gxplug_graph::graph::PropertyGraph;
+use gxplug_graph::mutate::{MutationScope, ResolvedMutation};
 use gxplug_graph::partition::Partitioning;
 use gxplug_graph::view::{TripletBuffer, ViewStats};
 use gxplug_ipc::key::KeyGenerator;
@@ -346,6 +347,9 @@ impl SessionSpec {
             daemons,
             cluster: None,
             triplet_pool: Vec::new(),
+            pending_mutations: Vec::new(),
+            scope: MutationScope::new(),
+            warm: None,
         })
     }
 }
@@ -552,6 +556,26 @@ pub struct Session<'g, V, E> {
     /// and recovered afterwards: a reused session refills the same warm
     /// buffers run after run instead of re-growing fresh ones.
     triplet_pool: Vec<Arc<TripletBuffer<V, E>>>,
+    /// Mutation batches accepted before the cluster was first built; replayed
+    /// in log order right after [`Cluster::build`], so a lazily-deployed
+    /// session catches up with the mutated graph.
+    pending_mutations: Vec<Arc<ResolvedMutation<V, E>>>,
+    /// What the mutations since the last completed run touched — the input
+    /// to [`GraphAlgorithm::rescope`] when the next run can go incremental.
+    scope: MutationScope,
+    /// Identity of the run whose converged values currently sit in the
+    /// cluster, if any — the warm state an incremental recompute may
+    /// continue from.
+    warm: Option<WarmState>,
+}
+
+/// Identity of the converged values left in a session's cluster by its most
+/// recent run.  An incremental recompute is only sound when the *same*
+/// algorithm (name and parameters) continues from its own converged state.
+struct WarmState {
+    name: &'static str,
+    cache_key: Option<String>,
+    converged: bool,
 }
 
 impl<V, E> fmt::Debug for Session<'_, V, E> {
@@ -642,23 +666,82 @@ where
         self.daemons = daemons_for_deployment(&self.specs);
     }
 
-    /// Builds the cluster on the first run, resets it on every further run.
+    /// Applies one resolved mutation batch to the deployed cluster in place,
+    /// or queues it for replay right after the cluster is first built.
+    ///
+    /// The session's own graph reference stays what it was deployed with —
+    /// the mutation lives in the cluster's per-node state (and in the queue
+    /// until there is one).  Batches must arrive in log order, each exactly
+    /// once; the [`GraphService`](crate::service) guarantees that by fanning
+    /// every accepted batch to its worker sessions under the log lock.
+    ///
+    /// The batch's footprint is folded into the session's mutation scope:
+    /// the next run either re-seeds incrementally from the accumulated dirty
+    /// frontier (when the algorithm opts in via
+    /// [`GraphAlgorithm::supports_incremental`] and is continuing from its
+    /// own converged values) or falls back to a full
+    /// [`Cluster::reset_for`].
+    pub fn apply_mutations(&mut self, delta: &Arc<ResolvedMutation<V, E>>) {
+        self.scope.absorb(delta);
+        match self.cluster.as_mut() {
+            Some(cluster) => cluster.apply_mutations(delta),
+            None => self.pending_mutations.push(Arc::clone(delta)),
+        }
+    }
+
+    /// Drops the warm converged state of the most recent run, forcing the
+    /// next run after mutations to re-initialise every vertex even if the
+    /// algorithm supports incremental recompute.  Benchmarks use this to
+    /// measure the full-recompute baseline on one deployment; it has no
+    /// effect on results (an incremental recompute is bit-identical to the
+    /// full one by contract).
+    pub fn forget_warm_state(&mut self) {
+        self.warm = None;
+    }
+
+    /// Builds the cluster on the first run, resets it on every further run —
+    /// or, after live mutations, re-seeds just the dirty frontier when
+    /// `algorithm` is warm-continuing and opts in.
     fn prepare_cluster<A>(&mut self, algorithm: &A)
     where
         A: GraphAlgorithm<V, E>,
     {
-        match self.cluster.as_mut() {
-            Some(cluster) => cluster.reset_for(algorithm),
-            None => {
-                self.cluster = Some(Cluster::build(
-                    self.graph,
-                    self.partitioning.clone(),
-                    algorithm,
-                    self.profile,
-                    self.network,
-                ));
-            }
+        let built_now = self.cluster.is_none();
+        if built_now {
+            self.cluster = Some(Cluster::build(
+                self.graph,
+                self.partitioning.clone(),
+                algorithm,
+                self.profile,
+                self.network,
+            ));
         }
+        let cluster = self.cluster.as_mut().expect("built above");
+        let mutated = !self.scope.is_empty();
+        for delta in std::mem::take(&mut self.pending_mutations) {
+            cluster.apply_mutations(&delta);
+        }
+        if built_now && !mutated {
+            // A fresh build is already initialised for `algorithm`.
+            return;
+        }
+        let seed = if mutated && algorithm.supports_incremental() {
+            self.warm
+                .as_ref()
+                .filter(|warm| {
+                    warm.converged
+                        && warm.name == algorithm.name()
+                        && warm.cache_key == algorithm.cache_key()
+                })
+                .and_then(|_| algorithm.rescope(&self.scope))
+        } else {
+            None
+        };
+        match seed {
+            Some(seed) => cluster.seed_incremental(algorithm, &seed, &self.scope.added_vertices),
+            None => cluster.reset_for(algorithm),
+        }
+        self.scope.clear();
     }
 
     /// Takes the per-node triplet arenas out of the pool for a run,
@@ -759,7 +842,15 @@ where
         // any error, so a failed run does not poison the session.
         self.daemons = daemons;
         self.triplet_pool = pool;
+        // An aborted run leaves partially-updated vertex values behind —
+        // nothing an incremental recompute may continue from.
+        self.warm = None;
         let report = report?;
+        self.warm = Some(WarmState {
+            name: algorithm.name(),
+            cache_key: algorithm.cache_key(),
+            converged: report.converged,
+        });
         let values = cluster.collect_values();
         Ok(RunOutcome {
             report,
@@ -792,6 +883,11 @@ where
             overrides.max_iterations.unwrap_or(self.max_iterations),
             overrides.config.unwrap_or(self.config).execution,
         );
+        self.warm = Some(WarmState {
+            name: algorithm.name(),
+            cache_key: algorithm.cache_key(),
+            converged: report.converged,
+        });
         let values = cluster.collect_values();
         RunOutcome {
             report,

@@ -298,6 +298,211 @@ where
         }
     }
 
+    /// Applies one resolved mutation batch in place, touching only the
+    /// shards the batch reaches.
+    ///
+    /// The cluster's own copy of the partitioning is extended (new vertices
+    /// master like isolated ones, new edges land on their source's master
+    /// part), each touched node compacts/appends its edge table and rebuilds
+    /// its local CSR, new replicas are upserted — new vertices with their
+    /// op-supplied attribute, new replicas of existing vertices with a copy
+    /// of their master's *current* value, so warm state survives for
+    /// incremental recompute — and per-vertex out-degrees absorb the batch's
+    /// degree deltas on every node holding the vertex.  The replica and
+    /// edge-placement indexes are extended incrementally for insert-only
+    /// batches; removals recompute the edge-placement index exactly, so the
+    /// synchronisation-skipping decision matches a cluster rebuilt from the
+    /// mutated graph bit for bit.
+    ///
+    /// Batches must apply in log order, exactly once; afterwards the cluster
+    /// is structurally identical to one built from the mutated graph with
+    /// the same extended partitioning (local id assignment may differ, which
+    /// no observable result depends on).
+    ///
+    /// # Panics
+    /// Panics if `delta` was resolved against a different shape than this
+    /// cluster currently holds.
+    pub fn apply_mutations(&mut self, delta: &gxplug_graph::mutate::ResolvedMutation<V, E>) {
+        assert_eq!(
+            delta.prior_num_vertices, self.num_vertices,
+            "mutation batch resolved against a different vertex count"
+        );
+        let num_parts = self.nodes.len();
+        // Per-node removal positions, resolved against the *pre-mutation*
+        // partitioning (part edge lists are ascending and position-aligned
+        // with the node edge tables).
+        let mut remove_positions: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+        for &(edge_id, _, _) in &delta.removed_edges {
+            let part = self.partitioning.part_of_edge(edge_id);
+            let position = self
+                .partitioning
+                .part(part)
+                .edges
+                .binary_search(&edge_id)
+                .expect("partitioning must list every assigned edge");
+            remove_positions[part].push(position);
+        }
+        Arc::make_mut(&mut self.partitioning).apply_mutations(delta);
+        // Added edges per part, aligned with the ids the partitioning just
+        // assigned (base + i for the i-th added edge).
+        let base = delta.prior_num_edges - delta.removed_edges.len();
+        let mut add_edges: Vec<Vec<gxplug_graph::types::Edge<E>>> = vec![Vec::new(); num_parts];
+        for (i, edge) in delta.added_edges.iter().enumerate() {
+            let part = self.partitioning.part_of_edge(base + i);
+            add_edges[part].push(edge.clone());
+        }
+        // Global out-degree deltas of the batch, keyed ascending.
+        let mut deltas: std::collections::BTreeMap<VertexId, i64> =
+            std::collections::BTreeMap::new();
+        for &(_, src, _) in &delta.removed_edges {
+            *deltas.entry(src).or_insert(0) -= 1;
+        }
+        for edge in &delta.added_edges {
+            *deltas.entry(edge.src).or_insert(0) += 1;
+        }
+        let degree_adjust: Vec<(VertexId, i64)> = deltas.iter().map(|(&v, &d)| (v, d)).collect();
+        // Grow the per-vertex indexes for the new vertices.
+        for &(v, _) in &delta.added_vertices {
+            debug_assert_eq!(v as usize, self.replica_locations.len());
+            self.replica_locations
+                .push(vec![self.partitioning.master_of(v)]);
+            self.out_edge_parts.push(Vec::new());
+            self.in_edge_parts.push(Vec::new());
+        }
+        self.num_vertices = delta.num_vertices();
+        // Plan the vertex upserts per node: new masters first (id order),
+        // then endpoints of added edges (op order), deduplicated.  Attribute
+        // and degree sources: op-supplied for batch-new vertices, the master
+        // node's current value (plus the batch's degree delta) for existing
+        // vertices gaining a replica.
+        let added_attr = |v: VertexId| -> &V {
+            let index = v as usize - delta.prior_num_vertices;
+            &delta.added_vertices[index].1
+        };
+        let degree_after = |nodes: &[NodeState<V, E>], v: VertexId| -> u32 {
+            let shift = deltas.get(&v).copied().unwrap_or(0);
+            let before = if (v as usize) < delta.prior_num_vertices {
+                let master = self.partitioning.master_of(v);
+                nodes[master]
+                    .out_degree_of(v)
+                    .expect("master node must hold its vertex") as i64
+            } else {
+                0
+            };
+            (before + shift).max(0) as u32
+        };
+        let mut upserts: Vec<Vec<(VertexId, V, bool, u32)>> = vec![Vec::new(); num_parts];
+        let mut planned: Vec<std::collections::BTreeSet<VertexId>> =
+            vec![std::collections::BTreeSet::new(); num_parts];
+        {
+            let nodes = &self.nodes;
+            let plan =
+                |part: PartitionId,
+                 v: VertexId,
+                 upserts: &mut Vec<Vec<(VertexId, V, bool, u32)>>,
+                 planned: &mut Vec<std::collections::BTreeSet<VertexId>>| {
+                    if nodes[part].vertex_table().contains(v) || !planned[part].insert(v) {
+                        return;
+                    }
+                    let attr = if (v as usize) < delta.prior_num_vertices {
+                        let master = self.partitioning.master_of(v);
+                        nodes[master]
+                            .vertex_value(v)
+                            .expect("master node must hold its vertex")
+                            .clone()
+                    } else {
+                        added_attr(v).clone()
+                    };
+                    let degree = degree_after(nodes, v);
+                    let is_master = self.partitioning.master_of(v) == part;
+                    upserts[part].push((v, attr, is_master, degree));
+                };
+            for &(v, _) in &delta.added_vertices {
+                plan(
+                    self.partitioning.master_of(v),
+                    v,
+                    &mut upserts,
+                    &mut planned,
+                );
+            }
+            for (i, edge) in delta.added_edges.iter().enumerate() {
+                let part = self.partitioning.part_of_edge(base + i);
+                plan(part, edge.src, &mut upserts, &mut planned);
+                plan(part, edge.dst, &mut upserts, &mut planned);
+            }
+        }
+        // Replica index: every planned upsert is a new replica (inserted
+        // keeping the part list ascending, the order a from-scratch build
+        // produces).
+        for (part, vertices) in planned.iter().enumerate() {
+            for &v in vertices {
+                let locations = &mut self.replica_locations[v as usize];
+                if let Err(pos) = locations.binary_search(&part) {
+                    locations.insert(pos, part);
+                }
+            }
+        }
+        // Apply each node's share.
+        for (part, node) in self.nodes.iter_mut().enumerate() {
+            node.apply_mutations(
+                &remove_positions[part],
+                &add_edges[part],
+                std::mem::take(&mut upserts[part]),
+                &degree_adjust,
+                &delta.detached,
+            );
+        }
+        // Edge-placement indexes: exact incremental extension for inserts;
+        // removals recompute from the node edge tables so no stale part
+        // entry survives (membership is all that matters — the skip
+        // decision quantifies over the list).
+        if delta.has_removals() {
+            let mut out_edge_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); self.num_vertices];
+            let mut in_edge_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); self.num_vertices];
+            for (part, node) in self.nodes.iter().enumerate() {
+                for edge in node.edge_table().edges() {
+                    let out_list = &mut out_edge_parts[edge.src as usize];
+                    if !out_list.contains(&part) {
+                        out_list.push(part);
+                    }
+                    let in_list = &mut in_edge_parts[edge.dst as usize];
+                    if !in_list.contains(&part) {
+                        in_list.push(part);
+                    }
+                }
+            }
+            self.out_edge_parts = out_edge_parts;
+            self.in_edge_parts = in_edge_parts;
+        } else {
+            for (i, edge) in delta.added_edges.iter().enumerate() {
+                let part = self.partitioning.part_of_edge(base + i);
+                let out_list = &mut self.out_edge_parts[edge.src as usize];
+                if !out_list.contains(&part) {
+                    out_list.push(part);
+                }
+                let in_list = &mut self.in_edge_parts[edge.dst as usize];
+                if !in_list.contains(&part) {
+                    in_list.push(part);
+                }
+            }
+        }
+    }
+
+    /// Seeds the cluster for an *incremental* recompute of `algorithm`: the
+    /// warm converged vertex values stay in place, vertices in `reinit`
+    /// (added since the warm run) are re-initialised through the template,
+    /// and the active frontier is replaced everywhere by `seed` — the dirty
+    /// vertices of the mutations applied since the warm run.  The algorithm
+    /// must have declared the seed sound via its `rescope` hook.
+    pub fn seed_incremental<A>(&mut self, algorithm: &A, seed: &[VertexId], reinit: &[VertexId])
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        for node in &mut self.nodes {
+            node.seed_incremental(algorithm, seed, reinit);
+        }
+    }
+
     /// Number of distributed nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -943,6 +1148,109 @@ mod tests {
         for v in 0..16u32 {
             assert_eq!(values[v as usize], v as f64);
         }
+    }
+
+    #[test]
+    fn mutated_cluster_matches_rebuild_from_mutated_graph() {
+        use gxplug_graph::mutate::{MutationBatch, MutationLog};
+        let graph = line_graph(24);
+        let algorithm = MinDist { source: 0 };
+        let partitioning = HashEdgePartitioner::new(3).partition(&graph, 3).unwrap();
+        let mut mutated = Cluster::build(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        mutated.run_native(&algorithm, "line", 100);
+
+        // Splice vertex 24 into the line behind 23, cut edge 10→11, and
+        // bridge the cut with a heavier 10→12 edge.
+        let endpoints: Vec<_> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut log: MutationLog<f64, f64> = MutationLog::new(graph.num_vertices(), endpoints);
+        let batch = MutationBatch::new()
+            .add_vertex(f64::INFINITY)
+            .add_edge(23, 24, 1.0)
+            .remove_edge(10)
+            .add_edge(10, 12, 3.0);
+        let delta = log.append(&batch).unwrap();
+
+        let mut reference_graph = graph.clone();
+        reference_graph.apply_mutations(&delta);
+        let mut reference_partitioning = partitioning;
+        reference_partitioning.apply_mutations(&delta);
+
+        mutated.apply_mutations(&delta);
+        mutated.reset_for(&algorithm);
+        let report = mutated.run_native(&algorithm, "line", 100);
+
+        let mut rebuilt = Cluster::build(
+            &reference_graph,
+            reference_partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        let reference = rebuilt.run_native(&algorithm, "line", 100);
+
+        assert_eq!(report.iterations, reference.iterations);
+        assert_eq!(report.total_triplets(), reference.total_triplets());
+        let values = mutated.collect_values();
+        assert_eq!(values, rebuilt.collect_values());
+        assert_eq!(values.len(), 25);
+        // The detour through the heavier bridge costs one extra hop's worth.
+        assert_eq!(values[12], 13.0);
+        assert_eq!(values[24], 25.0);
+    }
+
+    #[test]
+    fn incremental_seed_converges_to_full_recompute_on_insert_only_batch() {
+        use gxplug_graph::mutate::{MutationBatch, MutationLog};
+        let graph = line_graph(16);
+        let algorithm = MinDist { source: 0 };
+        let partitioning = HashEdgePartitioner::new(3).partition(&graph, 3).unwrap();
+        let mut warm = Cluster::build(
+            &graph,
+            partitioning.clone(),
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        warm.run_native(&algorithm, "line", 100);
+
+        // Insert-only: extend the line and add a shortcut 2→9.
+        let endpoints: Vec<_> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut log: MutationLog<f64, f64> = MutationLog::new(graph.num_vertices(), endpoints);
+        let batch = MutationBatch::new()
+            .add_vertex(f64::INFINITY)
+            .add_edge(15, 16, 1.0)
+            .add_edge(2, 9, 1.0);
+        let delta = log.append(&batch).unwrap();
+
+        let mut reference_graph = graph.clone();
+        reference_graph.apply_mutations(&delta);
+        let mut reference_partitioning = partitioning;
+        reference_partitioning.apply_mutations(&delta);
+
+        warm.apply_mutations(&delta);
+        warm.seed_incremental(&algorithm, delta.dirty_vertices(), &[16]);
+        warm.run_native(&algorithm, "line", 100);
+
+        let mut rebuilt = Cluster::build(
+            &reference_graph,
+            reference_partitioning,
+            &algorithm,
+            RuntimeProfile::powergraph(),
+            NetworkModel::datacenter(),
+        );
+        rebuilt.run_native(&algorithm, "line", 100);
+
+        let values = warm.collect_values();
+        assert_eq!(values, rebuilt.collect_values());
+        // The shortcut pulls 9..=16 six hops closer.
+        assert_eq!(values[9], 3.0);
+        assert_eq!(values[16], 10.0);
     }
 
     #[test]

@@ -173,6 +173,108 @@ impl<V: Clone, E: Clone> NodeState<V, E> {
             None => self.active.activate_all(),
         }
     }
+
+    /// Applies one node's share of a mutation batch in place: local edges at
+    /// `remove_positions` (ascending local ids) compact out, `add_edges`
+    /// append at the end (keeping the table aligned, position for position,
+    /// with the partitioning's global edge-id list), `upserts` grow the
+    /// vertex table with new dense local ids `(id, attr, is_master,
+    /// out_degree)`, `degree_adjust` folds global out-degree deltas into the
+    /// locally held vertices, and `detached` resets attributes in place.
+    /// The per-node CSR (orphan bucket included), the endpoint local-id maps
+    /// and the frontier capacities are rebuilt to match — O(this shard), the
+    /// untouched shards of the cluster pay nothing.
+    ///
+    /// The frontier itself is cleared: the caller re-seeds it through
+    /// [`NodeState::reset_for`] or [`NodeState::seed_incremental`] before
+    /// the next run.
+    pub fn apply_mutations(
+        &mut self,
+        remove_positions: &[usize],
+        add_edges: &[Edge<E>],
+        upserts: Vec<(VertexId, V, bool, u32)>,
+        degree_adjust: &[(VertexId, i64)],
+        detached: &[(VertexId, V)],
+    ) {
+        for &(v, delta) in degree_adjust {
+            if let Some(local) = self.vertex_table.local_of(v) {
+                let degree = &mut self.out_degrees[local as usize];
+                *degree = (*degree as i64 + delta).max(0) as u32;
+            }
+        }
+        for (v, attr, is_master, degree) in upserts {
+            if self.vertex_table.upsert(v, attr, is_master) {
+                self.out_degrees.push(degree);
+            }
+        }
+        for (v, attr) in detached {
+            if let Some(row) = self.vertex_table.get_mut(*v) {
+                row.attr = attr.clone();
+            }
+        }
+        if !remove_positions.is_empty() || !add_edges.is_empty() {
+            self.edge_table.remove_positions(remove_positions);
+            for edge in add_edges {
+                self.edge_table.push(edge.clone());
+            }
+        }
+        let num_locals = self.vertex_table.len();
+        let orphan = num_locals as u32;
+        self.edge_src_local = self
+            .edge_table
+            .edges()
+            .iter()
+            .map(|e| self.vertex_table.local_of(e.src).unwrap_or(NO_LOCAL))
+            .collect();
+        self.edge_dst_local = self
+            .edge_table
+            .edges()
+            .iter()
+            .map(|e| self.vertex_table.local_of(e.dst).unwrap_or(NO_LOCAL))
+            .collect();
+        self.csr = Csr::from_edges(
+            num_locals + 1,
+            self.edge_src_local
+                .iter()
+                .zip(self.edge_dst_local.iter())
+                .map(|(&src, &dst)| {
+                    (
+                        if src == NO_LOCAL { orphan } else { src },
+                        if dst == NO_LOCAL { orphan } else { dst },
+                    )
+                }),
+        );
+        self.orphan_edges = self.csr.degree(orphan);
+        self.active.ensure_capacity(num_locals);
+        self.active.clear();
+        self.active_edges.ensure_capacity(self.edge_table.len());
+        self.active_edges.clear();
+    }
+
+    /// Seeds the node for an *incremental* recompute: vertices in `reinit`
+    /// (those added since the warm state) are re-initialised through the
+    /// algorithm template, every other row keeps its warm converged value,
+    /// dirty flags are cleared and the frontier is replaced by the `seed`
+    /// set — the dirty vertices of the mutations since the warm run.
+    pub fn seed_incremental<A>(&mut self, algorithm: &A, seed: &[VertexId], reinit: &[VertexId])
+    where
+        A: GraphAlgorithm<V, E> + ?Sized,
+    {
+        for &v in reinit {
+            if let Some(local) = self.vertex_table.local_of(v) {
+                let degree = self.out_degrees[local as usize] as usize;
+                let attr = algorithm.init_vertex(v, degree);
+                self.vertex_table.row_at_mut(local).attr = attr;
+            }
+        }
+        self.vertex_table.clear_dirty();
+        self.active.clear();
+        for &v in seed {
+            if let Some(local) = self.vertex_table.local_of(v) {
+                self.active.insert(local);
+            }
+        }
+    }
 }
 
 impl<V, E> NodeState<V, E> {
@@ -278,6 +380,13 @@ impl<V, E> NodeState<V, E> {
     /// Current attribute of a local vertex.
     pub fn vertex_value(&self, v: VertexId) -> Option<&V> {
         self.vertex_table.get(v).map(|row| &row.attr)
+    }
+
+    /// Global out-degree of `v` as tracked locally (`None` if not local).
+    pub fn out_degree_of(&self, v: VertexId) -> Option<u32> {
+        self.vertex_table
+            .local_of(v)
+            .map(|local| self.out_degrees[local as usize])
     }
 
     /// Local edge ids whose source vertex is currently active — the workload

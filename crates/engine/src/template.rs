@@ -12,6 +12,7 @@
 //!   in this crate, and
 //! * the daemon-side accelerated execution in `gxplug-core`.
 
+use gxplug_graph::mutate::MutationScope;
 use gxplug_graph::types::{Triplet, VertexId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -192,6 +193,33 @@ pub trait GraphAlgorithm<V, E>: Send + Sync {
         unimplemented!("extract_fused must be implemented alongside fuse")
     }
 
+    /// Returns `true` if the algorithm can continue from a previous
+    /// converged run after live graph mutations, re-seeding only the dirty
+    /// frontier instead of re-initialising every vertex.
+    ///
+    /// Opting in asserts a monotonicity contract: starting every vertex from
+    /// its previously converged value and activating only the vertices a
+    /// mutation batch touched must reach the *bit-identical* fixed point a
+    /// from-scratch run over the mutated graph reaches.  Frontier algorithms
+    /// with idempotent, order-independent applies (SSSP-style relaxation)
+    /// satisfy this for insert-only batches; fixed-point algorithms whose
+    /// every value depends on every other (PageRank) do not and keep the
+    /// default `false`.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// Given the [`MutationScope`] accumulated since the last converged run,
+    /// returns the seed frontier for an incremental recompute — or `None`
+    /// when these particular mutations force a full re-run (the engine then
+    /// falls back to a cold reset).  Only consulted when
+    /// [`supports_incremental`](GraphAlgorithm::supports_incremental) is
+    /// `true`.
+    fn rescope(&self, scope: &MutationScope) -> Option<Vec<VertexId>> {
+        let _ = scope;
+        None
+    }
+
     /// Heap bytes owned by one vertex value *beyond* `size_of::<V>()`,
     /// charged against a result cache's byte budget.
     ///
@@ -254,6 +282,10 @@ pub trait DynAlgorithm<V, E, M>: Send + Sync {
     fn cache_key(&self) -> Option<String>;
     /// See [`GraphAlgorithm::fusion_family`].
     fn fusion_family(&self) -> Option<&'static str>;
+    /// See [`GraphAlgorithm::supports_incremental`].
+    fn supports_incremental(&self) -> bool;
+    /// See [`GraphAlgorithm::rescope`].
+    fn rescope(&self, scope: &MutationScope) -> Option<Vec<VertexId>>;
 }
 
 impl<V, E, A> DynAlgorithm<V, E, A::Msg> for A
@@ -312,6 +344,14 @@ where
 
     fn fusion_family(&self) -> Option<&'static str> {
         GraphAlgorithm::fusion_family(self)
+    }
+
+    fn supports_incremental(&self) -> bool {
+        GraphAlgorithm::supports_incremental(self)
+    }
+
+    fn rescope(&self, scope: &MutationScope) -> Option<Vec<VertexId>> {
+        GraphAlgorithm::rescope(self, scope)
     }
 }
 
@@ -423,6 +463,14 @@ where
     /// [`cache_key`](GraphAlgorithm::cache_key).
     fn fusion_family(&self) -> Option<&'static str> {
         None
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.inner.supports_incremental()
+    }
+
+    fn rescope(&self, scope: &MutationScope) -> Option<Vec<VertexId>> {
+        self.inner.rescope(scope)
     }
 }
 

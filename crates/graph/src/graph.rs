@@ -2,6 +2,7 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
+use crate::mutate::ResolvedMutation;
 use crate::types::{Edge, EdgeId, GraphError, Result, Triplet, VertexId};
 
 /// A directed property graph with per-vertex and per-edge attributes.
@@ -194,6 +195,50 @@ impl<V: Clone, E: Clone> PropertyGraph<V, E> {
     pub fn triplets_for(&self, edge_ids: &[EdgeId]) -> Vec<Triplet<V, E>> {
         edge_ids.iter().map(|&id| self.triplet(id)).collect()
     }
+
+    /// Applies one resolved mutation batch in place: removed edges compact
+    /// out of the edge table (survivors keep their relative order), added
+    /// edges append at the end, the vertex range grows and detached vertices
+    /// take their reset attribute.  Both CSR indices are rebuilt, so the
+    /// result is structurally identical to a graph built from scratch from
+    /// the mutated edge list.
+    ///
+    /// # Panics
+    /// Panics if `delta` was resolved against a different shape than this
+    /// graph currently has (batches must apply in log order, exactly once).
+    pub fn apply_mutations(&mut self, delta: &ResolvedMutation<V, E>) {
+        assert_eq!(
+            delta.prior_num_vertices,
+            self.num_vertices(),
+            "mutation batch resolved against a different vertex count"
+        );
+        assert_eq!(
+            delta.prior_num_edges,
+            self.num_edges(),
+            "mutation batch resolved against a different edge count"
+        );
+        if !delta.removed_edges.is_empty() {
+            let mut cut = delta.removed_edges.iter().map(|&(id, _, _)| id).peekable();
+            let mut id = 0usize;
+            self.edges.retain(|_| {
+                let keep = cut.peek() != Some(&id);
+                if !keep {
+                    cut.next();
+                }
+                id += 1;
+                keep
+            });
+        }
+        self.edges.extend(delta.added_edges.iter().cloned());
+        self.vertex_attrs
+            .extend(delta.added_vertices.iter().map(|(_, attr)| attr.clone()));
+        for (vertex, attr) in &delta.detached {
+            self.vertex_attrs[*vertex as usize] = attr.clone();
+        }
+        let pairs: Vec<(VertexId, VertexId)> = self.edges.iter().map(|e| (e.src, e.dst)).collect();
+        self.out_csr = Csr::from_edges(self.vertex_attrs.len(), pairs.iter().copied());
+        self.in_csr = Csr::reversed_from_edges(self.vertex_attrs.len(), pairs.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +302,36 @@ mod tests {
         let subset = g.triplets_for(&[0, 3]);
         assert_eq!(subset.len(), 2);
         assert_eq!(subset[1].edge_attr, 4.0);
+    }
+
+    #[test]
+    fn apply_mutations_matches_from_scratch_build() {
+        use crate::mutate::{MutationBatch, MutationLog};
+        let mut g = diamond();
+        let mut log = MutationLog::new(g.num_vertices(), g.edges().iter().map(|e| (e.src, e.dst)));
+        let batch = MutationBatch::new()
+            .add_vertex(40.0)
+            .remove_edge(1)
+            .add_edge(3, 4, 5.0)
+            .add_edge(4, 0, 6.0);
+        let delta = log.append(&batch).unwrap();
+        g.apply_mutations(&delta);
+        // Reference: the mutated edge list built from scratch.
+        let list: EdgeList<f64> = [
+            (0, 1, 1.0),
+            (1, 3, 3.0),
+            (2, 3, 4.0),
+            (3, 4, 5.0),
+            (4, 0, 6.0),
+        ]
+        .into_iter()
+        .collect();
+        let reference = PropertyGraph::from_edge_list_with(list, |v| v as f64 * 10.0).unwrap();
+        assert_eq!(g.num_vertices(), reference.num_vertices());
+        assert_eq!(g.edges(), reference.edges());
+        assert_eq!(g.out_csr(), reference.out_csr());
+        assert_eq!(g.in_csr(), reference.in_csr());
+        assert_eq!(*g.vertex_attr(4), 40.0);
     }
 
     #[test]

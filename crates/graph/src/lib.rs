@@ -14,6 +14,8 @@
 //!   [`DenseSlots`]) that make the per-node superstep data path hash-free;
 //! * [`generators`] — R-MAT, Erdős–Rényi and road-network generators used to
 //!   build synthetic analogues of the paper's datasets;
+//! * [`mutate`] — the versioned, replayable mutation log ([`MutationBatch`],
+//!   [`MutationLog`]) behind live graph updates;
 //! * [`partition`] — hash, range, greedy vertex-cut and capacity-weighted
 //!   partitioners;
 //! * [`datasets`] — the Table I catalogue with scaled synthetic analogues;
@@ -31,6 +33,7 @@ pub mod edge_list;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod mutate;
 pub mod partition;
 pub mod tables;
 pub mod types;
@@ -40,5 +43,8 @@ pub use csr::Csr;
 pub use dense::{DenseSlots, FrontierSet, LocalIdMap};
 pub use edge_list::EdgeList;
 pub use graph::PropertyGraph;
+pub use mutate::{
+    MutationBatch, MutationError, MutationLog, MutationOp, MutationScope, ResolvedMutation,
+};
 pub use types::{Edge, EdgeId, GraphError, PartitionId, Result, Triplet, VertexId};
 pub use view::{TripletBuffer, ViewStats};

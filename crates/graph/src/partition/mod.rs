@@ -27,6 +27,7 @@ pub use vertex_cut::GreedyVertexCutPartitioner;
 pub use weighted::WeightedEdgePartitioner;
 
 use crate::graph::PropertyGraph;
+use crate::mutate::ResolvedMutation;
 use crate::types::{EdgeId, GraphError, PartitionId, Result, VertexId};
 use std::collections::HashMap;
 
@@ -184,6 +185,73 @@ impl Partitioning {
         max as f64 / mean
     }
 
+    /// Extends the partitioning in place with one resolved mutation batch.
+    ///
+    /// New vertices are mastered like isolated ones (`v % num_parts`); a new
+    /// edge lands on the master part of its source, replicating its
+    /// endpoints there if needed.  Removed edges compact the edge id space
+    /// exactly as [`PropertyGraph::apply_mutations`] does, and every part's
+    /// edge list stays in ascending (global) id order.  Replicas are never
+    /// retired — a vertex that loses its last edge on a part keeps its
+    /// replica there, which keeps the mapping a strict extension of the
+    /// pre-mutation placement.
+    ///
+    /// # Panics
+    /// Panics if `delta` was resolved against a different shape than this
+    /// partitioning currently covers.
+    pub fn apply_mutations<V, E>(&mut self, delta: &ResolvedMutation<V, E>) {
+        assert_eq!(
+            delta.prior_num_vertices, self.num_vertices,
+            "mutation batch resolved against a different vertex count"
+        );
+        assert_eq!(
+            delta.prior_num_edges,
+            self.edge_assignment.len(),
+            "mutation batch resolved against a different edge count"
+        );
+        let num_parts = self.parts.len();
+        for &(v, _) in &delta.added_vertices {
+            let part = v as usize % num_parts;
+            self.master_of.push(part);
+            // New ids are the largest, so pushing keeps these lists sorted.
+            self.parts[part].masters.push(v);
+            self.parts[part].vertices.push(v);
+            self.num_vertices += 1;
+        }
+        if !delta.removed_edges.is_empty() {
+            let removed: Vec<EdgeId> = delta.removed_edges.iter().map(|&(id, _, _)| id).collect();
+            let mut cut = removed.iter().copied().peekable();
+            let mut id = 0usize;
+            self.edge_assignment.retain(|_| {
+                let keep = cut.peek() != Some(&id);
+                if !keep {
+                    cut.next();
+                }
+                id += 1;
+                keep
+            });
+            for part in &mut self.parts {
+                part.edges.retain(|e| removed.binary_search(e).is_err());
+                for e in &mut part.edges {
+                    // Surviving ids shift down past the removals below them.
+                    *e -= removed.partition_point(|&r| r < *e);
+                }
+            }
+        }
+        for edge in &delta.added_edges {
+            let part = self.master_of[edge.src as usize];
+            let new_id = self.edge_assignment.len();
+            self.edge_assignment.push(part);
+            self.parts[part].edges.push(new_id);
+            for v in [edge.src, edge.dst] {
+                let vertices = &mut self.parts[part].vertices;
+                if let Err(pos) = vertices.binary_search(&v) {
+                    vertices.insert(pos, v);
+                }
+            }
+        }
+    }
+
     /// Counts how many vertices have at least one replica outside their
     /// master part — the vertices whose updates require cross-node
     /// synchronisation.  Used by the synchronization-skipping analysis.
@@ -280,6 +348,51 @@ mod tests {
         let split = Partitioning::from_edge_assignment(&g, 2, vec![0, 1, 0, 1, 0, 1]).unwrap();
         assert!(split.replication_factor() > 1.0);
         assert!(split.boundary_vertex_count() > 0);
+    }
+
+    #[test]
+    fn apply_mutations_extends_assignment_consistently() {
+        use crate::mutate::{MutationBatch, MutationLog};
+        let g = small_graph();
+        let mut p = Partitioning::from_edge_assignment(&g, 2, vec![0, 0, 1, 1, 0, 1]).unwrap();
+        let mut log = MutationLog::new(g.num_vertices(), g.edges().iter().map(|e| (e.src, e.dst)));
+        let batch = MutationBatch::<u32, ()>::new()
+            .add_vertex(0)
+            .remove_edge(1)
+            .remove_edge(4)
+            .add_edge(4, 0, ())
+            .add_edge(2, 4, ());
+        let delta = log.append(&batch).unwrap();
+        p.apply_mutations(&delta);
+        assert_eq!(p.num_vertices(), 5);
+        // Vertex 4 masters on part 4 % 2 = 0.
+        assert_eq!(p.master_of(4), 0);
+        assert!(p.part(0).masters.contains(&4));
+        // 6 edges - 2 removed + 2 added = 6; ids stay dense.
+        let total_edges: usize = p.parts().iter().map(|q| q.edges.len()).sum();
+        assert_eq!(total_edges, 6);
+        let mut all: Vec<EdgeId> = p.parts().iter().flat_map(|q| q.edges.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // Part edge lists stay ascending and agree with part_of_edge.
+        for (id, part) in p.parts().iter().enumerate() {
+            assert!(part.edges.windows(2).all(|w| w[0] < w[1]));
+            for &e in &part.edges {
+                assert_eq!(p.part_of_edge(e), id);
+            }
+        }
+        // New edge 4 -> 0 lands on master_of(4) = 0 with both endpoints
+        // replicated there.
+        assert_eq!(p.part_of_edge(4), 0);
+        assert!(p.part(0).vertices.contains(&4));
+        assert!(p.part(0).vertices.contains(&0));
+        // New edge 2 -> 4 lands on master_of(2) and replicates 4 there.
+        let part2 = p.master_of(2);
+        assert_eq!(p.part_of_edge(5), part2);
+        assert!(p.part(part2).vertices.contains(&4));
+        for part in p.parts() {
+            assert!(part.vertices.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

@@ -219,6 +219,38 @@ impl<E> EdgeTable<E> {
         self.edges.len() - 1
     }
 
+    /// Removes the edges at the given local positions (ascending), shifting
+    /// the survivors down so local ids stay dense and relative order is
+    /// preserved — the local mirror of the global edge-id compaction a
+    /// mutation batch performs.
+    ///
+    /// # Panics
+    /// Panics if `positions` is not strictly ascending or names an index out
+    /// of range.
+    pub fn remove_positions(&mut self, positions: &[usize]) {
+        if positions.is_empty() {
+            return;
+        }
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "removal positions must be strictly ascending"
+        );
+        assert!(
+            *positions.last().unwrap() < self.edges.len(),
+            "removal position out of range"
+        );
+        let mut cut = positions.iter().copied().peekable();
+        let mut id = 0usize;
+        self.edges.retain(|_| {
+            let keep = cut.peek() != Some(&id);
+            if !keep {
+                cut.next();
+            }
+            id += 1;
+            keep
+        });
+    }
+
     /// Returns the edge with local id `id`.
     pub fn get(&self, id: EdgeId) -> Option<&Edge<E>> {
         self.edges.get(id)

@@ -16,15 +16,26 @@ const CAPACITY: u32 = 400;
 
 /// Applies one encoded op to both implementations.  Ops:
 /// `0` → insert id, `1` → contains check, `2` → clear (epoch bump),
-/// `3` → full iteration comparison, `4` → activate_all.
-fn apply(op: u32, id: u32, set: &mut FrontierSet, reference: &mut HashSet<u32>) {
+/// `3` → full iteration comparison, `4` → activate_all, `5` → grow the id
+/// space (what a live mutation batch does between epochs).  Insert/contains
+/// ids are taken modulo the *current* capacity, so after a grow the sequence
+/// exercises ids that were out of range when the set was built.
+fn apply(
+    op: u32,
+    id: u32,
+    capacity: &mut u32,
+    set: &mut FrontierSet,
+    reference: &mut HashSet<u32>,
+) {
     match op {
         0 => {
+            let id = id % *capacity;
             let fresh = set.insert(id);
             let ref_fresh = reference.insert(id);
             assert_eq!(fresh, ref_fresh, "insert({id}) freshness diverged");
         }
         1 => {
+            let id = id % *capacity;
             assert_eq!(
                 set.contains(id),
                 reference.contains(&id),
@@ -41,10 +52,17 @@ fn apply(op: u32, id: u32, set: &mut FrontierSet, reference: &mut HashSet<u32>) 
             want.sort_unstable();
             assert_eq!(got, want, "iteration diverged from sorted reference");
         }
-        _ => {
+        4 => {
             set.activate_all();
             reference.clear();
-            reference.extend(0..CAPACITY);
+            reference.extend(0..*capacity);
+        }
+        _ => {
+            // Growth interleaved with epoch reuse: membership must survive,
+            // and the fresh tail must be empty in the current epoch.
+            *capacity += id % 48 + 1;
+            set.ensure_capacity(*capacity as usize);
+            assert_eq!(set.capacity(), *capacity as usize);
         }
     }
     assert_eq!(set.len(), reference.len(), "len diverged after op {op}");
@@ -54,16 +72,17 @@ fn apply(op: u32, id: u32, set: &mut FrontierSet, reference: &mut HashSet<u32>) 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Random insert/contains/clear/iterate/activate-all sequences keep the
-    /// bitset in lockstep with the `HashSet` reference.
+    /// Random insert/contains/clear/iterate/activate-all/grow sequences keep
+    /// the bitset in lockstep with the `HashSet` reference.
     #[test]
     fn frontier_matches_hash_set_reference(
-        ops in prop::collection::vec((0u32..5, 0u32..CAPACITY), 0..120),
+        ops in prop::collection::vec((0u32..6, 0u32..CAPACITY), 0..120),
     ) {
         let mut set = FrontierSet::new(CAPACITY as usize);
         let mut reference: HashSet<u32> = HashSet::new();
+        let mut capacity = CAPACITY;
         for (op, id) in ops {
-            apply(op, id, &mut set, &mut reference);
+            apply(op, id, &mut capacity, &mut set, &mut reference);
         }
         // Final full-state comparison regardless of the last op.
         let got: Vec<u32> = set.iter().collect();
@@ -73,26 +92,39 @@ proptest! {
     }
 
     /// Epoch reuse: clearing and refilling many times never resurrects stale
-    /// bits, and growth via ensure_capacity preserves membership.
+    /// bits, even with growth interleaved *between* epochs — the shape a
+    /// mutated deployment produces, where each batch grows the frontier and
+    /// the next job's epoch must not resurrect pre-mutation bits in either
+    /// the old range or the fresh tail.
     #[test]
     fn frontier_survives_epoch_reuse_and_growth(
         rounds in prop::collection::vec(
-            prop::collection::vec((0u32..2, 0u32..CAPACITY), 0..40),
+            (
+                prop::collection::vec((0u32..2, 0u32..CAPACITY), 0..40),
+                0u32..80,
+            ),
             1..6,
         ),
         extra in 0u32..200,
     ) {
         let mut set = FrontierSet::new(CAPACITY as usize);
-        for round in rounds {
+        let mut capacity = CAPACITY;
+        for (round, growth) in rounds {
             set.clear();
             let mut reference: HashSet<u32> = HashSet::new();
             for (op, id) in round {
-                apply(op, id, &mut set, &mut reference);
+                apply(op, id, &mut capacity, &mut set, &mut reference);
             }
+            // Grow between epochs; the live epoch's contents must read back
+            // unchanged through the growth.
+            let before: Vec<u32> = set.iter().collect();
+            capacity += growth;
+            set.ensure_capacity(capacity as usize);
+            prop_assert_eq!(set.iter().collect::<Vec<u32>>(), before);
         }
         // Growing the id space keeps the current epoch's contents readable.
         let before: Vec<u32> = set.iter().collect();
-        set.ensure_capacity((CAPACITY + extra) as usize);
+        set.ensure_capacity((capacity + extra) as usize);
         let after: Vec<u32> = set.iter().collect();
         prop_assert_eq!(before, after);
     }

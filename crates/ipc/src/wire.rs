@@ -59,6 +59,8 @@ const KIND_RESULT: u8 = 4;
 const KIND_ERROR: u8 = 5;
 const KIND_STATS: u8 = 6;
 const KIND_CANCEL: u8 = 7;
+const KIND_MUTATE: u8 = 8;
+const KIND_MUTATED: u8 = 9;
 
 /// Decode-side failures.  Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -446,6 +448,38 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// One live graph-mutation operation as it travels on the wire.
+///
+/// The wire shape is deliberately narrower than the in-memory
+/// `MutationOp<V, E>`: served graphs initialise vertex attributes through
+/// their algorithms, so added and detached vertices carry no attribute bytes,
+/// and edge attributes are the one `f64` weight the serving model exposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireMutationOp {
+    /// Append one vertex (its id is the next dense id; its attribute is the
+    /// serving model's default).
+    AddVertex,
+    /// Append one weighted edge between existing (or batch-added) vertices.
+    AddEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Destination vertex id.
+        dst: u32,
+        /// Edge weight.
+        attr: f64,
+    },
+    /// Remove the edge holding this id *before* the batch applies.
+    RemoveEdge {
+        /// Pre-batch edge id.
+        edge: u64,
+    },
+    /// Reset a (necessarily edge-free) vertex's attribute to the default.
+    DetachVertex {
+        /// The vertex to detach.
+        vertex: u32,
+    },
+}
+
 /// Everything that travels on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -484,6 +518,21 @@ pub enum Frame {
         /// The job to cancel.
         job: u64,
     },
+    /// Client → server: apply this mutation batch to the served graph.
+    Mutate {
+        /// The operations of the batch, applied atomically in order.
+        ops: Vec<WireMutationOp>,
+    },
+    /// Server → client: the batch committed; the served graph now has this
+    /// shape.
+    Mutated {
+        /// The mutation-log version the batch committed at.
+        version: u64,
+        /// Vertices in the mutated graph.
+        num_vertices: u64,
+        /// Edges in the mutated graph.
+        num_edges: u64,
+    },
 }
 
 impl Frame {
@@ -496,6 +545,8 @@ impl Frame {
             Frame::Error { .. } => KIND_ERROR,
             Frame::Stats(_) => KIND_STATS,
             Frame::Cancel { .. } => KIND_CANCEL,
+            Frame::Mutate { .. } => KIND_MUTATE,
+            Frame::Mutated { .. } => KIND_MUTATED,
         }
     }
 }
@@ -684,6 +735,37 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             payload.put_opt_u64(stats.wall_p99_us);
         }
         Frame::Cancel { job } => payload.put_u64(*job),
+        Frame::Mutate { ops } => {
+            payload.put_u32(ops.len() as u32);
+            for op in ops {
+                match op {
+                    WireMutationOp::AddVertex => payload.put_u8(0),
+                    WireMutationOp::AddEdge { src, dst, attr } => {
+                        payload.put_u8(1);
+                        payload.put_u32(*src);
+                        payload.put_u32(*dst);
+                        payload.put_f64(*attr);
+                    }
+                    WireMutationOp::RemoveEdge { edge } => {
+                        payload.put_u8(2);
+                        payload.put_u64(*edge);
+                    }
+                    WireMutationOp::DetachVertex { vertex } => {
+                        payload.put_u8(3);
+                        payload.put_u32(*vertex);
+                    }
+                }
+            }
+        }
+        Frame::Mutated {
+            version,
+            num_vertices,
+            num_edges,
+        } => {
+            payload.put_u64(*version);
+            payload.put_u64(*num_vertices);
+            payload.put_u64(*num_edges);
+        }
     }
 
     let payload = payload.0;
@@ -914,6 +996,36 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             wall_p99_us: r.take_opt_u64()?,
         }),
         KIND_CANCEL => Frame::Cancel { job: r.take_u64()? },
+        KIND_MUTATE => {
+            let declared = r.take_u32()?;
+            // Every op costs at least its tag byte.
+            let count = r.checked_count(declared, 1)?;
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let op = match r.take_u8()? {
+                    0 => WireMutationOp::AddVertex,
+                    1 => WireMutationOp::AddEdge {
+                        src: r.take_u32()?,
+                        dst: r.take_u32()?,
+                        attr: r.take_f64()?,
+                    },
+                    2 => WireMutationOp::RemoveEdge {
+                        edge: r.take_u64()?,
+                    },
+                    3 => WireMutationOp::DetachVertex {
+                        vertex: r.take_u32()?,
+                    },
+                    _ => return Err(WireError::BadPayload("unknown mutation-op tag")),
+                };
+                ops.push(op);
+            }
+            Frame::Mutate { ops }
+        }
+        KIND_MUTATED => Frame::Mutated {
+            version: r.take_u64()?,
+            num_vertices: r.take_u64()?,
+            num_edges: r.take_u64()?,
+        },
         _ => return Err(WireError::UnknownKind(kind)),
     };
     if r.remaining() != 0 {
@@ -1085,6 +1197,46 @@ mod tests {
             ..StatsFrame::default()
         }));
         roundtrip(Frame::Cancel { job: 8 });
+        roundtrip(Frame::Mutate { ops: Vec::new() });
+        roundtrip(Frame::Mutate {
+            ops: vec![
+                WireMutationOp::AddVertex,
+                WireMutationOp::AddEdge {
+                    src: 7,
+                    dst: u32::MAX,
+                    attr: -0.5,
+                },
+                WireMutationOp::RemoveEdge { edge: u64::MAX },
+                WireMutationOp::DetachVertex { vertex: 3 },
+            ],
+        });
+        roundtrip(Frame::Mutated {
+            version: 3,
+            num_vertices: 1 << 40,
+            num_edges: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn unknown_mutation_op_tag_is_rejected() {
+        let mut bytes = encode(&Frame::Mutate {
+            ops: vec![WireMutationOp::AddVertex],
+        });
+        *bytes.last_mut().unwrap() = 4;
+        assert_eq!(
+            decode(&bytes),
+            Err(WireError::BadPayload("unknown mutation-op tag"))
+        );
+    }
+
+    #[test]
+    fn a_hostile_mutation_count_cannot_drive_a_huge_allocation() {
+        // A Mutate frame declaring u32::MAX ops in a 4-byte payload must fail
+        // on the count check, not attempt a multi-gigabyte Vec.
+        let mut bytes = encode(&Frame::Mutate { ops: Vec::new() });
+        let count_at = bytes.len() - 4;
+        bytes[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

@@ -21,8 +21,11 @@ use crate::metrics::{self, TenantCounters};
 use crate::model::{job_options, AlgorithmRegistry};
 use crate::ws::{self, WsError, WsMessage};
 use gxplug_core::{GraphService, JobStatus, JobTicket, ServiceError, StatsSnapshot};
+use gxplug_graph::mutate::MutationBatch;
+use gxplug_graph::types::EdgeId;
 use gxplug_ipc::wire::{
     self, Frame, JobResultFrame, JobSpec, JobState, ServerError, StatsFrame, WireJobOptions,
+    WireMutationOp,
 };
 use gxplug_ipc::{sync_queue, QueueReceiver, QueueRecvError};
 use std::collections::{BTreeMap, HashMap};
@@ -173,8 +176,8 @@ pub struct Server<V: 'static, E: 'static> {
 
 impl<V, E> Server<V, E>
 where
-    V: Clone + PartialEq + Send + Sync + 'static,
-    E: Clone + Send + Sync + 'static,
+    V: Clone + Default + PartialEq + Send + Sync + 'static,
+    E: Clone + From<f64> + Send + Sync + 'static,
 {
     /// Binds the listener and starts the acceptor + handler threads.
     ///
@@ -439,8 +442,8 @@ fn poll_job<V>(table: &mut JobTable<V>, job: u64, tenant: &str) -> Result<Frame,
 /// the server stops.
 fn handle_connection<V, E>(shared: &Arc<Shared<V, E>>, stream: TcpStream)
 where
-    V: Clone + PartialEq + Send + Sync + 'static,
-    E: Clone + Send + Sync + 'static,
+    V: Clone + Default + PartialEq + Send + Sync + 'static,
+    E: Clone + From<f64> + Send + Sync + 'static,
 {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -504,8 +507,8 @@ fn is_upgrade(request: &Request) -> bool {
 /// Routes one plain-HTTP request.
 fn route<V, E>(shared: &Shared<V, E>, request: &Request) -> Response
 where
-    V: Clone + PartialEq + Send + Sync + 'static,
-    E: Clone + Send + Sync + 'static,
+    V: Clone + Default + PartialEq + Send + Sync + 'static,
+    E: Clone + From<f64> + Send + Sync + 'static,
 {
     // /metrics is unauthenticated by design: scrapers hold no tenant
     // identity, and the exposition carries no tenant-submitted data beyond
@@ -531,6 +534,7 @@ where
             },
             Err(error) => error_response(wants_text, error),
         },
+        ("POST", "/v1/graph/mutations") => apply_graph_mutation(shared, request, wants_text),
         ("GET", "/v1/stats") => {
             if wants_text {
                 Response::text(200, render_metrics(shared))
@@ -571,6 +575,73 @@ where
                 error_response(wants_text, ServerError::NotFound)
             }
         }
+    }
+}
+
+/// POST /v1/graph/mutations: decodes a [`Frame::Mutate`] body, applies the
+/// batch to the served graph through the service's mutation log (which
+/// version-gates the result cache and re-deploys the delta to every worker
+/// session), and answers with the committed log version and graph shape.
+///
+/// Mutations are binary-only: the wire frame is the validated, replayable
+/// unit the whole mutation subsystem is built around, so there is no
+/// curl-text form to drift from it.  Added and detached vertices take the
+/// serving model's default attribute (`V: Default`); edge weights travel as
+/// the one `f64` the wire op carries (`E: From<f64>`).
+fn apply_graph_mutation<V, E>(
+    shared: &Shared<V, E>,
+    request: &Request,
+    wants_text: bool,
+) -> Response
+where
+    V: Clone + Default + PartialEq + Send + Sync + 'static,
+    E: Clone + From<f64> + Send + Sync + 'static,
+{
+    if !request
+        .header("content-type")
+        .is_some_and(|t| t.starts_with(FRAME_CONTENT_TYPE))
+    {
+        return error_response(
+            wants_text,
+            ServerError::BadRequest("mutations are submitted as a binary Mutate frame".into()),
+        );
+    }
+    let ops = match wire::decode(&request.body) {
+        Ok((Frame::Mutate { ops }, _)) => ops,
+        Ok(_) => {
+            return error_response(
+                wants_text,
+                ServerError::Protocol("body must be a Mutate frame".into()),
+            )
+        }
+        Err(error) => return error_response(wants_text, ServerError::Protocol(error.to_string())),
+    };
+    if ops.is_empty() {
+        return error_response(
+            wants_text,
+            ServerError::BadRequest("a mutation batch needs at least one op".into()),
+        );
+    }
+    let mut batch = MutationBatch::new();
+    for op in ops {
+        batch = match op {
+            WireMutationOp::AddVertex => batch.add_vertex(V::default()),
+            WireMutationOp::AddEdge { src, dst, attr } => batch.add_edge(src, dst, E::from(attr)),
+            WireMutationOp::RemoveEdge { edge } => batch.remove_edge(edge as EdgeId),
+            WireMutationOp::DetachVertex { vertex } => batch.detach_vertex(vertex, V::default()),
+        };
+    }
+    match shared.service.apply_mutations(&batch) {
+        Ok(delta) => frame_response(
+            wants_text,
+            200,
+            &Frame::Mutated {
+                version: delta.version,
+                num_vertices: delta.num_vertices() as u64,
+                num_edges: delta.num_edges() as u64,
+            },
+        ),
+        Err(error) => error_response(wants_text, ServerError::BadRequest(error.to_string())),
     }
 }
 
@@ -696,6 +767,13 @@ fn frame_response(wants_text: bool, status: u16, frame: &Frame) -> Response {
             text
         }
         Frame::Error { error, .. } => format!("error: {error}\n"),
+        Frame::Mutated {
+            version,
+            num_vertices,
+            num_edges,
+        } => format!(
+            "graph mutated to version {version}: {num_vertices} vertices, {num_edges} edges\n"
+        ),
         other => format!("{other:?}\n"),
     };
     Response::text(status, text)

@@ -8,7 +8,9 @@
 //! the Prometheus exposition, and the WebSocket state stream.
 
 use gxplug_core::{CachePolicy, JobOptions};
-use gxplug_ipc::wire::{self, Frame, JobSpec, JobState, ServerError, WireJobOptions};
+use gxplug_ipc::wire::{
+    self, Frame, JobSpec, JobState, ServerError, WireJobOptions, WireMutationOp,
+};
 use gxplug_server::{
     metrics, standard_registry, standard_service, ws, ServeRank, ServeReach, Server, ServerConfig,
     Tenant, TenantQuota, TenantRegistry,
@@ -335,6 +337,137 @@ fn over_quota_tenants_get_429_without_disturbing_others() {
         let (_, frame) = poll_until_terminal(addr, "tok-a", job);
         assert!(matches!(frame, Frame::Result(_)), "{frame:?}");
     }
+    server.shutdown();
+}
+
+#[test]
+fn live_mutations_apply_over_the_socket_and_invalidate_the_cache() {
+    let server = boot(7, 5, 2);
+    let addr = server.local_addr();
+    let (vertices_before, edges_before) = server.service().graph_shape();
+
+    // A baseline SSSP, cached under the pre-mutation graph version.
+    let spec = JobSpec::new("sssp").with_ids("sources", vec![0]);
+    let job = submit(addr, "tok-a", spec.clone(), WireJobOptions::default()).expect("accepted");
+    let (_, frame) = poll_until_terminal(addr, "tok-a", job);
+    let Frame::Result(before) = frame else {
+        panic!("expected a result, got {frame:?}")
+    };
+    assert_eq!(before.values.len(), vertices_before);
+
+    // Mutations are authenticated like every other endpoint.
+    let batch = wire::encode(&Frame::Mutate {
+        ops: vec![
+            WireMutationOp::AddVertex,
+            WireMutationOp::AddEdge {
+                src: 0,
+                dst: vertices_before as u32,
+                attr: 0.5,
+            },
+        ],
+    });
+    let (status, _) = request(addr, "POST", "/v1/graph/mutations", None, None, false, &[]);
+    assert_eq!(status, 401);
+
+    // A text body is a typed 400 — mutations are binary-only.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/graph/mutations",
+        Some("tok-a"),
+        None,
+        false,
+        b"nope",
+    );
+    assert_eq!(status, 400);
+
+    // A non-Mutate frame under the frame content type is a typed 400 too.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/graph/mutations",
+        Some("tok-a"),
+        Some("application/x-gxplug-frame"),
+        false,
+        &wire::encode(&Frame::Cancel { job: 1 }),
+    );
+    assert_eq!(status, 400);
+
+    // The real batch commits and reports the post-mutation shape.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/graph/mutations",
+        Some("tok-a"),
+        Some("application/x-gxplug-frame"),
+        false,
+        &batch,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (frame, _) = wire::decode(&body).expect("mutation response is a frame");
+    let Frame::Mutated {
+        version,
+        num_vertices,
+        num_edges,
+    } = frame
+    else {
+        panic!("expected Mutated, got {frame:?}")
+    };
+    assert_eq!(version, 1);
+    assert_eq!(num_vertices, vertices_before as u64 + 1);
+    assert_eq!(num_edges, edges_before as u64 + 1);
+    assert_eq!(
+        server.service().graph_shape(),
+        (vertices_before + 1, edges_before + 1)
+    );
+
+    // An invalid batch (removing an edge that does not exist) is a 400 and
+    // does not bump the version.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/graph/mutations",
+        Some("tok-a"),
+        Some("application/x-gxplug-frame"),
+        false,
+        &wire::encode(&Frame::Mutate {
+            ops: vec![WireMutationOp::RemoveEdge {
+                edge: u64::from(u32::MAX),
+            }],
+        }),
+    );
+    assert_eq!(status, 400);
+    assert_eq!(server.service().mutation_version(), 1);
+
+    // The same submission again is a cache MISS (the mutation bumped the
+    // graph version) and the fresh run sees the mutated graph: one more
+    // value, and the new vertex is reachable from source 0 at distance 0.5.
+    let job = submit(addr, "tok-a", spec, WireJobOptions::default()).expect("accepted");
+    let (_, frame) = poll_until_terminal(addr, "tok-a", job);
+    let Frame::Result(after) = frame else {
+        panic!("expected a result, got {frame:?}")
+    };
+    assert_eq!(after.values.len(), vertices_before + 1);
+    assert_eq!(after.values[vertices_before], 0.5);
+
+    // And the socket result stays bit-identical to an in-process run over
+    // the same (mutated) service.
+    let direct = server
+        .service()
+        .submit_with(
+            ServeReach { sources: vec![0] },
+            JobOptions::new().with_cache(CachePolicy::Bypass),
+        )
+        .expect("direct submit")
+        .wait()
+        .expect("direct run");
+    let direct_bits: Vec<u64> = direct.values.iter().map(|v| v.dist.to_bits()).collect();
+    let socket_bits: Vec<u64> = after.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        direct_bits, socket_bits,
+        "post-mutation bits differ across the socket"
+    );
+
     server.shutdown();
 }
 

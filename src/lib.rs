@@ -103,9 +103,12 @@ pub mod prelude {
         RangePartitioner, WeightedEdgePartitioner,
     };
     pub use gxplug_graph::{
-        Edge, EdgeList, PropertyGraph, Triplet, TripletBuffer, VertexId, ViewStats,
+        Edge, EdgeList, MutationBatch, MutationError, MutationLog, MutationOp, MutationScope,
+        PropertyGraph, ResolvedMutation, Triplet, TripletBuffer, VertexId, ViewStats,
     };
-    pub use gxplug_ipc::wire::{Frame, JobSpec, JobState, ServerError, WireJobOptions};
+    pub use gxplug_ipc::wire::{
+        Frame, JobSpec, JobState, ServerError, WireJobOptions, WireMutationOp,
+    };
     pub use gxplug_ipc::{SegmentPool, SharedSegment, TripletBlockRef};
     pub use gxplug_server::{
         standard_registry, standard_service, AlgorithmRegistry, ServeRank, ServeReach, ServeVertex,
